@@ -1,0 +1,108 @@
+// Ablation: the design constants DESIGN.md calls out.
+//
+//   * sampling factor k (= fan-out bound b): space of the cascading
+//     structure and of the skeletons vs search cost.  Larger b shrinks
+//     the augmented catalogs but blows up s_i = (2b+2)(2b+1)^{h_i} and
+//     with it the hop ranges.
+//   * substructure choice: forcing a query to run on the "wrong" T_i
+//     shows why the log p ranges 2^{2^i} < p <= 2^{2^{i+1}} matter.
+
+#include "common.hpp"
+
+namespace {
+
+void BM_SampleFactor(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t height = 12;
+  const std::size_t entries = 1 << 16;
+  std::mt19937_64 rng(k);
+  const auto tree = cat::make_balanced_binary(
+      height, entries, cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(tree, k);
+  const auto cs = coop::CoopStructure::build(s);
+  std::uint64_t steps = 0, queries = 0;
+  for (auto _ : state) {
+    const auto path = bench::leftish_path(tree, rng());
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    pram::Machine m(256);
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    ++queries;
+  }
+  state.counters["b"] = double(k);
+  state.counters["aug_entries"] = double(s.total_aug_entries());
+  state.counters["skeleton_entries"] = double(cs.total_skeleton_entries());
+  state.counters["alpha"] = coop::Params(k).alpha;
+  state.counters["s0"] = double(coop::Params(k).s(0));
+  state.counters["steps_p256"] = double(steps) / double(queries);
+}
+
+void BM_AlphaScale(benchmark::State& state) {
+  // The paper's alpha keeps every hop within O(p) virtual processors but
+  // makes h_i = 1 for all practical p, so the hop machinery barely beats
+  // the sequential bridge walk (DESIGN.md deviation 2).  Scaling alpha
+  // buys taller hops at the cost of wider Step 3 ranges (Brent-charged
+  // when they exceed p).  steps * overshoot shows the true cost.
+  const double scale = double(state.range(0));
+  const std::uint32_t height = 16;
+  const std::size_t entries = 1 << 20;
+  const std::size_t p = 1 << 12;
+  const auto& inst = bench::balanced_instance(
+      height, entries, cat::CatalogShape::kRandom, 42);
+  const auto cs = coop::CoopStructure::build(*inst.fc, scale);
+  std::mt19937_64 rng(std::uint64_t(scale * 100));
+  std::uint64_t steps = 0, queries = 0, max_active = 0;
+  for (auto _ : state) {
+    const auto path = bench::leftish_path(inst.tree, rng());
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    pram::Machine m(p);
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    max_active = std::max(max_active, m.stats().max_active);
+    ++queries;
+  }
+  state.counters["alpha_scale"] = scale;
+  state.counters["h_for_p4096"] = double(cs.for_processors(p).h);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["proc_overshoot"] = double(max_active) / double(p);
+  state.counters["skeleton_entries"] = double(cs.total_skeleton_entries());
+}
+
+void BM_ForcedSubstructure(benchmark::State& state) {
+  const auto forced_i = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t height = 14;
+  const std::size_t entries = 1 << 18;
+  const auto& inst = bench::balanced_instance(
+      height, entries, cat::CatalogShape::kRandom, 48);
+  // Build an isolated copy with only the forced substructure, so the
+  // query has no choice.
+  const std::vector<std::uint32_t> only{forced_i};
+  const auto cs = coop::CoopStructure::build_subset(*inst.fc, only);
+  std::mt19937_64 rng(forced_i);
+  std::uint64_t steps = 0, queries = 0;
+  for (auto _ : state) {
+    const auto path = bench::leftish_path(inst.tree, rng());
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    pram::Machine m(256);  // T_2 is the "right" structure for p = 256
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    ++queries;
+  }
+  state.counters["forced_i"] = double(forced_i);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["h_i"] = double(cs.substructure(0).h);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SampleFactor)->Arg(3)->Arg(4)->Arg(6)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AlphaScale)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ForcedSubstructure)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

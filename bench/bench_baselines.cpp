@@ -1,0 +1,116 @@
+// Experiment E11 (Section 1 motivation + Snir [16]): the two baseline
+// comparisons underlying the whole paper.
+//
+//   1. Sequential fractional cascading vs independent binary search per
+//      catalog: comparisons O(log n + m b) vs O(m log n).
+//   2. Snir's cooperative (p+1)-ary search vs one-processor binary search
+//      on a sorted array: rounds log n / log p vs log n.
+
+#include "common.hpp"
+#include "pram/coop_search.hpp"
+
+namespace {
+
+void BM_FcVsIndependentBinary(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  const auto& inst = bench::balanced_instance(
+      height, entries, cat::CatalogShape::kRandom, 47);
+  std::mt19937_64 rng(height);
+  std::uint64_t fc_cost = 0, baseline_cost = 0, queries = 0;
+  for (auto _ : state) {
+    const auto path = bench::leftish_path(inst.tree, rng());
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    fc::SearchStats a, b;
+    benchmark::DoNotOptimize(
+        fc::search_explicit(*inst.fc, path, y, &a).proper_index.data());
+    benchmark::DoNotOptimize(
+        fc::search_binary_baseline(inst.tree, path, y, &b)
+            .proper_index.data());
+    fc_cost += a.comparisons + a.bridge_walks;
+    baseline_cost += b.comparisons;
+    ++queries;
+  }
+  state.counters["n"] = double(entries);
+  state.counters["path_len"] = double(height + 1);
+  state.counters["fc_comparisons"] = double(fc_cost) / double(queries);
+  state.counters["baseline_comparisons"] =
+      double(baseline_cost) / double(queries);
+  state.counters["speedup"] = double(baseline_cost) / double(fc_cost);
+}
+
+void BM_SnirVsBinary(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 20;
+  static std::vector<cat::Key> sorted;
+  if (sorted.empty()) {
+    sorted.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted[i] = cat::Key(i) * 3;
+    }
+  }
+  std::mt19937_64 rng(p);
+  std::uint64_t coop_steps = 0, queries = 0;
+  for (auto _ : state) {
+    const cat::Key y = cat::Key(rng() % (3 * n));
+    pram::Machine m(p);
+    benchmark::DoNotOptimize(pram::coop_lower_bound<cat::Key>(
+        m, std::span<const cat::Key>(sorted), y));
+    coop_steps += m.stats().steps;
+    ++queries;
+  }
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["coop_steps"] = double(coop_steps) / double(queries);
+  state.counters["binary_steps"] = std::log2(double(n));
+  state.counters["predicted_rounds"] =
+      double(pram::coop_search_rounds(n, p));
+}
+
+void BM_ErewVsCrewSearch(benchmark::State& state) {
+  // The paper's EREW remark: without concurrent reads the lower bound
+  // rises to Omega(log(n/p)).  Compare our EREW O(log p + log(n/p))
+  // search against the CREW O(log n / log p) one.
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 20;
+  static std::vector<cat::Key> sorted;
+  if (sorted.empty()) {
+    sorted.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted[i] = cat::Key(i) * 3;
+    }
+  }
+  std::mt19937_64 rng(p);
+  std::uint64_t erew_steps = 0, crew_steps = 0, queries = 0;
+  for (auto _ : state) {
+    const cat::Key y = cat::Key(rng() % (3 * n));
+    pram::Machine erew(p, pram::Model::kErew);
+    benchmark::DoNotOptimize(pram::erew_lower_bound<cat::Key>(
+        erew, std::span<const cat::Key>(sorted), y));
+    pram::Machine crew(p, pram::Model::kCrew);
+    benchmark::DoNotOptimize(pram::coop_lower_bound<cat::Key>(
+        crew, std::span<const cat::Key>(sorted), y));
+    erew_steps += erew.stats().steps;
+    crew_steps += crew.stats().steps;
+    ++queries;
+  }
+  state.counters["p"] = double(p);
+  state.counters["erew_steps"] = double(erew_steps) / double(queries);
+  state.counters["crew_steps"] = double(crew_steps) / double(queries);
+  state.counters["erew_lower_bound"] =
+      std::log2(double(n) / double(p) + 2.0);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ErewVsCrewSearch)
+    ->Arg(2)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FcVsIndependentBinary)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnirVsBinary)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Experiment E1 (Theorem 1, explicit search): cooperative search steps
+// along root-to-leaf paths as a function of p, for several n.  The paper
+// predicts steps ~ c * (log n)/(log p) for every 1 <= p <= n; the bench
+// reports measured PRAM steps, the predicted ratio, and their quotient
+// (which should stay roughly constant across the p sweep).
+
+#include "common.hpp"
+
+namespace {
+
+void BM_ExplicitSearch(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  const auto& inst = bench::balanced_instance(
+      height, entries, cat::CatalogShape::kRandom, 42);
+  std::mt19937_64 rng(p * 997 + height);
+  std::uint64_t steps = 0, work = 0, hops = 0, queries = 0;
+  for (auto _ : state) {
+    const auto path = bench::leftish_path(inst.tree, rng());
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    pram::Machine m(p);
+    const auto r = coop::coop_search_explicit(*inst.coop, m, path, y);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    work += m.stats().work;
+    hops += r.hops;
+    ++queries;
+  }
+  const double avg_steps = double(steps) / double(queries);
+  state.counters["n"] = double(entries);
+  state.counters["p"] = double(p);
+  state.counters["steps"] = avg_steps;
+  state.counters["work"] = double(work) / double(queries);
+  state.counters["hops"] = double(hops) / double(queries);
+  state.counters["logn_div_logp"] = bench::predicted_ratio(entries, p);
+  state.counters["steps_over_pred"] =
+      avg_steps / bench::predicted_ratio(entries, p);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ExplicitSearch)
+    ->ArgsProduct({{10, 14, 16}, {1, 2, 4, 16, 64, 256, 1024, 4096, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment E2 (Theorem 1, implicit search): same sweep as E1 but the
+// branch taken at each node is decided by a secondary comparison (a BST
+// over per-node split keys, satisfying the consistency assumption).  The
+// paper predicts the same O((log n)/log p) bound with the processor count
+// still O(p) (Section 2.3).
+
+#include "common.hpp"
+
+namespace {
+
+std::vector<cat::Key> bst_splits(const cat::Tree& t) {
+  std::vector<cat::Key> split(t.num_nodes());
+  std::vector<cat::NodeId> inorder;
+  std::vector<std::pair<cat::NodeId, int>> stack{{t.root(), 0}};
+  while (!stack.empty()) {
+    auto& [v, s] = stack.back();
+    if (s == 0) {
+      s = 1;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[0], 0});
+        continue;
+      }
+    }
+    if (s == 1) {
+      inorder.push_back(v);
+      s = 2;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[1], 0});
+        continue;
+      }
+    }
+    stack.pop_back();
+  }
+  for (std::size_t i = 0; i < inorder.size(); ++i) {
+    split[inorder[i]] = cat::Key(i) * 100;
+  }
+  return split;
+}
+
+void BM_ImplicitSearch(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  const auto& inst = bench::balanced_instance(
+      height, entries, cat::CatalogShape::kRandom, 43);
+  const auto splits = bst_splits(inst.tree);
+  std::mt19937_64 rng(p * 131 + height);
+  std::uint64_t steps = 0, work = 0, queries = 0;
+  for (auto _ : state) {
+    const cat::Key x = cat::Key(rng() % (inst.tree.num_nodes() * 100));
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    const auto branch = [&](cat::NodeId v, std::size_t) -> std::uint32_t {
+      return x <= splits[v] ? 0 : 1;
+    };
+    pram::Machine m(p);
+    const auto r = coop::coop_search_implicit(*inst.coop, m, y, branch);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    work += m.stats().work;
+    ++queries;
+  }
+  const double avg_steps = double(steps) / double(queries);
+  state.counters["n"] = double(entries);
+  state.counters["p"] = double(p);
+  state.counters["steps"] = avg_steps;
+  state.counters["work"] = double(work) / double(queries);
+  state.counters["logn_div_logp"] = bench::predicted_ratio(entries, p);
+  state.counters["steps_over_pred"] =
+      avg_steps / bench::predicted_ratio(entries, p);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ImplicitSearch)
+    ->ArgsProduct({{10, 14, 16}, {1, 2, 4, 16, 64, 256, 1024, 4096, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

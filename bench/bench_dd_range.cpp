@@ -1,0 +1,143 @@
+// Experiment E10 (Corollary 2, d = 3): three-dimensional orthogonal range
+// search.  Predicted cooperative time ((log n)/log p)^2 + log log n + k/p
+// for direct retrieval; the bench sweeps p and box width.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "range/range_tree.hpp"
+#include "range/range_tree_kd.hpp"
+
+namespace {
+
+const range::RangeTree3D& instance(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<range::RangeTree3D>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::mt19937_64 rng(n);
+    std::vector<range::RangeTree3D::Point3> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back({geom::Coord(rng() % 100000), geom::Coord(rng() % 100000),
+                     geom::Coord(rng() % 100000)});
+    }
+    it = cache.emplace(n, std::make_unique<range::RangeTree3D>(std::move(pts)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_RangeSearch3D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const geom::Coord width = geom::Coord(state.range(2));
+  const auto& t = instance(n);
+  std::mt19937_64 rng(n * 3 + p);
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord y1 = geom::Coord(rng() % 100000);
+    const geom::Coord z1 = geom::Coord(rng() % 100000);
+    pram::Machine m(p);
+    const auto ids =
+        t.coop_query(m, x1, x1 + width, y1, y1 + width, z1, z1 + width);
+    benchmark::DoNotOptimize(ids.data());
+    steps += m.stats().steps;
+    reported += ids.size();
+    ++queries;
+  }
+  const double logn = std::log2(double(n));
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["pred_sq"] = (logn / logp) * (logn / logp);
+}
+
+void BM_Sequential3D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto& t = instance(n);
+  std::mt19937_64 rng(n * 13);
+  for (auto _ : state) {
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord y1 = geom::Coord(rng() % 100000);
+    const geom::Coord z1 = geom::Coord(rng() % 100000);
+    benchmark::DoNotOptimize(
+        t.query(x1, x1 + 20000, y1, y1 + 20000, z1, z1 + 20000));
+  }
+  state.counters["n"] = double(n);
+  state.counters["entries"] = double(t.total_entries());
+}
+
+const range::RangeTreeKD& kd_instance(std::size_t d, std::size_t n) {
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::unique_ptr<range::RangeTreeKD>>
+      cache;
+  const auto key = std::make_pair(d, n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    std::mt19937_64 rng(d * 1000 + n);
+    std::vector<range::RangeTreeKD::PointKD> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      range::RangeTreeKD::PointKD p(d);
+      for (auto& c : p) {
+        c = geom::Coord(rng() % 10000);
+      }
+      pts.push_back(std::move(p));
+    }
+    it = cache
+             .emplace(key,
+                      std::make_unique<range::RangeTreeKD>(std::move(pts)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_RangeSearchKD(benchmark::State& state) {
+  // The generic recursion of Corollary 2 for d = 3, 4 — one extra
+  // ((log n)/log p) factor per dimension.
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const std::size_t n = 2048;
+  const auto& t = kd_instance(d, n);
+  std::mt19937_64 rng(d * 31 + p);
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    range::RangeTreeKD::PointKD lo(d), hi(d);
+    for (std::size_t c = 0; c < d; ++c) {
+      lo[c] = geom::Coord(rng() % 10000);
+      hi[c] = lo[c] + 4000;
+    }
+    pram::Machine m(p);
+    const auto ids = t.coop_query(m, lo, hi);
+    benchmark::DoNotOptimize(ids.data());
+    steps += m.stats().steps;
+    reported += ids.size();
+    ++queries;
+  }
+  const double logn = std::log2(double(n));
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  state.counters["d"] = double(d);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["pred_pow"] = std::pow(logn / logp, double(d) - 1.0);
+  state.counters["entries"] = double(t.total_entries());
+}
+
+}  // namespace
+
+BENCHMARK(BM_RangeSearchKD)
+    ->ArgsProduct({{3, 4}, {4, 64, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RangeSearch3D)
+    ->ArgsProduct({{4096}, {4, 64, 1024}, {5000, 20000, 50000}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Sequential3D)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

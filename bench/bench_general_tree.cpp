@@ -1,0 +1,49 @@
+// Experiment E5 (Theorem 2): explicit cooperative search along long paths
+// (length k >> log n) in a path tree.  The paper predicts
+// O((log n)/log p + k/(p^{1-eps} log p)); the bench sweeps k and p and
+// reports measured steps against that curve.
+
+#include "common.hpp"
+#include "core/general_tree.hpp"
+
+namespace {
+
+void BM_LongPath(benchmark::State& state) {
+  const std::size_t length = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const double eps = 0.5;
+  const auto& inst = bench::path_instance(length, length * 10, 46);
+  std::vector<cat::NodeId> path(inst.tree.num_nodes());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    path[i] = cat::NodeId(i);
+  }
+  std::mt19937_64 rng(length + p);
+  std::uint64_t steps = 0, queries = 0;
+  for (auto _ : state) {
+    const cat::Key y = cat::Key(rng() % 1'000'000'000);
+    pram::Machine m(p);
+    const auto r = coop::coop_search_long_path(*inst.coop, m, path, y, eps);
+    benchmark::DoNotOptimize(r.proper_index.data());
+    steps += m.stats().steps;
+    ++queries;
+  }
+  const double n = double(inst.tree.total_catalog_size());
+  const double logn = std::log2(n);
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  const double predicted =
+      logn / logp + double(length) / (std::pow(double(p), 1.0 - eps) * logp);
+  state.counters["k"] = double(length);
+  state.counters["p"] = double(p);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["predicted"] = predicted;
+  state.counters["steps_over_pred"] =
+      double(steps) / double(queries) / predicted;
+}
+
+}  // namespace
+
+BENCHMARK(BM_LongPath)
+    ->ArgsProduct({{256, 1024, 4096, 16384}, {4, 16, 64, 256, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+// Experiment E7 (Theorem 4 + Figures 5-6): planar point location.
+//
+// Reports, for several subdivision sizes and every p: cooperative steps
+// vs the (log n)/log p prediction, the sequential bridged-separator-tree
+// query cost, and the no-bridge O(log^2 n) baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+#include "pointloc/slab_index.hpp"
+
+namespace {
+
+struct PlInstance {
+  geom::MonotoneSubdivision sub;
+  std::unique_ptr<pointloc::SeparatorTree> st;
+  std::vector<geom::Point> queries;  // pre-generated: the rejection
+                                     // sampler is O(edges) and must stay
+                                     // out of the timed loop
+};
+
+const PlInstance& pl_instance(std::size_t regions) {
+  static std::map<std::size_t, std::unique_ptr<PlInstance>> cache;
+  auto it = cache.find(regions);
+  if (it == cache.end()) {
+    auto inst = std::make_unique<PlInstance>();
+    std::mt19937_64 rng(regions);
+    inst->sub = geom::make_random_monotone(regions, 64, rng);
+    inst->st = std::make_unique<pointloc::SeparatorTree>(inst->sub);
+    for (int i = 0; i < 256; ++i) {
+      inst->queries.push_back(geom::random_query_point(inst->sub, rng));
+    }
+    it = cache.emplace(regions, std::move(inst)).first;
+  }
+  return *it->second;
+}
+
+void BM_CoopPointLocation(benchmark::State& state) {
+  const std::size_t regions = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto& inst = pl_instance(regions);
+  std::size_t qi = 0;
+  std::uint64_t steps = 0, hops = 0, queries = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    pram::Machine m(p);
+    std::uint64_t h = 0;
+    benchmark::DoNotOptimize(pointloc::coop_locate(*inst.st, m, q, &h));
+    steps += m.stats().steps;
+    hops += h;
+    ++queries;
+  }
+  const double n = double(inst.sub.edges.size());
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  state.counters["n_edges"] = n;
+  state.counters["p"] = double(p);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["hops"] = double(hops) / double(queries);
+  state.counters["logn_div_logp"] = std::max(1.0, std::log2(n) / logp);
+}
+
+void BM_SequentialPointLocation(benchmark::State& state) {
+  const std::size_t regions = static_cast<std::size_t>(state.range(0));
+  const auto& inst = pl_instance(regions);
+  std::size_t qi = 0;
+  std::uint64_t comparisons = 0, queries = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    fc::SearchStats stats;
+    benchmark::DoNotOptimize(inst.st->locate(q, &stats));
+    comparisons += stats.comparisons + stats.bridge_walks;
+    ++queries;
+  }
+  state.counters["n_edges"] = double(inst.sub.edges.size());
+  state.counters["comparisons"] = double(comparisons) / double(queries);
+}
+
+void BM_NoBridgeBaseline(benchmark::State& state) {
+  const std::size_t regions = static_cast<std::size_t>(state.range(0));
+  const auto& inst = pl_instance(regions);
+  std::size_t qi = 0;
+  std::uint64_t comparisons = 0, queries = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    fc::SearchStats stats;
+    benchmark::DoNotOptimize(inst.st->locate_no_bridges(q, &stats));
+    comparisons += stats.comparisons;
+    ++queries;
+  }
+  state.counters["n_edges"] = double(inst.sub.edges.size());
+  state.counters["comparisons"] = double(comparisons) / double(queries);
+}
+
+void BM_SlabIndexBaseline(benchmark::State& state) {
+  const std::size_t regions = static_cast<std::size_t>(state.range(0));
+  const auto& inst = pl_instance(regions);
+  static std::map<std::size_t, std::unique_ptr<pointloc::SlabIndex>> cache;
+  auto it = cache.find(regions);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(regions,
+                      std::make_unique<pointloc::SlabIndex>(inst.sub))
+             .first;
+  }
+  const auto& idx = *it->second;
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    benchmark::DoNotOptimize(idx.locate(q));
+  }
+  state.counters["n_edges"] = double(inst.sub.edges.size());
+  state.counters["slab_crossings"] = double(idx.total_crossings());
+  state.counters["septree_entries"] = double(inst.st->total_entries());
+}
+
+void BM_BatchThroughput(benchmark::State& state) {
+  const std::size_t regions = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto& inst = pl_instance(regions);
+  std::uint64_t steps = 0, rounds_run = 0;
+  for (auto _ : state) {
+    pram::Machine m(p);
+    const auto got =
+        pointloc::coop_locate_batch(*inst.st, m, inst.queries);
+    benchmark::DoNotOptimize(got.data());
+    steps += m.stats().steps;
+    ++rounds_run;
+  }
+  state.counters["n_edges"] = double(inst.sub.edges.size());
+  state.counters["p"] = double(p);
+  state.counters["batch_size"] = double(inst.queries.size());
+  state.counters["steps_per_query"] =
+      double(steps) / double(rounds_run) / double(inst.queries.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CoopPointLocation)
+    ->ArgsProduct({{64, 512, 4096}, {1, 4, 16, 64, 256, 1024, 4096}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SequentialPointLocation)
+    ->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NoBridgeBaseline)
+    ->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SlabIndexBaseline)
+    ->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BatchThroughput)
+    ->ArgsProduct({{512, 4096}, {64, 1024, 65536}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

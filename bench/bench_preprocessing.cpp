@@ -1,0 +1,112 @@
+// Experiment E3 (Theorem 1, preprocessing): construction cost vs n.
+//
+//   * sequential builder: wall-clock, O(n) work reference;
+//   * PRAM builder: measured depth and work under the level-synchronous
+//     substitution (DESIGN.md deviation 1: depth O(log^2 n), work
+//     O(n log n), vs the paper's ACG O(log n)/O(n)); counters expose both
+//     predicted curves so the gap is visible;
+//   * Step 2 (substructures T_i): wall-clock and resulting entry counts.
+
+#include "common.hpp"
+#include "fc/parallel_build.hpp"
+
+namespace {
+
+void BM_SequentialBuild(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  std::mt19937_64 rng(7);
+  const auto tree = cat::make_balanced_binary(
+      height, entries, cat::CatalogShape::kRandom, rng);
+  for (auto _ : state) {
+    const auto s = fc::Structure::build(tree);
+    benchmark::DoNotOptimize(s.total_aug_entries());
+  }
+  state.counters["n"] = double(entries);
+  state.counters["aug_entries"] =
+      double(fc::Structure::build(tree).total_aug_entries());
+}
+
+void BM_ParallelBuild(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  std::mt19937_64 rng(8);
+  const auto tree = cat::make_balanced_binary(
+      height, entries, cat::CatalogShape::kRandom, rng);
+  std::uint64_t steps = 0, work = 0, runs = 0;
+  for (auto _ : state) {
+    pram::Machine m(std::max<std::size_t>(
+        1, entries / std::max<std::uint32_t>(1, height)));  // n / log n
+    const auto s = fc::build_parallel(tree, m);
+    benchmark::DoNotOptimize(s.total_aug_entries());
+    steps += m.stats().steps;
+    work += m.stats().work;
+    ++runs;
+  }
+  const double logn = std::log2(double(entries));
+  state.counters["n"] = double(entries);
+  state.counters["depth"] = double(steps) / double(runs);
+  state.counters["work"] = double(work) / double(runs);
+  state.counters["paper_depth_logn"] = logn;
+  state.counters["ours_depth_log2n"] = logn * logn;
+  state.counters["work_per_nlogn"] =
+      double(work) / double(runs) / (double(entries) * logn);
+}
+
+void BM_SubstructureBuild(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  std::mt19937_64 rng(9);
+  const auto tree = cat::make_balanced_binary(
+      height, entries, cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(tree);
+  for (auto _ : state) {
+    const auto cs = coop::CoopStructure::build(s);
+    benchmark::DoNotOptimize(cs.total_skeleton_entries());
+  }
+  const auto cs = coop::CoopStructure::build(s);
+  state.counters["n"] = double(entries);
+  state.counters["skeleton_entries"] = double(cs.total_skeleton_entries());
+  state.counters["substructures"] = double(cs.substructure_count());
+}
+
+void BM_SubstructureBuildParallel(benchmark::State& state) {
+  // Step 2 on the PRAM: root samples + one instruction per block level.
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  const std::size_t entries = std::size_t(1) << (height + 4);
+  std::mt19937_64 rng(10);
+  const auto tree = cat::make_balanced_binary(
+      height, entries, cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(tree);
+  std::uint64_t steps = 0, work = 0, runs = 0;
+  for (auto _ : state) {
+    pram::Machine m(std::max<std::size_t>(
+        1, entries / std::max<std::uint32_t>(1, height)));
+    const auto cs = coop::CoopStructure::build_parallel(s, m);
+    benchmark::DoNotOptimize(cs.total_skeleton_entries());
+    steps += m.stats().steps;
+    work += m.stats().work;
+    ++runs;
+  }
+  state.counters["n"] = double(entries);
+  state.counters["depth"] = double(steps) / double(runs);
+  state.counters["work"] = double(work) / double(runs);
+  state.counters["logn"] = std::log2(double(entries));
+}
+
+}  // namespace
+
+BENCHMARK(BM_SequentialBuild)
+    ->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBuild)
+    ->Arg(8)->Arg(10)->Arg(12)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SubstructureBuild)
+    ->Arg(8)->Arg(10)->Arg(12)->Arg(14)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SubstructureBuildParallel)
+    ->Arg(8)->Arg(10)->Arg(12)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

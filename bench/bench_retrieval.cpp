@@ -1,0 +1,195 @@
+// Experiment E9 (Theorem 6): orthogonal segment intersection, orthogonal
+// range search, and point enclosure, with both retrieval modes:
+//
+//   * direct:   O((log n)/log p + log log n + k/p)  (CREW)
+//   * indirect: O((log n)/log p)                    (CRCW)
+//
+// The query width sweeps k so the k/p term becomes visible, and the
+// p sweep shows the crossover between the two modes.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "range/point_enclosure.hpp"
+#include "range/range_tree.hpp"
+#include "range/segment_tree.hpp"
+
+namespace {
+
+const range::SegmentIntersectionTree& seg_instance(std::size_t n) {
+  static std::map<std::size_t,
+                  std::unique_ptr<range::SegmentIntersectionTree>>
+      cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::mt19937_64 rng(n);
+    std::vector<range::VSegment> segs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Coord x = geom::Coord(rng() % 1'000'000) * 2;
+      const geom::Coord ylo = geom::Coord(rng() % 500'000) * 2;
+      segs.push_back(range::VSegment{
+          x, ylo, ylo + 2 + geom::Coord(rng() % 200'000) * 2});
+    }
+    it = cache
+             .emplace(n, std::make_unique<range::SegmentIntersectionTree>(
+                             std::move(segs)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_SegmentIntersectionDirect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const geom::Coord width = geom::Coord(state.range(2));
+  const auto& t = seg_instance(n);
+  std::mt19937_64 rng(n + p + std::size_t(width));
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    const geom::Coord y = 2 * geom::Coord(rng() % 600'000) + 1;
+    const geom::Coord x1 = 2 * geom::Coord(rng() % 1'000'000);
+    pram::Machine m(p);
+    const auto ranges = t.coop_query_ranges(m, y, x1, x1 + width);
+    const auto ids = range::retrieve_direct(t.tree(), m, ranges);
+    benchmark::DoNotOptimize(ids.data());
+    steps += m.stats().steps;
+    reported += ids.size();
+    ++queries;
+  }
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  state.counters["predicted"] = std::log2(double(n)) / logp +
+                                std::log2(std::log2(double(n))) +
+                                double(reported) / double(queries) / double(p);
+}
+
+void BM_SegmentIntersectionIndirect(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const geom::Coord width = geom::Coord(state.range(2));
+  const auto& t = seg_instance(n);
+  std::mt19937_64 rng(n + p + std::size_t(width) + 1);
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    const geom::Coord y = 2 * geom::Coord(rng() % 600'000) + 1;
+    const geom::Coord x1 = 2 * geom::Coord(rng() % 1'000'000);
+    pram::Machine m(p, pram::Model::kCrcw);
+    const auto ranges = t.coop_query_ranges(m, y, x1, x1 + width);
+    const auto list = range::retrieve_indirect(m, ranges);
+    benchmark::DoNotOptimize(list.data());
+    steps += m.stats().steps;
+    reported += range::total_count(list);
+    ++queries;
+  }
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+}
+
+const range::RangeTree2D& rt_instance(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<range::RangeTree2D>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::mt19937_64 rng(n * 3);
+    std::vector<range::Point2> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(range::Point2{geom::Coord(rng() % 1'000'000),
+                                  geom::Coord(rng() % 1'000'000)});
+    }
+    it = cache.emplace(n, std::make_unique<range::RangeTree2D>(std::move(pts)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_RangeSearch2D(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto& t = rt_instance(n);
+  std::mt19937_64 rng(n * 5 + p);
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    const geom::Coord x1 = geom::Coord(rng() % 1'000'000);
+    const geom::Coord y1 = geom::Coord(rng() % 1'000'000);
+    pram::Machine m(p);
+    const auto ranges =
+        t.coop_query_ranges(m, x1, x1 + 100'000, y1, y1 + 100'000);
+    const auto ids = range::retrieve_direct(t.tree(), m, ranges);
+    benchmark::DoNotOptimize(ids.data());
+    steps += m.stats().steps;
+    reported += ids.size();
+    ++queries;
+  }
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+}
+
+const range::PointEnclosureTree& pe_instance(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<range::PointEnclosureTree>>
+      cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    std::mt19937_64 rng(n * 7);
+    std::vector<range::Rect> rects;
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Coord x1 = geom::Coord(rng() % 1'000'000);
+      const geom::Coord y1 = geom::Coord(rng() % 1'000'000);
+      rects.push_back(range::Rect{x1, x1 + geom::Coord(rng() % 200'000), y1,
+                                  y1 + geom::Coord(rng() % 200'000)});
+    }
+    it = cache
+             .emplace(n, std::make_unique<range::PointEnclosureTree>(
+                             std::move(rects)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_PointEnclosure(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto& t = pe_instance(n);
+  std::mt19937_64 rng(n * 11 + p);
+  std::uint64_t steps = 0, reported = 0, queries = 0;
+  for (auto _ : state) {
+    const geom::Coord x = geom::Coord(rng() % 1'200'000);
+    const geom::Coord y = geom::Coord(rng() % 1'200'000);
+    pram::Machine m(p);
+    const auto ids = t.coop_query(m, x, y);
+    benchmark::DoNotOptimize(ids.data());
+    steps += m.stats().steps;
+    reported += ids.size();
+    ++queries;
+  }
+  state.counters["n"] = double(n);
+  state.counters["p"] = double(p);
+  state.counters["k_avg"] = double(reported) / double(queries);
+  state.counters["steps"] = double(steps) / double(queries);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SegmentIntersectionDirect)
+    ->ArgsProduct({{65536}, {4, 64, 1024}, {1000, 100000, 1000000}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SegmentIntersectionIndirect)
+    ->ArgsProduct({{65536}, {4, 64, 1024}, {1000, 100000, 1000000}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RangeSearch2D)
+    ->ArgsProduct({{4096, 32768}, {4, 64, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PointEnclosure)
+    ->ArgsProduct({{4096, 32768}, {4, 64, 1024}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Experiment E8 (Theorem 5 + Corollary 1): spatial point location in an
+// acyclic cell complex.  The paper predicts O((log^2 n)/log^2 p); the
+// bench sweeps p and reports steps against that curve, plus the
+// sequential O(log^2 n) walk.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <random>
+
+#include "pointloc/spatial.hpp"
+
+namespace {
+
+struct SpInstance {
+  geom::TerrainComplex complex;
+  std::unique_ptr<pointloc::SpatialTree> st;
+  std::vector<geom::Point3> queries;  // pre-generated (sampler is O(edges))
+};
+
+const SpInstance& sp_instance(std::size_t surfaces) {
+  static std::map<std::size_t, std::unique_ptr<SpInstance>> cache;
+  auto it = cache.find(surfaces);
+  if (it == cache.end()) {
+    auto inst = std::make_unique<SpInstance>();
+    std::mt19937_64 rng(surfaces);
+    inst->complex = geom::make_terrain_complex(surfaces, 64, 16, rng);
+    inst->st = std::make_unique<pointloc::SpatialTree>(inst->complex);
+    for (int i = 0; i < 256; ++i) {
+      inst->queries.push_back(geom::random_query_point3(inst->complex, rng));
+    }
+    it = cache.emplace(surfaces, std::move(inst)).first;
+  }
+  return *it->second;
+}
+
+void BM_CoopSpatial(benchmark::State& state) {
+  const std::size_t surfaces = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const auto& inst = sp_instance(surfaces);
+  std::size_t qi = 0;
+  std::uint64_t steps = 0, hops = 0, queries = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    pram::Machine m(p);
+    std::uint64_t h = 0;
+    benchmark::DoNotOptimize(inst.st->coop_locate(m, q, &h));
+    steps += m.stats().steps;
+    hops += h;
+    ++queries;
+  }
+  const double n = double(inst.complex.num_facets());
+  const double logn = std::log2(n);
+  const double logp = std::log2(std::max<double>(2.0, double(p)));
+  state.counters["n_facets"] = n;
+  state.counters["p"] = double(p);
+  state.counters["steps"] = double(steps) / double(queries);
+  state.counters["outer_hops"] = double(hops) / double(queries);
+  state.counters["log2n_div_log2p"] =
+      std::max(1.0, (logn * logn) / (logp * logp));
+}
+
+void BM_SequentialSpatial(benchmark::State& state) {
+  const std::size_t surfaces = static_cast<std::size_t>(state.range(0));
+  const auto& inst = sp_instance(surfaces);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    const auto q = inst.queries[qi++ % inst.queries.size()];
+    benchmark::DoNotOptimize(inst.st->locate(q));
+  }
+  state.counters["n_facets"] = double(inst.complex.num_facets());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CoopSpatial)
+    ->ArgsProduct({{16, 64, 256}, {4, 16, 64, 256, 1024, 4096}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SequentialSpatial)
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Spatial point location in a stacked-layer model (Theorem 5 /
+// Corollary 1): a geological volume of stratified layers — which stratum
+// contains each borehole sample point?
+//
+//   $ ./examples/geology_spatial [layers] [regions] [samples]
+
+#include <cstdio>
+#include <random>
+
+#include "pointloc/spatial.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t layers = argc > 1 ? std::size_t(atoll(argv[1])) : 64;
+  const std::size_t regions = argc > 2 ? std::size_t(atoll(argv[2])) : 32;
+  const std::size_t samples = argc > 3 ? std::size_t(atoll(argv[3])) : 300;
+
+  std::mt19937_64 rng(17);
+  std::printf("generating %zu stacked stratum surfaces over a %zu-region "
+              "footprint...\n", layers, regions);
+  const auto volume = geom::make_terrain_complex(layers, regions, 12, rng);
+  std::printf("  %zu cells, %zu facets (the paper's n)\n", volume.num_cells(),
+              volume.num_facets());
+
+  const pointloc::SpatialTree st(volume);
+
+  std::vector<geom::Point3> pts;
+  for (std::size_t i = 0; i < samples; ++i) {
+    pts.push_back(geom::random_query_point3(volume, rng));
+  }
+
+  // Sequential reference (O(log S * log n), like the paper's canal-tree
+  // comparison) and the cooperative sweep.
+  std::size_t mismatches = 0;
+  for (const auto& q : pts) {
+    if (st.locate(q) != volume.locate_brute(q)) {
+      ++mismatches;
+    }
+  }
+  std::printf("sequential: %zu mismatches\n", mismatches);
+
+  std::printf("\n%8s %12s %10s   (cooperative spatial location)\n", "p",
+              "steps/query", "outer hops");
+  for (std::size_t p : {4, 64, 1024, 16384}) {
+    std::uint64_t steps = 0, hops = 0;
+    std::size_t bad = 0;
+    for (const auto& q : pts) {
+      pram::Machine m(p);
+      std::uint64_t h = 0;
+      if (st.coop_locate(m, q, &h) != volume.locate_brute(q)) {
+        ++bad;
+      }
+      steps += m.stats().steps;
+      hops += h;
+    }
+    std::printf("%8zu %12.1f %10.1f   %s\n", p,
+                double(steps) / double(samples),
+                double(hops) / double(samples),
+                bad == 0 ? "all correct" : "MISMATCHES!");
+  }
+
+  // Depth profile along one borehole: cells must be monotone in z.
+  const auto q2 = geom::random_query_point(volume.footprint, rng);
+  std::printf("\nborehole at (%lld, %lld):\n", (long long)q2.x,
+              (long long)q2.y);
+  std::size_t prev = 0;
+  pram::Machine m(256);
+  for (geom::Coord z = 1; z < geom::Coord((layers + 2) * 1000);
+       z += geom::Coord(layers * 250)) {
+    const auto cell = st.coop_locate(m, geom::Point3{q2.x, q2.y, z | 1});
+    if (cell < prev) {
+      std::printf("  NON-MONOTONE at z=%lld!\n", (long long)z);
+      return 1;
+    }
+    prev = cell;
+  }
+  std::printf("  stratum index is monotone in depth: OK\n");
+  return 0;
+}

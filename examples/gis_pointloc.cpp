@@ -1,0 +1,82 @@
+// GIS-style point location (the paper's Section 1 motivation): locate a
+// batch of query points in a map-like monotone subdivision, comparing the
+// sequential bridged separator tree against cooperative point location.
+//
+//   $ ./examples/gis_pointloc [regions] [bands] [queries]
+
+#include <cstdio>
+#include <random>
+
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t regions = argc > 1 ? std::size_t(atoll(argv[1])) : 1024;
+  const std::size_t bands = argc > 2 ? std::size_t(atoll(argv[2])) : 64;
+  const std::size_t queries = argc > 3 ? std::size_t(atoll(argv[3])) : 1000;
+
+  std::mt19937_64 rng(7);
+  std::printf("generating a monotone 'map' with %zu regions, %zu bands...\n",
+              regions, bands);
+  const auto map = geom::make_random_monotone(regions, bands, rng);
+  std::printf("  %zu edges; validation: %s\n", map.edges.size(),
+              map.validate().empty() ? "OK" : map.validate().c_str());
+
+  std::size_t shared = 0;
+  for (const auto& e : map.edges) {
+    if (e.max_sep > e.min_sep) {
+      ++shared;
+    }
+  }
+  std::printf("  %zu edges shared by several separators (%.0f%%) — these "
+              "create the inactive nodes of Section 3\n",
+              shared, 100.0 * double(shared) / double(map.edges.size()));
+
+  std::printf("building the bridged separator tree...\n");
+  const pointloc::SeparatorTree st(map);
+  std::printf("  total structure: %zu entries (%.2fx the edge count)\n\n",
+              st.total_entries(),
+              double(st.total_entries()) / double(map.edges.size()));
+
+  // Batch of queries: every mode must agree with the brute-force oracle.
+  std::vector<geom::Point> pts;
+  pts.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    pts.push_back(geom::random_query_point(map, rng));
+  }
+
+  std::uint64_t seq_cost = 0;
+  std::size_t mismatches = 0;
+  for (const auto& q : pts) {
+    fc::SearchStats stats;
+    const std::size_t got = st.locate(q, &stats);
+    seq_cost += stats.comparisons + stats.bridge_walks;
+    if (got != map.locate_brute(q)) {
+      ++mismatches;
+    }
+  }
+  std::printf("sequential: %.1f comparisons/query, %zu mismatches\n",
+              double(seq_cost) / double(queries), mismatches);
+
+  std::printf("\n%8s %12s %8s   (cooperative point location)\n", "p",
+              "steps/query", "hops");
+  for (std::size_t p : {1, 16, 256, 4096, 65536}) {
+    std::uint64_t steps = 0, hops = 0;
+    std::size_t bad = 0;
+    for (const auto& q : pts) {
+      pram::Machine m(p);
+      std::uint64_t h = 0;
+      const std::size_t got = pointloc::coop_locate(st, m, q, &h);
+      steps += m.stats().steps;
+      hops += h;
+      if (got != map.locate_brute(q)) {
+        ++bad;
+      }
+    }
+    std::printf("%8zu %12.1f %8.1f   %s\n", p,
+                double(steps) / double(queries),
+                double(hops) / double(queries),
+                bad == 0 ? "all correct" : "MISMATCHES!");
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Event analytics with orthogonal range reporting (Theorem 6 /
+// Corollary 2): events carry (timestamp, latency, size); dashboards ask
+// "events in this time window with latency in [a,b]" (2D) and the same
+// with a size band (3D).
+//
+//   $ ./examples/timeseries_range [events] [queries]
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+
+#include "range/range_tree.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t events = argc > 1 ? std::size_t(atoll(argv[1])) : 8192;
+  const std::size_t queries = argc > 2 ? std::size_t(atoll(argv[2])) : 100;
+
+  std::mt19937_64 rng(13);
+  std::vector<range::Point2> ev2;
+  std::vector<range::RangeTree3D::Point3> ev3;
+  for (std::size_t i = 0; i < events; ++i) {
+    const geom::Coord ts = geom::Coord(i) * 7 + geom::Coord(rng() % 7);
+    // Latency: log-normal-ish spikes.
+    const geom::Coord lat =
+        geom::Coord(50 + rng() % 100 + (rng() % 20 == 0 ? rng() % 5000 : 0));
+    const geom::Coord size = geom::Coord(rng() % 100000);
+    ev2.push_back(range::Point2{ts, lat});
+    ev3.push_back({ts, lat, size});
+  }
+  const geom::Coord horizon = geom::Coord(events) * 7;
+
+  std::printf("indexing %zu events (2D range tree + 3D range tree)...\n",
+              events);
+  const range::RangeTree2D t2(std::move(ev2));
+  const range::RangeTree3D t3(std::move(ev3));
+
+  std::size_t mismatches = 0;
+  std::uint64_t steps2 = 0, k2 = 0;
+  for (std::size_t qi = 0; qi < queries; ++qi) {
+    const geom::Coord w0 = geom::Coord(rng() % std::max<geom::Coord>(1, horizon));
+    const geom::Coord w1 = w0 + horizon / 10;
+    const geom::Coord lat_lo = geom::Coord(rng() % 200);
+    const geom::Coord lat_hi = lat_lo + 100 + geom::Coord(rng() % 5000);
+    pram::Machine m(256);
+    const auto ranges = t2.coop_query_ranges(m, w0, w1, lat_lo, lat_hi);
+    auto got = range::retrieve_direct(t2.tree(), m, ranges);
+    auto expect = t2.query_brute(w0, w1, lat_lo, lat_hi);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    if (got != expect) {
+      ++mismatches;
+    }
+    steps2 += m.stats().steps;
+    k2 += got.size();
+  }
+  std::printf("2D window queries: avg %.1f events, %.1f PRAM steps (p=256), "
+              "%zu mismatches\n",
+              double(k2) / double(queries), double(steps2) / double(queries),
+              mismatches);
+
+  std::uint64_t steps3 = 0, k3 = 0;
+  for (std::size_t qi = 0; qi < queries; ++qi) {
+    const geom::Coord w0 = geom::Coord(rng() % std::max<geom::Coord>(1, horizon));
+    const geom::Coord w1 = w0 + horizon / 8;
+    pram::Machine m(256);
+    auto got = t3.coop_query(m, w0, w1, 0, 400, 10'000, 60'000);
+    auto expect = t3.query_brute(w0, w1, 0, 400, 10'000, 60'000);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    if (got != expect) {
+      ++mismatches;
+    }
+    steps3 += m.stats().steps;
+    k3 += got.size();
+  }
+  std::printf("3D box queries:    avg %.1f events, %.1f PRAM steps (p=256), "
+              "%zu total mismatches\n",
+              double(k3) / double(queries), double(steps3) / double(queries),
+              mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

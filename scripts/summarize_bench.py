@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Summarize bench_output.txt into per-experiment tables.
+
+Usage:
+    python3 scripts/summarize_bench.py [bench_output.txt]
+
+Parses google-benchmark console output (with UserCounters) and prints one
+aligned table per benchmark family, keeping the counters that matter for
+the EXPERIMENTS.md narrative.
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+
+def parse(path):
+    fams = defaultdict(list)
+    line_re = re.compile(r"^(BM_\w+)(/[^\s]*)?\s+[\d.]+ \S+\s+[\d.]+ \S+\s+\d+\s*(.*)$")
+    counter_re = re.compile(r"(\w+)=([\d.kMG]+m?)")
+    with open(path) as f:
+        for line in f:
+            m = line_re.match(line.strip())
+            if not m:
+                continue
+            name, args, counters = m.group(1), m.group(2) or "", m.group(3)
+            row = {"args": args.lstrip("/")}
+            for cm in counter_re.finditer(counters):
+                row[cm.group(1)] = cm.group(2)
+            fams[name].append(row)
+    return fams
+
+
+def fmt_table(rows):
+    cols = ["args"] + sorted({k for r in rows for k in r} - {"args"})
+    widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in cols}
+    out = ["  ".join(c.ljust(widths[c]) for c in cols)]
+    out.append("  ".join("-" * widths[c] for c in cols))
+    for r in rows:
+        out.append("  ".join(str(r.get(c, "")).ljust(widths[c]) for c in cols))
+    return "\n".join(out)
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    fams = parse(path)
+    if not fams:
+        print(f"no benchmark rows found in {path}", file=sys.stderr)
+        return 1
+    for name in sorted(fams):
+        print(f"== {name}")
+        print(fmt_table(fams[name]))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

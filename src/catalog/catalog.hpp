@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace cat {
+
+/// Catalog keys.  All applications in this repo (including the geometric
+/// ones) use 64-bit integer keys; geometry works on integer coordinates so
+/// that predicates are exact.
+using Key = std::int64_t;
+
+/// The terminal entry +infinity that the paper adds to every catalog.
+inline constexpr Key kInfinity = std::numeric_limits<Key>::max();
+
+/// A catalog: an ordered sequence of distinct entries, each with a key and
+/// an opaque payload (application data, e.g. an edge id for point location).
+/// The last entry is always the +infinity sentinel with payload
+/// `kNoPayload`.
+class Catalog {
+ public:
+  static constexpr std::uint64_t kNoPayload =
+      std::numeric_limits<std::uint64_t>::max();
+
+  Catalog() { push_sentinel(); }
+
+  /// Build from sorted, strictly increasing keys (< +infinity); payloads
+  /// default to the entry's ordinal position.
+  static Catalog from_sorted_keys(std::span<const Key> keys);
+
+  /// Build from sorted (key, payload) pairs with strictly increasing keys.
+  static Catalog from_sorted(std::span<const Key> keys,
+                             std::span<const std::uint64_t> payloads);
+
+  /// Number of entries including the +infinity sentinel.
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+  /// Number of real (non-sentinel) entries.
+  [[nodiscard]] std::size_t real_size() const { return keys_.size() - 1; }
+
+  [[nodiscard]] Key key(std::size_t i) const { return keys_[i]; }
+  [[nodiscard]] std::uint64_t payload(std::size_t i) const {
+    return payloads_[i];
+  }
+  [[nodiscard]] std::span<const Key> keys() const { return keys_; }
+  [[nodiscard]] std::span<const std::uint64_t> payloads() const {
+    return payloads_;
+  }
+
+  /// find(y): index of the smallest entry >= y.  Always succeeds thanks to
+  /// the +infinity sentinel.  O(log size).
+  [[nodiscard]] std::size_t find(Key y) const {
+    return static_cast<std::size_t>(
+        std::lower_bound(keys_.begin(), keys_.end(), y) - keys_.begin());
+  }
+
+  /// True if keys are strictly increasing and terminated by +infinity.
+  [[nodiscard]] bool valid() const;
+
+ private:
+  void push_sentinel() {
+    keys_.push_back(kInfinity);
+    payloads_.push_back(kNoPayload);
+  }
+
+  std::vector<Key> keys_;
+  std::vector<std::uint64_t> payloads_;
+};
+
+inline Catalog Catalog::from_sorted_keys(std::span<const Key> keys) {
+  Catalog c;
+  c.keys_.clear();
+  c.payloads_.clear();
+  c.keys_.reserve(keys.size() + 1);
+  c.payloads_.reserve(keys.size() + 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    c.keys_.push_back(keys[i]);
+    c.payloads_.push_back(i);
+  }
+  c.push_sentinel();
+  return c;
+}
+
+inline Catalog Catalog::from_sorted(std::span<const Key> keys,
+                                    std::span<const std::uint64_t> payloads) {
+  Catalog c;
+  c.keys_.clear();
+  c.payloads_.clear();
+  c.keys_.assign(keys.begin(), keys.end());
+  c.payloads_.assign(payloads.begin(), payloads.end());
+  c.push_sentinel();
+  return c;
+}
+
+inline bool Catalog::valid() const {
+  if (keys_.empty() || keys_.back() != kInfinity) {
+    return false;
+  }
+  for (std::size_t i = 1; i < keys_.size(); ++i) {
+    if (keys_[i - 1] >= keys_[i]) {
+      return false;
+    }
+  }
+  return keys_.size() == payloads_.size();
+}
+
+}  // namespace cat

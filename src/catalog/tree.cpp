@@ -1,0 +1,288 @@
+#include "catalog/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace cat {
+
+Tree::Tree(std::size_t n)
+    : parent_(n, kNullNode),
+      children_(n),
+      catalogs_(n),
+      depth_(n, 0),
+      slot_(n, -1) {}
+
+void Tree::add_child(NodeId parent, NodeId child) {
+  assert(parent_[child] == kNullNode && child != 0);
+  parent_[child] = parent;
+  slot_[child] = static_cast<std::int32_t>(children_[parent].size());
+  children_[parent].push_back(child);
+}
+
+void Tree::finalize() {
+  const std::size_t n = num_nodes();
+  height_ = 0;
+  // BFS from root to compute depths; children were appended in order.
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  queue.push_back(root());
+  depth_[root()] = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    height_ = std::max(height_, depth_[v]);
+    for (NodeId w : children_[v]) {
+      depth_[w] = depth_[v] + 1;
+      queue.push_back(w);
+    }
+  }
+  levels_.assign(height_ + 1, {});
+  for (NodeId v : queue) {
+    levels_[depth_[v]].push_back(v);
+  }
+  max_degree_ = 0;
+  for (const auto& ch : children_) {
+    max_degree_ = std::max(max_degree_, ch.size());
+  }
+}
+
+std::size_t Tree::total_catalog_size() const {
+  std::size_t total = 0;
+  for (const auto& c : catalogs_) {
+    total += c.real_size();
+  }
+  return total;
+}
+
+bool Tree::is_complete_binary() const {
+  for (std::size_t v = 0; v < num_nodes(); ++v) {
+    const std::size_t deg = children_[v].size();
+    if (deg != 0 && deg != 2) {
+      return false;
+    }
+    if (deg == 0 && depth_[v] != height_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Tree::validate() const {
+  const std::size_t n = num_nodes();
+  if (n == 0 || parent_[0] != kNullNode) {
+    return false;
+  }
+  std::size_t reachable = 0;
+  for (std::uint32_t d = 0; d < levels_.size(); ++d) {
+    for (NodeId v : levels_[d]) {
+      ++reachable;
+      if (depth_[v] != d) {
+        return false;
+      }
+    }
+  }
+  if (reachable != n) {
+    return false;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!catalogs_[v].valid()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Key> random_sorted_keys(std::size_t count, Key key_range,
+                                    std::mt19937_64& rng) {
+  std::unordered_set<Key> seen;
+  seen.reserve(count * 2);
+  std::uniform_int_distribution<Key> dist(0, key_range - 1);
+  std::vector<Key> keys;
+  keys.reserve(count);
+  while (keys.size() < count) {
+    const Key k = dist(rng);
+    if (seen.insert(k).second) {
+      keys.push_back(k);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::size_t> split_sizes(std::size_t total, std::size_t parts,
+                                     CatalogShape shape,
+                                     std::mt19937_64& rng) {
+  std::vector<std::size_t> sizes(parts, 0);
+  if (parts == 0) {
+    return sizes;
+  }
+  switch (shape) {
+    case CatalogShape::kUniform: {
+      for (std::size_t i = 0; i < parts; ++i) {
+        sizes[i] = total / parts + (i < total % parts ? 1 : 0);
+      }
+      break;
+    }
+    case CatalogShape::kRandom: {
+      std::uniform_int_distribution<std::size_t> pick(0, parts - 1);
+      for (std::size_t e = 0; e < total; ++e) {
+        sizes[pick(rng)] += 1;
+      }
+      break;
+    }
+    case CatalogShape::kRootHeavy: {
+      const std::size_t rest = std::min(total, parts - 1);
+      for (std::size_t i = 1; i <= rest; ++i) {
+        sizes[i] = 1;
+      }
+      sizes[0] = total - rest;
+      break;
+    }
+    case CatalogShape::kLeafHeavy: {
+      // Caller passes parts == num nodes with leaves occupying the tail of
+      // the BFS order in our builders; concentrate entries in the last
+      // half of the id space.
+      const std::size_t first_leafish = parts / 2;
+      const std::size_t span = parts - first_leafish;
+      for (std::size_t e = 0; e < total; ++e) {
+        sizes[first_leafish + e % span] += 1;
+      }
+      break;
+    }
+    case CatalogShape::kSkewed: {
+      // ~sqrt(parts) random hubs share 90% of the entries.
+      const std::size_t hubs =
+          std::max<std::size_t>(1, static_cast<std::size_t>(
+                                       std::sqrt(static_cast<double>(parts))));
+      std::uniform_int_distribution<std::size_t> pick_hub(0, parts - 1);
+      std::vector<std::size_t> hub_ids;
+      for (std::size_t h = 0; h < hubs; ++h) {
+        hub_ids.push_back(pick_hub(rng));
+      }
+      std::uniform_int_distribution<std::size_t> pick(0, parts - 1);
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      std::uniform_int_distribution<std::size_t> pick_in_hub(0, hubs - 1);
+      for (std::size_t e = 0; e < total; ++e) {
+        if (coin(rng) < 0.9) {
+          sizes[hub_ids[pick_in_hub(rng)]] += 1;
+        } else {
+          sizes[pick(rng)] += 1;
+        }
+      }
+      break;
+    }
+  }
+  return sizes;
+}
+
+namespace {
+
+void fill_catalogs(Tree& t, std::size_t total_entries, CatalogShape shape,
+                   Key key_range, std::mt19937_64& rng) {
+  const auto sizes = split_sizes(total_entries, t.num_nodes(), shape, rng);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const auto keys = random_sorted_keys(sizes[v], key_range, rng);
+    t.set_catalog(static_cast<NodeId>(v), Catalog::from_sorted_keys(keys));
+  }
+}
+
+}  // namespace
+
+Tree make_balanced_binary(std::uint32_t height, std::size_t total_entries,
+                          CatalogShape shape, std::mt19937_64& rng,
+                          Key key_range) {
+  const std::size_t n = (std::size_t{1} << (height + 1)) - 1;
+  Tree t(n);
+  // Heap layout: children of v are 2v+1 and 2v+2; BFS ids coincide.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t l = 2 * v + 1, r = 2 * v + 2;
+    if (l < n) {
+      t.add_child(static_cast<NodeId>(v), static_cast<NodeId>(l));
+    }
+    if (r < n) {
+      t.add_child(static_cast<NodeId>(v), static_cast<NodeId>(r));
+    }
+  }
+  t.finalize();
+  fill_catalogs(t, total_entries, shape, key_range, rng);
+  return t;
+}
+
+Tree make_random_tree(std::size_t n_nodes, std::size_t max_degree,
+                      std::size_t total_entries, CatalogShape shape,
+                      std::mt19937_64& rng, Key key_range) {
+  assert(n_nodes >= 1 && max_degree >= 1);
+  Tree t(n_nodes);
+  std::vector<std::size_t> deg(n_nodes, 0);
+  // Attach node v to a random earlier node that still has degree room.
+  for (std::size_t v = 1; v < n_nodes; ++v) {
+    std::uniform_int_distribution<std::size_t> pick(0, v - 1);
+    std::size_t u = pick(rng);
+    while (deg[u] >= max_degree) {
+      u = pick(rng);
+    }
+    deg[u] += 1;
+    t.add_child(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  t.finalize();
+  fill_catalogs(t, total_entries, shape, key_range, rng);
+  return t;
+}
+
+Tree make_path_tree(std::size_t length, std::size_t total_entries,
+                    CatalogShape shape, std::mt19937_64& rng, Key key_range) {
+  assert(length >= 1);
+  Tree t(length);
+  for (std::size_t v = 1; v < length; ++v) {
+    t.add_child(static_cast<NodeId>(v - 1), static_cast<NodeId>(v));
+  }
+  t.finalize();
+  fill_catalogs(t, total_entries, shape, key_range, rng);
+  return t;
+}
+
+Tree binarize(const Tree& t, std::vector<NodeId>& orig_of_new) {
+  // First pass: count nodes.  A node with d > 2 children is expanded into a
+  // caterpillar with d-2 auxiliary nodes (each auxiliary node has one
+  // original child and one auxiliary/original continuation).
+  std::size_t total = t.num_nodes();
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const std::size_t d = t.degree(static_cast<NodeId>(v));
+    if (d > 2) {
+      total += d - 2;
+    }
+  }
+  Tree out(total);
+  orig_of_new.assign(total, kNullNode);
+  // Original node v keeps id v; auxiliary ids are allocated after.
+  NodeId next_aux = static_cast<NodeId>(t.num_nodes());
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    orig_of_new[v] = static_cast<NodeId>(v);
+    const auto kids = t.children(static_cast<NodeId>(v));
+    if (kids.size() <= 2) {
+      for (NodeId w : kids) {
+        out.add_child(static_cast<NodeId>(v), w);
+      }
+      continue;
+    }
+    // v -> kids[0], aux0; aux_i -> kids[i+1], aux_{i+1}; last aux -> last 2.
+    NodeId attach = static_cast<NodeId>(v);
+    for (std::size_t i = 0; i + 2 < kids.size(); ++i) {
+      out.add_child(attach, kids[i]);
+      const NodeId aux = next_aux++;
+      out.add_child(attach, aux);
+      attach = aux;
+    }
+    out.add_child(attach, kids[kids.size() - 2]);
+    out.add_child(attach, kids[kids.size() - 1]);
+  }
+  out.finalize();
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    out.set_catalog(static_cast<NodeId>(v), t.catalog(static_cast<NodeId>(v)));
+  }
+  return out;
+}
+
+}  // namespace cat

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+
+namespace cat {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+/// A rooted, ordered tree whose nodes carry catalogs — the input object of
+/// the whole paper.  Node 0 is the root.  Children are ordered left to
+/// right; for binary trees child 0 is the left child and child 1 the right.
+class Tree {
+ public:
+  Tree() = default;
+
+  /// Create a tree with `n` nodes and no edges/catalogs; link with
+  /// `add_child`, then call `finalize()`.
+  explicit Tree(std::size_t n);
+
+  [[nodiscard]] std::size_t num_nodes() const { return parent_.size(); }
+
+  void add_child(NodeId parent, NodeId child);
+  void set_catalog(NodeId v, Catalog c) { catalogs_[v] = std::move(c); }
+
+  /// Compute depths, level buckets, subtree inorder ranges.  Must be called
+  /// after the structure is fully linked and before queries.
+  void finalize();
+
+  [[nodiscard]] NodeId root() const { return 0; }
+  [[nodiscard]] NodeId parent(NodeId v) const { return parent_[v]; }
+  [[nodiscard]] std::span<const NodeId> children(NodeId v) const {
+    return children_[v];
+  }
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    return children_[v].size();
+  }
+  [[nodiscard]] bool is_leaf(NodeId v) const { return children_[v].empty(); }
+  [[nodiscard]] std::uint32_t depth(NodeId v) const { return depth_[v]; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+  /// Nodes at a given depth, left-to-right.
+  [[nodiscard]] std::span<const NodeId> level(std::uint32_t d) const {
+    return levels_[d];
+  }
+  [[nodiscard]] const Catalog& catalog(NodeId v) const { return catalogs_[v]; }
+  [[nodiscard]] Catalog& catalog(NodeId v) { return catalogs_[v]; }
+
+  /// Total number of catalog entries (excluding sentinels) — the paper's n.
+  [[nodiscard]] std::size_t total_catalog_size() const;
+
+  /// Max degree over all nodes (cached by finalize()).
+  [[nodiscard]] std::size_t max_degree() const { return max_degree_; }
+
+  [[nodiscard]] bool is_binary() const { return max_degree() <= 2; }
+
+  /// True if every internal node of a binary tree has exactly 2 children
+  /// and all leaves share the same depth.
+  [[nodiscard]] bool is_complete_binary() const;
+
+  /// Child slot (index in parent's child list) of v, or -1 for the root.
+  [[nodiscard]] std::int32_t child_slot(NodeId v) const { return slot_[v]; }
+
+  /// Basic structural sanity (single root, acyclic, catalogs valid).
+  [[nodiscard]] bool validate() const;
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<Catalog> catalogs_;
+  std::vector<std::uint32_t> depth_;
+  std::vector<std::int32_t> slot_;
+  std::vector<std::vector<NodeId>> levels_;
+  std::uint32_t height_ = 0;
+  std::size_t max_degree_ = 0;
+};
+
+/// How generated catalog entries are spread over the nodes of a tree.
+enum class CatalogShape {
+  kUniform,    ///< roughly equal catalog sizes
+  kRandom,     ///< multinomial random sizes
+  kRootHeavy,  ///< one huge catalog at the root, tiny ones elsewhere
+  kLeafHeavy,  ///< entries concentrated at the leaves
+  kSkewed,     ///< a few random nodes hold almost everything (the paper's
+               ///< "variable number of entries" stress case)
+};
+
+/// Build a complete balanced binary tree of the given height (root depth 0,
+/// leaves at depth `height`) carrying `total_entries` catalog entries spread
+/// according to `shape`, keys drawn without replacement per catalog from
+/// [0, key_range).
+[[nodiscard]] Tree make_balanced_binary(std::uint32_t height,
+                                        std::size_t total_entries,
+                                        CatalogShape shape, std::mt19937_64& rng,
+                                        Key key_range = 1'000'000'000);
+
+/// Build a random rooted tree with `n_nodes` nodes and max degree `d`,
+/// carrying `total_entries` entries.
+[[nodiscard]] Tree make_random_tree(std::size_t n_nodes, std::size_t max_degree,
+                                    std::size_t total_entries,
+                                    CatalogShape shape, std::mt19937_64& rng,
+                                    Key key_range = 1'000'000'000);
+
+/// Build a path (each node one child) of `length` nodes — the long-search-
+/// path regime of Theorem 2.
+[[nodiscard]] Tree make_path_tree(std::size_t length, std::size_t total_entries,
+                                  CatalogShape shape, std::mt19937_64& rng,
+                                  Key key_range = 1'000'000'000);
+
+/// Replace every node of degree > 2 by a left-leaning binary caterpillar of
+/// its children (the standard degree-reduction of Theorem 3).  Auxiliary
+/// nodes get empty catalogs.  Returns the binarized tree and fills
+/// `orig_of_new[v]` with the original node a new node represents
+/// (kNullNode for auxiliary nodes).
+[[nodiscard]] Tree binarize(const Tree& t, std::vector<NodeId>& orig_of_new);
+
+/// Draw `count` sorted distinct keys uniformly from [0, key_range).
+[[nodiscard]] std::vector<Key> random_sorted_keys(std::size_t count,
+                                                  Key key_range,
+                                                  std::mt19937_64& rng);
+
+/// Split `total` entries into `parts` non-negative sizes per `shape`.
+[[nodiscard]] std::vector<std::size_t> split_sizes(std::size_t total,
+                                                   std::size_t parts,
+                                                   CatalogShape shape,
+                                                   std::mt19937_64& rng);
+
+}  // namespace cat

@@ -1,0 +1,125 @@
+#include "catalog/tree_ops.hpp"
+
+#include <cassert>
+
+#include "pram/memory.hpp"
+#include "pram/primitives.hpp"
+
+namespace pram {
+
+std::vector<std::int64_t> list_rank(Machine& m,
+                                    const std::vector<std::int64_t>& next) {
+  const std::size_t n = next.size();
+  if (n == 0) {
+    return {};
+  }
+  // Double-buffered pointer jumping: rank[i] accumulates the distance
+  // covered by succ[i].
+  SharedArray<std::int64_t> succ_a(n), succ_b(n);
+  SharedArray<std::int64_t> rank_a(n), rank_b(n);
+  m.exec(n, [&](std::size_t i) {
+    succ_a.write(i, next[i]);
+    rank_a.write(i, next[i] == -1 ? 0 : 1);
+  });
+  SharedArray<std::int64_t>* succ_r = &succ_a;
+  SharedArray<std::int64_t>* succ_w = &succ_b;
+  SharedArray<std::int64_t>* rank_r = &rank_a;
+  SharedArray<std::int64_t>* rank_w = &rank_b;
+  const std::uint32_t rounds = ceil_log2(n) + 1;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    m.exec(n, [&](std::size_t i) {
+      const std::int64_t s = succ_r->read(i);
+      if (s == -1) {
+        succ_w->write(i, -1);
+        rank_w->write(i, rank_r->read(i));
+      } else {
+        // Reading succ/rank of s is a concurrent read only if two
+        // elements share a successor, which cannot happen in a list;
+        // rank_r->read(s) and the i == s reads never collide (EREW).
+        succ_w->write(i, succ_r->read(static_cast<std::size_t>(s)));
+        rank_w->write(i, rank_r->read(i) +
+                             rank_r->read(static_cast<std::size_t>(s)));
+      }
+    });
+    std::swap(succ_r, succ_w);
+    std::swap(rank_r, rank_w);
+  }
+  std::vector<std::int64_t> out(n);
+  m.exec(n, [&](std::size_t i) { out[i] = rank_r->read(i); });
+  return out;
+}
+
+EulerTourResult euler_tour(Machine& m, const cat::Tree& tree) {
+  const std::size_t n = tree.num_nodes();
+  EulerTourResult out;
+  out.depth.assign(n, 0);
+  out.subtree_size.assign(n, 1);
+  out.preorder.assign(n, 0);
+  if (n <= 1) {
+    return out;
+  }
+
+  // Arcs: for the edge to child v (v != root), down(v) = 2(v-1) and
+  // up(v) = 2(v-1)+1.  The Euler tour successor function is local:
+  //   next(down(v)) = down(first child of v)   or up(v) if v is a leaf
+  //   next(up(v))   = down(next sibling of v)  or up(parent) / end.
+  const std::size_t arcs = 2 * (n - 1);
+  std::vector<std::int64_t> next(arcs, -1);
+  const auto down = [](cat::NodeId v) { return std::int64_t(2 * (v - 1)); };
+  const auto up = [](cat::NodeId v) { return std::int64_t(2 * (v - 1) + 1); };
+  m.exec(arcs, [&](std::size_t a) {
+    const auto v = cat::NodeId(a / 2 + 1);
+    if (a % 2 == 0) {  // down(v)
+      next[a] = tree.is_leaf(v) ? up(v) : down(tree.children(v)[0]);
+    } else {  // up(v)
+      const cat::NodeId parent = tree.parent(v);
+      const auto slot = static_cast<std::size_t>(tree.child_slot(v));
+      const auto siblings = tree.children(parent);
+      if (slot + 1 < siblings.size()) {
+        next[a] = down(siblings[slot + 1]);
+      } else if (parent != tree.root()) {
+        next[a] = up(parent);
+      } else {
+        next[a] = -1;  // tour ends back at the root
+      }
+    }
+  });
+
+  // rank_from_end[a]: arcs after a; position in tour = arcs - 1 - that.
+  const auto rank_from_end = list_rank(m, next);
+
+  // Serialize the tour, then prefix-sum the +1/-1 arc values to get
+  // depths; subtree sizes and preorder come from arc positions.
+  SharedArray<std::int64_t> value(arcs);
+  std::vector<std::size_t> pos(arcs);
+  m.exec(arcs, [&](std::size_t a) {
+    pos[a] = arcs - 1 - static_cast<std::size_t>(rank_from_end[a]);
+    value.write(pos[a] /*distinct*/, a % 2 == 0 ? 1 : -1);
+  });
+  SharedArray<std::int64_t> prefix;
+  inclusive_scan(m, value, prefix, std::int64_t{0},
+                 [](std::int64_t x, std::int64_t y) { return x + y; });
+
+  m.exec(arcs, [&](std::size_t a) {
+    const auto v = cat::NodeId(a / 2 + 1);
+    if (a % 2 == 0) {
+      out.depth[v] = static_cast<std::uint32_t>(prefix[pos[a]]);
+      // Preorder: the number of down-arcs at or before this position is
+      // (position + depth-after-arc) / 2 + ... simpler: down-arc count =
+      // (pos + prefix)/2 since prefix = downs - ups and pos+1 = downs+ups.
+      const std::int64_t downs = (std::int64_t(pos[a]) + 1 + prefix[pos[a]]) / 2;
+      out.preorder[v] = static_cast<std::uint32_t>(downs);  // root is 0
+    }
+  });
+  m.exec(n - 1, [&](std::size_t i) {
+    const auto v = cat::NodeId(i + 1);
+    const auto pd = pos[static_cast<std::size_t>(down(v))];
+    const auto pu = pos[static_cast<std::size_t>(up(v))];
+    out.subtree_size[v] = static_cast<std::uint32_t>((pu - pd + 1) / 2);
+  });
+  out.subtree_size[tree.root()] = static_cast<std::uint32_t>(n);
+  out.preorder[tree.root()] = 0;
+  return out;
+}
+
+}  // namespace pram

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "pram/machine.hpp"
+
+namespace pram {
+
+/// Wyllie list ranking: given a linked list as a successor array
+/// (next[i] == -1 terminates), compute for every element its distance to
+/// the end of the list.  Pointer jumping with double buffering:
+/// O(log n) EREW steps, O(n log n) work.
+///
+/// The paper's preprocessing pipeline ([17], which builds the separator
+/// tree in parallel) rests on exactly these primitives; they are included
+/// so the substrate is complete.
+[[nodiscard]] std::vector<std::int64_t> list_rank(
+    Machine& m, const std::vector<std::int64_t>& next);
+
+/// Per-node results of the parallel Euler-tour computation.
+struct EulerTourResult {
+  std::vector<std::uint32_t> depth;         ///< == Tree::depth
+  std::vector<std::uint32_t> subtree_size;  ///< nodes in each subtree
+  std::vector<std::uint32_t> preorder;      ///< preorder index of each node
+};
+
+/// Classic EREW tree preprocessing: build the Euler tour of the tree,
+/// rank it, and derive depths, subtree sizes, and preorder numbers.
+/// O(log n) steps (from the ranking), O(n log n) work.
+[[nodiscard]] EulerTourResult euler_tour(Machine& m, const cat::Tree& tree);
+
+}  // namespace pram

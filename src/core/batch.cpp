@@ -1,0 +1,38 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+
+namespace coop {
+
+BatchResult coop_search_batch(const CoopStructure& cs, pram::Machine& m,
+                              std::span<const BatchQuery> queries,
+                              std::size_t procs_per_query) {
+  BatchResult out;
+  if (queries.empty()) {
+    return out;
+  }
+  const std::size_t p = m.processors();
+  if (procs_per_query == 0) {
+    procs_per_query = std::max<std::size_t>(1, p / queries.size());
+  }
+  out.procs_per_query = procs_per_query;
+  const std::size_t group = std::max<std::size_t>(1, p / procs_per_query);
+  out.results.resize(queries.size());
+
+  for (std::size_t first = 0; first < queries.size(); first += group) {
+    const std::size_t last = std::min(queries.size(), first + group);
+    std::uint64_t max_steps = 0, total_work = 0;
+    for (std::size_t qi = first; qi < last; ++qi) {
+      pram::Machine sub(procs_per_query, m.model());
+      out.results[qi] =
+          coop_search_segment(cs, sub, queries[qi].path, queries[qi].y);
+      max_steps = std::max(max_steps, sub.stats().steps);
+      total_work += sub.stats().work;
+    }
+    m.charge(max_steps, total_work);
+    out.rounds += 1;
+  }
+  return out;
+}
+
+}  // namespace coop

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/explicit_search.hpp"
+
+namespace coop {
+
+/// One query of a batch: locate `y` in every catalog along `path`.
+struct BatchQuery {
+  std::vector<NodeId> path;
+  Key y = 0;
+};
+
+struct BatchResult {
+  std::vector<CoopSearchResult> results;  ///< one per query, input order
+  std::uint64_t rounds = 0;               ///< concurrent groups executed
+  std::size_t procs_per_query = 0;        ///< processor share used
+};
+
+/// Throughput-oriented batch search: Q explicit searches with the p
+/// processors of `m`.
+///
+/// Queries are independent, so the machine is split into groups of
+/// `procs_per_query` processors (default: max(1, p / Q), i.e. everything
+/// runs in one round when Q <= p); groups run concurrently and each round
+/// is charged its slowest member, exactly like the subpath groups of
+/// Theorem 2.  Total time O(ceil(Q * procs/p) * (log n)/log procs).
+[[nodiscard]] BatchResult coop_search_batch(
+    const CoopStructure& cs, pram::Machine& m,
+    std::span<const BatchQuery> queries, std::size_t procs_per_query = 0);
+
+}  // namespace coop

@@ -1,0 +1,199 @@
+#include "core/explicit_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fc/search.hpp"
+#include "pram/coop_search.hpp"
+#include "pram/memory.hpp"
+
+namespace coop {
+
+namespace detail {
+
+SampleChoice choose_sample(pram::Machine& m, const HopBlock& block,
+                           std::size_t catalog_size, std::size_t s,
+                           std::size_t pos) {
+  // Back-samples sit at positions q with (t-1 - q) % s == 0; every window
+  // of s consecutive positions starting at pos <= t-1 contains exactly
+  // one.  The paper assigns s_i processors to pos and its successors and
+  // lets the unique sampled one identify itself; since the position is a
+  // single mod computation, one processor suffices (same O(1) CREW time,
+  // and no ceil(s_i/p) Brent penalty when p < s_i).
+  const std::size_t t = catalog_size;
+  assert(pos < t);
+  SampleChoice c;
+  c.position = (t - 1) - ((t - 1 - pos) / s) * s;
+  c.j = (block.m - 1) - (t - 1 - c.position) / s;
+  m.charge(1, 1);
+  return c;
+}
+
+Range hop_range(const Params& params, std::uint32_t i, std::uint32_t l,
+                std::size_t k, std::size_t t) {
+  const std::size_t q = params.q(l);
+  const std::size_t r = params.r(i, l);
+  Range range;
+  range.lo = (k > q + r) ? k - q - r : 0;
+  range.hi = std::min(t - 1, k + q);
+  return range;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Step 3 for the explicit case: one logical instruction assigning
+/// processor ranges around the skeleton keys of the path nodes at block
+/// levels 1..span, writing find(y, v) per level into `found`.
+void hop_levels(const CoopStructure& cs, pram::Machine& m,
+                const Substructure& sub, const HopBlock& block, std::size_t j,
+                std::span<const std::size_t> path_local,  // locals, level 1..
+                Key y, std::vector<std::size_t>& found) {
+  const fc::Structure& s = cs.cascade();
+  const std::size_t span = path_local.size();
+  found.assign(span, std::size_t(-1));
+
+  struct LevelPlan {
+    const fc::AugCatalog* aug;
+    detail::Range range;
+    std::size_t offset;  // into the flattened pid space
+  };
+  std::vector<LevelPlan> plan(span);
+  std::size_t total = 0;
+  for (std::size_t l = 1; l <= span; ++l) {
+    const std::size_t z = path_local[l - 1];
+    const NodeId v = block.nodes[z];
+    const fc::AugCatalog& a = s.aug(v);
+    const auto k = static_cast<std::size_t>(block.skel_at(j, z));
+    plan[l - 1] = LevelPlan{
+        &a,
+        detail::hop_range(cs.params(), sub.i, static_cast<std::uint32_t>(l),
+                          k, a.size()),
+        total};
+    total += plan[l - 1].range.width();
+  }
+
+  pram::SharedArray<std::size_t> out(span, std::size_t(-1));
+  m.exec(total, [&](std::size_t pid) {
+    // Decode pid -> (level, position).  Each virtual processor does a
+    // small private search over <= h_i offsets; charged O(1) as in the
+    // paper (the assignment is computable from the block geometry).
+    std::size_t l = 0;
+    while (l + 1 < span && plan[l + 1].offset <= pid) {
+      ++l;
+    }
+    const LevelPlan& lp = plan[l];
+    const std::size_t g = lp.range.lo + (pid - lp.offset);
+    const auto& keys = lp.aug->keys;
+    const bool below_prev = (g == 0) || keys[g - 1] < y;
+    if (below_prev && keys[g] >= y) {
+      out.write(l, g);
+    }
+  });
+  for (std::size_t l = 0; l < span; ++l) {
+    found[l] = out[l];
+    assert(found[l] != std::size_t(-1) &&
+           "Lemma 3 violated: find outside the processor range");
+  }
+}
+
+}  // namespace
+
+CoopSearchResult coop_search_segment(const CoopStructure& cs,
+                                     pram::Machine& m,
+                                     std::span<const NodeId> path, Key y) {
+  const fc::Structure& s = cs.cascade();
+  const cat::Tree& tree = s.tree();
+  assert(!path.empty());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    assert(tree.parent(path[i]) == path[i - 1] && "path must be a chain");
+  }
+#endif
+
+  CoopSearchResult r;
+  r.path.assign(path.begin(), path.end());
+  r.proper_index.assign(path.size(), 0);
+  r.aug_index.assign(path.size(), 0);
+
+  const Substructure& sub = cs.for_processors(m.processors());
+  r.substructure_used = sub.i;
+
+  // Step 1: cooperative binary search in the head node's augmented catalog.
+  const auto& head_keys = s.aug(path.front()).keys;
+  std::size_t pos = pram::coop_lower_bound<Key>(
+      m, std::span<const Key>(head_keys), y);
+  r.aug_index[0] = pos;
+  r.proper_index[0] = s.to_proper(path.front(), pos);
+
+  std::size_t at = 0;
+  std::vector<std::size_t> path_local;
+  std::vector<std::size_t> found;
+  while (at + 1 < path.size()) {
+    const bool hoppable = tree.depth(path[at]) < sub.trunc_level &&
+                          sub.block_of[path[at]] >= 0;
+    if (!hoppable) {
+      // Step 5 (and block-root alignment for mid-tree segments):
+      // one sequential bridge step in S.
+      const NodeId v = path[at];
+      const NodeId w = path[at + 1];
+      const auto slot = static_cast<std::uint32_t>(tree.child_slot(w));
+      fc::SearchStats stats;
+      std::size_t next = 0;
+      m.sequential(1,
+                   [&] { next = s.follow_bridge(v, pos, slot, y, &stats); });
+      m.charge(stats.bridge_walks, stats.bridge_walks);
+      pos = next;
+      ++at;
+      r.aug_index[at] = pos;
+      r.proper_index[at] = s.to_proper(w, pos);
+      r.sequential_tail += 1;
+      continue;
+    }
+
+    const HopBlock& block =
+        sub.blocks[static_cast<std::size_t>(sub.block_of[path[at]])];
+    const std::size_t t = s.aug(block.root).size();
+
+    // Step 2: move to the next sampled catalog entry.
+    const auto choice = detail::choose_sample(m, block, t, sub.s, pos);
+
+    // Locate the path's local indices inside the block (levels 1..span).
+    const std::size_t span =
+        std::min<std::size_t>(block.height, path.size() - 1 - at);
+    path_local.clear();
+    {
+      std::size_t z = 0;
+      for (std::size_t l = 1; l <= span; ++l) {
+        const NodeId w = path[at + l];
+        const auto slot = static_cast<std::uint32_t>(tree.child_slot(w));
+        z = block.local_child(z, slot);
+        path_local.push_back(z);
+      }
+      m.charge(1, span);  // constant-time per-processor path decoding
+    }
+
+    // Step 3: jump `span` levels in one instruction.
+    hop_levels(cs, m, sub, block, choice.j, path_local, y, found);
+    for (std::size_t l = 1; l <= span; ++l) {
+      r.aug_index[at + l] = found[l - 1];
+      r.proper_index[at + l] = s.to_proper(path[at + l], found[l - 1]);
+    }
+
+    // Step 4: the block leaf becomes the next root.
+    pos = found[span - 1];
+    at += span;
+    r.hops += 1;
+  }
+  return r;
+}
+
+CoopSearchResult coop_search_explicit(const CoopStructure& cs,
+                                      pram::Machine& m,
+                                      std::span<const NodeId> path, Key y) {
+  assert(fc::valid_root_path(cs.tree(), path));
+  return coop_search_segment(cs, m, path, y);
+}
+
+}  // namespace coop

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/structure.hpp"
+#include "pram/machine.hpp"
+
+namespace coop {
+
+/// Result of a cooperative search: find(y, v) for every node v on the
+/// search path (root first), as indices into the nodes' original catalogs.
+struct CoopSearchResult {
+  std::vector<NodeId> path;
+  std::vector<std::size_t> proper_index;
+  std::vector<std::size_t> aug_index;
+  std::uint32_t substructure_used = 0;
+  std::uint64_t hops = 0;             ///< Step 2-4 iterations
+  std::uint64_t sequential_tail = 0;  ///< nodes handled by Step 5
+};
+
+/// Theorem 1, explicit case: cooperative search along the given
+/// root-to-leaf (or root-to-anywhere) path with the processors of `m`,
+/// in O((log n)/log p) PRAM steps on a CREW machine.
+///
+/// Steps (paper Section 2.2):
+///   1. cooperative binary search in the root catalog;
+///   2. per hop, move to the next sampled catalog entry;
+///   3. jump h_i levels by assigning processor ranges around the skeleton
+///      keys of U_j on the search path;
+///   4. repeat from the block leaf;
+///   5. finish the truncated tail sequentially in S.
+[[nodiscard]] CoopSearchResult coop_search_explicit(
+    const CoopStructure& cs, pram::Machine& m, std::span<const NodeId> path,
+    Key y);
+
+/// Like coop_search_explicit, but the chain may start at any node (used by
+/// Theorem 2's subpath groups).  A mid-tree head is first aligned to the
+/// next block-root level by sequential bridge steps (at most h_i - 1 of
+/// them).
+[[nodiscard]] CoopSearchResult coop_search_segment(
+    const CoopStructure& cs, pram::Machine& m, std::span<const NodeId> path,
+    Key y);
+
+/// Internal helpers shared with the implicit search; exposed for tests.
+namespace detail {
+
+/// Step 2: position (in the root's augmented catalog) of the smallest
+/// back-sample >= pos, and the skeleton index j it belongs to.
+struct SampleChoice {
+  std::size_t position = 0;
+  std::size_t j = 0;
+};
+[[nodiscard]] SampleChoice choose_sample(pram::Machine& m,
+                                         const HopBlock& block,
+                                         std::size_t catalog_size,
+                                         std::size_t s, std::size_t pos);
+
+/// Step 3 range around skeleton key position k at block level l, clamped
+/// to the catalog of size t: [k - q_l - r_l, k + q_l].
+struct Range {
+  std::size_t lo = 0;
+  std::size_t hi = 0;  // inclusive
+  [[nodiscard]] std::size_t width() const { return hi - lo + 1; }
+};
+[[nodiscard]] Range hop_range(const Params& params, std::uint32_t i,
+                              std::uint32_t l, std::size_t k, std::size_t t);
+
+}  // namespace detail
+
+}  // namespace coop

@@ -1,0 +1,113 @@
+#include "core/general_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coop {
+
+LongPathResult coop_search_long_path(const CoopStructure& cs,
+                                     pram::Machine& m,
+                                     std::span<const NodeId> path, Key y,
+                                     double epsilon) {
+  assert(epsilon > 0.0 && epsilon <= 1.0);
+  const std::size_t n =
+      std::max<std::size_t>(2, cs.tree().total_catalog_size());
+  const auto subpath_len = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(std::log2(double(n)))));
+  const std::size_t p = m.processors();
+  const auto p_sub = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::pow(double(p), epsilon)));
+  const std::size_t group_size = std::max<std::size_t>(1, p / p_sub);
+
+  LongPathResult out;
+  out.path.assign(path.begin(), path.end());
+  out.proper_index.assign(path.size(), 0);
+
+  const std::size_t num_subpaths =
+      (path.size() + subpath_len - 1) / subpath_len;
+  out.subpaths = num_subpaths;
+
+  for (std::size_t g = 0; g * group_size < num_subpaths; ++g) {
+    const std::size_t first = g * group_size;
+    const std::size_t last = std::min(num_subpaths, first + group_size);
+    std::uint64_t group_max_steps = 0;
+    std::uint64_t group_work = 0;
+    for (std::size_t sp = first; sp < last; ++sp) {
+      const std::size_t begin = sp * subpath_len;
+      const std::size_t end = std::min(path.size(), begin + subpath_len);
+      pram::Machine sub_m(p_sub, m.model());
+      const auto r = coop_search_segment(
+          cs, sub_m, path.subspan(begin, end - begin), y);
+      for (std::size_t i = 0; i < r.proper_index.size(); ++i) {
+        out.proper_index[begin + i] = r.proper_index[i];
+      }
+      group_max_steps = std::max(group_max_steps, sub_m.stats().steps);
+      group_work += sub_m.stats().work;
+    }
+    // Concurrent execution of the group costs its slowest member.
+    m.charge(group_max_steps, group_work);
+    out.charged_steps += group_max_steps;
+    out.groups += 1;
+  }
+  return out;
+}
+
+std::vector<NodeId> lift_path_to_binarized(const cat::Tree& original,
+                                           const cat::Tree& binarized,
+                                           std::span<const NodeId> orig_of_new,
+                                           std::span<const NodeId> path) {
+  (void)original;
+  (void)orig_of_new;  // used by the assert below in debug builds
+  std::vector<NodeId> lifted;
+  if (path.empty()) {
+    return lifted;
+  }
+  lifted.push_back(path.front());
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const NodeId target = path[i];
+    NodeId cur = lifted.back();
+    // Descend through the caterpillar until the target child appears.
+    for (;;) {
+      const auto kids = binarized.children(cur);
+      assert(!kids.empty());
+      bool advanced = false;
+      for (NodeId w : kids) {
+        if (w == target) {
+          lifted.push_back(w);
+          advanced = true;
+          break;
+        }
+      }
+      if (advanced) {
+        break;
+      }
+      // Continue along the auxiliary spine (the last child).
+      const NodeId spine = kids.back();
+      assert(orig_of_new[spine] == cat::kNullNode &&
+             "target is not reachable through this caterpillar");
+      lifted.push_back(spine);
+      cur = spine;
+    }
+  }
+  return lifted;
+}
+
+CoopSearchResult project_from_binarized(const CoopSearchResult& r,
+                                        std::span<const NodeId> orig_of_new) {
+  CoopSearchResult out;
+  out.substructure_used = r.substructure_used;
+  out.hops = r.hops;
+  out.sequential_tail = r.sequential_tail;
+  for (std::size_t i = 0; i < r.path.size(); ++i) {
+    const NodeId orig = orig_of_new[r.path[i]];
+    if (orig != cat::kNullNode) {
+      out.path.push_back(orig);
+      out.proper_index.push_back(r.proper_index[i]);
+      out.aug_index.push_back(r.aug_index[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace coop

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/explicit_search.hpp"
+
+namespace coop {
+
+/// Result of a Theorem 2 long-path search.
+struct LongPathResult {
+  std::vector<NodeId> path;
+  std::vector<std::size_t> proper_index;
+  std::uint64_t groups = 0;          ///< subpath groups processed
+  std::uint64_t subpaths = 0;        ///< total subpaths
+  std::uint64_t charged_steps = 0;   ///< PRAM time charged to `m`
+};
+
+/// Theorem 2: explicit cooperative search along a (possibly long) path of
+/// length k in a bounded-degree tree in
+/// O((log n)/log p + k/(p^{1-eps} log p)) CREW time.
+///
+/// The path is split into subpaths of length ~log n; groups of p^{1-eps}
+/// subpaths run concurrently, each with p^eps processors.  The simulator
+/// executes subpaths of a group one after another but charges the group's
+/// *maximum* step count (that is what concurrent execution would cost);
+/// work is charged in full.
+[[nodiscard]] LongPathResult coop_search_long_path(
+    const CoopStructure& cs, pram::Machine& m, std::span<const NodeId> path,
+    Key y, double epsilon = 0.5);
+
+/// Theorem 3 support: a degree-d tree T is searched through its binarized
+/// version (cat::binarize).  This helper lifts a path of T to the
+/// corresponding path of the binarized tree (inserting the auxiliary
+/// caterpillar nodes).
+[[nodiscard]] std::vector<NodeId> lift_path_to_binarized(
+    const cat::Tree& original, const cat::Tree& binarized,
+    std::span<const NodeId> orig_of_new, std::span<const NodeId> path);
+
+/// Filter a search result on a binarized tree back to the original nodes.
+[[nodiscard]] CoopSearchResult project_from_binarized(
+    const CoopSearchResult& r, std::span<const NodeId> orig_of_new);
+
+}  // namespace coop

@@ -1,0 +1,198 @@
+#include "core/implicit_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pram/coop_search.hpp"
+#include "pram/memory.hpp"
+
+namespace coop {
+
+namespace {
+
+/// Step 3 for the implicit case: compute find(y, v) for EVERY node of the
+/// block in one logical instruction (paper Section 2.3: processors are
+/// assigned to all nodes of U, increasing the processor count to
+/// 2^{h_i} s_i^2 = O(p)).
+void hop_all_nodes(const CoopStructure& cs, pram::Machine& m,
+                   const Substructure& sub, const HopBlock& block,
+                   std::size_t j, std::size_t root_pos, Key y,
+                   std::vector<std::size_t>& found) {
+  const fc::Structure& s = cs.cascade();
+  const std::size_t nn = block.nodes.size();
+  found.assign(nn, std::size_t(-1));
+  found[0] = root_pos;
+
+  struct NodePlan {
+    const fc::AugCatalog* aug;
+    detail::Range range;
+    std::size_t offset;
+  };
+  std::vector<NodePlan> plan(nn);
+  std::size_t total = 0;
+  for (std::size_t z = 1; z < nn; ++z) {
+    const NodeId v = block.nodes[z];
+    const fc::AugCatalog& a = s.aug(v);
+    const auto k = static_cast<std::size_t>(block.skel_at(j, z));
+    plan[z] = NodePlan{&a,
+                       detail::hop_range(cs.params(), sub.i,
+                                         block.level_of[z], k, a.size()),
+                       total};
+    total += plan[z].range.width();
+  }
+
+  pram::SharedArray<std::size_t> out(nn, std::size_t(-1));
+  m.exec(total, [&](std::size_t pid) {
+    std::size_t z = 1;
+    while (z + 1 < nn && plan[z + 1].offset <= pid) {
+      ++z;
+    }
+    const NodePlan& np = plan[z];
+    const std::size_t g = np.range.lo + (pid - np.offset);
+    const auto& keys = np.aug->keys;
+    const bool below_prev = (g == 0) || keys[g - 1] < y;
+    if (below_prev && keys[g] >= y) {
+      out.write(z, g);
+    }
+  });
+  for (std::size_t z = 1; z < nn; ++z) {
+    found[z] = out[z];
+    assert(found[z] != std::size_t(-1) &&
+           "Lemma 3 violated: find outside the processor range");
+  }
+}
+
+/// Detect the unique right->left boundary in the inorder sequence of
+/// branch values (with virtual sentinels: right before the first node,
+/// left after the last), and return the bottom-level block node adjacent
+/// to the boundary — the next hop root.
+std::size_t boundary_bottom_node(pram::Machine& m, const HopBlock& block,
+                                 const std::vector<std::uint8_t>& branch) {
+  const std::size_t n = block.inorder.size();
+  pram::SharedArray<std::size_t> hit(1, std::size_t(-1));
+  m.exec(n + 1, [&](std::size_t g) {
+    const bool left_is_right =
+        (g == 0) ||
+        branch[static_cast<std::size_t>(block.inorder[g - 1])] == 1;
+    const bool right_is_left =
+        (g == n) || branch[static_cast<std::size_t>(block.inorder[g])] == 0;
+    if (left_is_right && right_is_left) {
+      hit.write(0, g);
+    }
+  });
+  const std::size_t g = hit[0];
+  assert(g != std::size_t(-1) &&
+         "branch values violate the consistency assumption");
+  // Exactly one of the two boundary neighbours lies on the bottom level.
+  if (g > 0) {
+    const auto z = static_cast<std::size_t>(block.inorder[g - 1]);
+    if (block.level_of[z] == block.height) {
+      return z;
+    }
+  }
+  assert(g < n);
+  const auto z = static_cast<std::size_t>(block.inorder[g]);
+  assert(block.level_of[z] == block.height);
+  return z;
+}
+
+CoopSearchResult implicit_impl(const CoopStructure& cs, pram::Machine& m,
+                               Key y, const HopResolver& resolver,
+                               const fc::BranchFn& seq_branch) {
+  const fc::Structure& s = cs.cascade();
+  const cat::Tree& tree = s.tree();
+  assert(tree.max_degree() <= 2 && "implicit search requires a binary tree");
+
+  CoopSearchResult r;
+  const Substructure& sub = cs.for_processors(m.processors());
+  r.substructure_used = sub.i;
+
+  NodeId v = tree.root();
+  const auto& root_keys = s.aug(v).keys;
+  std::size_t pos =
+      pram::coop_lower_bound<Key>(m, std::span<const Key>(root_keys), y);
+  r.path.push_back(v);
+  r.aug_index.push_back(pos);
+  r.proper_index.push_back(s.to_proper(v, pos));
+
+  std::vector<std::size_t> found;
+  std::vector<std::uint8_t> branch;
+  while (!tree.is_leaf(v) && tree.depth(v) < sub.trunc_level &&
+         sub.block_of[v] >= 0) {
+    const HopBlock& block =
+        sub.blocks[static_cast<std::size_t>(sub.block_of[v])];
+    const std::size_t t = s.aug(block.root).size();
+
+    const auto choice = detail::choose_sample(m, block, t, sub.s, pos);
+    hop_all_nodes(cs, m, sub, block, choice.j, pos, y, found);
+
+    branch.assign(block.nodes.size(), 0);
+    HopView view{&cs, &block, found};
+    resolver(m, view, branch);
+
+    const std::size_t bottom = boundary_bottom_node(m, block, branch);
+
+    // Reconstruct the path inside the block (root -> bottom) and record
+    // the finds along it.
+    m.charge(1, block.height);
+    std::vector<std::size_t> chain;
+    for (std::size_t z = bottom; z != 0;
+         z = static_cast<std::size_t>(block.parent_local[z])) {
+      chain.push_back(z);
+    }
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const NodeId w = block.nodes[*it];
+      r.path.push_back(w);
+      r.aug_index.push_back(found[*it]);
+      r.proper_index.push_back(s.to_proper(w, found[*it]));
+    }
+
+    v = block.nodes[bottom];
+    pos = found[bottom];
+    r.hops += 1;
+  }
+
+  // Step 5: sequential implicit tail.
+  while (!tree.is_leaf(v)) {
+    const std::size_t prop = s.to_proper(v, pos);
+    std::uint32_t slot = 0;
+    m.sequential(1, [&] { slot = seq_branch(v, prop); });
+    assert(slot < tree.degree(v));
+    fc::SearchStats stats;
+    std::size_t next = 0;
+    m.sequential(1, [&] { next = s.follow_bridge(v, pos, slot, y, &stats); });
+    m.charge(stats.bridge_walks, stats.bridge_walks);
+    v = tree.children(v)[slot];
+    pos = next;
+    r.path.push_back(v);
+    r.aug_index.push_back(pos);
+    r.proper_index.push_back(s.to_proper(v, pos));
+    r.sequential_tail += 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+CoopSearchResult coop_search_implicit(const CoopStructure& cs,
+                                      pram::Machine& m, Key y,
+                                      const fc::BranchFn& branch) {
+  const HopResolver resolver = [&branch](pram::Machine& mm,
+                                         const HopView& view,
+                                         std::span<std::uint8_t> out) {
+    mm.exec(view.block->nodes.size(), [&](std::size_t z) {
+      out[z] = static_cast<std::uint8_t>(
+          branch(view.block->nodes[z], view.proper(z)));
+    });
+  };
+  return coop_search_implicit_custom(cs, m, y, resolver, branch);
+}
+
+CoopSearchResult coop_search_implicit_custom(const CoopStructure& cs,
+                                             pram::Machine& m, Key y,
+                                             const HopResolver& resolver,
+                                             const fc::BranchFn& seq_branch) {
+  return implicit_impl(cs, m, y, resolver, seq_branch);
+}
+
+}  // namespace coop

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/explicit_search.hpp"
+#include "fc/search.hpp"
+
+namespace coop {
+
+/// What a hop resolver sees: the current block, and find(y, v) for every
+/// node of the block (as augmented-catalog positions; local BFS indexing).
+struct HopView {
+  const CoopStructure* cs = nullptr;
+  const HopBlock* block = nullptr;
+  std::span<const std::size_t> find_aug;
+
+  [[nodiscard]] std::size_t proper(std::size_t z) const {
+    return cs->cascade().to_proper(block->nodes[z], find_aug[z]);
+  }
+};
+
+/// Computes the branch direction (0 = left, 1 = right) for every node of
+/// the block.  The output must satisfy the consistency assumption of
+/// Section 2: off-path nodes point towards the path, and the sequence of
+/// branch values in inorder is right* left*.  The default resolver wraps a
+/// per-node BranchFn; point location (Section 3) installs the paper's
+/// 6-step hop computation instead.
+using HopResolver = std::function<void(pram::Machine&, const HopView&,
+                                       std::span<std::uint8_t>)>;
+
+/// Theorem 1, implicit case, with a consistency-respecting branch oracle.
+/// The tree must be binary.  O((log n)/log p) CREW steps.
+[[nodiscard]] CoopSearchResult coop_search_implicit(const CoopStructure& cs,
+                                                    pram::Machine& m, Key y,
+                                                    const fc::BranchFn& branch);
+
+/// The generalized form used by point location: `resolver` computes branch
+/// values per hop (it may keep state across hops, e.g. the L/R separator
+/// indices), and `seq_branch` drives the sequential Step 5 tail.
+[[nodiscard]] CoopSearchResult coop_search_implicit_custom(
+    const CoopStructure& cs, pram::Machine& m, Key y,
+    const HopResolver& resolver, const fc::BranchFn& seq_branch);
+
+}  // namespace coop

@@ -1,0 +1,95 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace coop {
+
+namespace {
+constexpr std::size_t kSaturate = std::numeric_limits<std::size_t>::max() / 4;
+
+/// base^e with saturation at kSaturate.
+std::size_t sat_pow(std::size_t base, std::uint32_t e) {
+  std::size_t out = 1;
+  for (std::uint32_t t = 0; t < e; ++t) {
+    if (out > kSaturate / base) {
+      return kSaturate;
+    }
+    out *= base;
+  }
+  return out;
+}
+}  // namespace
+
+Params::Params(std::uint32_t fanout_bound, double alpha_scale)
+    : b(fanout_bound) {
+  // (2(2b+1)^2)^alpha = 2  =>  alpha = 1 / log2(2 (2b+1)^2).
+  alpha = alpha_scale /
+          std::log2(2.0 * double(2 * b + 1) * double(2 * b + 1));
+}
+
+std::uint32_t Params::h(std::uint32_t i) const {
+  const double raw = std::floor(alpha * std::pow(2.0, double(i)));
+  const auto clamped =
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(raw));
+  // Guard absurd substructure indices: h beyond ~60 would overflow every
+  // realistic catalog anyway.
+  return std::min<std::uint32_t>(clamped, 60);
+}
+
+std::size_t Params::pow2b1(std::uint32_t l) const {
+  return sat_pow(2 * std::size_t{b} + 1, l);
+}
+
+std::size_t Params::s(std::uint32_t i) const {
+  const std::size_t base = pow2b1(h(i));
+  const std::size_t factor = 2 * std::size_t{b} + 2;
+  if (base > kSaturate / factor) {
+    return kSaturate;
+  }
+  return factor * base;
+}
+
+std::size_t Params::q(std::uint32_t l) const { return (pow2b1(l) - 1) / 2; }
+
+std::size_t Params::r(std::uint32_t i, std::uint32_t l) const {
+  const std::size_t si = s(i);
+  const std::size_t p = pow2b1(l);
+  if (si - 1 > 0 && p > kSaturate / (si - 1)) {
+    return kSaturate;
+  }
+  return (si - 1) * p;
+}
+
+std::uint32_t Params::substructure_count(std::size_t n) {
+  const double lg = std::log2(std::max<double>(4.0, double(n)));
+  const double lglg = std::log2(lg);
+  return std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::ceil(lglg)));
+}
+
+std::uint32_t Params::substructure_for(std::size_t p, std::uint32_t count) {
+  if (count == 0) {
+    return 0;
+  }
+  if (p <= 4) {
+    return 0;
+  }
+  const double lgp = std::log2(double(p));
+  const auto i = static_cast<std::uint32_t>(
+      std::ceil(std::log2(lgp)) - 1.0 + 1e-9);
+  return std::min(i, count - 1);
+}
+
+std::uint32_t Params::truncation_level(std::uint32_t i, std::uint32_t height) {
+  const double frac = 1.0 - std::pow(2.0, -double(i));
+  auto lvl = static_cast<std::uint32_t>(std::ceil(frac * double(height)));
+  // T_0 would truncate everything (frac == 0); give every substructure at
+  // least one hoppable level so the i = 0 structure exists (its sequential
+  // tail still dominates, matching the O(log n) bound for constant p).
+  lvl = std::max<std::uint32_t>(lvl, std::min<std::uint32_t>(height, 1));
+  return std::min(lvl, height);
+}
+
+}  // namespace coop

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coop {
+
+/// The constants of Section 2 of the paper, derived from the fractional
+/// cascading fan-out bound b:
+///
+///   * alpha solves (2(2b+1)^2)^alpha = 2, so 0 < alpha < 0.25;
+///   * h_i = floor(alpha * 2^i), clamped to >= 1 (levels jumped per hop by
+///     substructure T_i);
+///   * s_i = (2b+2) * (2b+1)^{h_i} (the sampling factor of T_i);
+///   * T_i serves processor counts p with 2^{2^i} < p <= 2^{2^{i+1}}.
+///
+/// Deviation noted in DESIGN.md: skeleton-root samples are taken from the
+/// *back* of the catalog (positions t-1, t-1-s_i, ...) so consecutive
+/// samples are exactly s_i apart and the +infinity terminal is always
+/// sampled; this tightens the paper's Step 2 window argument.
+struct Params {
+  std::uint32_t b = 4;   ///< fan-out bound of the underlying cascading
+  double alpha = 0.0;    ///< solves (2(2b+1)^2)^alpha = 2
+
+  /// `alpha_scale` > 1 trades the strict O(p) per-hop processor bound for
+  /// taller hops (h_i grows, hop count shrinks, but Step 3 may request up
+  /// to ~p^{alpha_scale} virtual processors, Brent-charged).  1.0 is the
+  /// paper's setting; the ablation bench sweeps it.
+  explicit Params(std::uint32_t fanout_bound, double alpha_scale = 1.0);
+
+  /// Levels jumped per hop by substructure T_i (>= 1).
+  [[nodiscard]] std::uint32_t h(std::uint32_t i) const;
+
+  /// Sampling factor of T_i, saturating (never overflows).
+  [[nodiscard]] std::size_t s(std::uint32_t i) const;
+
+  /// Half-width q of the Step 3 processor range at block level l:
+  /// q = ((2b+1)^l - 1) / 2.
+  [[nodiscard]] std::size_t q(std::uint32_t l) const;
+
+  /// Left bias r of the Step 3 processor range at block level l in T_i:
+  /// r = (s_i - 1) * (2b+1)^l.
+  [[nodiscard]] std::size_t r(std::uint32_t i, std::uint32_t l) const;
+
+  /// Number of substructures for catalogs of total size n:
+  /// ceil(log log n), at least 1 (the paper's ceil(log log n) - 1 + the
+  /// i = 0 structure, indexed 0 .. count-1).
+  [[nodiscard]] static std::uint32_t substructure_count(std::size_t n);
+
+  /// Which T_i serves p processors: the i with 2^{2^i} < p <= 2^{2^{i+1}},
+  /// clamped to [0, count-1].
+  [[nodiscard]] static std::uint32_t substructure_for(std::size_t p,
+                                                      std::uint32_t count);
+
+  /// Highest level of S kept in S' for T_i: ceil((1 - 2^-i) * height).
+  [[nodiscard]] static std::uint32_t truncation_level(std::uint32_t i,
+                                                      std::uint32_t height);
+
+  /// (2b+1)^l, saturating.
+  [[nodiscard]] std::size_t pow2b1(std::uint32_t l) const;
+};
+
+}  // namespace coop

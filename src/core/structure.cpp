@@ -1,0 +1,276 @@
+#include "core/structure.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace coop {
+
+namespace {
+
+/// Fill the skeleton forest of a block: root keys are back-samples of the
+/// root's augmented catalog at spacing s; each descendant key follows the
+/// bridge from its parent's key (paper Figure 3).
+void build_skeletons(const fc::Structure& s, HopBlock& b, std::size_t si) {
+  const std::size_t t = s.aug(b.root).size();
+  b.m = (t + si - 1) / si;  // ceil(t / s_i); the +inf terminal is sample m-1
+  const std::size_t nn = b.nodes.size();
+  b.skel.assign(b.m * nn, -1);
+  for (std::size_t j = 0; j < b.m; ++j) {
+    b.skel[j * nn + 0] =
+        static_cast<std::int32_t>((t - 1) - (b.m - 1 - j) * si);
+  }
+  const cat::Tree& tree = s.tree();
+  for (std::size_t z = 1; z < nn; ++z) {
+    const std::size_t zp = static_cast<std::size_t>(b.parent_local[z]);
+    const NodeId vp = b.nodes[zp];
+    const auto slot = static_cast<std::uint32_t>(tree.child_slot(b.nodes[z]));
+    const fc::AugCatalog& ap = s.aug(vp);
+    for (std::size_t j = 0; j < b.m; ++j) {
+      b.skel[j * nn + z] = ap.bridge_at(
+          slot, static_cast<std::size_t>(b.skel[j * nn + zp]));
+    }
+  }
+}
+
+/// Inorder enumeration of the block's local nodes (binary blocks).
+void build_inorder(HopBlock& b) {
+  b.inorder.clear();
+  b.inorder.reserve(b.nodes.size());
+  // Iterative inorder over local structure.
+  std::vector<std::pair<std::int32_t, std::uint32_t>> stack;  // (node, state)
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto& [z, state] = stack.back();
+    const std::size_t deg =
+        static_cast<std::size_t>(b.child_off[z + 1] - b.child_off[z]);
+    const auto local_kid = [&](std::uint32_t slot) {
+      return b.child_local[static_cast<std::size_t>(b.child_off[z]) + slot];
+    };
+    if (state == 0) {
+      state = 1;
+      if (deg >= 1 && local_kid(0) >= 0) {
+        stack.emplace_back(local_kid(0), 0);
+        continue;
+      }
+    }
+    if (state == 1) {
+      b.inorder.push_back(z);
+      state = 2;
+      if (deg >= 2 && local_kid(1) >= 0) {
+        stack.emplace_back(local_kid(1), 0);
+        continue;
+      }
+    }
+    stack.pop_back();
+  }
+}
+
+/// Level-synchronous skeleton fill for a whole substructure (Step 2 on
+/// the PRAM): one instruction for all root samples, then one per block
+/// level for the bridge-induced keys.
+void build_skeletons_parallel(const fc::Structure& s, pram::Machine& m,
+                              Substructure& sub) {
+  const cat::Tree& tree = s.tree();
+  // Allocate skeleton storage and root samples.
+  struct RootDesc {
+    HopBlock* b;
+    std::uint32_t j;
+  };
+  std::vector<RootDesc> roots;
+  for (auto& b : sub.blocks) {
+    const std::size_t t = s.aug(b.root).size();
+    b.m = (t + sub.s - 1) / sub.s;
+    b.skel.assign(b.m * b.nodes.size(), -1);
+    for (std::uint32_t j = 0; j < b.m; ++j) {
+      roots.push_back(RootDesc{&b, j});
+    }
+  }
+  m.exec(roots.size(), [&](std::size_t pid) {
+    HopBlock& b = *roots[pid].b;
+    const std::uint32_t j = roots[pid].j;
+    const std::size_t t = s.aug(b.root).size();
+    b.skel[std::size_t(j) * b.nodes.size()] =
+        static_cast<std::int32_t>((t - 1) - (b.m - 1 - j) * sub.s);
+  });
+  // Per level: every (block, skeleton, node-at-level) key is one bridge
+  // lookup from the parent's key, written exactly once (EREW-compatible).
+  for (std::uint32_t l = 1; l <= sub.h; ++l) {
+    struct KeyDesc {
+      HopBlock* b;
+      std::uint32_t j;
+      std::uint32_t z;
+    };
+    std::vector<KeyDesc> keys;
+    for (auto& b : sub.blocks) {
+      if (l > b.height) {
+        continue;
+      }
+      for (std::uint32_t z = 0; z < b.nodes.size(); ++z) {
+        if (b.level_of[z] != l) {
+          continue;
+        }
+        for (std::uint32_t j = 0; j < b.m; ++j) {
+          keys.push_back(KeyDesc{&b, j, z});
+        }
+      }
+    }
+    m.exec(keys.size(), [&](std::size_t pid) {
+      HopBlock& b = *keys[pid].b;
+      const std::uint32_t j = keys[pid].j;
+      const std::uint32_t z = keys[pid].z;
+      const auto zp = static_cast<std::size_t>(b.parent_local[z]);
+      const auto slot = static_cast<std::uint32_t>(
+          tree.child_slot(b.nodes[z]));
+      b.skel[std::size_t(j) * b.nodes.size() + z] =
+          s.aug(b.nodes[zp]).bridge_at(
+              slot, static_cast<std::size_t>(
+                        b.skel[std::size_t(j) * b.nodes.size() + zp]));
+    });
+  }
+  sub.skeleton_entries = 0;
+  for (const auto& b : sub.blocks) {
+    sub.skeleton_entries += b.skeleton_entries();
+  }
+}
+
+HopBlock build_block(const fc::Structure& s, NodeId root, std::uint32_t height,
+                     std::size_t si, bool binary,
+                     bool fill_skeletons = true) {
+  const cat::Tree& tree = s.tree();
+  HopBlock b;
+  b.root = root;
+  b.height = height;
+  const std::uint32_t root_depth = tree.depth(root);
+
+  // BFS collect nodes within `height` levels below root.
+  b.nodes.push_back(root);
+  b.level_of.push_back(0);
+  b.parent_local.push_back(-1);
+  for (std::size_t head = 0; head < b.nodes.size(); ++head) {
+    const NodeId v = b.nodes[head];
+    const std::uint32_t lev = tree.depth(v) - root_depth;
+    if (lev == height) {
+      continue;
+    }
+    for (NodeId w : tree.children(v)) {
+      b.nodes.push_back(w);
+      b.level_of.push_back(static_cast<std::uint8_t>(lev + 1));
+      b.parent_local.push_back(static_cast<std::int32_t>(head));
+    }
+  }
+  // child_off / child_local.
+  b.child_off.assign(b.nodes.size() + 1, 0);
+  for (std::size_t z = 0; z < b.nodes.size(); ++z) {
+    b.child_off[z + 1] =
+        b.child_off[z] +
+        static_cast<std::int32_t>(tree.degree(b.nodes[z]));
+  }
+  b.child_local.assign(static_cast<std::size_t>(b.child_off.back()), -1);
+  // BFS order means children of nodes appear in order; rebuild by a second
+  // pass mapping each child to its local index.
+  {
+    std::size_t next = 1;
+    for (std::size_t z = 0; z < b.nodes.size(); ++z) {
+      if (b.level_of[z] == height) {
+        continue;  // children lie below the block
+      }
+      const auto kids = tree.children(b.nodes[z]);
+      for (std::uint32_t c = 0; c < kids.size(); ++c) {
+        b.child_local[static_cast<std::size_t>(b.child_off[z]) + c] =
+            static_cast<std::int32_t>(next++);
+      }
+    }
+  }
+  if (binary) {
+    build_inorder(b);
+  }
+  if (fill_skeletons) {
+    build_skeletons(s, b, si);
+  }
+  return b;
+}
+
+}  // namespace
+
+Substructure CoopStructure::build_substructure(const fc::Structure& s,
+                                               const Params& params,
+                                               std::uint32_t i,
+                                               pram::Machine* m) {
+  const cat::Tree& tree = s.tree();
+  Substructure sub;
+  sub.i = i;
+  sub.h = params.h(i);
+  sub.s = params.s(i);
+  sub.trunc_level = Params::truncation_level(i, tree.height());
+  sub.block_of.assign(tree.num_nodes(), -1);
+  const bool binary = tree.max_degree() <= 2;
+
+  for (std::uint32_t rho = 0; rho < sub.trunc_level; rho += sub.h) {
+    const std::uint32_t height = std::min(sub.h, sub.trunc_level - rho);
+    for (NodeId u : tree.level(rho)) {
+      sub.block_of[u] = static_cast<std::int32_t>(sub.blocks.size());
+      sub.blocks.push_back(
+          build_block(s, u, height, sub.s, binary, m == nullptr));
+      sub.skeleton_entries += sub.blocks.back().skeleton_entries();
+    }
+  }
+  if (m != nullptr) {
+    build_skeletons_parallel(s, *m, sub);
+  }
+  return sub;
+}
+
+CoopStructure CoopStructure::build(const fc::Structure& s,
+                                   double alpha_scale) {
+  CoopStructure cs;
+  cs.fc_ = &s;
+  cs.params_ = Params(s.fanout_bound(), alpha_scale);
+  const std::uint32_t count =
+      Params::substructure_count(s.tree().total_catalog_size());
+  cs.subs_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cs.subs_.push_back(build_substructure(s, cs.params_, i));
+  }
+  return cs;
+}
+
+CoopStructure CoopStructure::build_subset(
+    const fc::Structure& s, std::span<const std::uint32_t> indices,
+    double alpha_scale) {
+  CoopStructure cs;
+  cs.fc_ = &s;
+  cs.params_ = Params(s.fanout_bound(), alpha_scale);
+  const std::uint32_t count =
+      Params::substructure_count(s.tree().total_catalog_size());
+  for (std::uint32_t i : indices) {
+    cs.subs_.push_back(
+        build_substructure(s, cs.params_, std::min(i, count - 1)));
+  }
+  return cs;
+}
+
+CoopStructure CoopStructure::build_parallel(const fc::Structure& s,
+                                            pram::Machine& m,
+                                            double alpha_scale) {
+  CoopStructure cs;
+  cs.fc_ = &s;
+  cs.params_ = Params(s.fanout_bound(), alpha_scale);
+  const std::uint32_t count =
+      Params::substructure_count(s.tree().total_catalog_size());
+  cs.subs_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    cs.subs_.push_back(build_substructure(s, cs.params_, i, &m));
+  }
+  return cs;
+}
+
+std::size_t CoopStructure::total_skeleton_entries() const {
+  std::size_t total = 0;
+  for (const auto& sub : subs_) {
+    total += sub.skeleton_entries;
+  }
+  return total;
+}
+
+}  // namespace coop

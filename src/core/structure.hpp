@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+#include "fc/build.hpp"
+#include "pram/machine.hpp"
+
+namespace coop {
+
+using cat::Key;
+using cat::NodeId;
+
+/// One height-h_i subtree U of the truncated tree S', together with its
+/// skeleton forest U_1 ... U_m (paper Figure 3).
+///
+/// Local node indices enumerate U in BFS order (local 0 is the root).  The
+/// skeleton forest is stored compacted: skel[j * nodes.size() + z] is the
+/// position, in the augmented catalog of nodes[z], of key[z, U_j].  Root
+/// keys are the back-samples of the root's augmented catalog at spacing
+/// s_i; descendant keys are induced by the bridges.
+struct HopBlock {
+  NodeId root = cat::kNullNode;
+  std::uint32_t height = 0;  ///< levels below the root covered (>= 1)
+
+  std::vector<NodeId> nodes;             ///< BFS order, nodes[0] == root
+  std::vector<std::uint8_t> level_of;    ///< local level of each node
+  std::vector<std::int32_t> parent_local;///< local parent (-1 for root)
+  std::vector<std::int32_t> child_off;   ///< per node, offset into child_local
+  std::vector<std::int32_t> child_local; ///< local child index or -1 if the
+                                         ///< child lies below the block
+  std::vector<std::int32_t> inorder;     ///< local indices in inorder
+                                         ///< (binary blocks only, else empty)
+
+  std::size_t m = 0;               ///< number of skeleton trees
+  std::vector<std::int32_t> skel;  ///< m * nodes.size() key positions
+
+  [[nodiscard]] std::size_t skeleton_entries() const { return skel.size(); }
+  [[nodiscard]] std::int32_t skel_at(std::size_t j, std::size_t z) const {
+    return skel[j * nodes.size() + z];
+  }
+  [[nodiscard]] std::size_t local_child(std::size_t z,
+                                        std::uint32_t slot) const {
+    return static_cast<std::size_t>(
+        child_local[static_cast<std::size_t>(child_off[z]) + slot]);
+  }
+};
+
+/// The substructure T_i: all hop blocks over levels 0 .. trunc_level of S.
+struct Substructure {
+  std::uint32_t i = 0;
+  std::uint32_t h = 0;           ///< levels per hop
+  std::size_t s = 0;             ///< sampling factor s_i
+  std::uint32_t trunc_level = 0; ///< S' keeps levels 0 .. trunc_level
+  std::vector<HopBlock> blocks;
+  std::vector<std::int32_t> block_of;  ///< node -> index of block rooted
+                                       ///< there, or -1
+  std::size_t skeleton_entries = 0;    ///< space accounting (Lemma 2)
+};
+
+/// The preprocessed cooperative-search structure T' of Theorem 1: the
+/// fractional cascaded structure S plus the substructures T_i.
+class CoopStructure {
+ public:
+  /// Build every substructure T_i, i = 0 .. ceil(log log n) - 1.
+  /// `s` must outlive the returned structure.  `alpha_scale` (default: the
+  /// paper's 1.0) is forwarded to Params — see params.hpp.
+  static CoopStructure build(const fc::Structure& s, double alpha_scale = 1.0);
+
+  /// Build only the given substructure indices (space benches).
+  static CoopStructure build_subset(const fc::Structure& s,
+                                    std::span<const std::uint32_t> indices,
+                                    double alpha_scale = 1.0);
+
+  /// PRAM-accounted Step 2 of the preprocessing (paper Section 2.1): the
+  /// skeleton keys of each substructure are filled level-synchronously —
+  /// root samples in one instruction, then one instruction per block
+  /// level (each key is one bridge lookup from its parent's key).  Depth
+  /// O(sum_i h_i * (levels_i / h_i)) = O(log n) per substructure, O(n)
+  /// total work (each skeleton entry is written once).  Output is
+  /// identical to build() (tests assert this).
+  static CoopStructure build_parallel(const fc::Structure& s,
+                                      pram::Machine& m,
+                                      double alpha_scale = 1.0);
+
+  [[nodiscard]] const fc::Structure& cascade() const { return *fc_; }
+  [[nodiscard]] const cat::Tree& tree() const { return fc_->tree(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] std::uint32_t substructure_count() const {
+    return static_cast<std::uint32_t>(subs_.size());
+  }
+  [[nodiscard]] const Substructure& substructure(std::uint32_t i) const {
+    return subs_[i];
+  }
+  /// The T_i serving p processors.
+  [[nodiscard]] const Substructure& for_processors(std::size_t p) const {
+    return subs_[Params::substructure_for(
+        p, static_cast<std::uint32_t>(subs_.size()))];
+  }
+
+  /// Total skeleton entries over all substructures (Lemma 2: O(n)).
+  [[nodiscard]] std::size_t total_skeleton_entries() const;
+  /// Total space in entries including the cascading structure itself.
+  [[nodiscard]] std::size_t total_entries() const {
+    return total_skeleton_entries() + fc_->total_aug_entries();
+  }
+
+ private:
+  CoopStructure() : params_(4) {}
+
+  static Substructure build_substructure(const fc::Structure& s,
+                                         const Params& params,
+                                         std::uint32_t i,
+                                         pram::Machine* m = nullptr);
+
+  const fc::Structure* fc_ = nullptr;
+  Params params_;
+  std::vector<Substructure> subs_;
+};
+
+}  // namespace coop

@@ -1,0 +1,244 @@
+#include "fc/build.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fc {
+
+std::uint32_t auto_sample_k(const cat::Tree& tree) {
+  return std::max<std::uint32_t>(
+      4, 2 * static_cast<std::uint32_t>(tree.max_degree()));
+}
+
+namespace {
+
+/// Back-samples (every k-th element counted from the end, so the +infinity
+/// terminal is always included) of `keys`, appended in ascending order.
+std::vector<Key> back_samples(const std::vector<Key>& keys, std::uint32_t k) {
+  const SampleIndex si{keys.size(), k};
+  std::vector<Key> out;
+  out.reserve(si.count());
+  for (std::size_t t = 0; t < si.count(); ++t) {
+    out.push_back(keys[si.position(t)]);
+  }
+  return out;
+}
+
+/// Sorted union of `a` and `b`, deduplicated.
+std::vector<Key> merge_dedup(const std::vector<Key>& a,
+                             const std::vector<Key>& b) {
+  std::vector<Key> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+Structure Structure::build(const cat::Tree& tree, std::uint32_t sample_k) {
+  const std::uint32_t k = sample_k == 0 ? auto_sample_k(tree) : sample_k;
+  assert(k > tree.max_degree() && "sampling factor must exceed max degree");
+
+  const std::size_t nn = tree.num_nodes();
+
+  // Phase 1 (bottom-up): B(v) = C(v) merged with back-samples of each
+  // child's B.  This is the downward flow of the bidirectional cascading
+  // of [1]/[3] specialized to trees.
+  std::vector<std::vector<Key>> up(nn);
+  for (std::uint32_t d = tree.height() + 1; d-- > 0;) {
+    for (NodeId v : tree.level(d)) {
+      const auto own = tree.catalog(v).keys();
+      up[v].assign(own.begin(), own.end());
+      for (NodeId w : tree.children(v)) {
+        up[v] = merge_dedup(up[v], back_samples(up[w], k));
+      }
+    }
+  }
+
+  // Phase 2 (top-down): A(v) = B(v) merged with back-samples of the
+  // parent's *final* A.  This is the upward flow; it guarantees that
+  // between two adjacent entries of a child's catalog there are at most
+  // k-1 entries of the parent's catalog, which Lemma 1 of the paper needs
+  // (via the reverse bridges of the bidirectional structure).
+  std::vector<AugCatalog> aug(nn);
+  for (std::uint32_t d = 0; d <= tree.height(); ++d) {
+    for (NodeId v : tree.level(d)) {
+      AugCatalog& a = aug[v];
+      a.num_children = static_cast<std::uint32_t>(tree.degree(v));
+      if (v == tree.root()) {
+        a.keys = std::move(up[v]);
+      } else {
+        a.keys = merge_dedup(up[v], back_samples(aug[tree.parent(v)].keys, k));
+        up[v].clear();
+        up[v].shrink_to_fit();
+      }
+    }
+  }
+
+  // proper[] and bridges on the final catalogs.  Bridges are exact
+  // successor positions: bridge[v->w][i] is the smallest index in A(w)
+  // with key >= A(v).keys[i]; by the mutual-density property the true
+  // find(y, w) is at most b = k entries before it.
+  for (std::size_t vi = 0; vi < nn; ++vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    AugCatalog& a = aug[v];
+    const auto own_keys = tree.catalog(v).keys();
+    a.proper.resize(a.keys.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < a.keys.size(); ++i) {
+      while (own_keys[j] < a.keys[i]) {
+        ++j;
+      }
+      a.proper[i] = static_cast<std::int32_t>(j);
+    }
+    const auto kids = tree.children(v);
+    a.bridge.resize(a.keys.size() * kids.size());
+    for (std::uint32_t e = 0; e < kids.size(); ++e) {
+      const AugCatalog& kid = aug[kids[e]];
+      std::size_t t = 0;
+      for (std::size_t i = 0; i < a.keys.size(); ++i) {
+        while (kid.keys[t] < a.keys[i]) {
+          ++t;  // safe: both catalogs end at +infinity
+        }
+        a.bridge[static_cast<std::size_t>(e) * a.keys.size() + i] =
+            static_cast<std::int32_t>(t);
+      }
+    }
+  }
+  return Structure::from_parts(tree, k, std::move(aug));
+}
+
+std::size_t Structure::aug_find(NodeId v, Key y, SearchStats* stats) const {
+  const auto& keys = aug_[v].keys;
+  std::size_t lo = 0, hi = keys.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (stats != nullptr) {
+      ++stats->comparisons;
+    }
+    if (keys[mid] < y) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t Structure::follow_bridge(NodeId v, std::size_t i,
+                                     std::uint32_t child_slot, Key y,
+                                     SearchStats* stats) const {
+  const AugCatalog& a = aug_[v];
+  const NodeId w = tree_->children(v)[child_slot];
+  const auto& wkeys = aug_[w].keys;
+  std::size_t pos = static_cast<std::size_t>(a.bridge_at(child_slot, i));
+  // Walk back at most b entries to the true successor of y.
+  while (pos > 0 && wkeys[pos - 1] >= y) {
+    --pos;
+    if (stats != nullptr) {
+      ++stats->bridge_walks;
+    }
+  }
+  return pos;
+}
+
+std::size_t Structure::total_aug_entries() const {
+  std::size_t total = 0;
+  for (const auto& a : aug_) {
+    total += a.size();
+  }
+  return total;
+}
+
+std::string Structure::verify_properties() const {
+  const cat::Tree& t = *tree_;
+  for (std::size_t vi = 0; vi < t.num_nodes(); ++vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const AugCatalog& a = aug_[v];
+    if (a.keys.empty() || a.keys.back() != cat::kInfinity) {
+      return "augmented catalog missing +inf terminal at node " +
+             std::to_string(vi);
+    }
+    for (std::size_t i = 1; i < a.keys.size(); ++i) {
+      if (a.keys[i - 1] >= a.keys[i]) {
+        return "augmented keys not strictly increasing at node " +
+               std::to_string(vi);
+      }
+    }
+    // proper[] correctness.
+    const auto& own = t.catalog(v);
+    for (std::size_t i = 0; i < a.keys.size(); ++i) {
+      const std::size_t expect = own.find(a.keys[i]);
+      if (static_cast<std::size_t>(a.proper[i]) != expect) {
+        return "proper[] wrong at node " + std::to_string(vi);
+      }
+    }
+    const auto kids = t.children(v);
+    for (std::uint32_t e = 0; e < kids.size(); ++e) {
+      const AugCatalog& kid = aug_[kids[e]];
+      std::int32_t prev = -1;
+      for (std::size_t i = 0; i < a.keys.size(); ++i) {
+        const std::int32_t br = a.bridge_at(e, i);
+        if (br < 0 || static_cast<std::size_t>(br) >= kid.size()) {
+          return "bridge out of range at node " + std::to_string(vi);
+        }
+        // Property 3: bridges do not cross.
+        if (br < prev) {
+          return "bridges cross at node " + std::to_string(vi);
+        }
+        prev = br;
+        // Bridges are exact successor positions.
+        if (kid.keys[br] < a.keys[i]) {
+          return "bridge key below entry key at node " + std::to_string(vi);
+        }
+        if (br > 0 && kid.keys[br - 1] >= a.keys[i]) {
+          return "bridge is not the successor position at node " +
+                 std::to_string(vi);
+        }
+        // Property 1 (fan out): every possible find(y, kid) with
+        // aug_find(v, y) == i lies within b entries before the bridge.
+        const Key prev_key_bound =
+            (i == 0) ? std::numeric_limits<Key>::min() : a.keys[i - 1];
+        std::size_t lo = static_cast<std::size_t>(br);
+        while (lo > 0 && kid.keys[lo - 1] > prev_key_bound) {
+          --lo;
+        }
+        if (static_cast<std::size_t>(br) - lo > k_) {
+          return "fan-out bound violated at node " + std::to_string(vi) +
+                 " (gap " + std::to_string(br - lo) + " > b=" +
+                 std::to_string(k_) + ")";
+        }
+      }
+      // Property 2: adjacent entries bridge <= 2b+1 apart.
+      for (std::size_t i = 1; i < a.keys.size(); ++i) {
+        const std::int32_t d = a.bridge_at(e, i) - a.bridge_at(e, i - 1);
+        if (d > static_cast<std::int32_t>(2 * k_ + 1)) {
+          return "adjacent bridges too far apart at node " +
+                 std::to_string(vi);
+        }
+      }
+      // Mutual density (bidirectional property used by Lemma 1): between
+      // adjacent entries of the child's catalog there are at most k
+      // entries of this catalog.
+      std::size_t ai = 0;
+      for (std::size_t wi = 1; wi < kid.keys.size(); ++wi) {
+        std::size_t between = 0;
+        while (ai < a.keys.size() && a.keys[ai] <= kid.keys[wi - 1]) {
+          ++ai;
+        }
+        std::size_t probe = ai;
+        while (probe < a.keys.size() && a.keys[probe] < kid.keys[wi]) {
+          ++probe;
+          ++between;
+        }
+        if (between > k_) {
+          return "reverse density violated at node " + std::to_string(vi);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace fc

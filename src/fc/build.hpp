@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fc/types.hpp"
+
+namespace fc {
+
+/// The fractional cascaded data structure S over a tree of catalogs
+/// (paper Step 1 of preprocessing; built by [1] in the paper, here by a
+/// Chazelle–Guibas-style bottom-up sampler or its PRAM parallelization).
+///
+/// Supports the three properties the paper relies on:
+///   1. "fan out": find(y, child) is within b entries of the bridge from
+///      find(y, parent);
+///   2. adjacent parent entries bridge to child entries <= 2b+1 apart;
+///   3. bridges do not cross.
+class Structure {
+ public:
+  /// Bottom-up sequential construction.  `sample_k` is the sampling factor
+  /// (every k-th entry of a child's augmented catalog is promoted); it must
+  /// exceed the maximum degree for O(n) total size.  Pass 0 to choose
+  /// max(4, 2 * max_degree) automatically.  The fan-out bound is b == k.
+  static Structure build(const cat::Tree& tree, std::uint32_t sample_k = 0);
+
+  [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
+  [[nodiscard]] std::uint32_t sample_k() const { return k_; }
+  /// The paper's fan-out constant b.
+  [[nodiscard]] std::uint32_t fanout_bound() const { return k_; }
+
+  [[nodiscard]] const AugCatalog& aug(NodeId v) const { return aug_[v]; }
+
+  /// Binary search: index of smallest augmented entry >= y at node v.
+  [[nodiscard]] std::size_t aug_find(NodeId v, Key y,
+                                     SearchStats* stats = nullptr) const;
+
+  /// Move from entry `i` at node v (which must satisfy
+  /// i == aug_find(v, y)) to aug_find(child, y) by following the bridge
+  /// and walking back at most b entries.
+  [[nodiscard]] std::size_t follow_bridge(NodeId v, std::size_t i,
+                                          std::uint32_t child_slot, Key y,
+                                          SearchStats* stats = nullptr) const;
+
+  /// Map an augmented index at v to the original-catalog index of
+  /// find(y, v) — valid when i == aug_find(v, y).
+  [[nodiscard]] std::size_t to_proper(NodeId v, std::size_t i) const {
+    return static_cast<std::size_t>(aug_[v].proper[i]);
+  }
+
+  /// Total augmented entries over all nodes (space, in entries).
+  [[nodiscard]] std::size_t total_aug_entries() const;
+
+  /// Verify the paper's properties 1–3 exhaustively (slow; tests only).
+  /// Returns an empty string on success, else a description of the failure.
+  [[nodiscard]] std::string verify_properties() const;
+
+  /// Used by the parallel builder, which fills the same representation.
+  static Structure from_parts(const cat::Tree& tree, std::uint32_t k,
+                              std::vector<AugCatalog> aug) {
+    Structure s;
+    s.tree_ = &tree;
+    s.k_ = k;
+    s.aug_ = std::move(aug);
+    return s;
+  }
+
+ private:
+  Structure() = default;
+
+  const cat::Tree* tree_ = nullptr;
+  std::uint32_t k_ = 0;
+  std::vector<AugCatalog> aug_;
+};
+
+/// Choose the automatic sampling factor for a tree.
+[[nodiscard]] std::uint32_t auto_sample_k(const cat::Tree& tree);
+
+}  // namespace fc

@@ -1,0 +1,180 @@
+#include "fc/dynamic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fc {
+
+DynamicStructure::DynamicStructure(cat::Tree tree, double rebuild_fraction)
+    : tree_(std::move(tree)),
+      rebuild_fraction_(rebuild_fraction),
+      inserted_(tree_.num_nodes()),
+      deleted_(tree_.num_nodes()) {
+  live_entries_ = tree_.total_catalog_size();
+  fc_ = std::make_unique<Structure>(Structure::build(tree_));
+}
+
+bool DynamicStructure::insert(NodeId v, Key key, std::uint64_t payload) {
+  assert(key < cat::kInfinity);
+  // Reject duplicates against both the live snapshot and pending inserts.
+  const auto& c = tree_.catalog(v);
+  const std::size_t at = c.find(key);
+  const bool in_snapshot = c.key(at) == key;
+  auto& dels = deleted_[v];
+  const bool snapshot_deleted =
+      std::binary_search(dels.begin(), dels.end(), key);
+  auto& ins = inserted_[v];
+  const auto it = std::lower_bound(
+      ins.begin(), ins.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it != ins.end() && it->key == key) {
+    return false;  // already pending-inserted
+  }
+  if (in_snapshot && !snapshot_deleted) {
+    return false;  // already live in the snapshot
+  }
+  if (in_snapshot && snapshot_deleted) {
+    // Re-inserting a deleted snapshot key: cancel the deletion.  The
+    // snapshot payload is resurrected (the paper's entries are identified
+    // by their key).
+    dels.erase(std::lower_bound(dels.begin(), dels.end(), key));
+    --pending_;
+  } else {
+    ins.insert(it, Entry{key, payload});
+    ++pending_;
+  }
+  ++live_entries_;
+  maybe_rebuild();
+  return true;
+}
+
+bool DynamicStructure::erase(NodeId v, Key key) {
+  auto& ins = inserted_[v];
+  const auto it = std::lower_bound(
+      ins.begin(), ins.end(), key,
+      [](const Entry& e, Key k) { return e.key < k; });
+  if (it != ins.end() && it->key == key) {
+    ins.erase(it);  // cancels a pending insert
+    --pending_;
+    --live_entries_;
+    return true;
+  }
+  const auto& c = tree_.catalog(v);
+  const std::size_t at = c.find(key);
+  if (c.key(at) != key) {
+    return false;
+  }
+  auto& dels = deleted_[v];
+  const auto dit = std::lower_bound(dels.begin(), dels.end(), key);
+  if (dit != dels.end() && *dit == key) {
+    return false;  // already deleted
+  }
+  dels.insert(dit, key);
+  ++pending_;
+  --live_entries_;
+  maybe_rebuild();
+  return true;
+}
+
+DynamicStructure::Entry DynamicStructure::snapshot_successor(
+    NodeId v, std::size_t idx) const {
+  const auto& c = tree_.catalog(v);
+  const auto& dels = deleted_[v];
+  while (idx < c.size() &&
+         std::binary_search(dels.begin(), dels.end(), c.key(idx))) {
+    ++idx;  // skip pending-deleted snapshot entries
+  }
+  if (idx >= c.size()) {
+    return Entry{};
+  }
+  return Entry{c.key(idx), c.payload(idx)};
+}
+
+DynamicStructure::Entry DynamicStructure::delta_successor(NodeId v,
+                                                          Key y) const {
+  const auto& ins = inserted_[v];
+  const auto it = std::lower_bound(
+      ins.begin(), ins.end(), y,
+      [](const Entry& e, Key k) { return e.key < k; });
+  return it == ins.end() ? Entry{} : *it;
+}
+
+DynamicStructure::Entry DynamicStructure::find(NodeId v, Key y) const {
+  const Entry snap = snapshot_successor(v, tree_.catalog(v).find(y));
+  const Entry delta = delta_successor(v, y);
+  return snap.key <= delta.key ? snap : delta;
+}
+
+std::vector<DynamicStructure::Entry> DynamicStructure::search(
+    std::span<const NodeId> path, Key y, SearchStats* stats) const {
+  std::vector<Entry> out;
+  out.reserve(path.size());
+  if (path.empty()) {
+    return out;
+  }
+  // Bridged walk on the snapshot, delta correction per node.
+  std::size_t aug = fc_->aug_find(path.front(), y, stats);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const NodeId v = path[i];
+    if (i > 0) {
+      const auto slot = static_cast<std::uint32_t>(tree_.child_slot(v));
+      aug = fc_->follow_bridge(path[i - 1], aug, slot, y, stats);
+    }
+    const Entry snap = snapshot_successor(v, fc_->to_proper(v, aug));
+    const Entry delta = delta_successor(v, y);
+    out.push_back(snap.key <= delta.key ? snap : delta);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+    }
+  }
+  return out;
+}
+
+void DynamicStructure::rebuild() {
+  for (std::size_t v = 0; v < tree_.num_nodes(); ++v) {
+    auto& ins = inserted_[v];
+    auto& dels = deleted_[v];
+    if (ins.empty() && dels.empty()) {
+      continue;
+    }
+    const auto& c = tree_.catalog(cat::NodeId(v));
+    std::vector<Key> keys;
+    std::vector<std::uint64_t> payloads;
+    keys.reserve(c.real_size() + ins.size());
+    payloads.reserve(c.real_size() + ins.size());
+    std::size_t ii = 0;
+    for (std::size_t i = 0; i < c.real_size(); ++i) {
+      while (ii < ins.size() && ins[ii].key < c.key(i)) {
+        keys.push_back(ins[ii].key);
+        payloads.push_back(ins[ii].payload);
+        ++ii;
+      }
+      if (!std::binary_search(dels.begin(), dels.end(), c.key(i))) {
+        keys.push_back(c.key(i));
+        payloads.push_back(c.payload(i));
+      }
+    }
+    for (; ii < ins.size(); ++ii) {
+      keys.push_back(ins[ii].key);
+      payloads.push_back(ins[ii].payload);
+    }
+    tree_.set_catalog(cat::NodeId(v),
+                      cat::Catalog::from_sorted(keys, payloads));
+    ins.clear();
+    dels.clear();
+  }
+  pending_ = 0;
+  ++rebuilds_;
+  fc_ = std::make_unique<Structure>(Structure::build(tree_));
+}
+
+void DynamicStructure::maybe_rebuild() {
+  const std::size_t threshold = std::max<std::size_t>(
+      8, static_cast<std::size_t>(rebuild_fraction_ *
+                                  double(live_entries_ + 1)));
+  if (pending_ >= threshold) {
+    rebuild();
+  }
+}
+
+}  // namespace fc

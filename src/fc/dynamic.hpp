@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fc/build.hpp"
+#include "fc/search.hpp"
+
+namespace fc {
+
+/// A semi-dynamic tree of catalogs: insertions and deletions of catalog
+/// entries with fractional cascaded path queries in between.
+///
+/// The paper lists cooperative *updates* as open problem 4 and cites
+/// Mehlhorn–Naher's sequential dynamic fractional cascading
+/// (O(log log n) amortized update).  This class is the standard
+/// global-rebuilding baseline for that problem: updates go into per-node
+/// sorted delta buffers, queries combine the last snapshot's cascaded
+/// search with a delta correction, and the cascading structure is rebuilt
+/// whenever pending updates exceed `rebuild_fraction` of the catalog
+/// total — O(log n + m b + D_v) query (D_v = deletions pending at the
+/// node) and amortized O(1/rebuild_fraction) rebuild work per update.
+class DynamicStructure {
+ public:
+  /// Result of find(y, v) on the *current* (snapshot + deltas) catalog.
+  struct Entry {
+    Key key = cat::kInfinity;
+    std::uint64_t payload = cat::Catalog::kNoPayload;
+  };
+
+  /// Takes ownership of the tree (its catalogs seed the initial state).
+  explicit DynamicStructure(cat::Tree tree, double rebuild_fraction = 0.25);
+
+  DynamicStructure(const DynamicStructure&) = delete;
+
+  [[nodiscard]] const cat::Tree& tree() const { return tree_; }
+  [[nodiscard]] const Structure& snapshot() const { return *fc_; }
+
+  /// Insert a (key, payload) entry into v's catalog.  Duplicate keys in
+  /// one catalog are rejected (the paper assumes distinct entries).
+  bool insert(NodeId v, Key key,
+              std::uint64_t payload = cat::Catalog::kNoPayload);
+
+  /// Remove the entry with this key from v's catalog; false if absent.
+  bool erase(NodeId v, Key key);
+
+  /// Smallest current entry >= y in v's catalog (the +infinity sentinel
+  /// if none).
+  [[nodiscard]] Entry find(NodeId v, Key y) const;
+
+  /// Fractional cascaded search along a root-to-leaf chain: one binary
+  /// search at the head, then bridges on the snapshot, with the delta
+  /// correction applied per node.
+  [[nodiscard]] std::vector<Entry> search(std::span<const NodeId> path,
+                                          Key y,
+                                          SearchStats* stats = nullptr) const;
+
+  /// Apply all pending deltas and rebuild the cascading structure now.
+  void rebuild();
+
+  [[nodiscard]] std::size_t pending_updates() const { return pending_; }
+  [[nodiscard]] std::size_t rebuilds() const { return rebuilds_; }
+  [[nodiscard]] std::size_t size() const { return live_entries_; }
+
+ private:
+  /// Smallest snapshot entry >= y at v that is not pending-deleted,
+  /// starting the scan at snapshot index `idx`.
+  [[nodiscard]] Entry snapshot_successor(NodeId v, std::size_t idx) const;
+  [[nodiscard]] Entry delta_successor(NodeId v, Key y) const;
+  void maybe_rebuild();
+
+  cat::Tree tree_;
+  std::unique_ptr<Structure> fc_;
+  double rebuild_fraction_;
+  // Per-node deltas, kept sorted by key.
+  std::vector<std::vector<Entry>> inserted_;
+  std::vector<std::vector<Key>> deleted_;
+  std::size_t pending_ = 0;
+  std::size_t live_entries_ = 0;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace fc

@@ -1,0 +1,234 @@
+#include "fc/parallel_build.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pram/memory.hpp"
+#include "pram/primitives.hpp"
+
+namespace fc {
+
+namespace {
+
+/// A view of one input list of a ranking merge: either a key vector
+/// directly, or the (virtual) back-sample sequence of a key vector.
+struct ListView {
+  const std::vector<Key>* keys = nullptr;
+  bool sampled = false;
+  SampleIndex si{};
+
+  [[nodiscard]] std::size_t size() const {
+    return sampled ? si.count() : keys->size();
+  }
+  [[nodiscard]] Key at(std::size_t t) const {
+    return sampled ? (*keys)[si.position(t)] : (*keys)[t];
+  }
+  [[nodiscard]] std::size_t lower(Key y) const {
+    std::size_t lo = 0, hi = size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (at(mid) < y) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+  [[nodiscard]] std::size_t upper(Key y) const {
+    std::size_t lo = 0, hi = size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (at(mid) <= y) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+};
+
+ListView direct_view(const std::vector<Key>& keys) {
+  return ListView{&keys, false, {}};
+}
+
+ListView sample_view(const std::vector<Key>& keys, std::uint32_t k) {
+  return ListView{&keys, true, SampleIndex{keys.size(), k}};
+}
+
+struct ElemDesc {
+  std::uint32_t node;  // index into the level's node list
+  std::uint32_t list;  // which input list of that node
+  std::uint32_t idx;   // element index within the list
+};
+
+/// One level-synchronous round of ranking merges: for each node of the
+/// level, merge (and deduplicate) its input lists into `out[node]`.
+/// Charged as O(log n) steps with level_total processors.
+void merge_level(pram::Machine& m,
+                 const std::vector<std::vector<ListView>>& lists,
+                 std::uint64_t logn,
+                 std::vector<std::vector<Key>*> const& outs) {
+  std::vector<std::size_t> node_offset(lists.size() + 1, 0);
+  std::vector<ElemDesc> descs;
+  std::size_t max_lists = 1;
+  for (std::size_t vi = 0; vi < lists.size(); ++vi) {
+    std::size_t total_v = 0;
+    max_lists = std::max(max_lists, lists[vi].size());
+    for (std::uint32_t li = 0; li < lists[vi].size(); ++li) {
+      for (std::size_t e = 0; e < lists[vi][li].size(); ++e) {
+        descs.push_back(ElemDesc{static_cast<std::uint32_t>(vi), li,
+                                 static_cast<std::uint32_t>(e)});
+      }
+      total_v += lists[vi][li].size();
+    }
+    node_offset[vi + 1] = node_offset[vi] + total_v;
+  }
+  const std::size_t level_total = node_offset.back();
+  if (level_total == 0) {
+    return;
+  }
+
+  // Ranking merge: each element finds its slot in the merged-with-
+  // duplicates sequence of its node (ties broken by list index).
+  pram::SharedArray<Key> merged(level_total);
+  m.exec_k(level_total, max_lists * (logn + 1), [&](std::size_t pid) {
+    const ElemDesc& e = descs[pid];
+    const auto& lv = lists[e.node];
+    const Key key = lv[e.list].at(e.idx);
+    std::size_t pos = e.idx;
+    for (std::uint32_t li = 0; li < lv.size(); ++li) {
+      if (li == e.list) {
+        continue;
+      }
+      pos += (li < e.list) ? lv[li].upper(key) : lv[li].lower(key);
+    }
+    merged.write(node_offset[e.node] + pos, key);
+  });
+
+  // Keep the first occurrence of each key per node.
+  pram::SharedArray<std::uint8_t> keep(level_total);
+  m.exec(level_total, [&](std::size_t pid) {
+    const ElemDesc& e = descs[pid];
+    const bool first = pid == node_offset[e.node];
+    keep.write(pid,
+               (first || merged.read(pid) != merged.read(pid - 1)) ? 1 : 0);
+  });
+  pram::SharedArray<std::size_t> survivors;
+  const std::size_t kept = pram::pack_indices(m, keep, survivors);
+  m.charge((kept + m.processors() - 1) / m.processors(), kept);
+  {
+    std::size_t vi = 0;
+    for (std::size_t s = 0; s < kept; ++s) {
+      const std::size_t pos = survivors[s];
+      while (pos >= node_offset[vi + 1]) {
+        ++vi;
+      }
+      outs[vi]->push_back(merged[pos]);
+    }
+  }
+}
+
+}  // namespace
+
+Structure build_parallel(const cat::Tree& tree, pram::Machine& m,
+                         std::uint32_t sample_k) {
+  const std::uint32_t k = sample_k == 0 ? auto_sample_k(tree) : sample_k;
+  assert(k > tree.max_degree());
+
+  const std::size_t nn = tree.num_nodes();
+  const std::uint64_t logn = pram::ceil_log2(
+      std::max<std::size_t>(2, tree.total_catalog_size() + nn));
+
+  // Phase 1 (bottom-up sweep): up[v] = C(v) u back-samples of children.
+  std::vector<std::vector<Key>> own(nn);
+  for (std::size_t v = 0; v < nn; ++v) {
+    const auto keys = tree.catalog(static_cast<NodeId>(v)).keys();
+    own[v].assign(keys.begin(), keys.end());
+  }
+  std::vector<std::vector<Key>> up(nn);
+  for (std::uint32_t d = tree.height() + 1; d-- > 0;) {
+    const auto nodes = tree.level(d);
+    std::vector<std::vector<ListView>> lists(nodes.size());
+    std::vector<std::vector<Key>*> outs(nodes.size());
+    for (std::size_t vi = 0; vi < nodes.size(); ++vi) {
+      const NodeId v = nodes[vi];
+      lists[vi].push_back(direct_view(own[v]));
+      for (NodeId w : tree.children(v)) {
+        lists[vi].push_back(sample_view(up[w], k));
+      }
+      outs[vi] = &up[v];
+    }
+    merge_level(m, lists, logn, outs);
+  }
+
+  // Phase 2 (top-down sweep): A(v) = up[v] u back-samples of A(parent).
+  std::vector<AugCatalog> aug(nn);
+  aug[tree.root()].keys = std::move(up[tree.root()]);
+  for (std::uint32_t d = 1; d <= tree.height(); ++d) {
+    const auto nodes = tree.level(d);
+    std::vector<std::vector<ListView>> lists(nodes.size());
+    std::vector<std::vector<Key>*> outs(nodes.size());
+    for (std::size_t vi = 0; vi < nodes.size(); ++vi) {
+      const NodeId v = nodes[vi];
+      lists[vi].push_back(direct_view(up[v]));
+      lists[vi].push_back(sample_view(aug[tree.parent(v)].keys, k));
+      outs[vi] = &aug[v].keys;
+    }
+    merge_level(m, lists, logn, outs);
+  }
+
+  // proper[] and bridges: one binary search per entry / per (entry, child)
+  // pair, flattened over the whole tree.
+  struct EntryDesc {
+    NodeId v;
+    std::uint32_t idx;
+  };
+  std::vector<EntryDesc> entries;
+  for (std::size_t v = 0; v < nn; ++v) {
+    AugCatalog& a = aug[v];
+    a.num_children = static_cast<std::uint32_t>(tree.degree(NodeId(v)));
+    a.proper.resize(a.keys.size());
+    a.bridge.resize(a.keys.size() * a.num_children);
+    for (std::uint32_t i = 0; i < a.keys.size(); ++i) {
+      entries.push_back(EntryDesc{static_cast<NodeId>(v), i});
+    }
+  }
+  m.exec_k(entries.size(), logn + 1, [&](std::size_t pid) {
+    const auto [v, idx] = entries[pid];
+    AugCatalog& a = aug[v];
+    a.proper[idx] =
+        static_cast<std::int32_t>(tree.catalog(v).find(a.keys[idx]));
+  });
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> bdesc;  // (entry, slot)
+  for (std::uint32_t ei = 0; ei < entries.size(); ++ei) {
+    for (std::uint32_t c = 0; c < tree.degree(entries[ei].v); ++c) {
+      bdesc.emplace_back(ei, c);
+    }
+  }
+  m.exec_k(bdesc.size(), logn + 1, [&](std::size_t pid) {
+    const auto [ei, slot] = bdesc[pid];
+    const auto [v, idx] = entries[ei];
+    AugCatalog& a = aug[v];
+    const NodeId w = tree.children(v)[slot];
+    const auto& wkeys = aug[w].keys;
+    // Exact successor position of the entry key in the child's catalog.
+    std::size_t lo = 0, hi = wkeys.size();
+    const Key key = a.keys[idx];
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (wkeys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    a.bridge[static_cast<std::size_t>(slot) * a.keys.size() + idx] =
+        static_cast<std::int32_t>(lo);
+  });
+  return Structure::from_parts(tree, k, std::move(aug));
+}
+
+}  // namespace fc

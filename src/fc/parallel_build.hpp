@@ -1,0 +1,24 @@
+#pragma once
+
+#include "fc/build.hpp"
+#include "pram/machine.hpp"
+
+namespace fc {
+
+/// PRAM construction of the fractional cascaded structure (paper Step 1).
+///
+/// The paper cites Atallah–Cole–Goodrich cascading divide-and-conquer,
+/// which achieves O(log n) depth and O(n) work on an EREW PRAM.  This
+/// implementation substitutes level-synchronous ranking merges (see
+/// DESIGN.md): per tree level one ranking-merge round, giving the *same
+/// data structure* with O(log n) depth per level — O(log^2 n) depth and
+/// O(n log n) work total on a CREW PRAM.  The preprocessing bench (E3)
+/// reports the measured depth/work against both curves.
+///
+/// The produced structure is bit-identical to `Structure::build` with the
+/// same sampling factor (tests assert this).
+[[nodiscard]] Structure build_parallel(const cat::Tree& tree,
+                                       pram::Machine& m,
+                                       std::uint32_t sample_k = 0);
+
+}  // namespace fc

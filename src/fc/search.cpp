@@ -1,0 +1,97 @@
+#include "fc/search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fc {
+
+bool valid_root_path(const cat::Tree& tree, std::span<const NodeId> path) {
+  if (path.empty() || path.front() != tree.root()) {
+    return false;
+  }
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (tree.parent(path[i]) != path[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PathSearchResult search_explicit(const Structure& s,
+                                 std::span<const NodeId> path, Key y,
+                                 SearchStats* stats) {
+  assert(valid_root_path(s.tree(), path));
+  PathSearchResult r;
+  r.path.assign(path.begin(), path.end());
+  r.proper_index.reserve(path.size());
+  r.aug_index.reserve(path.size());
+
+  std::size_t i = s.aug_find(path.front(), y, stats);
+  r.aug_index.push_back(i);
+  r.proper_index.push_back(s.to_proper(path.front(), i));
+  if (stats != nullptr) {
+    ++stats->nodes_visited;
+  }
+  for (std::size_t step = 1; step < path.size(); ++step) {
+    const NodeId v = path[step - 1];
+    const NodeId w = path[step];
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(s.tree().child_slot(w));
+    i = s.follow_bridge(v, i, slot, y, stats);
+    r.aug_index.push_back(i);
+    r.proper_index.push_back(s.to_proper(w, i));
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+    }
+  }
+  return r;
+}
+
+PathSearchResult search_implicit(const Structure& s, Key y,
+                                 const BranchFn& branch, SearchStats* stats) {
+  PathSearchResult r;
+  NodeId v = s.tree().root();
+  std::size_t i = s.aug_find(v, y, stats);
+  for (;;) {
+    r.path.push_back(v);
+    r.aug_index.push_back(i);
+    const std::size_t prop = s.to_proper(v, i);
+    r.proper_index.push_back(prop);
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+    }
+    if (s.tree().is_leaf(v)) {
+      break;
+    }
+    const std::uint32_t slot = branch(v, prop);
+    assert(slot < s.tree().degree(v));
+    i = s.follow_bridge(v, i, slot, y, stats);
+    v = s.tree().children(v)[slot];
+  }
+  return r;
+}
+
+PathSearchResult search_binary_baseline(const cat::Tree& tree,
+                                        std::span<const NodeId> path, Key y,
+                                        SearchStats* stats) {
+  assert(valid_root_path(tree, path));
+  PathSearchResult r;
+  r.path.assign(path.begin(), path.end());
+  for (NodeId v : path) {
+    const auto& c = tree.catalog(v);
+    if (stats != nullptr) {
+      // Count the comparisons a binary search performs.
+      std::size_t n = c.size();
+      while (n > 0) {
+        ++stats->comparisons;
+        n /= 2;
+      }
+      ++stats->nodes_visited;
+    }
+    r.proper_index.push_back(c.find(y));
+    r.aug_index.push_back(r.proper_index.back());
+  }
+  return r;
+}
+
+}  // namespace fc

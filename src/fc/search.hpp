@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fc/build.hpp"
+
+namespace fc {
+
+/// Result of a search: for each node on the search path (root first), the
+/// index in that node's *original* catalog of find(y, v) — the smallest
+/// catalog entry >= y.
+struct PathSearchResult {
+  std::vector<NodeId> path;
+  std::vector<std::size_t> proper_index;  ///< find(y, v) per path node
+  std::vector<std::size_t> aug_index;     ///< augmented index per path node
+};
+
+/// Sequential explicit search (Chazelle–Guibas): binary search at the first
+/// node, then one bridge hop per subsequent node.  O(log n + m b) time for
+/// a path of length m.  `path` must start at the root and each node must be
+/// a child of its predecessor.
+[[nodiscard]] PathSearchResult search_explicit(const Structure& s,
+                                               std::span<const NodeId> path,
+                                               Key y,
+                                               SearchStats* stats = nullptr);
+
+/// Branch oracle for implicit searches: given the query, the node, and
+/// find(y, v) (original-catalog index), return the child slot to descend
+/// into.  Returning any value at a leaf is allowed (it is ignored).
+using BranchFn =
+    std::function<std::uint32_t(NodeId v, std::size_t proper_index)>;
+
+/// Sequential implicit search from the root to a leaf: the branch taken at
+/// each node is branch(v, find(y, v)).  O(log n + m b).
+[[nodiscard]] PathSearchResult search_implicit(const Structure& s, Key y,
+                                               const BranchFn& branch,
+                                               SearchStats* stats = nullptr);
+
+/// Baseline without fractional cascading: independent binary search in each
+/// catalog on the path.  O(m log n).  Used by benches as the comparator the
+/// paper's Section 1 motivates against.
+[[nodiscard]] PathSearchResult search_binary_baseline(
+    const cat::Tree& tree, std::span<const NodeId> path, Key y,
+    SearchStats* stats = nullptr);
+
+/// Check that `path` starts at the root of `tree` and is a valid
+/// parent-to-child chain.
+[[nodiscard]] bool valid_root_path(const cat::Tree& tree,
+                                   std::span<const NodeId> path);
+
+}  // namespace fc

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "catalog/catalog.hpp"
+#include "catalog/tree.hpp"
+
+namespace fc {
+
+using cat::Key;
+using cat::NodeId;
+
+/// The augmented catalog of one tree node after fractional cascading.
+///
+/// Augmented entries are the node's own ("proper") catalog entries plus
+/// "dummy" entries sampled from the neighbours' augmented catalogs (every
+/// k-th entry counted from the back, so the +infinity terminal is always
+/// sampled): a bottom-up pass samples the children, a top-down pass
+/// samples the parent — the tree specialization of the paper's
+/// *bidirectional* cascading.  `keys` is strictly increasing and ends with
+/// +infinity.
+struct AugCatalog {
+  std::vector<Key> keys;
+
+  /// proper[i]: index in the node's *original* catalog of the smallest
+  /// proper entry with key >= keys[i].  Because the original catalog ends
+  /// with +infinity this is always a valid index, so
+  /// original.find(y) == proper[aug_find(y)].
+  std::vector<std::int32_t> proper;
+
+  /// Bridges, flattened by child slot: bridge[e * keys.size() + i] is the
+  /// exact successor position in child e's augmented catalog — the
+  /// smallest index whose key >= keys[i].  By the mutual-density property
+  /// of the bidirectional construction, the true find(y, child) is at most
+  /// `b` entries before that position (paper's "fan out" property 1).
+  std::vector<std::int32_t> bridge;
+
+  std::uint32_t num_children = 0;
+
+  [[nodiscard]] std::size_t size() const { return keys.size(); }
+
+  [[nodiscard]] std::int32_t bridge_at(std::uint32_t child_slot,
+                                       std::size_t entry) const {
+    return bridge[static_cast<std::size_t>(child_slot) * keys.size() + entry];
+  }
+};
+
+/// Sampling geometry shared by the sequential and parallel builders: the
+/// sampled positions of an augmented catalog of size `size` with sampling
+/// factor k are size-1, size-1-k, size-1-2k, ...  (ascending order below).
+struct SampleIndex {
+  std::size_t size = 0;
+  std::uint32_t k = 1;
+
+  [[nodiscard]] std::size_t count() const {
+    return size == 0 ? 0 : (size + k - 1) / k;
+  }
+  /// Position in the augmented catalog of sample number t (ascending).
+  [[nodiscard]] std::size_t position(std::size_t t) const {
+    return (size - 1) - (count() - 1 - t) * k;
+  }
+};
+
+/// Statistics a search can optionally collect (used by tests/benches to
+/// check the O(log n + m b) sequential bound).
+struct SearchStats {
+  std::uint64_t comparisons = 0;
+  std::uint64_t bridge_walks = 0;  ///< total walk-back distance
+  std::uint64_t nodes_visited = 0;
+};
+
+}  // namespace fc

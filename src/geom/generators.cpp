@@ -1,0 +1,193 @@
+#include "geom/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace geom {
+
+namespace {
+constexpr Coord kBandHeight = 1024;  // even; queries use odd offsets
+constexpr Coord kXRange = 1 << 20;
+}  // namespace
+
+MonotoneSubdivision make_random_monotone(std::size_t regions,
+                                         std::size_t bands,
+                                         std::mt19937_64& rng) {
+  assert(regions >= 1 && bands >= 1);
+  MonotoneSubdivision s;
+  s.num_regions = regions;
+  s.ymin = 0;
+  s.ymax = Coord(bands) * kBandHeight;
+  const std::size_t chains = regions - 1;
+  if (chains == 0) {
+    return s;
+  }
+
+  // Per band boundary level t = 0..bands, each chain's x position.
+  // Chains cluster: draw d_t distinct x values and a non-decreasing
+  // assignment of chains to them.
+  std::vector<std::vector<Coord>> x(bands + 1, std::vector<Coord>(chains));
+  for (std::size_t t = 0; t <= bands; ++t) {
+    const std::size_t d = 1 + rng() % chains;
+    // Distinct even x values, sorted.
+    std::vector<Coord> vals;
+    vals.reserve(d);
+    while (vals.size() < d) {
+      const Coord v = 2 * Coord(rng() % kXRange);
+      vals.push_back(v);
+    }
+    std::sort(vals.begin(), vals.end());
+    vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+    // Non-decreasing cluster assignment.
+    std::vector<std::size_t> cl(chains);
+    for (auto& c : cl) {
+      c = rng() % vals.size();
+    }
+    std::sort(cl.begin(), cl.end());
+    for (std::size_t i = 0; i < chains; ++i) {
+      x[t][i] = vals[cl[i]];
+    }
+  }
+
+  // Emit one edge per maximal run of chains sharing both endpoints.
+  for (std::size_t t = 0; t < bands; ++t) {
+    const Coord ylo = Coord(t) * kBandHeight;
+    const Coord yhi = Coord(t + 1) * kBandHeight;
+    std::size_t i = 0;
+    while (i < chains) {
+      std::size_t j = i;
+      while (j + 1 < chains && x[t][j + 1] == x[t][i] &&
+             x[t + 1][j + 1] == x[t + 1][i]) {
+        ++j;
+      }
+      SubEdge e;
+      e.lo = Point{x[t][i], ylo};
+      e.hi = Point{x[t + 1][i], yhi};
+      e.min_sep = std::int32_t(i + 1);   // separators are 1-based
+      e.max_sep = std::int32_t(j + 1);
+      s.edges.push_back(e);
+      i = j + 1;
+    }
+  }
+  return s;
+}
+
+MonotoneSubdivision make_slabs(std::size_t regions, std::size_t bands) {
+  MonotoneSubdivision s;
+  s.num_regions = regions;
+  s.ymin = 0;
+  s.ymax = Coord(bands) * kBandHeight;
+  for (std::size_t t = 0; t < bands; ++t) {
+    const Coord ylo = Coord(t) * kBandHeight;
+    const Coord yhi = Coord(t + 1) * kBandHeight;
+    for (std::size_t i = 0; i + 1 < regions; ++i) {
+      SubEdge e;
+      e.lo = Point{Coord(2000 * (i + 1)), ylo};
+      e.hi = Point{Coord(2000 * (i + 1)), yhi};
+      e.min_sep = std::int32_t(i + 1);
+      e.max_sep = std::int32_t(i + 1);
+      s.edges.push_back(e);
+    }
+  }
+  return s;
+}
+
+MonotoneSubdivision make_jagged(std::size_t regions,
+                                std::size_t avg_vertices,
+                                std::mt19937_64& rng) {
+  assert(regions >= 1 && avg_vertices >= 1);
+  MonotoneSubdivision s;
+  s.num_regions = regions;
+  s.ymin = 0;
+  s.ymax = Coord(avg_vertices + 2) * kBandHeight;
+  const std::size_t chains = regions - 1;
+  // Chain i lives in its own x-corridor [i*G, i*G + G/2), so chains can
+  // never touch regardless of their independent jitter.
+  constexpr Coord kCorridor = 4096;
+  for (std::size_t i = 0; i < chains; ++i) {
+    // Random distinct even interior vertex levels for this chain.
+    std::vector<Coord> levels{s.ymin};
+    const std::size_t verts = 1 + rng() % (2 * avg_vertices);
+    for (std::size_t t = 0; t < verts; ++t) {
+      levels.push_back(2 * Coord(rng() % (std::size_t(s.ymax) / 2 - 1)) + 2);
+    }
+    levels.push_back(s.ymax);
+    std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+    const Coord base = Coord(i) * kCorridor;
+    std::vector<Coord> xs(levels.size());
+    for (auto& x : xs) {
+      x = base + 2 * Coord(rng() % (kCorridor / 4));
+    }
+    for (std::size_t t = 0; t + 1 < levels.size(); ++t) {
+      SubEdge e;
+      e.lo = Point{xs[t], levels[t]};
+      e.hi = Point{xs[t + 1], levels[t + 1]};
+      e.min_sep = std::int32_t(i + 1);
+      e.max_sep = std::int32_t(i + 1);
+      s.edges.push_back(e);
+    }
+  }
+  return s;
+}
+
+Point random_query_point(const MonotoneSubdivision& s, std::mt19937_64& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    // Odd y (never a band boundary or vertex level), odd-ish x.
+    const Coord qy =
+        s.ymin + 1 + 2 * Coord(rng() % std::max<Coord>(1, (s.ymax - s.ymin) / 2));
+    if (qy <= s.ymin || qy >= s.ymax) {
+      continue;
+    }
+    const Coord qx = 2 * Coord(rng() % (2 * kXRange)) - kXRange + 1;
+    const Point q{qx, qy};
+    bool on_edge = false;
+    for (const SubEdge& e : s.edges) {
+      if (e.spans(qy) && e.side(q) == 0) {
+        on_edge = true;
+        break;
+      }
+    }
+    if (!on_edge) {
+      return q;
+    }
+  }
+  return Point{1, s.ymin + 1};
+}
+
+std::size_t TerrainComplex::locate_brute(const Point3& q) const {
+  const std::size_t r = footprint.locate_brute(Point{q.x, q.y});
+  std::size_t cell = 0;
+  for (std::size_t surf = 0; surf < num_surfaces; ++surf) {
+    if (q.z > z[surf][r]) {
+      cell = surf + 1;
+    }
+  }
+  return cell;
+}
+
+TerrainComplex make_terrain_complex(std::size_t surfaces, std::size_t regions,
+                                    std::size_t bands, std::mt19937_64& rng) {
+  TerrainComplex c;
+  c.num_surfaces = surfaces;
+  c.footprint_regions = regions;
+  c.footprint = make_random_monotone(regions, bands, rng);
+  c.z.assign(surfaces, std::vector<Coord>(regions));
+  // Strictly increasing heights per region: base stacking 1000 apart with
+  // per-region perturbation < 500 (keeps the order strict).
+  for (std::size_t surf = 0; surf < surfaces; ++surf) {
+    for (std::size_t r = 0; r < regions; ++r) {
+      c.z[surf][r] = Coord(surf + 1) * 1000 + Coord(rng() % 499) * 2;
+    }
+  }
+  return c;
+}
+
+Point3 random_query_point3(const TerrainComplex& c, std::mt19937_64& rng) {
+  const Point q2 = random_query_point(c.footprint, rng);
+  // Odd z so it never equals a (even-perturbed) surface height.
+  const Coord qz = 1 + 2 * Coord(rng() % (500 * (c.num_surfaces + 2)));
+  return Point3{q2.x, q2.y, qz};
+}
+
+}  // namespace geom

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "geom/subdivision.hpp"
+
+namespace geom {
+
+/// Generate a random monotone subdivision of a horizontal strip with
+/// `regions` regions and `bands` horizontal bands.
+///
+/// The subdivision is built from `regions - 1` non-crossing y-monotone
+/// separator chains spanning the strip.  At each band boundary the chains
+/// cluster into coincident groups, so chains share edges — exactly the
+/// situation that makes proper-edge storage (and the active/inactive node
+/// distinction of Section 3) nontrivial.  All vertex coordinates are even;
+/// query generators use odd coordinates, so queries never hit vertices or
+/// band boundaries.
+[[nodiscard]] MonotoneSubdivision make_random_monotone(std::size_t regions,
+                                                       std::size_t bands,
+                                                       std::mt19937_64& rng);
+
+/// A regular-grid subdivision: `regions` vertical slab chains that never
+/// merge (every node of the separator tree is active at every level).
+/// Useful as the easy baseline case.
+[[nodiscard]] MonotoneSubdivision make_slabs(std::size_t regions,
+                                             std::size_t bands);
+
+/// A "jagged" subdivision: every chain has its own independent vertex
+/// levels (roughly `avg_vertices` each), so catalog keys are diverse and
+/// no two chains share edges.  Complements make_random_monotone (shared
+/// band levels, heavy edge sharing) in the fuzz mix.
+[[nodiscard]] MonotoneSubdivision make_jagged(std::size_t regions,
+                                              std::size_t avg_vertices,
+                                              std::mt19937_64& rng);
+
+/// Draw a query point strictly inside the strip, away from every vertex
+/// level and off every edge.
+[[nodiscard]] Point random_query_point(const MonotoneSubdivision& s,
+                                       std::mt19937_64& rng);
+
+/// A 3D cell complex made of `surfaces` stacked perturbed terrains over a
+/// shared monotone triangulation-like xy-footprint (Theorem 5 workload;
+/// see DESIGN.md substitution table — stands in for Voronoi complexes).
+/// Cells are the slabs between consecutive surfaces; the vertical
+/// dominance order is the stacking order, so the complex is acyclic and
+/// topologically sorted by construction.
+struct TerrainComplex {
+  /// facets[s] — the monotone subdivision footprint of surface s (shared
+  /// combinatorics, per-surface z heights at each footprint region).
+  std::size_t num_surfaces = 0;
+  std::size_t footprint_regions = 0;
+  MonotoneSubdivision footprint;
+  /// z[s][r]: height of surface s over footprint region r.  Heights are
+  /// strictly increasing in s for every fixed r.
+  std::vector<std::vector<Coord>> z;
+
+  [[nodiscard]] std::size_t num_cells() const { return num_surfaces + 1; }
+  /// Total facet count (the paper's n): one facet per surface per region.
+  [[nodiscard]] std::size_t num_facets() const {
+    return num_surfaces * footprint_regions;
+  }
+
+  /// Brute-force spatial location: the cell containing q (0 = below all
+  /// surfaces, num_surfaces = above all).
+  [[nodiscard]] std::size_t locate_brute(const Point3& q) const;
+};
+
+[[nodiscard]] TerrainComplex make_terrain_complex(std::size_t surfaces,
+                                                  std::size_t regions,
+                                                  std::size_t bands,
+                                                  std::mt19937_64& rng);
+
+/// Query point for a terrain complex (off all facets and edges).
+[[nodiscard]] Point3 random_query_point3(const TerrainComplex& c,
+                                         std::mt19937_64& rng);
+
+}  // namespace geom

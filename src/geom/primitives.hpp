@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+namespace geom {
+
+/// Integer coordinates so that all predicates are exact (evaluated in
+/// 128-bit intermediates).  Generators keep coordinates well below 2^40,
+/// far from overflow.
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Sign of the cross product (b - a) x (c - a): > 0 if c lies to the left
+/// of the directed line a->b, < 0 right, 0 collinear.
+[[nodiscard]] inline int orientation(const Point& a, const Point& b,
+                                     const Point& c) {
+  const __int128 ux = b.x - a.x;
+  const __int128 uy = b.y - a.y;
+  const __int128 vx = c.x - a.x;
+  const __int128 vy = c.y - a.y;
+  const __int128 cross = ux * vy - uy * vx;
+  return cross > 0 ? 1 : (cross < 0 ? -1 : 0);
+}
+
+struct Point3 {
+  Coord x = 0;
+  Coord y = 0;
+  Coord z = 0;
+};
+
+}  // namespace geom

@@ -1,0 +1,100 @@
+#include "geom/subdivision.hpp"
+
+#include <algorithm>
+
+namespace geom {
+
+std::size_t MonotoneSubdivision::locate_brute(const Point& q) const {
+  // Region index == number of separators strictly left of q.  Each edge e
+  // left of q contributes separators min_sep..max_sep.
+  std::size_t region = 0;
+  for (const SubEdge& e : edges) {
+    if (e.spans(q.y) && e.side(q) < 0) {  // q strictly right of e
+      region = std::max(region, static_cast<std::size_t>(e.max_sep));
+    }
+  }
+  return region;
+}
+
+std::string MonotoneSubdivision::validate() const {
+  if (num_regions == 0) {
+    return "no regions";
+  }
+  for (const SubEdge& e : edges) {
+    if (e.lo.y >= e.hi.y) {
+      return "edge not oriented upward";
+    }
+    if (e.lo.y < ymin || e.hi.y > ymax) {
+      return "edge outside the strip";
+    }
+    if (e.min_sep < 1 || e.max_sep > std::int32_t(num_separators()) ||
+        e.min_sep > e.max_sep) {
+      return "invalid separator range";
+    }
+  }
+  // Coverage: per separator, the y-spans of its edges must tile
+  // [ymin, ymax] without overlap.  Instead of per-separator scans
+  // (quadratic), check the equivalent prefix property: for every level
+  // band, the multiset of covering edges, expanded by range length,
+  // covers each separator exactly once.  We sample: collect all distinct
+  // y breakpoints and check coverage in each band at its midpoint.
+  std::vector<Coord> ys{ymin, ymax};
+  for (const SubEdge& e : edges) {
+    ys.push_back(e.lo.y);
+    ys.push_back(e.hi.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  for (std::size_t t = 0; t + 1 < ys.size(); ++t) {
+    const Coord mid = ys[t] + (ys[t + 1] - ys[t]) / 2;
+    if (mid <= ys[t] || mid >= ys[t + 1]) {
+      continue;  // adjacent levels, no interior midpoint at integer grid
+    }
+    std::vector<std::int32_t> covered(num_separators() + 1, 0);
+    std::vector<const SubEdge*> active;
+    for (const SubEdge& e : edges) {
+      if (e.spans(mid)) {
+        covered[e.min_sep - 1] += 1;
+        covered[e.max_sep] -= 1;
+        active.push_back(&e);
+      }
+    }
+    std::int32_t run = 0;
+    for (std::size_t j = 0; j < num_separators(); ++j) {
+      run += covered[j];
+      if (run != 1) {
+        return "separator " + std::to_string(j + 1) + " covered " +
+               std::to_string(run) + " times at y=" + std::to_string(mid);
+      }
+    }
+    // Order: edges at this level, sorted by separator range, must also be
+    // sorted geometrically (separators do not cross).  Edges are straight
+    // within a band (every endpoint level is a breakpoint), so two edges
+    // cross inside the band iff their x-order flips between the band's
+    // two boundary levels; exact rational comparison of
+    //   x_e(y) = (lo.x * (hi.y - y) + hi.x * (y - lo.y)) / (hi.y - lo.y)
+    // at both boundaries catches every crossing.
+    std::sort(active.begin(), active.end(),
+              [](const SubEdge* a, const SubEdge* b) {
+                return a->min_sep < b->min_sep;
+              });
+    for (const Coord level : {ys[t], ys[t + 1]}) {
+      const auto x_at = [level](const SubEdge* e) -> __int128 {
+        return static_cast<__int128>(e->lo.x) * (e->hi.y - level) +
+               static_cast<__int128>(e->hi.x) * (level - e->lo.y);
+      };
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        const SubEdge* a = active[i - 1];
+        const SubEdge* b = active[i];
+        const __int128 lhs = x_at(a) * (b->hi.y - b->lo.y);
+        const __int128 rhs = x_at(b) * (a->hi.y - a->lo.y);
+        if (lhs > rhs) {
+          return "separators cross near y=" + std::to_string(level);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace geom

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/primitives.hpp"
+
+namespace geom {
+
+/// One edge of a monotone subdivision, oriented upward (lo.y < hi.y).
+///
+/// An edge lies on the common boundary of the regions left and right of
+/// it; following the paper's numbering, the regions are numbered 0..f-1
+/// left-to-right and separator sigma_j (1 <= j <= f-1) is the boundary
+/// between regions {0..j-1} and {j..f-1}.  Edge e belongs to separators
+/// sigma_j for min_sep <= j <= max_sep, where min_sep = left_region + 1
+/// and max_sep = right_region (the paper's min(e) / max(e)).
+struct SubEdge {
+  Point lo;
+  Point hi;
+  std::int32_t min_sep = 0;
+  std::int32_t max_sep = 0;
+
+  [[nodiscard]] std::int32_t left_region() const { return min_sep - 1; }
+  [[nodiscard]] std::int32_t right_region() const { return max_sep; }
+
+  /// True if the horizontal line y = qy crosses this edge's open vertical
+  /// span (queries never hit endpoint levels by construction).
+  [[nodiscard]] bool spans(Coord qy) const { return lo.y < qy && qy < hi.y; }
+
+  /// +1 if q is strictly left of the edge, -1 strictly right.
+  [[nodiscard]] int side(const Point& q) const {
+    return orientation(lo, hi, q);
+  }
+};
+
+/// A monotone planar subdivision of the horizontal strip
+/// ymin <= y <= ymax, represented by its edges and region numbering.
+/// Every separator sigma_j spans the full strip: at every interior level y
+/// there is exactly one edge e with min_sep <= j <= max_sep covering y.
+struct MonotoneSubdivision {
+  std::size_t num_regions = 1;  ///< f
+  std::vector<SubEdge> edges;
+  Coord ymin = 0;
+  Coord ymax = 0;
+
+  [[nodiscard]] std::size_t num_separators() const { return num_regions - 1; }
+  /// Total vertex budget: edges and regions are both O(n).
+  [[nodiscard]] std::size_t size() const { return edges.size(); }
+
+  /// Brute-force point location: the index of the region containing q
+  /// (q must be strictly inside the strip and off all edges/vertex
+  /// levels).  O(edges) — the test/bench oracle.
+  [[nodiscard]] std::size_t locate_brute(const Point& q) const;
+
+  /// Check the structural invariants: edge spans positive, separator
+  /// ranges valid, every separator covered exactly once at every interior
+  /// level, separators ordered left-to-right.  Returns "" on success.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace geom

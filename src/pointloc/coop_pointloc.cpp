@@ -1,0 +1,117 @@
+#include "pointloc/coop_pointloc.hpp"
+
+#include <algorithm>
+
+#include "core/implicit_search.hpp"
+#include "pram/memory.hpp"
+#include "pram/primitives.hpp"
+
+namespace pointloc {
+
+std::size_t coop_locate_impl(const SeparatorTree& st, pram::Machine& m,
+                             const geom::Point& q, std::uint64_t* hops) {
+  std::int32_t max_el = 0;
+
+  const coop::HopResolver resolver = [&st, &q, &max_el](
+                                         pram::Machine& mm,
+                                         const coop::HopView& view,
+                                         std::span<std::uint8_t> out) {
+    const std::size_t nn = view.block->nodes.size();
+    // Pass 1: geometric discrimination at active nodes; candidates for the
+    // new max(e_L).
+    pram::SharedArray<std::int32_t> right_max(nn, 0);
+    pram::SharedArray<std::int8_t> state(nn, 0);  // 0 inactive, 1 L, 2 R
+    mm.exec(nn, [&](std::size_t z) {
+      const cat::NodeId v = view.block->nodes[z];
+      const geom::SubEdge* e = st.active_edge(v, view.proper(z), q.y);
+      if (e == nullptr) {
+        return;
+      }
+      if (e->side(q) > 0) {
+        state.write(z, 2);  // q left of the chain
+      } else {
+        state.write(z, 1);
+        right_max.write(z, e->max_sep);
+      }
+    });
+    // Max-reduction over the right-active edges (paper steps 3-4: this is
+    // the new L / e_L pair), charged as a log-depth reduction.
+    mm.charge(pram::ceil_log2(std::max<std::size_t>(2, nn)), nn);
+    for (std::size_t z = 0; z < nn; ++z) {
+      max_el = std::max(max_el, right_max[z]);
+    }
+    // Pass 2: branch values (paper step 5 for inactive nodes).
+    mm.exec(nn, [&](std::size_t z) {
+      if (state.read(z) == 1) {
+        out[z] = 1;
+      } else if (state.read(z) == 2) {
+        out[z] = 0;
+      } else {
+        out[z] = st.separator_of(view.block->nodes[z]) <= max_el ? 1 : 0;
+      }
+    });
+  };
+
+  std::uint32_t last_branch = 0;
+  const fc::BranchFn seq_branch = [&st, &q, &max_el, &last_branch](
+                                      cat::NodeId v,
+                                      std::size_t proper_index) {
+    const geom::SubEdge* e = st.active_edge(v, proper_index, q.y);
+    if (e != nullptr) {
+      if (e->side(q) > 0) {
+        last_branch = 0;
+      } else {
+        max_el = std::max(max_el, e->max_sep);
+        last_branch = 1;
+      }
+    } else {
+      last_branch = st.separator_of(v) <= max_el ? 1u : 0u;
+    }
+    return last_branch;
+  };
+
+  const auto r = coop::coop_search_implicit_custom(st.coop_structure(), m,
+                                                   q.y, resolver, seq_branch);
+  if (hops != nullptr) {
+    *hops = r.hops;
+  }
+  // Decide at the leaf (the implicit search does not call branch there).
+  const cat::NodeId leaf = r.path.back();
+  const std::uint32_t b = seq_branch(leaf, r.proper_index.back());
+  const std::int32_t sep = st.separator_of(leaf);
+  return static_cast<std::size_t>(b == 1 ? sep : sep - 1);
+}
+
+std::size_t coop_locate(const SeparatorTree& st, pram::Machine& m,
+                        const geom::Point& q, std::uint64_t* hops) {
+  return coop_locate_impl(st, m, q, hops);
+}
+
+std::vector<std::size_t> coop_locate_batch(const SeparatorTree& st,
+                                           pram::Machine& m,
+                                           std::span<const geom::Point> queries,
+                                           std::size_t procs_per_query) {
+  std::vector<std::size_t> out(queries.size());
+  if (queries.empty()) {
+    return out;
+  }
+  const std::size_t p = m.processors();
+  if (procs_per_query == 0) {
+    procs_per_query = std::max<std::size_t>(1, p / queries.size());
+  }
+  const std::size_t group = std::max<std::size_t>(1, p / procs_per_query);
+  for (std::size_t first = 0; first < queries.size(); first += group) {
+    const std::size_t last = std::min(queries.size(), first + group);
+    std::uint64_t max_steps = 0, total_work = 0;
+    for (std::size_t qi = first; qi < last; ++qi) {
+      pram::Machine sub(procs_per_query, m.model());
+      out[qi] = coop_locate_impl(st, sub, queries[qi], nullptr);
+      max_steps = std::max(max_steps, sub.stats().steps);
+      total_work += sub.stats().work;
+    }
+    m.charge(max_steps, total_work);
+  }
+  return out;
+}
+
+}  // namespace pointloc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "pointloc/separator_tree.hpp"
+#include "pram/machine.hpp"
+
+namespace pointloc {
+
+/// Theorem 4: cooperative point location with the processors of `m` in
+/// O((log n)/log p) CREW steps.
+///
+/// The search is the generalized implicit cooperative search of Section
+/// 2.3 with the point-location hop of Section 3.1: per hop, every node of
+/// the current block computes find(q.y, sigma); active nodes (whose entry
+/// is a proper edge spanning q.y) discriminate q geometrically; the
+/// running maximum of max(e) over right-active edges plays the role of
+/// max(e_L(q)), and inactive nodes branch right iff their separator index
+/// is <= that maximum.
+///
+/// Correctness of the inactive rule (the paper's steps 3-5, stated as an
+/// invariant): an inactive sigma_m lies left of q iff m <= maxEL, where
+/// maxEL accumulates max(e) over every right-active edge seen so far.
+///   (<=) a < m <= max(e_a) for a right-active a implies m is in e_a's
+///        separator range, so sigma_m passes through e_a and q is right
+///        of it.
+///   (=>) if q is right of sigma_m, the edge e' of sigma_m at level q.y
+///        is proper at a BST ancestor of m; every such ancestor is in the
+///        current or an earlier block, where e' was active and
+///        right-branching, so max(e') >= m was accumulated.
+///
+/// Returns the region index containing q; `hops` (optional) receives the
+/// number of block hops performed.
+[[nodiscard]] std::size_t coop_locate(const SeparatorTree& st,
+                                      pram::Machine& m, const geom::Point& q,
+                                      std::uint64_t* hops = nullptr);
+
+/// Batch point location: Q independent queries share the p processors of
+/// `m` (groups of max(1, p/Q) processors each, charged per-round maxima —
+/// the Theorem 2 grouping applied to point location).
+[[nodiscard]] std::vector<std::size_t> coop_locate_batch(
+    const SeparatorTree& st, pram::Machine& m,
+    std::span<const geom::Point> queries, std::size_t procs_per_query = 0);
+
+}  // namespace pointloc

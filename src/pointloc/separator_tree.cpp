@@ -1,0 +1,245 @@
+#include "pointloc/separator_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pointloc {
+
+namespace {
+
+/// LCA of the separator-index interval [lo, hi] in the complete BST: the
+/// index in the interval divisible by the largest power of two.
+std::int32_t interval_lca(std::int32_t lo, std::int32_t hi) {
+  assert(lo <= hi && lo >= 1);
+  for (std::int32_t bit = 30; bit >= 0; --bit) {
+    const std::int32_t step = std::int32_t(1) << bit;
+    const std::int32_t m = ((lo + step - 1) / step) * step;
+    if (m <= hi) {
+      return m;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+SeparatorTree::SeparatorTree(const geom::MonotoneSubdivision& sub)
+    : sub_(&sub) {
+  // Pad the region count to a power of two; separators 1..f'-1.
+  const std::size_t f = std::max<std::size_t>(2, sub.num_regions);
+  const std::size_t fp = std::bit_ceil(f);
+  const std::size_t num_nodes = fp - 1;
+  tree_height_ = static_cast<std::uint32_t>(std::bit_width(fp) - 1);
+
+  tree_ = std::make_unique<cat::Tree>(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    const std::size_t l = 2 * v + 1, r = 2 * v + 2;
+    if (l < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(l));
+    }
+    if (r < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(r));
+    }
+  }
+  tree_->finalize();
+
+  // Heap node (depth d, index-in-level i) <-> separator (2i+1) * 2^(H-1-d).
+  sep_of_node_.assign(num_nodes, 0);
+  node_of_sep_.assign(fp, cat::kNullNode);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    const std::uint32_t d = tree_->depth(cat::NodeId(v));
+    const std::size_t first_of_level = (std::size_t(1) << d) - 1;
+    const std::size_t idx = v - first_of_level;
+    const std::int32_t sep = std::int32_t(
+        (2 * idx + 1) * (std::size_t(1) << (tree_height_ - 1 - d)));
+    sep_of_node_[v] = sep;
+    node_of_sep_[sep] = cat::NodeId(v);
+  }
+
+  // Assign each edge to the LCA separator of its range and build catalogs
+  // keyed by the upper endpoint's y, payload = edge index.
+  std::vector<std::vector<std::size_t>> assigned(num_nodes);
+  for (std::size_t ei = 0; ei < sub.edges.size(); ++ei) {
+    const auto& e = sub.edges[ei];
+    const std::int32_t m = interval_lca(e.min_sep, e.max_sep);
+    assigned[node_of_sep_[m]].push_back(ei);
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    auto& list = assigned[v];
+    std::sort(list.begin(), list.end(), [&](std::size_t a, std::size_t b) {
+      return sub.edges[a].hi.y < sub.edges[b].hi.y;
+    });
+    std::vector<cat::Key> keys;
+    std::vector<std::uint64_t> payloads;
+    keys.reserve(list.size());
+    payloads.reserve(list.size());
+    for (std::size_t ei : list) {
+      keys.push_back(sub.edges[ei].hi.y);
+      payloads.push_back(ei);
+    }
+    tree_->set_catalog(cat::NodeId(v), cat::Catalog::from_sorted(keys, payloads));
+  }
+
+  fc_ = std::make_unique<fc::Structure>(fc::Structure::build(*tree_));
+  coop_ =
+      std::make_unique<coop::CoopStructure>(coop::CoopStructure::build(*fc_));
+}
+
+const geom::SubEdge* SeparatorTree::active_edge(cat::NodeId v,
+                                                std::size_t proper_index,
+                                                geom::Coord qy) const {
+  const auto& c = tree_->catalog(v);
+  const std::uint64_t payload = c.payload(proper_index);
+  if (payload == cat::Catalog::kNoPayload) {
+    return nullptr;  // the +inf sentinel: gap above all proper edges
+  }
+  const geom::SubEdge& e = sub_->edges[payload];
+  // find(qy) guarantees qy <= e.hi.y; the node is active iff the edge's
+  // span actually contains qy.
+  return e.lo.y < qy ? &e : nullptr;
+}
+
+std::uint32_t SeparatorTree::branch_at(cat::NodeId v,
+                                       std::size_t proper_index,
+                                       const geom::Point& q,
+                                       std::int32_t& max_el) const {
+  const geom::SubEdge* e = active_edge(v, proper_index, q.y);
+  if (e != nullptr) {
+    if (e->side(q) > 0) {
+      return 0;  // q strictly left of the separator chain
+    }
+    max_el = std::max(max_el, e->max_sep);
+    return 1;
+  }
+  // Inactive: q is right of sigma_m iff m <= max(e_L) (paper step 5; see
+  // coop_pointloc.cpp for the correctness argument).
+  return separator_of(v) <= max_el ? 1u : 0u;
+}
+
+std::size_t SeparatorTree::locate(const geom::Point& q,
+                                  fc::SearchStats* stats) const {
+  std::int32_t max_el = 0;
+  std::uint32_t last_branch = 0;
+  const fc::BranchFn branch = [&](cat::NodeId v,
+                                  std::size_t proper_index) -> std::uint32_t {
+    last_branch = branch_at(v, proper_index, q, max_el);
+    return last_branch;
+  };
+  const auto r = fc::search_implicit(*fc_, q.y, branch, stats);
+  // The implicit search stops at a leaf without calling branch there.
+  const cat::NodeId leaf = r.path.back();
+  last_branch = branch_at(leaf, r.proper_index.back(), q, max_el);
+  const std::int32_t m = separator_of(leaf);
+  return static_cast<std::size_t>(last_branch == 1 ? m : m - 1);
+}
+
+void SeparatorTree::precompute_gap_branches() {
+  const std::size_t num_nodes = tree_->num_nodes();
+  gap_branch_.assign(num_nodes, {});
+  for (std::size_t vi = 0; vi < num_nodes; ++vi) {
+    const cat::NodeId v = cat::NodeId(vi);
+    const auto& c = tree_->catalog(v);
+    const std::int32_t m = sep_of_node_[vi];
+    auto& out = gap_branch_[vi];
+    out.assign(c.size(), {});
+    if (m > std::int32_t(sub_->num_separators())) {
+      // Padded separator (at x = +infinity): every query is left of it.
+      for (auto& bps : out) {
+        bps.emplace_back(sub_->ymin, std::uint8_t(0));
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      // The gap below entry i spans (hi.y of entry i-1, lo.y of entry i),
+      // with the strip boundaries at the ends and the +inf sentinel
+      // covering everything above the last proper edge.
+      const geom::Coord gap_lo =
+          (i == 0) ? sub_->ymin
+                   : sub_->edges[c.payload(i - 1)].hi.y;
+      const geom::Coord gap_hi =
+          (c.payload(i) == cat::Catalog::kNoPayload)
+              ? sub_->ymax
+              : sub_->edges[c.payload(i)].lo.y;
+      if (gap_lo >= gap_hi) {
+        continue;  // chains touch: no queryable gap here
+      }
+      // Collect every covering edge of the full separator sigma_m inside
+      // the gap's interval (each is proper at a strict ancestor); the
+      // branch at level y is left iff m < owner(e'(y)).  See the finding
+      // documented in the header: a single per-gap direction does not
+      // exist in general.
+      GapBreakpoints& bps = out[i];
+      for (cat::NodeId a = tree_->parent(v); a != cat::kNullNode;
+           a = tree_->parent(a)) {
+        const auto& ca = tree_->catalog(a);
+        const std::uint8_t dir = (m < sep_of_node_[a]) ? 0 : 1;
+        for (std::size_t j = ca.find(gap_lo + 1); j < ca.real_size(); ++j) {
+          const auto& e = sub_->edges[ca.payload(j)];
+          if (e.lo.y >= gap_hi) {
+            break;
+          }
+          if (e.min_sep <= m && m <= e.max_sep) {
+            bps.emplace_back(std::max(e.lo.y, gap_lo), dir);
+          }
+        }
+      }
+      std::sort(bps.begin(), bps.end());
+    }
+  }
+}
+
+std::size_t SeparatorTree::locate_with_gaps(const geom::Point& q,
+                                            fc::SearchStats* stats) const {
+  assert(has_gap_branches() &&
+         "call precompute_gap_branches() before locate_with_gaps()");
+  std::uint32_t last_branch = 0;
+  const fc::BranchFn branch = [&](cat::NodeId v,
+                                  std::size_t proper_index) -> std::uint32_t {
+    const geom::SubEdge* e = active_edge(v, proper_index, q.y);
+    if (e != nullptr) {
+      last_branch = (e->side(q) > 0) ? 0u : 1u;
+    } else {
+      const GapBreakpoints& bps =
+          gap_branch_[static_cast<std::size_t>(v)][proper_index];
+      // Direction of the last breakpoint at or below q.y.
+      const auto it = std::upper_bound(
+          bps.begin(), bps.end(), std::make_pair(q.y, std::uint8_t(255)));
+      assert(it != bps.begin() && "query level below every gap breakpoint");
+      last_branch = std::prev(it)->second;
+    }
+    return last_branch;
+  };
+  const auto r = fc::search_implicit(*fc_, q.y, branch, stats);
+  const cat::NodeId leaf = r.path.back();
+  last_branch = branch(leaf, r.proper_index.back());
+  const std::int32_t m = separator_of(leaf);
+  return static_cast<std::size_t>(last_branch == 1 ? m : m - 1);
+}
+
+std::size_t SeparatorTree::locate_no_bridges(const geom::Point& q,
+                                             fc::SearchStats* stats) const {
+  std::int32_t max_el = 0;
+  cat::NodeId v = tree_->root();
+  std::uint32_t b = 0;
+  for (;;) {
+    const auto& c = tree_->catalog(v);
+    if (stats != nullptr) {
+      std::size_t n = c.size();
+      while (n > 0) {
+        ++stats->comparisons;
+        n /= 2;
+      }
+      ++stats->nodes_visited;
+    }
+    b = branch_at(v, c.find(q.y), q, max_el);
+    if (tree_->is_leaf(v)) {
+      break;
+    }
+    v = tree_->children(v)[b];
+  }
+  const std::int32_t m = separator_of(v);
+  return static_cast<std::size_t>(b == 1 ? m : m - 1);
+}
+
+}  // namespace pointloc

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/structure.hpp"
+#include "fc/build.hpp"
+#include "fc/search.hpp"
+#include "geom/subdivision.hpp"
+
+namespace pointloc {
+
+/// The bridged separator tree of Lee–Preparata / Edelsbrunner–Guibas–
+/// Stolfi, built over a monotone subdivision, with fractional cascading
+/// bridges (paper Section 3.1).
+///
+/// Internal layout: regions are padded to a power of two f'; the tree is
+/// the complete BST over separator indices 1..f'-1 (heap ids).  Each edge
+/// is stored once, at the tree node that is the least common ancestor of
+/// the separators containing it; the node's catalog is keyed by the edge's
+/// upper-endpoint y.
+class SeparatorTree {
+ public:
+  explicit SeparatorTree(const geom::MonotoneSubdivision& sub);
+
+  SeparatorTree(const SeparatorTree&) = delete;
+  SeparatorTree& operator=(const SeparatorTree&) = delete;
+  SeparatorTree(SeparatorTree&&) = default;
+
+  [[nodiscard]] const geom::MonotoneSubdivision& subdivision() const {
+    return *sub_;
+  }
+  [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
+  [[nodiscard]] const fc::Structure& cascade() const { return *fc_; }
+  [[nodiscard]] const coop::CoopStructure& coop_structure() const {
+    return *coop_;
+  }
+
+  /// Separator index (1-based) represented by tree node v.
+  [[nodiscard]] std::int32_t separator_of(cat::NodeId v) const {
+    return sep_of_node_[v];
+  }
+  /// Tree node representing separator index m.
+  [[nodiscard]] cat::NodeId node_of(std::int32_t m) const {
+    return node_of_sep_[m];
+  }
+
+  /// Resolve the catalog entry find(q.y, v) to the edge it represents,
+  /// or nullptr when the entry is a gap (inactive node).
+  [[nodiscard]] const geom::SubEdge* active_edge(cat::NodeId v,
+                                                 std::size_t proper_index,
+                                                 geom::Coord qy) const;
+
+  /// Sequential point location: O(log n) via the cascading bridges.
+  /// Returns the region index containing q.
+  [[nodiscard]] std::size_t locate(const geom::Point& q,
+                                   fc::SearchStats* stats = nullptr) const;
+
+  /// Baseline without bridges: O(log^2 n) with a binary search per node.
+  [[nodiscard]] std::size_t locate_no_bridges(const geom::Point& q,
+                                              fc::SearchStats* stats =
+                                                  nullptr) const;
+
+  /// Precompute the per-gap branch directions of the paper's *sequential*
+  /// data structure (Section 3.1: "the branch function for an inactive
+  /// node sigma_j can be stored in every gap of sigma_j").
+  ///
+  /// REPRODUCTION FINDING (see EXPERIMENTS.md): the paper's single
+  /// per-gap direction is not well defined when one gap run of sigma_j
+  /// contains covering edges proper at ancestors on *both sides* of j
+  /// (e.g. ranges {j-1, j} and {j, j+1} meeting inside the gap); the
+  /// correct direction then depends on the query level within the gap.
+  /// We therefore store a small list of (level, direction) breakpoints
+  /// per gap — one entry per covering edge, i.e. the uncompressed chain
+  /// incidence size, which is exactly the storage that proper-edge
+  /// compression avoids.  Our fuzzer found the miscompiled variant within
+  /// ten seeds; the running-max rule used by locate() needs no per-gap
+  /// storage at all and is the recommended form.
+  void precompute_gap_branches();
+
+  /// The paper's sequential query (corrected as described above): at an
+  /// inactive node the branch is read from the stored gap breakpoints.
+  /// Requires precompute_gap_branches(); agrees with locate() on every
+  /// query (tested).
+  [[nodiscard]] std::size_t locate_with_gaps(const geom::Point& q,
+                                             fc::SearchStats* stats =
+                                                 nullptr) const;
+
+  [[nodiscard]] bool has_gap_branches() const { return !gap_branch_.empty(); }
+
+  /// Space accounting (entries in catalogs + cascading + skeletons).
+  [[nodiscard]] std::size_t total_entries() const {
+    return coop_->total_entries();
+  }
+
+ private:
+  /// Shared branch logic: given the catalog entry at node v, decide the
+  /// branch (0 left / 1 right) and maintain the running max(e_L) state.
+  [[nodiscard]] std::uint32_t branch_at(cat::NodeId v,
+                                        std::size_t proper_index,
+                                        const geom::Point& q,
+                                        std::int32_t& max_el) const;
+
+  const geom::MonotoneSubdivision* sub_;
+  std::unique_ptr<cat::Tree> tree_;
+  std::unique_ptr<fc::Structure> fc_;
+  std::unique_ptr<coop::CoopStructure> coop_;
+  std::vector<std::int32_t> sep_of_node_;
+  std::vector<cat::NodeId> node_of_sep_;
+  std::uint32_t tree_height_ = 0;  ///< levels: separators tree height
+
+  /// gap_branch_[v][i]: (level, direction) breakpoints for queries whose
+  /// find(q.y) at node v is catalog entry i but whose level falls in the
+  /// gap *below* entry i's edge (or below +inf for the sentinel entry);
+  /// the direction at level y is the one of the last breakpoint <= y.
+  /// Empty until precompute_gap_branches().
+  using GapBreakpoints = std::vector<std::pair<geom::Coord, std::uint8_t>>;
+  std::vector<std::vector<GapBreakpoints>> gap_branch_;
+};
+
+}  // namespace pointloc

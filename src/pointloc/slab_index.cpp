@@ -1,0 +1,72 @@
+#include "pointloc/slab_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pointloc {
+
+SlabIndex::SlabIndex(const geom::MonotoneSubdivision& sub) : sub_(&sub) {
+  levels_.push_back(sub.ymin);
+  levels_.push_back(sub.ymax);
+  for (const auto& e : sub.edges) {
+    levels_.push_back(e.lo.y);
+    levels_.push_back(e.hi.y);
+  }
+  std::sort(levels_.begin(), levels_.end());
+  levels_.erase(std::unique(levels_.begin(), levels_.end()), levels_.end());
+
+  slabs_.assign(levels_.size() - 1, {});
+  for (std::uint32_t ei = 0; ei < sub.edges.size(); ++ei) {
+    const auto& e = sub.edges[ei];
+    // The edge crosses every slab between its endpoint levels.
+    const std::size_t first = static_cast<std::size_t>(
+        std::lower_bound(levels_.begin(), levels_.end(), e.lo.y) -
+        levels_.begin());
+    const std::size_t last = static_cast<std::size_t>(
+        std::lower_bound(levels_.begin(), levels_.end(), e.hi.y) -
+        levels_.begin());
+    for (std::size_t s = first; s < last; ++s) {
+      slabs_[s].push_back(ei);
+      ++crossings_;
+    }
+  }
+  // Sort each slab's edges left to right (separator order == geometric
+  // order inside a slab, and it is cheap and robust to sort by min_sep).
+  for (auto& slab : slabs_) {
+    std::sort(slab.begin(), slab.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return sub.edges[a].min_sep < sub.edges[b].min_sep;
+              });
+  }
+}
+
+std::size_t SlabIndex::locate(const geom::Point& q) const {
+  if (slabs_.empty()) {
+    return 0;
+  }
+  // Slab containing q.y: levels_[s] <= q.y < levels_[s+1].
+  const std::size_t s = static_cast<std::size_t>(
+      std::upper_bound(levels_.begin(), levels_.end(), q.y) -
+      levels_.begin());
+  if (s == 0 || s >= levels_.size()) {
+    return 0;  // outside the strip
+  }
+  const auto& slab = slabs_[s - 1];
+  // Rightmost edge strictly left of q (binary search on the orientation
+  // predicate; edges in one slab are totally ordered).
+  std::size_t lo = 0, hi = slab.size();  // first edge not left of q
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (sub_->edges[slab[mid]].side(q) < 0) {  // q strictly right of edge
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(sub_->edges[slab[lo - 1]].max_sep);
+}
+
+}  // namespace pointloc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/subdivision.hpp"
+
+namespace pointloc {
+
+/// The classical slab-decomposition point-location baseline (Dobkin–
+/// Lipton style): cut the subdivision at every distinct vertex level,
+/// store the edges crossing each slab sorted left-to-right, and answer a
+/// query with two binary searches (slab by y, then edge by x).
+///
+/// Query O(log n); space O(sum of slab crossings) — O(n^2) in the worst
+/// case, which is exactly why the separator tree (O(n) space, same query
+/// time) wins.  Used as a comparison point in the E7 bench and as an
+/// independent oracle in tests.
+class SlabIndex {
+ public:
+  explicit SlabIndex(const geom::MonotoneSubdivision& sub);
+
+  [[nodiscard]] std::size_t locate(const geom::Point& q) const;
+
+  /// Total stored edge references (the space cost).
+  [[nodiscard]] std::size_t total_crossings() const { return crossings_; }
+  [[nodiscard]] std::size_t num_slabs() const {
+    return levels_.empty() ? 0 : levels_.size() - 1;
+  }
+
+ private:
+  const geom::MonotoneSubdivision* sub_;
+  std::vector<geom::Coord> levels_;               ///< distinct y levels
+  std::vector<std::vector<std::uint32_t>> slabs_; ///< edge ids, sorted l-to-r
+  std::size_t crossings_ = 0;
+};
+
+}  // namespace pointloc

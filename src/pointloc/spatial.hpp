@@ -1,0 +1,58 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+#include "pointloc/separator_tree.hpp"
+
+namespace pointloc {
+
+/// Theorem 5: spatial point location in an acyclic cell complex via a
+/// balanced tree of separating surfaces, each internal node discriminating
+/// the query against its surface by planar point location.
+///
+/// Built for the stacked-terrain complexes of geom::TerrainComplex (the
+/// DESIGN.md stand-in for Voronoi complexes, Corollary 1): cell c_j sits
+/// between surfaces j and j+1, the separating surface chi_j IS surface j,
+/// and the topological order is the stacking order.  Because the terrains
+/// share one xy-footprint, the per-node planar subdivisions S_j coincide
+/// combinatorially; the planar point-location structure is therefore built
+/// once and shared by all nodes — each node still runs its own planar
+/// query plus a z-discrimination against its own surface, so the nested
+/// search of Theorem 5 is fully exercised.
+class SpatialTree {
+ public:
+  explicit SpatialTree(const geom::TerrainComplex& complex);
+
+  SpatialTree(const SpatialTree&) = delete;
+  SpatialTree& operator=(const SpatialTree&) = delete;
+  SpatialTree(SpatialTree&&) = default;
+
+  [[nodiscard]] const geom::TerrainComplex& complex() const { return *c_; }
+  [[nodiscard]] const SeparatorTree& planar() const { return *planar_; }
+
+  /// Sequential spatial location: O(log S * log n) = O(log^2 n).
+  /// Returns the cell index containing q.
+  [[nodiscard]] std::size_t locate(const geom::Point3& q) const;
+
+  /// Cooperative spatial location, O((log^2 n)/log^2 p) CREW steps:
+  /// outer hops over the surface tree, each node of a hop running a
+  /// cooperative planar query with its share of the processors.
+  [[nodiscard]] std::size_t coop_locate(pram::Machine& m,
+                                        const geom::Point3& q,
+                                        std::uint64_t* outer_hops = nullptr)
+      const;
+
+ private:
+  /// q above surface s (1-based)?  Padded surfaces are at z = +infinity.
+  [[nodiscard]] bool above(std::size_t s, std::size_t region,
+                           geom::Coord qz) const;
+
+  const geom::TerrainComplex* c_;
+  std::unique_ptr<SeparatorTree> planar_;
+  std::size_t padded_ = 0;  ///< surfaces padded to power of two
+};
+
+}  // namespace pointloc

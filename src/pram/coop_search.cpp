@@ -1,0 +1,18 @@
+#include "pram/coop_search.hpp"
+
+#include <cmath>
+
+namespace pram {
+
+std::uint64_t coop_search_rounds(std::size_t n, std::size_t p) {
+  if (n <= 1) {
+    return 1;
+  }
+  if (p <= 1) {
+    return static_cast<std::uint64_t>(std::ceil(std::log2(double(n) + 1)));
+  }
+  return static_cast<std::uint64_t>(
+      std::ceil(std::log2(double(n) + 1) / std::log2(double(p) + 1)));
+}
+
+}  // namespace pram

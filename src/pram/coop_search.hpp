@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "pram/machine.hpp"
+#include "pram/memory.hpp"
+#include "pram/primitives.hpp"
+
+namespace pram {
+
+/// Number of rounds the cooperative (p+1)-ary search needs on an array of
+/// size n with p processors: ceil(log(n+1) / log(p+1)).  This is Snir's
+/// optimal CREW bound, Theta(log n / log p) for p >= 2.
+[[nodiscard]] std::uint64_t coop_search_rounds(std::size_t n, std::size_t p);
+
+/// Cooperative p-ary lower bound (Snir [16]): find the smallest index i in
+/// sorted `a` with !(a[i] < y), i.e. a[i] >= y; returns a.size() if none.
+///
+/// CREW PRAM, O(log n / log p) rounds with `m.processors()` processors.
+/// Each round probes p equally spaced pivots of the remaining range
+/// (concurrent read of `y`, exclusive writes to private flag cells), then
+/// the unique processor sitting at the boundary narrows the range.
+template <typename T, typename Less = std::less<T>>
+[[nodiscard]] std::size_t coop_lower_bound(Machine& m, std::span<const T> a,
+                                           const T& y, Less less = Less{}) {
+  const std::size_t n = a.size();
+  const std::size_t p = m.processors();
+  if (n == 0) {
+    return 0;
+  }
+  if (p <= 1) {
+    // Degenerate machine: plain binary search charged sequentially.
+    std::size_t lo = 0, hi = n;
+    std::uint64_t iters = 0;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (less(a[mid], y)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+      ++iters;
+    }
+    m.charge(iters == 0 ? 1 : iters, iters == 0 ? 1 : iters);
+    return lo;
+  }
+
+  // Invariant: answer lies in [lo, hi] where hi may be n ("no such entry").
+  SharedArray<std::uint8_t> below(p + 1);  // below[j]: pivot_j's key < y
+  SharedArray<std::size_t> range(2);
+  range[0] = 0;
+  range[1] = n;
+  while (range[1] - range[0] > 0) {
+    const std::size_t lo = range[0];
+    const std::size_t len = range[1] - range[0];
+    if (len <= p) {
+      // Final round: one processor per candidate cell.
+      m.exec(len, [&](std::size_t pid) {
+        const std::size_t i = lo + pid;
+        const bool prev_below = (pid == 0) ? true : less(a[i - 1], y);
+        const bool cur_below = less(a[i], y);
+        if (prev_below && !cur_below) {
+          range.write(0, i);
+          range.write(1, i);
+        }
+      });
+      // If every candidate is < y the answer is `hi` itself.
+      m.exec(1, [&](std::size_t) {
+        if (range.read(1) != range.read(0)) {
+          range.write(0, range.read(1));
+        }
+      });
+      break;
+    }
+    // Probe p interior pivots splitting [lo, lo+len) into p+1 chunks.
+    m.exec(p, [&](std::size_t pid) {
+      const std::size_t pos = lo + (pid + 1) * len / (p + 1);
+      below.write(pid + 1, less(a[pos - 1], y) ? 1 : 0);
+      if (pid == 0) {
+        below.write(0, 1);  // sentinel: everything before lo is < y
+      }
+    });
+    // The unique boundary j with below[j] && !below[j+1] narrows the range;
+    // if all pivots are below, the last chunk remains.
+    m.exec(p + 1, [&](std::size_t pid) {
+      const bool cur = below.read(pid) != 0;
+      const bool next = (pid == p) ? false : below.read(pid + 1) != 0;
+      if (cur && !next) {
+        const std::size_t new_lo = lo + pid * len / (p + 1);
+        const std::size_t new_hi =
+            (pid == p) ? lo + len : lo + (pid + 1) * len / (p + 1);
+        range.write(0, new_lo);
+        range.write(1, new_hi);
+      }
+    });
+  }
+  return range[0];
+}
+
+/// EREW cooperative lower bound.  The paper notes (after Theorem 1) that
+/// on an EREW PRAM the search lower bound rises to Omega(log(n/p)); this
+/// is the matching-up-to-additive-log-p upper bound:
+///
+///   1. broadcast y into p private cells (doubling copy, O(log p), EREW);
+///   2. each processor binary-searches its own n/p block (disjoint cells,
+///      O(log(n/p)));
+///   3. a min-reduction finds the first block whose local successor is
+///      real (O(log p)).
+///
+/// Total O(log p + log(n/p)) EREW steps, vs O(log n / log p) on CREW.
+template <typename T, typename Less = std::less<T>>
+[[nodiscard]] std::size_t erew_lower_bound(Machine& m, std::span<const T> a,
+                                           const T& y, Less less = Less{}) {
+  const std::size_t n = a.size();
+  const std::size_t p = std::min(m.processors(), std::max<std::size_t>(1, n));
+  if (n == 0) {
+    return 0;
+  }
+
+  // Step 1: every processor gets a private copy of y.
+  SharedArray<T> ys(p);
+  broadcast(m, ys, y);
+
+  // Step 2: private binary searches over disjoint blocks.
+  const std::size_t block = (n + p - 1) / p;
+  SharedArray<std::size_t> cand(p);
+  m.exec_k(p, ceil_log2(block + 1) + 1, [&](std::size_t pid) {
+    const std::size_t lo0 = pid * block;
+    const std::size_t hi0 = std::min(n, lo0 + block);
+    const T& yy = ys.read(pid);
+    std::size_t lo = lo0, hi = hi0;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (less(a[mid], yy)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    // `n` acts as "nothing >= y in my block".
+    cand.write(pid, (lo0 < hi0 && lo < hi0) ? lo : n);
+  });
+
+  // Step 3: EREW min-reduction.
+  for (std::size_t stride = 1; stride < p; stride *= 2) {
+    const std::size_t pairs = (p - stride + 2 * stride - 1) / (2 * stride);
+    m.exec(pairs, [&](std::size_t pid) {
+      const std::size_t i = pid * 2 * stride;
+      const std::size_t j = i + stride;
+      if (j < p) {
+        const std::size_t a0 = cand.read(i);
+        const std::size_t b0 = cand.read(j);
+        cand.write(i, std::min(a0, b0));
+      }
+    });
+  }
+  return cand[0];
+}
+
+}  // namespace pram

@@ -1,0 +1,110 @@
+#include "pram/machine.hpp"
+
+#include <algorithm>
+
+namespace pram {
+
+namespace {
+std::size_t worker_count_for(Engine engine) {
+  if (engine != Engine::kThreads) {
+    return 0;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+}  // namespace
+
+Machine::Machine(std::size_t p, Model model, Engine engine)
+    : p_(std::max<std::size_t>(1, p)), model_(model), engine_(engine) {
+  const std::size_t workers = worker_count_for(engine);
+  if (workers > 1) {
+    workers_.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+Machine::~Machine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      pool_shutdown_ = true;
+    }
+    pool_cv_.notify_all();
+    for (auto& t : workers_) {
+      t.join();
+    }
+  }
+}
+
+void Machine::begin_instruction(std::size_t active) {
+  stats_.instructions += 1;
+  stats_.steps += (active + p_ - 1) / p_;  // Brent's scheduling principle
+  stats_.work += active;
+  stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active);
+}
+
+void Machine::end_instruction() {}
+
+void Machine::report_violation(const std::string& what) {
+  std::lock_guard<std::mutex> lock(violation_mutex_);
+  stats_.violations += 1;
+  if (first_violation_.empty()) {
+    first_violation_ = what;
+  }
+}
+
+void Machine::run_threaded(std::size_t active,
+                           const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(pool_mutex_);
+  pool_fn_ = &fn;
+  pool_active_ = active;
+  pool_next_.store(0, std::memory_order_relaxed);
+  pool_remaining_ = workers_.size();
+  ++pool_generation_;
+  pool_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pool_remaining_ == 0; });
+  pool_fn_ = nullptr;
+}
+
+void Machine::worker_loop(std::size_t /*worker_id*/) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t active = 0;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return pool_shutdown_ || pool_generation_ != seen_generation;
+      });
+      if (pool_shutdown_) {
+        return;
+      }
+      seen_generation = pool_generation_;
+      fn = pool_fn_;
+      active = pool_active_;
+    }
+    // Grab chunks of virtual processors until the instruction is drained.
+    constexpr std::size_t kChunk = 256;
+    for (;;) {
+      const std::size_t begin =
+          pool_next_.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= active) {
+        break;
+      }
+      const std::size_t end = std::min(active, begin + kChunk);
+      for (std::size_t pid = begin; pid < end; ++pid) {
+        (*fn)(pid);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (--pool_remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace pram

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pram/work_depth.hpp"
+
+namespace pram {
+
+/// How a `Machine` actually executes the virtual processors of one step.
+enum class Engine : std::uint8_t {
+  kSequential,  ///< deterministic in-order simulation (default; exact audit)
+  kThreads,     ///< std::thread pool; real concurrency, audit disabled
+};
+
+/// A simulated PRAM with `p` virtual processors.
+///
+/// The unit of execution is `exec(active, fn)`: one *logical* synchronous
+/// parallel instruction in which virtual processors `0 .. active-1` each run
+/// `fn(pid)`.  Time is charged with Brent's principle: a logical instruction
+/// over `active` virtual processors costs `ceil(active / p)` machine steps
+/// and `active` work.  This is exactly the accounting used in the paper when
+/// it says e.g. "assign s_i * (2b+1)^l processors": algorithms may request
+/// any number of virtual processors, and the simulator reports the time a
+/// p-processor PRAM would need.
+///
+/// Within one logical instruction, processors conceptually run in lockstep.
+/// The sequential engine executes them in pid order; algorithms must not
+/// rely on that order (that would be a read-after-write hazard on a real
+/// PRAM).  The `SharedArray` auditor (memory.hpp) detects such hazards as
+/// well as EREW/CREW discipline violations.
+class Machine {
+ public:
+  explicit Machine(std::size_t p, Model model = Model::kCrew,
+                   Engine engine = Engine::kSequential);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  [[nodiscard]] std::size_t processors() const { return p_; }
+  [[nodiscard]] Model model() const { return model_; }
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  /// One logical parallel instruction over `active` virtual processors.
+  /// `fn` is invoked as `fn(pid)` for every pid in `[0, active)`.
+  template <typename Fn>
+  void exec(std::size_t active, Fn&& fn) {
+    if (active == 0) {
+      return;
+    }
+    begin_instruction(active);
+    if (engine_ == Engine::kThreads && workers_.size() > 1 && active > 1) {
+      run_threaded(active, std::function<void(std::size_t)>(
+                               [&fn](std::size_t pid) { fn(pid); }));
+    } else {
+      for (std::size_t pid = 0; pid < active; ++pid) {
+        fn(pid);
+      }
+    }
+    end_instruction();
+  }
+
+  /// One logical parallel instruction in which each of the `active` virtual
+  /// processors performs up to `k` elementary operations (e.g. a private
+  /// binary search).  Charged as `k * ceil(active/p)` steps and `active * k`
+  /// work — an upper bound consistent with Brent's principle.
+  template <typename Fn>
+  void exec_k(std::size_t active, std::uint64_t k, Fn&& fn) {
+    if (active == 0 || k == 0) {
+      return;
+    }
+    stats_.instructions += 1;
+    stats_.steps += k * ((active + p_ - 1) / p_);
+    stats_.work += static_cast<std::uint64_t>(active) * k;
+    stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active);
+    if (engine_ == Engine::kThreads && workers_.size() > 1 && active > 1) {
+      run_threaded(active, std::function<void(std::size_t)>(
+                               [&fn](std::size_t pid) { fn(pid); }));
+    } else {
+      for (std::size_t pid = 0; pid < active; ++pid) {
+        fn(pid);
+      }
+    }
+  }
+
+  /// Sequential (single-processor) region executed by processor 0; charges
+  /// `units` steps and `units` work.  Used for the paper's explicitly
+  /// sequential phases (e.g. Step 5 of the explicit search).
+  template <typename Fn>
+  void sequential(std::uint64_t units, Fn&& fn) {
+    stats_.steps += units;
+    stats_.work += units;
+    stats_.instructions += 1;
+    if (stats_.max_active == 0) stats_.max_active = 1;
+    fn();
+  }
+
+  /// Charge accounting without running user code (for analytically counted
+  /// phases, e.g. a constant-time pointer dereference by one processor).
+  void charge(std::uint64_t steps, std::uint64_t work) {
+    stats_.steps += steps;
+    stats_.work += work;
+    stats_.instructions += 1;
+  }
+
+  [[nodiscard]] const StepStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Current step id; used by the memory auditor to detect same-step
+  /// conflicts.  Increases once per logical instruction.
+  [[nodiscard]] std::uint64_t instruction_id() const {
+    return stats_.instructions;
+  }
+
+  /// Record a model-audit violation (called by SharedArray).
+  void report_violation(const std::string& what);
+
+  /// First violation message, empty if none.
+  [[nodiscard]] const std::string& first_violation() const {
+    return first_violation_;
+  }
+
+ private:
+  void begin_instruction(std::size_t active);
+  void end_instruction();
+  void run_threaded(std::size_t active,
+                    const std::function<void(std::size_t)>& fn);
+  void worker_loop(std::size_t worker_id);
+
+  std::size_t p_;
+  Model model_;
+  Engine engine_;
+  StepStats stats_;
+  std::string first_violation_;
+  std::mutex violation_mutex_;
+
+  // Thread-pool state (Engine::kThreads only).
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* pool_fn_ = nullptr;
+  std::size_t pool_active_ = 0;
+  std::uint64_t pool_generation_ = 0;
+  std::size_t pool_remaining_ = 0;
+  std::atomic<std::size_t> pool_next_{0};
+  bool pool_shutdown_ = false;
+};
+
+}  // namespace pram

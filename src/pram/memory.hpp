@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "pram/work_depth.hpp"
+
+namespace pram {
+
+/// Shared PRAM memory with optional model auditing.
+///
+/// When auditing is enabled (sequential engine only), every `read` / `write`
+/// records which logical instruction touched each cell, and conflicts are
+/// checked against the machine's declared model:
+///
+///   * EREW: at most one access (read or write) per cell per instruction.
+///   * CREW: any number of reads, but at most one write, and never a read
+///     and a write of the same cell in the same instruction (that would be
+///     a race whose outcome depends on intra-step ordering).
+///   * CRCW: concurrent writes allowed (arbitrary winner); read+write in
+///     the same instruction is still flagged, because even CRCW PRAMs give
+///     the reader the *old* value, which a sequential simulation cannot
+///     reproduce if the writer happens to be a lower pid.
+///
+/// Unaudited access is available via `raw()` / `operator[]` for hot paths
+/// and for host-side (non-PRAM) code such as test oracles.
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray() = default;
+  explicit SharedArray(std::size_t size, T init = T{})
+      : data_(size, std::move(init)) {}
+
+  void assign(std::size_t size, const T& value) {
+    data_.assign(size, value);
+    if (audit_) {
+      reads_.assign(size, kNever);
+      writes_.assign(size, kNever);
+    }
+  }
+
+  void resize(std::size_t size) {
+    data_.resize(size);
+    if (audit_) {
+      reads_.resize(size, kNever);
+      writes_.resize(size, kNever);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Enable conflict auditing against `machine`'s model.  The machine must
+  /// outlive this array (or auditing must be disabled first).
+  void enable_audit(Machine* machine, std::string name) {
+    audit_ = machine;
+    name_ = std::move(name);
+    reads_.assign(data_.size(), kNever);
+    writes_.assign(data_.size(), kNever);
+  }
+
+  void disable_audit() {
+    audit_ = nullptr;
+    reads_.clear();
+    writes_.clear();
+    reads_.shrink_to_fit();
+    writes_.shrink_to_fit();
+  }
+
+  /// Audited read by a virtual processor during the current instruction.
+  [[nodiscard]] const T& read(std::size_t i) const {
+    if (audit_) {
+      note_read(i);
+    }
+    return data_[i];
+  }
+
+  /// Audited write by a virtual processor during the current instruction.
+  void write(std::size_t i, T value) {
+    if (audit_) {
+      note_write(i);
+    }
+    data_[i] = std::move(value);
+  }
+
+  /// Unaudited access (host-side code, oracles, setup).
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+
+  [[nodiscard]] std::vector<T>& raw() { return data_; }
+  [[nodiscard]] const std::vector<T>& raw() const { return data_; }
+
+ private:
+  static constexpr std::uint64_t kNever =
+      std::numeric_limits<std::uint64_t>::max();
+
+  void note_read(std::size_t i) const {
+    const std::uint64_t now = audit_->instruction_id();
+    const Model model = audit_->model();
+    if (model == Model::kErew && reads_[i] == now) {
+      audit_->report_violation("EREW concurrent read of " + name_ + "[" +
+                               std::to_string(i) + "]");
+    }
+    if (model != Model::kCrcw && writes_[i] == now) {
+      audit_->report_violation(std::string(to_string(model)) +
+                               " read-after-write hazard on " + name_ + "[" +
+                               std::to_string(i) + "]");
+    }
+    reads_[i] = now;
+  }
+
+  void note_write(std::size_t i) {
+    const std::uint64_t now = audit_->instruction_id();
+    const Model model = audit_->model();
+    if (model != Model::kCrcw && writes_[i] == now) {
+      audit_->report_violation(std::string(to_string(model)) +
+                               " concurrent write to " + name_ + "[" +
+                               std::to_string(i) + "]");
+    }
+    if (model == Model::kErew && reads_[i] == now) {
+      audit_->report_violation("EREW write-after-read hazard on " + name_ +
+                               "[" + std::to_string(i) + "]");
+    }
+    writes_[i] = now;
+  }
+
+  std::vector<T> data_;
+  Machine* audit_ = nullptr;
+  std::string name_;
+  mutable std::vector<std::uint64_t> reads_;
+  std::vector<std::uint64_t> writes_;
+};
+
+}  // namespace pram

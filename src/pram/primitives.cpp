@@ -1,0 +1,30 @@
+#include "pram/primitives.hpp"
+
+namespace pram {
+
+std::size_t pack_indices(Machine& m, const SharedArray<std::uint8_t>& flags,
+                         SharedArray<std::size_t>& out_indices) {
+  const std::size_t n = flags.size();
+  if (n == 0) {
+    out_indices.resize(0);
+    return 0;
+  }
+  SharedArray<std::size_t> ones(n);
+  m.exec(n, [&](std::size_t pid) {
+    ones.write(pid, flags.read(pid) != 0 ? std::size_t{1} : std::size_t{0});
+  });
+  SharedArray<std::size_t> offsets;
+  exclusive_scan(m, ones, offsets, std::size_t{0},
+                 [](std::size_t x, std::size_t y) { return x + y; });
+  const std::size_t total =
+      offsets[n - 1] + (flags[n - 1] != 0 ? std::size_t{1} : std::size_t{0});
+  out_indices.resize(total);
+  m.exec(n, [&](std::size_t pid) {
+    if (flags.read(pid) != 0) {
+      out_indices.write(offsets.read(pid), pid);
+    }
+  });
+  return total;
+}
+
+}  // namespace pram

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "pram/memory.hpp"
+
+namespace pram {
+
+/// Smallest power of two >= x (x >= 1).
+[[nodiscard]] inline std::size_t ceil_pow2(std::size_t x) {
+  return std::bit_ceil(x == 0 ? std::size_t{1} : x);
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] inline std::uint32_t ceil_log2(std::size_t x) {
+  return static_cast<std::uint32_t>(std::bit_width(ceil_pow2(x)) - 1);
+}
+
+/// EREW broadcast: replicate `value` into all cells of `out`.
+/// Doubling copy, O(log n) instructions, O(n) work.
+template <typename T>
+void broadcast(Machine& m, SharedArray<T>& out, const T& value) {
+  const std::size_t n = out.size();
+  if (n == 0) {
+    return;
+  }
+  m.exec(1, [&](std::size_t) { out.write(0, value); });
+  for (std::size_t have = 1; have < n; have *= 2) {
+    const std::size_t copy = std::min(have, n - have);
+    m.exec(copy, [&](std::size_t pid) {
+      out.write(have + pid, out.read(pid));
+    });
+  }
+}
+
+/// EREW tree reduction of `a` under associative `op`; returns the result on
+/// the host.  O(log n) instructions, O(n) work.  `a` is left unmodified.
+template <typename T, typename Op>
+[[nodiscard]] T reduce(Machine& m, const SharedArray<T>& a, T identity,
+                       Op op) {
+  const std::size_t n = a.size();
+  if (n == 0) {
+    return identity;
+  }
+  SharedArray<T> buf(n);
+  m.exec(n, [&](std::size_t pid) { buf.write(pid, a.read(pid)); });
+  for (std::size_t stride = 1; stride < n; stride *= 2) {
+    const std::size_t pairs = (n - stride + 2 * stride - 1) / (2 * stride);
+    m.exec(pairs, [&](std::size_t pid) {
+      const std::size_t i = pid * 2 * stride;
+      const std::size_t j = i + stride;
+      if (j < n) {
+        buf.write(i, op(buf.read(i), buf.read(j)));
+      }
+    });
+  }
+  return buf[0];
+}
+
+/// EREW work-efficient exclusive scan (Blelloch upsweep/downsweep) of `a`
+/// under associative `op` with identity `identity`, written to `out`.
+/// O(log n) instructions, O(n) work.
+template <typename T, typename Op>
+void exclusive_scan(Machine& m, const SharedArray<T>& a, SharedArray<T>& out,
+                    T identity, Op op) {
+  const std::size_t n = a.size();
+  out.resize(n);
+  if (n == 0) {
+    return;
+  }
+  const std::size_t np = ceil_pow2(n);
+  SharedArray<T> buf(np, identity);
+  m.exec(n, [&](std::size_t pid) { buf.write(pid, a.read(pid)); });
+  // Upsweep.
+  for (std::size_t stride = 1; stride < np; stride *= 2) {
+    const std::size_t pairs = np / (2 * stride);
+    m.exec(pairs, [&](std::size_t pid) {
+      const std::size_t right = (pid + 1) * 2 * stride - 1;
+      const std::size_t left = right - stride;
+      buf.write(right, op(buf.read(left), buf.read(right)));
+    });
+  }
+  // Downsweep.
+  m.exec(1, [&](std::size_t) { buf.write(np - 1, identity); });
+  for (std::size_t stride = np / 2; stride >= 1; stride /= 2) {
+    const std::size_t pairs = np / (2 * stride);
+    m.exec(pairs, [&](std::size_t pid) {
+      const std::size_t right = (pid + 1) * 2 * stride - 1;
+      const std::size_t left = right - stride;
+      const T tmp = buf.read(left);
+      buf.write(left, buf.read(right));
+      buf.write(right, op(tmp, buf.read(right)));
+    });
+    if (stride == 1) {
+      break;
+    }
+  }
+  m.exec(n, [&](std::size_t pid) { out.write(pid, buf.read(pid)); });
+}
+
+/// Inclusive scan derived from the exclusive scan: out[i] = op(excl[i], a[i]).
+template <typename T, typename Op>
+void inclusive_scan(Machine& m, const SharedArray<T>& a, SharedArray<T>& out,
+                    T identity, Op op) {
+  exclusive_scan(m, a, out, identity, op);
+  m.exec(a.size(), [&](std::size_t pid) {
+    out.write(pid, op(out.read(pid), a.read(pid)));
+  });
+}
+
+/// EREW stream compaction: write the indices i with flags[i] != 0 into
+/// `out_indices` (resized to the number of survivors), preserving order.
+/// O(log n) instructions, O(n) work.
+std::size_t pack_indices(Machine& m, const SharedArray<std::uint8_t>& flags,
+                         SharedArray<std::size_t>& out_indices);
+
+/// CREW parallel merge by cross-ranking: merges sorted `a` and `b` into
+/// `out` (resized to |a|+|b|).  One instruction of width |a|+|b| in which
+/// each virtual processor performs a private binary search:
+/// O(log(|a|+|b|)) time with |a|+|b| processors, O(n log n) work.
+/// Ties are broken towards `a` (stable for a-then-b concatenation).
+template <typename T, typename Less = std::less<T>>
+void merge_parallel(Machine& m, std::span<const T> a, std::span<const T> b,
+                    std::vector<T>& out, Less less = Less{}) {
+  const std::size_t na = a.size(), nb = b.size();
+  out.resize(na + nb);
+  if (na + nb == 0) {
+    return;
+  }
+  const std::uint64_t k = ceil_log2(na + nb) + 1;
+  m.exec_k(na + nb, k, [&](std::size_t pid) {
+    if (pid < na) {
+      // rank of a[pid] in b: number of b-elements strictly less than a[pid]
+      // (ties go to a).
+      std::size_t lo = 0, hi = nb;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (less(b[mid], a[pid])) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      out[pid + lo] = a[pid];
+    } else {
+      const std::size_t j = pid - na;
+      // rank of b[j] in a: number of a-elements <= b[j] (ties go to a).
+      std::size_t lo = 0, hi = na;
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (!less(b[j], a[mid])) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      out[j + lo] = b[j];
+    }
+  });
+}
+
+}  // namespace pram

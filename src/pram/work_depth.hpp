@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pram {
+
+/// Memory-access discipline of the simulated PRAM.
+///
+/// The simulator can *audit* algorithms against the declared model: an
+/// algorithm that claims to be EREW must never have two virtual processors
+/// touch the same shared cell in the same synchronous step.  The paper's
+/// preprocessing is EREW, cooperative search is CREW, and only the
+/// indirect-retrieval linking of Theorem 6 uses CRCW.
+enum class Model : std::uint8_t {
+  kErew,  ///< exclusive read, exclusive write
+  kCrew,  ///< concurrent read, exclusive write
+  kCrcw,  ///< concurrent read, concurrent write (arbitrary-winner)
+};
+
+[[nodiscard]] inline const char* to_string(Model m) {
+  switch (m) {
+    case Model::kErew: return "EREW";
+    case Model::kCrew: return "CREW";
+    case Model::kCrcw: return "CRCW";
+  }
+  return "?";
+}
+
+/// Work/depth accounting for a simulated PRAM computation.
+///
+/// `steps` is the parallel time (depth): one unit per synchronous parallel
+/// instruction, with Brent's scheduling applied when a logical instruction
+/// uses more virtual processors than the machine owns.  `work` is the total
+/// number of processor-operations.  These are the quantities the paper's
+/// theorems bound, so the benchmarks report them as the primary metric.
+struct StepStats {
+  std::uint64_t steps = 0;       ///< parallel time (Brent-adjusted)
+  std::uint64_t work = 0;        ///< total processor-operations
+  std::uint64_t instructions = 0;///< logical parallel instructions issued
+  std::uint64_t max_active = 0;  ///< widest logical instruction seen
+  std::uint64_t violations = 0;  ///< model-audit violations detected
+
+  void reset() { *this = StepStats{}; }
+
+  StepStats& operator+=(const StepStats& o) {
+    steps += o.steps;
+    work += o.work;
+    instructions += o.instructions;
+    if (o.max_active > max_active) max_active = o.max_active;
+    violations += o.violations;
+    return *this;
+  }
+};
+
+}  // namespace pram

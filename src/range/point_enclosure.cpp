@@ -1,0 +1,360 @@
+#include "range/point_enclosure.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+#include "pram/primitives.hpp"
+
+namespace range {
+
+void PointEnclosureTree::Stabber::build(std::vector<geom::Coord> values) {
+  y2 = std::move(values);
+  const std::size_t m = y2.size();
+  if (m == 0) {
+    return;
+  }
+  const std::size_t base = std::bit_ceil(m);
+  maxv.assign(2 * base, std::numeric_limits<geom::Coord>::min());
+  for (std::size_t i = 0; i < m; ++i) {
+    maxv[base + i] = y2[i];
+  }
+  for (std::size_t i = base - 1; i >= 1; --i) {
+    maxv[i] = std::max(maxv[2 * i], maxv[2 * i + 1]);
+  }
+}
+
+std::size_t PointEnclosureTree::Stabber::report(
+    std::size_t prefix, geom::Coord threshold, const cat::Catalog& catalog,
+    std::vector<std::uint64_t>& out) const {
+  if (y2.empty() || prefix == 0) {
+    return 1;
+  }
+  const std::size_t base = maxv.size() / 2;
+  std::size_t comparisons = 0;
+  // Descend from the root, pruning subtrees whose max < threshold or
+  // whose range lies at/after `prefix`.
+  struct Frame {
+    std::size_t v, lo, hi;
+  };
+  std::vector<Frame> stack{{1, 0, base}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    ++comparisons;
+    if (f.lo >= prefix || maxv[f.v] < threshold) {
+      continue;
+    }
+    if (f.hi - f.lo == 1) {
+      out.push_back(catalog.payload(f.lo));
+      continue;
+    }
+    const std::size_t mid = (f.lo + f.hi) / 2;
+    stack.push_back(Frame{2 * f.v, f.lo, mid});
+    stack.push_back(Frame{2 * f.v + 1, mid, f.hi});
+  }
+  return comparisons;
+}
+
+PointEnclosureTree::PointEnclosureTree(std::vector<Rect> rects)
+    : rects_(std::move(rects)) {
+  for (const auto& r : rects_) {
+    assert(r.x1 <= r.x2 && r.y1 <= r.y2);
+    boundaries_.push_back(r.x1);
+    boundaries_.push_back(r.x2 + 1);  // half-open canonical decomposition
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  const std::size_t raw = boundaries_.empty() ? 1 : boundaries_.size() + 1;
+  num_slabs_ = std::bit_ceil(std::max<std::size_t>(2, raw));
+  const std::size_t num_nodes = 2 * num_slabs_ - 1;
+
+  tree_ = std::make_unique<cat::Tree>(num_nodes);
+  for (std::size_t v = 0; v + 1 < num_nodes; ++v) {
+    const std::size_t l = 2 * v + 1, r = 2 * v + 2;
+    if (l < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(l));
+    }
+    if (r < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(r));
+    }
+  }
+  tree_->finalize();
+  codec_.stride = static_cast<cat::Key>(
+      std::bit_ceil(std::max<std::size_t>(2, rects_.size() + 1)));
+
+  const auto slab_of = [&](geom::Coord x) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+        boundaries_.begin());
+  };
+  std::vector<std::vector<std::uint64_t>> assigned(num_nodes);
+  for (std::size_t id = 0; id < rects_.size(); ++id) {
+    const std::size_t first = slab_of(rects_[id].x1);
+    const std::size_t last = slab_of(rects_[id].x2 + 1);  // exclusive
+    struct Frame {
+      std::size_t v, lo, hi;
+    };
+    std::vector<Frame> stack{{0, 0, num_slabs_}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.lo >= last || f.hi <= first) {
+        continue;
+      }
+      if (first <= f.lo && f.hi <= last) {
+        assigned[f.v].push_back(id);
+        continue;
+      }
+      const std::size_t mid = (f.lo + f.hi) / 2;
+      stack.push_back(Frame{2 * f.v + 1, f.lo, mid});
+      stack.push_back(Frame{2 * f.v + 2, mid, f.hi});
+    }
+  }
+  stabbers_.resize(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    auto& list = assigned[v];
+    std::sort(list.begin(), list.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return codec_.encode(rects_[a].y1, a) < codec_.encode(rects_[b].y1, b);
+    });
+    std::vector<cat::Key> keys;
+    std::vector<geom::Coord> y2s;
+    keys.reserve(list.size());
+    y2s.reserve(list.size());
+    for (std::uint64_t id : list) {
+      keys.push_back(codec_.encode(rects_[id].y1, id));
+      y2s.push_back(rects_[id].y2);
+    }
+    tree_->set_catalog(cat::NodeId(v), cat::Catalog::from_sorted(keys, list));
+    stabbers_[v].build(std::move(y2s));
+  }
+
+  fc_ = std::make_unique<fc::Structure>(fc::Structure::build(*tree_));
+  coop_ =
+      std::make_unique<coop::CoopStructure>(coop::CoopStructure::build(*fc_));
+}
+
+std::vector<cat::NodeId> PointEnclosureTree::path_for(geom::Coord x) const {
+  const std::size_t slab = static_cast<std::size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+      boundaries_.begin());
+  std::vector<cat::NodeId> path;
+  std::size_t v = 0, lo = 0, hi = num_slabs_;
+  for (;;) {
+    path.push_back(cat::NodeId(v));
+    if (hi - lo == 1) {
+      break;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    if (slab < mid) {
+      v = 2 * v + 1;
+      hi = mid;
+    } else {
+      v = 2 * v + 2;
+      lo = mid;
+    }
+  }
+  return path;
+}
+
+std::vector<std::uint64_t> PointEnclosureTree::query(
+    geom::Coord x, geom::Coord y, fc::SearchStats* stats) const {
+  const auto path = path_for(x);
+  // Prefix with y1 <= y at each node: positions < find((y+1) * stride).
+  const auto res =
+      fc::search_explicit(*fc_, path, codec_.upper_exclusive(y), stats);
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const auto v = static_cast<std::size_t>(path[i]);
+    (void)stabbers_[v].report(res.proper_index[i], y, tree_->catalog(path[i]),
+                              out);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PointEnclosureTree::coop_query(
+    pram::Machine& m, geom::Coord x, geom::Coord y) const {
+  const auto path = path_for(x);
+  m.charge(1, path.size());
+  const auto res =
+      coop::coop_search_explicit(*coop_, m, path, codec_.upper_exclusive(y));
+  std::vector<std::uint64_t> out;
+  // Each path node reports with its processor share; charged as the
+  // per-node maximum (they run concurrently).
+  const std::size_t share =
+      std::max<std::size_t>(1, m.processors() / path.size());
+  std::uint64_t max_steps = 0, total_work = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const auto v = static_cast<std::size_t>(path[i]);
+    const std::size_t comparisons = stabbers_[v].report(
+        res.proper_index[i], y, tree_->catalog(path[i]), out);
+    max_steps = std::max<std::uint64_t>(
+        max_steps, (comparisons + share - 1) / share +
+                       pram::ceil_log2(comparisons + 1));
+    total_work += comparisons;
+  }
+  m.charge(max_steps, total_work);
+  return out;
+}
+
+std::vector<std::uint64_t> PointEnclosureTree::query_brute(
+    geom::Coord x, geom::Coord y) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t id = 0; id < rects_.size(); ++id) {
+    if (rects_[id].contains(x, y)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PointEnclosure3D
+
+PointEnclosure3D::PointEnclosure3D(std::vector<Box> boxes)
+    : boxes_(std::move(boxes)) {
+  for (const auto& b : boxes_) {
+    assert(b.x1 <= b.x2 && b.y1 <= b.y2 && b.z1 <= b.z2);
+    boundaries_.push_back(b.x1);
+    boundaries_.push_back(b.x2 + 1);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  const std::size_t raw = boundaries_.empty() ? 1 : boundaries_.size() + 1;
+  num_slabs_ = std::bit_ceil(std::max<std::size_t>(2, raw));
+  nodes_.resize(2 * num_slabs_ - 1);
+
+  const auto slab_of = [&](geom::Coord x) -> std::size_t {
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+        boundaries_.begin());
+  };
+  std::vector<std::vector<std::uint64_t>> assigned(nodes_.size());
+  for (std::size_t id = 0; id < boxes_.size(); ++id) {
+    const std::size_t first = slab_of(boxes_[id].x1);
+    const std::size_t last = slab_of(boxes_[id].x2 + 1);  // exclusive
+    struct Frame {
+      std::size_t v, lo, hi;
+    };
+    std::vector<Frame> stack{{0, 0, num_slabs_}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.lo >= last || f.hi <= first) {
+        continue;
+      }
+      if (first <= f.lo && f.hi <= last) {
+        assigned[f.v].push_back(id);
+        continue;
+      }
+      const std::size_t mid = (f.lo + f.hi) / 2;
+      stack.push_back(Frame{2 * f.v + 1, f.lo, mid});
+      stack.push_back(Frame{2 * f.v + 2, mid, f.hi});
+    }
+  }
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (assigned[v].empty()) {
+      continue;
+    }
+    std::vector<Rect> cross;
+    cross.reserve(assigned[v].size());
+    for (std::uint64_t id : assigned[v]) {
+      const auto& b = boxes_[id];
+      cross.push_back(Rect{b.y1, b.y2, b.z1, b.z2});
+    }
+    nodes_[v].local_ids = std::move(assigned[v]);
+    nodes_[v].sub = std::make_unique<PointEnclosureTree>(std::move(cross));
+  }
+}
+
+std::size_t PointEnclosure3D::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& xn : nodes_) {
+    if (xn.sub) {
+      total += xn.sub->rects().size();
+    }
+  }
+  return total;
+}
+
+std::vector<std::size_t> PointEnclosure3D::path_for(geom::Coord x) const {
+  const std::size_t slab = static_cast<std::size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), x) -
+      boundaries_.begin());
+  std::vector<std::size_t> path;
+  std::size_t v = 0, lo = 0, hi = num_slabs_;
+  for (;;) {
+    path.push_back(v);
+    if (hi - lo == 1) {
+      break;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    if (slab < mid) {
+      v = 2 * v + 1;
+      hi = mid;
+    } else {
+      v = 2 * v + 2;
+      lo = mid;
+    }
+  }
+  return path;
+}
+
+std::vector<std::uint64_t> PointEnclosure3D::query(geom::Coord x,
+                                                   geom::Coord y,
+                                                   geom::Coord z) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t v : path_for(x)) {
+    if (!nodes_[v].sub) {
+      continue;
+    }
+    for (std::uint64_t local : nodes_[v].sub->query(y, z)) {
+      out.push_back(nodes_[v].local_ids[local]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PointEnclosure3D::coop_query(pram::Machine& m,
+                                                        geom::Coord x,
+                                                        geom::Coord y,
+                                                        geom::Coord z) const {
+  std::vector<std::uint64_t> out;
+  const auto path = path_for(x);
+  m.charge(1, path.size());
+  // Each path node's 2D subproblem runs concurrently with a processor
+  // share (Corollary 2's recursive decomposition).
+  const std::size_t share =
+      std::max<std::size_t>(1, m.processors() / path.size());
+  std::uint64_t max_steps = 0, total_work = 0;
+  for (std::size_t v : path) {
+    if (!nodes_[v].sub) {
+      continue;
+    }
+    pram::Machine sub(share, m.model());
+    for (std::uint64_t local : nodes_[v].sub->coop_query(sub, y, z)) {
+      out.push_back(nodes_[v].local_ids[local]);
+    }
+    max_steps = std::max(max_steps, sub.stats().steps);
+    total_work += sub.stats().work;
+  }
+  m.charge(max_steps, total_work);
+  return out;
+}
+
+std::vector<std::uint64_t> PointEnclosure3D::query_brute(geom::Coord x,
+                                                         geom::Coord y,
+                                                         geom::Coord z) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t id = 0; id < boxes_.size(); ++id) {
+    if (boxes_[id].contains(x, y, z)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace range

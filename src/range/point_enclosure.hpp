@@ -1,0 +1,132 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/explicit_search.hpp"
+#include "fc/search.hpp"
+#include "geom/primitives.hpp"
+#include "range/retrieval.hpp"
+
+namespace range {
+
+/// An axis-parallel rectangle [x1, x2] x [y1, y2].
+struct Rect {
+  geom::Coord x1 = 0, x2 = 0;
+  geom::Coord y1 = 0, y2 = 0;
+
+  [[nodiscard]] bool contains(geom::Coord x, geom::Coord y) const {
+    return x1 <= x && x <= x2 && y1 <= y && y <= y2;
+  }
+};
+
+/// Theorem 6, Point Enclosure: a segment tree on the x-extents of the
+/// rectangles; each canonical node's catalog holds its rectangles sorted
+/// by y1.  A query (x, y) walks the path for x; the (cooperative)
+/// explicit search on the y1-keys yields, per node, the prefix of
+/// rectangles with y1 <= y, and a per-node range-max structure on y2
+/// reports those with y2 >= y in O(log + k) — the tree-with-catalogs
+/// layout of [15] with the stabbing done on the catalog prefix.
+class PointEnclosureTree {
+ public:
+  explicit PointEnclosureTree(std::vector<Rect> rects);
+
+  PointEnclosureTree(const PointEnclosureTree&) = delete;
+  PointEnclosureTree(PointEnclosureTree&&) = default;
+
+  [[nodiscard]] const std::vector<Rect>& rects() const { return rects_; }
+  [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
+
+  /// Sequential query: ids of rectangles containing (x, y).
+  [[nodiscard]] std::vector<std::uint64_t> query(geom::Coord x, geom::Coord y,
+                                                 fc::SearchStats* stats =
+                                                     nullptr) const;
+
+  /// Cooperative query: path search in O((log n)/log p) steps, then
+  /// reporting with processors shared across the path nodes.
+  [[nodiscard]] std::vector<std::uint64_t> coop_query(pram::Machine& m,
+                                                      geom::Coord x,
+                                                      geom::Coord y) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(geom::Coord x,
+                                                       geom::Coord y) const;
+
+ private:
+  /// Per-node stabbing helper: rectangles (catalog order) with their y2
+  /// in a range-max tree; reports prefix entries with y2 >= threshold.
+  struct Stabber {
+    std::vector<geom::Coord> y2;    ///< catalog order
+    std::vector<geom::Coord> maxv;  ///< range-max segment tree (size 2m)
+
+    void build(std::vector<geom::Coord> values);
+    /// Append to `out` all i < prefix with y2[i] >= threshold; returns the
+    /// number of comparisons (for charging).
+    std::size_t report(std::size_t prefix, geom::Coord threshold,
+                       const cat::Catalog& catalog,
+                       std::vector<std::uint64_t>& out) const;
+  };
+
+  [[nodiscard]] std::vector<cat::NodeId> path_for(geom::Coord x) const;
+
+  std::vector<Rect> rects_;
+  std::vector<geom::Coord> boundaries_;  ///< x slab boundaries
+  std::size_t num_slabs_ = 0;
+  KeyCodec codec_;
+  std::unique_ptr<cat::Tree> tree_;
+  std::unique_ptr<fc::Structure> fc_;
+  std::unique_ptr<coop::CoopStructure> coop_;
+  std::vector<Stabber> stabbers_;  ///< per tree node
+};
+
+/// An axis-parallel box [x1,x2] x [y1,y2] x [z1,z2].
+struct Box {
+  geom::Coord x1 = 0, x2 = 0;
+  geom::Coord y1 = 0, y2 = 0;
+  geom::Coord z1 = 0, z2 = 0;
+
+  [[nodiscard]] bool contains(geom::Coord x, geom::Coord y,
+                              geom::Coord z) const {
+    return x1 <= x && x <= x2 && y1 <= y && y <= y2 && z1 <= z && z <= z2;
+  }
+};
+
+/// Corollary 2, point enclosure with d = 3: a segment tree on the
+/// x-extents whose canonical nodes each hold a 2D PointEnclosureTree over
+/// the (y, z) cross-sections.  Query: walk the x-path, solve a 2D
+/// enclosure subproblem at every node on it — cooperatively, each with a
+/// share of the processors, giving ((log n)/log p)^2 + k/p.
+class PointEnclosure3D {
+ public:
+  explicit PointEnclosure3D(std::vector<Box> boxes);
+
+  PointEnclosure3D(const PointEnclosure3D&) = delete;
+  PointEnclosure3D(PointEnclosure3D&&) = default;
+
+  [[nodiscard]] const std::vector<Box>& boxes() const { return boxes_; }
+  [[nodiscard]] std::size_t total_entries() const;
+
+  [[nodiscard]] std::vector<std::uint64_t> query(geom::Coord x, geom::Coord y,
+                                                 geom::Coord z) const;
+  [[nodiscard]] std::vector<std::uint64_t> coop_query(pram::Machine& m,
+                                                      geom::Coord x,
+                                                      geom::Coord y,
+                                                      geom::Coord z) const;
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(geom::Coord x,
+                                                       geom::Coord y,
+                                                       geom::Coord z) const;
+
+ private:
+  struct XNode {
+    std::unique_ptr<PointEnclosureTree> sub;  ///< (y, z) enclosure tree
+    std::vector<std::uint64_t> local_ids;     ///< local -> global box id
+  };
+
+  [[nodiscard]] std::vector<std::size_t> path_for(geom::Coord x) const;
+
+  std::vector<Box> boxes_;
+  std::vector<geom::Coord> boundaries_;  ///< x slab boundaries
+  std::size_t num_slabs_ = 0;
+  std::vector<XNode> nodes_;  ///< heap-indexed segment tree on x
+};
+
+}  // namespace range

@@ -1,0 +1,436 @@
+#include "range/range_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+
+namespace range {
+
+namespace {
+
+/// Extract the item ids of answer ranges host-side (test/oracle helper;
+/// the PRAM-accounted version is retrieve_direct).
+std::vector<std::uint64_t> extract_ids(const cat::Tree& tree,
+                                       const std::vector<AnswerRange>& rs) {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : rs) {
+    const auto& c = tree.catalog(r.node);
+    for (std::uint32_t i = r.lo; i < r.hi; ++i) {
+      out.push_back(c.payload(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RangeTree2D::RangeTree2D(std::vector<Point2> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point2& a, const Point2& b) {
+              return a.x != b.x ? a.x < b.x : a.y < b.y;
+            });
+  const std::size_t n = points_.size();
+  num_leaves_ = std::bit_ceil(std::max<std::size_t>(2, n));
+  const std::size_t num_nodes = 2 * num_leaves_ - 1;
+  codec_.stride =
+      static_cast<cat::Key>(std::bit_ceil(std::max<std::size_t>(2, n + 1)));
+
+  tree_ = std::make_unique<cat::Tree>(num_nodes);
+  for (std::size_t v = 0; v + 1 < num_nodes; ++v) {
+    const std::size_t l = 2 * v + 1, r = 2 * v + 2;
+    if (l < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(l));
+    }
+    if (r < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(r));
+    }
+  }
+  tree_->finalize();
+
+  // Node v at depth d covers leaves [idx * W, (idx+1) * W), W = L >> d.
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    const std::uint32_t d = tree_->depth(cat::NodeId(v));
+    const std::size_t first_of_level = (std::size_t(1) << d) - 1;
+    const std::size_t w = num_leaves_ >> d;
+    const std::size_t lo = (v - first_of_level) * w;
+    const std::size_t hi = std::min(n, lo + w);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = lo; i < hi && i < n; ++i) {
+      ids.push_back(i);
+    }
+    std::sort(ids.begin(), ids.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return codec_.encode(points_[a].y, a) < codec_.encode(points_[b].y, b);
+    });
+    std::vector<cat::Key> keys;
+    keys.reserve(ids.size());
+    for (std::uint64_t id : ids) {
+      keys.push_back(codec_.encode(points_[id].y, id));
+    }
+    tree_->set_catalog(cat::NodeId(v), cat::Catalog::from_sorted(keys, ids));
+  }
+
+  fc_ = std::make_unique<fc::Structure>(fc::Structure::build(*tree_));
+  coop_ =
+      std::make_unique<coop::CoopStructure>(coop::CoopStructure::build(*fc_));
+}
+
+std::pair<std::size_t, std::size_t> RangeTree2D::leaf_interval(
+    geom::Coord x1, geom::Coord x2) const {
+  const auto lo = std::lower_bound(
+      points_.begin(), points_.end(), x1,
+      [](const Point2& p, geom::Coord x) { return p.x < x; });
+  const auto hi = std::upper_bound(
+      points_.begin(), points_.end(), x2,
+      [](geom::Coord x, const Point2& p) { return x < p.x; });
+  return {static_cast<std::size_t>(lo - points_.begin()),
+          static_cast<std::size_t>(hi - points_.begin())};  // [l, r)
+}
+
+std::vector<cat::NodeId> RangeTree2D::path_to_leaf(std::size_t leaf) const {
+  std::vector<cat::NodeId> path;
+  std::size_t v = 0, lo = 0, hi = num_leaves_;
+  for (;;) {
+    path.push_back(cat::NodeId(v));
+    if (hi - lo == 1) {
+      break;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    if (leaf < mid) {
+      v = 2 * v + 1;
+      hi = mid;
+    } else {
+      v = 2 * v + 2;
+      lo = mid;
+    }
+  }
+  return path;
+}
+
+std::vector<RangeTree2D::Canonical> RangeTree2D::canonical_nodes(
+    std::size_t l, std::size_t r) const {
+  // Decompose the half-open leaf interval [l, r).
+  std::vector<Canonical> out;
+  struct Frame {
+    std::size_t v, lo, hi;
+    cat::NodeId parent;
+    std::uint32_t slot;
+  };
+  std::vector<Frame> stack{{0, 0, num_leaves_, cat::kNullNode, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.lo >= r || f.hi <= l) {
+      continue;
+    }
+    if (l <= f.lo && f.hi <= r) {
+      // Is this node itself on a boundary path?  It is iff its interval
+      // contains leaf l or leaf r-1 — equivalently f.lo == l and l is ...
+      // Simpler: the node is on the path to leaf l iff f.lo <= l < f.hi.
+      const bool on_path = (f.lo <= l && l < f.hi) ||
+                           (r > 0 && f.lo <= r - 1 && r - 1 < f.hi);
+      out.push_back(Canonical{cat::NodeId(f.v),
+                              on_path ? cat::kNullNode : f.parent,
+                              on_path ? 0 : f.slot});
+      continue;
+    }
+    const std::size_t mid = (f.lo + f.hi) / 2;
+    stack.push_back(
+        Frame{2 * f.v + 1, f.lo, mid, cat::NodeId(f.v), 0});
+    stack.push_back(
+        Frame{2 * f.v + 2, mid, f.hi, cat::NodeId(f.v), 1});
+  }
+  return out;
+}
+
+std::vector<AnswerRange> RangeTree2D::query_ranges(
+    geom::Coord x1, geom::Coord x2, geom::Coord y1, geom::Coord y2,
+    fc::SearchStats* stats) const {
+  const auto [l, r] = leaf_interval(x1, x2);
+  if (l >= r) {
+    return {};
+  }
+  const cat::Key klo = codec_.lower(y1);
+  const cat::Key khi = codec_.upper_exclusive(y2);
+  const auto pl = path_to_leaf(l);
+  const auto pr = path_to_leaf(r - 1);
+  const auto pl_lo = fc::search_explicit(*fc_, pl, klo, stats);
+  const auto pl_hi = fc::search_explicit(*fc_, pl, khi, stats);
+  const auto pr_lo = fc::search_explicit(*fc_, pr, klo, stats);
+  const auto pr_hi = fc::search_explicit(*fc_, pr, khi, stats);
+
+  // Position lookup for on-path nodes (aug positions for bridging).
+  std::map<cat::NodeId, std::pair<std::size_t, std::size_t>> aug_pos;
+  std::map<cat::NodeId, std::pair<std::size_t, std::size_t>> proper_pos;
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    aug_pos[pl[i]] = {pl_lo.aug_index[i], pl_hi.aug_index[i]};
+    proper_pos[pl[i]] = {pl_lo.proper_index[i], pl_hi.proper_index[i]};
+  }
+  for (std::size_t i = 0; i < pr.size(); ++i) {
+    aug_pos[pr[i]] = {pr_lo.aug_index[i], pr_hi.aug_index[i]};
+    proper_pos[pr[i]] = {pr_lo.proper_index[i], pr_hi.proper_index[i]};
+  }
+
+  std::vector<AnswerRange> out;
+  for (const auto& c : canonical_nodes(l, r)) {
+    std::size_t plo, phi;
+    if (c.parent_on_path == cat::kNullNode) {
+      plo = proper_pos.at(c.node).first;
+      phi = proper_pos.at(c.node).second;
+    } else {
+      const auto [alo, ahi] = aug_pos.at(c.parent_on_path);
+      const std::size_t blo =
+          fc_->follow_bridge(c.parent_on_path, alo, c.slot, klo, stats);
+      const std::size_t bhi =
+          fc_->follow_bridge(c.parent_on_path, ahi, c.slot, khi, stats);
+      plo = fc_->to_proper(c.node, blo);
+      phi = fc_->to_proper(c.node, bhi);
+    }
+    out.push_back(AnswerRange{c.node, static_cast<std::uint32_t>(plo),
+                              static_cast<std::uint32_t>(phi)});
+  }
+  return out;
+}
+
+std::vector<AnswerRange> RangeTree2D::coop_query_ranges(
+    pram::Machine& m, geom::Coord x1, geom::Coord x2, geom::Coord y1,
+    geom::Coord y2) const {
+  const auto [l, r] = leaf_interval(x1, x2);
+  if (l >= r) {
+    return {};
+  }
+  const cat::Key klo = codec_.lower(y1);
+  const cat::Key khi = codec_.upper_exclusive(y2);
+  const auto pl = path_to_leaf(l);
+  const auto pr = path_to_leaf(r - 1);
+  m.charge(1, pl.size() + pr.size());
+  const auto pl_lo = coop::coop_search_explicit(*coop_, m, pl, klo);
+  const auto pl_hi = coop::coop_search_explicit(*coop_, m, pl, khi);
+  const auto pr_lo = coop::coop_search_explicit(*coop_, m, pr, klo);
+  const auto pr_hi = coop::coop_search_explicit(*coop_, m, pr, khi);
+
+  std::map<cat::NodeId, std::pair<std::size_t, std::size_t>> aug_pos;
+  std::map<cat::NodeId, std::pair<std::size_t, std::size_t>> proper_pos;
+  for (std::size_t i = 0; i < pl.size(); ++i) {
+    aug_pos[pl[i]] = {pl_lo.aug_index[i], pl_hi.aug_index[i]};
+    proper_pos[pl[i]] = {pl_lo.proper_index[i], pl_hi.proper_index[i]};
+  }
+  for (std::size_t i = 0; i < pr.size(); ++i) {
+    aug_pos[pr[i]] = {pr_lo.aug_index[i], pr_hi.aug_index[i]};
+    proper_pos[pr[i]] = {pr_lo.proper_index[i], pr_hi.proper_index[i]};
+  }
+
+  const auto canon = canonical_nodes(l, r);
+  std::vector<AnswerRange> out(canon.size());
+  // One instruction: each canonical node takes its bridge steps (O(b)
+  // work per processor).
+  m.exec_k(canon.size(), 2 * (fc_->fanout_bound() + 1), [&](std::size_t i) {
+    const auto& c = canon[i];
+    std::size_t plo, phi;
+    if (c.parent_on_path == cat::kNullNode) {
+      plo = proper_pos.at(c.node).first;
+      phi = proper_pos.at(c.node).second;
+    } else {
+      const auto [alo, ahi] = aug_pos.at(c.parent_on_path);
+      const std::size_t blo =
+          fc_->follow_bridge(c.parent_on_path, alo, c.slot, klo);
+      const std::size_t bhi =
+          fc_->follow_bridge(c.parent_on_path, ahi, c.slot, khi);
+      plo = fc_->to_proper(c.node, blo);
+      phi = fc_->to_proper(c.node, bhi);
+    }
+    out[i] = AnswerRange{c.node, static_cast<std::uint32_t>(plo),
+                         static_cast<std::uint32_t>(phi)};
+  });
+  return out;
+}
+
+std::vector<std::uint64_t> RangeTree2D::query_brute(geom::Coord x1,
+                                                    geom::Coord x2,
+                                                    geom::Coord y1,
+                                                    geom::Coord y2) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    if (x1 <= p.x && p.x <= x2 && y1 <= p.y && p.y <= y2) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// RangeTree3D
+
+RangeTree3D::RangeTree3D(std::vector<Point3> points)
+    : points_(std::move(points)) {
+  std::sort(points_.begin(), points_.end(),
+            [](const Point3& a, const Point3& b) {
+              if (a.x != b.x) {
+                return a.x < b.x;
+              }
+              if (a.y != b.y) {
+                return a.y < b.y;
+              }
+              return a.z < b.z;
+            });
+  const std::size_t n = points_.size();
+  num_leaves_ = std::bit_ceil(std::max<std::size_t>(2, n));
+  const std::size_t num_nodes = 2 * num_leaves_ - 1;
+  nodes_.resize(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    // Depth/interval from heap geometry.
+    std::uint32_t d = 0;
+    std::size_t first = 0;
+    while (first + (std::size_t(1) << d) <= v) {
+      first += std::size_t(1) << d;
+      ++d;
+    }
+    const std::size_t w = num_leaves_ >> d;
+    XNode& xn = nodes_[v];
+    xn.lo = (v - first) * w;
+    xn.hi = std::min(n, xn.lo + w);
+    if (xn.lo >= xn.hi) {
+      xn.lo = xn.hi = 0;
+      continue;
+    }
+    // The inner 2D tree sorts by (its x = our y, insertion order); we
+    // replicate that order to map local ids back to global ones.
+    std::vector<std::uint64_t> ids;
+    std::vector<Point2> locals;
+    for (std::size_t i = xn.lo; i < xn.hi; ++i) {
+      ids.push_back(i);
+      locals.push_back(Point2{points_[i].y, points_[i].z});
+    }
+    std::stable_sort(ids.begin(), ids.end(),
+                     [&](std::uint64_t a, std::uint64_t b) {
+                       if (points_[a].y != points_[b].y) {
+                         return points_[a].y < points_[b].y;
+                       }
+                       return points_[a].z < points_[b].z;
+                     });
+    xn.local_ids = std::move(ids);
+    xn.sub = std::make_unique<RangeTree2D>(std::move(locals));
+  }
+}
+
+std::size_t RangeTree3D::total_entries() const {
+  std::size_t total = 0;
+  for (const auto& xn : nodes_) {
+    if (xn.sub) {
+      total += xn.sub->total_entries();
+    }
+  }
+  return total;
+}
+
+namespace {
+
+/// Canonical x-node ids for the half-open leaf interval [l, r).
+std::vector<std::size_t> canonical_heap_nodes(std::size_t num_leaves,
+                                              std::size_t l, std::size_t r) {
+  std::vector<std::size_t> out;
+  struct Frame {
+    std::size_t v, lo, hi;
+  };
+  std::vector<Frame> stack{{0, 0, num_leaves}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.lo >= r || f.hi <= l) {
+      continue;
+    }
+    if (l <= f.lo && f.hi <= r) {
+      out.push_back(f.v);
+      continue;
+    }
+    const std::size_t mid = (f.lo + f.hi) / 2;
+    stack.push_back(Frame{2 * f.v + 1, f.lo, mid});
+    stack.push_back(Frame{2 * f.v + 2, mid, f.hi});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> RangeTree3D::query(geom::Coord x1, geom::Coord x2,
+                                              geom::Coord y1, geom::Coord y2,
+                                              geom::Coord z1,
+                                              geom::Coord z2) const {
+  const auto lo_it = std::lower_bound(
+      points_.begin(), points_.end(), x1,
+      [](const Point3& p, geom::Coord x) { return p.x < x; });
+  const auto hi_it = std::upper_bound(
+      points_.begin(), points_.end(), x2,
+      [](geom::Coord x, const Point3& p) { return x < p.x; });
+  const std::size_t l = lo_it - points_.begin();
+  const std::size_t r = hi_it - points_.begin();
+  std::vector<std::uint64_t> out;
+  if (l >= r) {
+    return out;
+  }
+  for (std::size_t v : canonical_heap_nodes(num_leaves_, l, r)) {
+    const XNode& xn = nodes_[v];
+    if (!xn.sub) {
+      continue;
+    }
+    const auto ranges = xn.sub->query_ranges(y1, y2, z1, z2);
+    for (std::uint64_t local : extract_ids(xn.sub->tree(), ranges)) {
+      out.push_back(xn.local_ids[local]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RangeTree3D::coop_query(
+    pram::Machine& m, geom::Coord x1, geom::Coord x2, geom::Coord y1,
+    geom::Coord y2, geom::Coord z1, geom::Coord z2) const {
+  const auto lo_it = std::lower_bound(
+      points_.begin(), points_.end(), x1,
+      [](const Point3& p, geom::Coord x) { return p.x < x; });
+  const auto hi_it = std::upper_bound(
+      points_.begin(), points_.end(), x2,
+      [](geom::Coord x, const Point3& p) { return x < p.x; });
+  const std::size_t l = lo_it - points_.begin();
+  const std::size_t r = hi_it - points_.begin();
+  std::vector<std::uint64_t> out;
+  if (l >= r) {
+    return out;
+  }
+  const auto canon = canonical_heap_nodes(num_leaves_, l, r);
+  const std::size_t share = std::max<std::size_t>(
+      1, m.processors() / std::max<std::size_t>(1, canon.size()));
+  std::uint64_t max_steps = 0, total_work = 0;
+  for (std::size_t v : canon) {
+    const XNode& xn = nodes_[v];
+    if (!xn.sub) {
+      continue;
+    }
+    pram::Machine sub(share, m.model());
+    const auto ranges = xn.sub->coop_query_ranges(sub, y1, y2, z1, z2);
+    for (std::uint64_t local : extract_ids(xn.sub->tree(), ranges)) {
+      out.push_back(xn.local_ids[local]);
+    }
+    max_steps = std::max(max_steps, sub.stats().steps);
+    total_work += sub.stats().work;
+  }
+  m.charge(max_steps, total_work);
+  return out;
+}
+
+std::vector<std::uint64_t> RangeTree3D::query_brute(
+    geom::Coord x1, geom::Coord x2, geom::Coord y1, geom::Coord y2,
+    geom::Coord z1, geom::Coord z2) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& p = points_[i];
+    if (x1 <= p.x && p.x <= x2 && y1 <= p.y && p.y <= y2 && z1 <= p.z &&
+        p.z <= z2) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace range

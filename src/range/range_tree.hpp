@@ -1,0 +1,129 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/explicit_search.hpp"
+#include "fc/search.hpp"
+#include "geom/primitives.hpp"
+#include "range/retrieval.hpp"
+
+namespace range {
+
+struct Point2 {
+  geom::Coord x = 0;
+  geom::Coord y = 0;
+};
+
+/// Theorem 6, Orthogonal Range Search (d = 2): a balanced tree over the
+/// points sorted by x; each node's catalog holds the y-keys of the points
+/// in its subtree.  A query decomposes [x1, x2] into O(log n) canonical
+/// nodes hanging off the two root-to-leaf paths; the y-range positions in
+/// every catalog along the paths come from explicit (cooperative)
+/// searches, and canonical nodes off the paths take one bridge step from
+/// their on-path parent.
+class RangeTree2D {
+ public:
+  explicit RangeTree2D(std::vector<Point2> points);
+
+  RangeTree2D(const RangeTree2D&) = delete;
+  RangeTree2D(RangeTree2D&&) = default;
+
+  [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
+  [[nodiscard]] const std::vector<Point2>& points() const { return points_; }
+  [[nodiscard]] std::size_t total_entries() const {
+    return coop_->total_entries();
+  }
+
+  /// Sequential query, O(log n) with fractional cascading.
+  [[nodiscard]] std::vector<AnswerRange> query_ranges(
+      geom::Coord x1, geom::Coord x2, geom::Coord y1, geom::Coord y2,
+      fc::SearchStats* stats = nullptr) const;
+
+  /// Cooperative query, O((log n)/log p) CREW steps.
+  [[nodiscard]] std::vector<AnswerRange> coop_query_ranges(
+      pram::Machine& m, geom::Coord x1, geom::Coord x2, geom::Coord y1,
+      geom::Coord y2) const;
+
+  /// Brute-force oracle: indices into points().
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(geom::Coord x1,
+                                                       geom::Coord x2,
+                                                       geom::Coord y1,
+                                                       geom::Coord y2) const;
+
+ private:
+  struct Canonical {
+    cat::NodeId node;
+    cat::NodeId parent_on_path;  // kNullNode if the node itself is on-path
+    std::uint32_t slot = 0;      // child slot under parent_on_path
+  };
+
+  /// Canonical decomposition of the leaf interval [l, r] (inclusive).
+  [[nodiscard]] std::vector<Canonical> canonical_nodes(std::size_t l,
+                                                       std::size_t r) const;
+  [[nodiscard]] std::vector<cat::NodeId> path_to_leaf(std::size_t leaf) const;
+  /// Leaf index interval matching x in [x1, x2]; empty if l > r.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> leaf_interval(
+      geom::Coord x1, geom::Coord x2) const;
+
+  std::vector<Point2> points_;  ///< sorted by (x, input index)
+  std::size_t num_leaves_ = 0;  ///< padded to a power of two
+  KeyCodec codec_;
+  std::unique_ptr<cat::Tree> tree_;
+  std::unique_ptr<fc::Structure> fc_;
+  std::unique_ptr<coop::CoopStructure> coop_;
+};
+
+/// Corollary 2 with d = 3: a balanced tree over x; every node points to a
+/// 2D range tree on (y, z) for the points of its subtree.  Queries solve
+/// O(log n) two-dimensional subproblems at the canonical x-nodes,
+/// concurrently in the cooperative case.
+class RangeTree3D {
+ public:
+  struct Point3 {
+    geom::Coord x = 0;
+    geom::Coord y = 0;
+    geom::Coord z = 0;
+  };
+
+  explicit RangeTree3D(std::vector<Point3> points);
+
+  RangeTree3D(const RangeTree3D&) = delete;
+  RangeTree3D(RangeTree3D&&) = default;
+
+  /// Reported ids are indices into the *sorted* point order exposed here.
+  [[nodiscard]] const std::vector<Point3>& points() const { return points_; }
+  [[nodiscard]] std::size_t total_entries() const;
+
+  /// Sequential query: ids of points inside the box.
+  [[nodiscard]] std::vector<std::uint64_t> query(geom::Coord x1,
+                                                 geom::Coord x2,
+                                                 geom::Coord y1,
+                                                 geom::Coord y2,
+                                                 geom::Coord z1,
+                                                 geom::Coord z2) const;
+
+  /// Cooperative query: the canonical x-nodes run their 2D queries
+  /// concurrently, each with a share of the processors (charged as the
+  /// group maximum).
+  [[nodiscard]] std::vector<std::uint64_t> coop_query(
+      pram::Machine& m, geom::Coord x1, geom::Coord x2, geom::Coord y1,
+      geom::Coord y2, geom::Coord z1, geom::Coord z2) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(
+      geom::Coord x1, geom::Coord x2, geom::Coord y1, geom::Coord y2,
+      geom::Coord z1, geom::Coord z2) const;
+
+ private:
+  struct XNode {
+    std::size_t lo = 0, hi = 0;            // leaf interval (points) covered
+    std::unique_ptr<RangeTree2D> sub;      // (y, z) tree; ids local to lo
+    std::vector<std::uint64_t> local_ids;  // local -> global id map
+  };
+
+  std::vector<Point3> points_;  ///< sorted by (x, input index)
+  std::size_t num_leaves_ = 0;
+  std::vector<XNode> nodes_;  ///< heap-indexed complete binary tree
+};
+
+}  // namespace range

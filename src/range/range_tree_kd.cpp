@@ -1,0 +1,207 @@
+#include "range/range_tree_kd.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "pram/coop_search.hpp"
+#include "pram/primitives.hpp"
+
+namespace range {
+
+RangeTreeKD::RangeTreeKD(std::vector<PointKD> points)
+    : points_(std::move(points)) {
+  dim_ = points_.empty() ? 1 : points_.front().size();
+  assert(dim_ >= 1);
+  for (const auto& p : points_) {
+    assert(p.size() == dim_);
+  }
+  std::sort(points_.begin(), points_.end());
+  std::vector<std::uint64_t> ids(points_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = i;
+  }
+  root_ = build(std::move(ids), 0);
+}
+
+std::unique_ptr<RangeTreeKD::Sub> RangeTreeKD::build(
+    std::vector<std::uint64_t> ids, std::size_t coord) const {
+  auto s = std::make_unique<Sub>();
+  s->coord = coord;
+  const auto by = [&](std::size_t c) {
+    return [this, c](std::uint64_t a, std::uint64_t b) {
+      if (points_[a][c] != points_[b][c]) {
+        return points_[a][c] < points_[b][c];
+      }
+      return a < b;
+    };
+  };
+  if (coord + 1 == dim_) {
+    std::sort(ids.begin(), ids.end(), by(coord));
+    s->sorted_ids = std::move(ids);
+    return s;
+  }
+  std::sort(ids.begin(), ids.end(), by(coord));
+  s->by_coord = std::move(ids);
+  const std::size_t n = s->by_coord.size();
+  s->num_leaves = std::bit_ceil(std::max<std::size_t>(2, n));
+  s->nodes.resize(2 * s->num_leaves - 1);
+  // Heap node v at depth d covers leaves [idx * W, (idx+1) * W).
+  for (std::size_t v = 0; v < s->nodes.size(); ++v) {
+    std::uint32_t d = 0;
+    std::size_t first = 0;
+    while (first + (std::size_t(1) << d) <= v) {
+      first += std::size_t(1) << d;
+      ++d;
+    }
+    const std::size_t w = s->num_leaves >> d;
+    const std::size_t lo = (v - first) * w;
+    const std::size_t hi = std::min(n, lo + w);
+    if (lo >= hi) {
+      continue;
+    }
+    std::vector<std::uint64_t> slice(s->by_coord.begin() + lo,
+                                     s->by_coord.begin() + hi);
+    s->nodes[v] = build(std::move(slice), coord + 1);
+  }
+  return s;
+}
+
+std::size_t RangeTreeKD::entries(const Sub& s) {
+  std::size_t total = s.sorted_ids.size() + s.by_coord.size();
+  for (const auto& n : s.nodes) {
+    if (n) {
+      total += entries(*n);
+    }
+  }
+  return total;
+}
+
+std::size_t RangeTreeKD::total_entries() const {
+  return root_ ? entries(*root_) : 0;
+}
+
+void RangeTreeKD::query_rec(const Sub& s, const PointKD& lo,
+                            const PointKD& hi, pram::Machine* m,
+                            std::size_t procs,
+                            std::uint64_t* charged_steps,
+                            std::vector<std::uint64_t>& out) const {
+  const auto coord_less = [&](std::uint64_t id, geom::Coord v) {
+    return points_[id][s.coord] < v;
+  };
+  if (s.coord + 1 == dim_) {
+    const auto b = std::lower_bound(s.sorted_ids.begin(), s.sorted_ids.end(),
+                                    lo[s.coord], coord_less);
+    auto e = b;
+    while (e != s.sorted_ids.end() && points_[*e][s.coord] <= hi[s.coord]) {
+      out.push_back(*e);
+      ++e;
+    }
+    if (charged_steps != nullptr) {
+      // Cooperative: one boundary search plus k/procs reporting.
+      const std::size_t k = static_cast<std::size_t>(e - b);
+      *charged_steps += pram::coop_search_rounds(s.sorted_ids.size(),
+                                                 std::max<std::size_t>(1, procs)) +
+                        (k + procs - 1) / std::max<std::size_t>(1, procs);
+    }
+    return;
+  }
+  const std::size_t n = s.by_coord.size();
+  const std::size_t l = static_cast<std::size_t>(
+      std::lower_bound(s.by_coord.begin(), s.by_coord.end(), lo[s.coord],
+                       coord_less) -
+      s.by_coord.begin());
+  const std::size_t r = static_cast<std::size_t>(
+      std::upper_bound(s.by_coord.begin(), s.by_coord.end(), hi[s.coord],
+                       [&](geom::Coord v, std::uint64_t id) {
+                         return v < points_[id][s.coord];
+                       }) -
+      s.by_coord.begin());
+  if (l >= r) {
+    if (charged_steps != nullptr) {
+      *charged_steps += pram::coop_search_rounds(
+          std::max<std::size_t>(1, n), std::max<std::size_t>(1, procs));
+    }
+    return;
+  }
+  // Canonical decomposition of leaves [l, r).
+  std::vector<std::size_t> canon;
+  struct Frame {
+    std::size_t v, lo, hi;
+  };
+  std::vector<Frame> stack{{0, 0, s.num_leaves}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.lo >= r || f.hi <= l) {
+      continue;
+    }
+    if (l <= f.lo && f.hi <= r) {
+      canon.push_back(f.v);
+      continue;
+    }
+    const std::size_t mid = (f.lo + f.hi) / 2;
+    stack.push_back(Frame{2 * f.v + 1, f.lo, mid});
+    stack.push_back(Frame{2 * f.v + 2, mid, f.hi});
+  }
+  // Cooperative: canonical subproblems run concurrently with a processor
+  // share; charge the boundary searches plus the slowest child.
+  const std::size_t share = std::max<std::size_t>(
+      1, procs / std::max<std::size_t>(1, canon.size()));
+  std::uint64_t child_max = 0;
+  for (std::size_t v : canon) {
+    if (!s.nodes[v]) {
+      continue;
+    }
+    std::uint64_t child_steps = 0;
+    query_rec(*s.nodes[v], lo, hi, m, share,
+              charged_steps != nullptr ? &child_steps : nullptr, out);
+    child_max = std::max(child_max, child_steps);
+  }
+  if (charged_steps != nullptr) {
+    *charged_steps += pram::coop_search_rounds(
+                          std::max<std::size_t>(1, n),
+                          std::max<std::size_t>(1, procs)) +
+                      child_max;
+  }
+}
+
+std::vector<std::uint64_t> RangeTreeKD::query(const PointKD& lo,
+                                              const PointKD& hi) const {
+  assert(lo.size() == dim_ && hi.size() == dim_);
+  std::vector<std::uint64_t> out;
+  if (root_ && !points_.empty()) {
+    query_rec(*root_, lo, hi, nullptr, 1, nullptr, out);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RangeTreeKD::coop_query(pram::Machine& m,
+                                                   const PointKD& lo,
+                                                   const PointKD& hi) const {
+  assert(lo.size() == dim_ && hi.size() == dim_);
+  std::vector<std::uint64_t> out;
+  if (root_ && !points_.empty()) {
+    std::uint64_t steps = 0;
+    query_rec(*root_, lo, hi, &m, m.processors(), &steps, out);
+    m.charge(steps, steps * m.processors());
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> RangeTreeKD::query_brute(const PointKD& lo,
+                                                    const PointKD& hi) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    bool inside = true;
+    for (std::size_t c = 0; c < dim_ && inside; ++c) {
+      inside = lo[c] <= points_[i][c] && points_[i][c] <= hi[c];
+    }
+    if (inside) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace range

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geom/primitives.hpp"
+#include "pram/machine.hpp"
+
+namespace range {
+
+/// Corollary 2 for arbitrary constant dimension d: a recursive range tree
+/// whose level-j structure is a balanced tree over coordinate j, each node
+/// pointing to a (d-1)-dimensional structure for its subtree, with the
+/// base case a sorted array.  Space O(n log^{d-1} n); sequential query
+/// O(log^d n + k); cooperative query O(((log n)/log p)^{d-1} * (log n /
+/// log p) + k/p) by giving each canonical node of every level a processor
+/// share (charged as group maxima).
+///
+/// The d = 2 and d = 3 fast paths live in RangeTree2D / RangeTree3D
+/// (fractional cascading across the last two coordinates); this class is
+/// the clean generic recursion the corollary states, used for d >= 3 and
+/// cross-checked against the specialized trees in tests.
+class RangeTreeKD {
+ public:
+  using PointKD = std::vector<geom::Coord>;
+
+  /// All points must share the same dimension (>= 1).
+  explicit RangeTreeKD(std::vector<PointKD> points);
+
+  RangeTreeKD(const RangeTreeKD&) = delete;
+  RangeTreeKD(RangeTreeKD&&) = default;
+
+  [[nodiscard]] std::size_t dimension() const { return dim_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  /// Reported ids index into points() (the sorted order exposed here).
+  [[nodiscard]] const std::vector<PointKD>& points() const { return points_; }
+  [[nodiscard]] std::size_t total_entries() const;
+
+  /// Box query: lo/hi give the inclusive bounds per coordinate.
+  [[nodiscard]] std::vector<std::uint64_t> query(const PointKD& lo,
+                                                 const PointKD& hi) const;
+
+  /// Cooperative query (charged per-level group maxima).
+  [[nodiscard]] std::vector<std::uint64_t> coop_query(pram::Machine& m,
+                                                      const PointKD& lo,
+                                                      const PointKD& hi) const;
+
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(
+      const PointKD& lo, const PointKD& hi) const;
+
+ private:
+  struct Node;
+  struct Level;
+
+  /// Recursive structure over points_[ids], discriminating coordinate c.
+  struct Sub {
+    std::size_t coord = 0;
+    // Base case (coord == dim-1): ids sorted by the last coordinate.
+    std::vector<std::uint64_t> sorted_ids;
+    // Recursive case: heap-layout tree over ids sorted by coordinate
+    // `coord`; node v covers leaf interval [lo, hi) and owns a Sub over
+    // the next coordinate.
+    std::size_t num_leaves = 0;
+    std::vector<std::uint64_t> by_coord;  // ids sorted by this coordinate
+    std::vector<std::unique_ptr<Sub>> nodes;
+  };
+
+  std::unique_ptr<Sub> build(std::vector<std::uint64_t> ids,
+                             std::size_t coord) const;
+  void query_rec(const Sub& s, const PointKD& lo, const PointKD& hi,
+                 pram::Machine* m, std::size_t procs,
+                 std::uint64_t* charged_steps,
+                 std::vector<std::uint64_t>& out) const;
+  static std::size_t entries(const Sub& s);
+
+  std::size_t dim_ = 0;
+  std::vector<PointKD> points_;
+  std::unique_ptr<Sub> root_;
+};
+
+}  // namespace range

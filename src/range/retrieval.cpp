@@ -1,0 +1,103 @@
+#include "range/retrieval.hpp"
+
+#include <algorithm>
+
+#include "pram/memory.hpp"
+#include "pram/primitives.hpp"
+
+namespace range {
+
+std::size_t total_count(const std::vector<AnswerRange>& ranges) {
+  std::size_t total = 0;
+  for (const auto& r : ranges) {
+    total += r.count();
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> retrieve_direct(
+    const cat::Tree& tree, pram::Machine& m,
+    const std::vector<AnswerRange>& ranges) {
+  const std::size_t nr = ranges.size();
+  if (nr == 0) {
+    return {};
+  }
+  // Prefix sum over the range sizes allocates one processor per item.
+  pram::SharedArray<std::size_t> sizes(nr);
+  m.exec(nr, [&](std::size_t i) { sizes.write(i, ranges[i].count()); });
+  pram::SharedArray<std::size_t> offsets;
+  pram::exclusive_scan(m, sizes, offsets, std::size_t{0},
+                       [](std::size_t a, std::size_t b) { return a + b; });
+  const std::size_t total = offsets[nr - 1] + ranges[nr - 1].count();
+  std::vector<std::uint64_t> out(total);
+  if (total == 0) {
+    return out;
+  }
+  // One instruction: processor j finds its range by binary search over the
+  // offsets and copies its item (the paper assigns processors directly;
+  // the search is the standard O(1)-amortized decoding).
+  m.exec_k(total, pram::ceil_log2(nr) + 1, [&](std::size_t j) {
+    std::size_t lo = 0, hi = nr - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi + 1) / 2;
+      if (offsets[mid] <= j) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    const AnswerRange& r = ranges[lo];
+    const std::size_t within = j - offsets[lo];
+    out[j] = tree.catalog(r.node).payload(r.lo + within);
+  });
+  return out;
+}
+
+std::vector<AnswerRange> retrieve_indirect(
+    pram::Machine& m, const std::vector<AnswerRange>& ranges) {
+  const std::size_t nr = ranges.size();
+  std::vector<AnswerRange> list;
+  if (nr == 0) {
+    return list;
+  }
+  const std::size_t logn2 =
+      std::size_t(pram::ceil_log2(nr + 1)) * pram::ceil_log2(nr + 1);
+  std::vector<std::int64_t> next(nr + 1, -1);
+  if (m.processors() >= logn2 && m.model() == pram::Model::kCrcw) {
+    // CRCW (priority-min) linking: one processor per (i, j) pair writes j
+    // into next[i] if range j is nonempty and j >= i; the minimum write
+    // wins.  One O(1) round with nr^2 <= log^2 n <= p processors.
+    m.exec(nr * nr, [&](std::size_t pid) {
+      const std::size_t i = pid / nr;  // predecessor slot (0 = head)
+      const std::size_t j = pid % nr;
+      if (j >= i && ranges[j].count() > 0) {
+        // Priority-CRCW: smallest j wins.
+        if (next[i] == -1 || next[i] > std::int64_t(j)) {
+          next[i] = std::int64_t(j);
+        }
+      }
+    });
+  } else {
+    // Prefix fallback: O(log nr / log p) via scan-based compaction.
+    pram::SharedArray<std::uint8_t> flags(nr);
+    m.exec(nr, [&](std::size_t i) {
+      flags.write(i, ranges[i].count() > 0 ? 1 : 0);
+    });
+    pram::SharedArray<std::size_t> idx;
+    const std::size_t cnt = pram::pack_indices(m, flags, idx);
+    for (std::size_t t = 0; t < cnt; ++t) {
+      list.push_back(ranges[idx[t]]);
+    }
+    return list;
+  }
+  // Materialize the linked list (head at slot 0 meaning "first nonempty
+  // at or after 0").
+  std::int64_t cur = next[0];
+  while (cur != -1) {
+    list.push_back(ranges[std::size_t(cur)]);
+    cur = (std::size_t(cur) + 1 < nr) ? next[std::size_t(cur) + 1] : -1;
+  }
+  return list;
+}
+
+}  // namespace range

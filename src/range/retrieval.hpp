@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "pram/machine.hpp"
+
+namespace range {
+
+/// Composite catalog keys: coordinate * stride + id keeps keys distinct
+/// when coordinates repeat, while preserving coordinate order.  Queries
+/// use [coord1 * stride, (coord2 + 1) * stride) half-open key ranges.
+struct KeyCodec {
+  cat::Key stride = 1;
+
+  [[nodiscard]] cat::Key encode(cat::Key coord, std::uint64_t id) const {
+    return coord * stride + static_cast<cat::Key>(id);
+  }
+  [[nodiscard]] cat::Key lower(cat::Key coord) const { return coord * stride; }
+  [[nodiscard]] cat::Key upper_exclusive(cat::Key coord) const {
+    return (coord + 1) * stride;
+  }
+};
+
+/// One reported range: catalog positions [lo, hi) at a tree node.
+struct AnswerRange {
+  cat::NodeId node = cat::kNullNode;
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  [[nodiscard]] std::size_t count() const { return hi - lo; }
+};
+
+/// Theorem 6, direct retrieval: materialize the reported item ids (catalog
+/// payloads) with processors allocated by a prefix sum over the ranges —
+/// O(log log n + k/p) on top of the search.  EREW once the offsets are
+/// known.
+[[nodiscard]] std::vector<std::uint64_t> retrieve_direct(
+    const cat::Tree& tree, pram::Machine& m,
+    const std::vector<AnswerRange>& ranges);
+
+/// Theorem 6, indirect retrieval: return the linked list of nonempty
+/// ranges without touching the items.  With p = Omega(log^2 n) processors
+/// the linking uses one CRCW (priority/min) write round, O(1) time;
+/// otherwise it falls back to a prefix computation.  The list is returned
+/// materialized as the ordered sequence of nonempty ranges.
+[[nodiscard]] std::vector<AnswerRange> retrieve_indirect(
+    pram::Machine& m, const std::vector<AnswerRange>& ranges);
+
+/// Total number of items across ranges.
+[[nodiscard]] std::size_t total_count(const std::vector<AnswerRange>& ranges);
+
+}  // namespace range

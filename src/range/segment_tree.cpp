@@ -1,0 +1,171 @@
+#include "range/segment_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "pram/coop_search.hpp"
+
+namespace range {
+
+SegmentIntersectionTree::SegmentIntersectionTree(std::vector<VSegment> segments)
+    : segments_(std::move(segments)) {
+  // Elementary slabs between distinct y endpoints.
+  for (const auto& s : segments_) {
+    assert(s.ylo < s.yhi);
+    boundaries_.push_back(s.ylo);
+    boundaries_.push_back(s.yhi);
+  }
+  std::sort(boundaries_.begin(), boundaries_.end());
+  boundaries_.erase(std::unique(boundaries_.begin(), boundaries_.end()),
+                    boundaries_.end());
+  const std::size_t raw_slabs =
+      boundaries_.empty() ? 1 : boundaries_.size() + 1;
+  num_slabs_ = std::bit_ceil(std::max<std::size_t>(2, raw_slabs));
+  const std::uint32_t height =
+      static_cast<std::uint32_t>(std::bit_width(num_slabs_) - 1);
+  const std::size_t num_nodes = 2 * num_slabs_ - 1;
+
+  tree_ = std::make_unique<cat::Tree>(num_nodes);
+  for (std::size_t v = 0; v + 1 < num_nodes; v += 1) {
+    const std::size_t l = 2 * v + 1, r = 2 * v + 2;
+    if (l < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(l));
+    }
+    if (r < num_nodes) {
+      tree_->add_child(cat::NodeId(v), cat::NodeId(r));
+    }
+  }
+  tree_->finalize();
+
+  codec_.stride = static_cast<cat::Key>(
+      std::bit_ceil(std::max<std::size_t>(2, segments_.size() + 1)));
+
+  // Canonical allocation: slab index i covers y in
+  // [boundary[i-1], boundary[i]) with virtual -inf / +inf at the ends.
+  // Node v at depth d with index j covers slabs [j*W, (j+1)*W), W =
+  // num_slabs >> d.
+  std::vector<std::vector<std::uint64_t>> assigned(num_nodes);
+  const auto slab_of = [&](geom::Coord y) -> std::size_t {
+    // First slab whose interval contains y: index = number of boundaries
+    // <= y.
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), y) -
+        boundaries_.begin());
+  };
+  for (std::size_t id = 0; id < segments_.size(); ++id) {
+    // Slabs fully inside [ylo, yhi): slab_of(ylo) .. slab_of(yhi)-1.
+    const std::size_t first = slab_of(segments_[id].ylo);
+    const std::size_t last = slab_of(segments_[id].yhi);  // exclusive
+    // Recursive canonical decomposition of [first, last).
+    struct Frame {
+      std::size_t v, lo, hi;  // node covers slabs [lo, hi)
+    };
+    std::vector<Frame> stack{{0, 0, num_slabs_}};
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (f.lo >= last || f.hi <= first) {
+        continue;
+      }
+      if (first <= f.lo && f.hi <= last) {
+        assigned[f.v].push_back(id);
+        continue;
+      }
+      const std::size_t mid = (f.lo + f.hi) / 2;
+      stack.push_back(Frame{2 * f.v + 1, f.lo, mid});
+      stack.push_back(Frame{2 * f.v + 2, mid, f.hi});
+    }
+  }
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    auto& list = assigned[v];
+    std::sort(list.begin(), list.end(), [&](std::uint64_t a, std::uint64_t b) {
+      return codec_.encode(segments_[a].x, a) <
+             codec_.encode(segments_[b].x, b);
+    });
+    std::vector<cat::Key> keys;
+    keys.reserve(list.size());
+    for (std::uint64_t id : list) {
+      keys.push_back(codec_.encode(segments_[id].x, id));
+    }
+    tree_->set_catalog(cat::NodeId(v), cat::Catalog::from_sorted(keys, list));
+  }
+  (void)height;
+
+  fc_ = std::make_unique<fc::Structure>(fc::Structure::build(*tree_));
+  coop_ =
+      std::make_unique<coop::CoopStructure>(coop::CoopStructure::build(*fc_));
+}
+
+std::vector<cat::NodeId> SegmentIntersectionTree::path_for(
+    geom::Coord y) const {
+  const std::size_t slab = static_cast<std::size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), y) -
+      boundaries_.begin());
+  std::vector<cat::NodeId> path;
+  std::size_t v = 0, lo = 0, hi = num_slabs_;
+  for (;;) {
+    path.push_back(cat::NodeId(v));
+    if (hi - lo == 1) {
+      break;
+    }
+    const std::size_t mid = (lo + hi) / 2;
+    if (slab < mid) {
+      v = 2 * v + 1;
+      hi = mid;
+    } else {
+      v = 2 * v + 2;
+      lo = mid;
+    }
+  }
+  return path;
+}
+
+std::vector<AnswerRange> SegmentIntersectionTree::ranges_from(
+    const std::vector<cat::NodeId>& path, const std::vector<std::size_t>& lo,
+    const std::vector<std::size_t>& hi) const {
+  std::vector<AnswerRange> out;
+  out.reserve(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    out.push_back(AnswerRange{path[i], static_cast<std::uint32_t>(lo[i]),
+                              static_cast<std::uint32_t>(hi[i])});
+  }
+  return out;
+}
+
+std::vector<AnswerRange> SegmentIntersectionTree::query_ranges(
+    geom::Coord y, geom::Coord x1, geom::Coord x2,
+    fc::SearchStats* stats) const {
+  const auto path = path_for(y);
+  const auto lo = fc::search_explicit(*fc_, path, codec_.lower(x1), stats);
+  const auto hi =
+      fc::search_explicit(*fc_, path, codec_.upper_exclusive(x2), stats);
+  return ranges_from(path, lo.proper_index, hi.proper_index);
+}
+
+std::vector<AnswerRange> SegmentIntersectionTree::coop_query_ranges(
+    pram::Machine& m, geom::Coord y, geom::Coord x1, geom::Coord x2) const {
+  // Dictionary search on y (cooperative), then path decode.
+  (void)pram::coop_lower_bound<geom::Coord>(
+      m, std::span<const geom::Coord>(boundaries_), y);
+  const auto path = path_for(y);
+  m.charge(1, path.size());
+  const auto lo = coop::coop_search_explicit(*coop_, m, path, codec_.lower(x1));
+  const auto hi =
+      coop::coop_search_explicit(*coop_, m, path, codec_.upper_exclusive(x2));
+  return ranges_from(path, lo.proper_index, hi.proper_index);
+}
+
+std::vector<std::uint64_t> SegmentIntersectionTree::query_brute(
+    geom::Coord y, geom::Coord x1, geom::Coord x2) const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t id = 0; id < segments_.size(); ++id) {
+    const auto& s = segments_[id];
+    if (s.ylo <= y && y < s.yhi && x1 <= s.x && s.x <= x2) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace range

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/explicit_search.hpp"
+#include "fc/search.hpp"
+#include "geom/primitives.hpp"
+#include "range/retrieval.hpp"
+
+namespace range {
+
+/// A vertical segment x = const, ylo <= y < yhi (half-open).
+struct VSegment {
+  geom::Coord x = 0;
+  geom::Coord ylo = 0;
+  geom::Coord yhi = 0;
+};
+
+/// Theorem 6, Orthogonal Segment Intersection: a segment tree on the
+/// y-extents of the vertical segments; each node's catalog holds the
+/// segments allocated to it, sorted by x.  A horizontal query
+/// (y, [x1, x2]) identifies a root-to-leaf path by a dictionary search on
+/// y, then runs two explicit (cooperative) searches along the path on the
+/// x-keys; every catalog on the path contains only segments spanning y,
+/// so the reported items per node form one contiguous range.
+class SegmentIntersectionTree {
+ public:
+  explicit SegmentIntersectionTree(std::vector<VSegment> segments);
+
+  SegmentIntersectionTree(const SegmentIntersectionTree&) = delete;
+  SegmentIntersectionTree(SegmentIntersectionTree&&) = default;
+
+  [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
+  [[nodiscard]] const std::vector<VSegment>& segments() const {
+    return segments_;
+  }
+
+  /// Sequential query: the answer ranges along the path, O(log n).
+  [[nodiscard]] std::vector<AnswerRange> query_ranges(
+      geom::Coord y, geom::Coord x1, geom::Coord x2,
+      fc::SearchStats* stats = nullptr) const;
+
+  /// Cooperative query: O((log n)/log p) CREW steps for the search part.
+  [[nodiscard]] std::vector<AnswerRange> coop_query_ranges(
+      pram::Machine& m, geom::Coord y, geom::Coord x1, geom::Coord x2) const;
+
+  /// Brute-force oracle: ids (indices into segments()) intersected by the
+  /// query, in no particular order.
+  [[nodiscard]] std::vector<std::uint64_t> query_brute(geom::Coord y,
+                                                       geom::Coord x1,
+                                                       geom::Coord x2) const;
+
+  /// The root-to-leaf path for level y (the slab descent).
+  [[nodiscard]] std::vector<cat::NodeId> path_for(geom::Coord y) const;
+
+  [[nodiscard]] const KeyCodec& codec() const { return codec_; }
+  [[nodiscard]] const coop::CoopStructure& coop_structure() const {
+    return *coop_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<AnswerRange> ranges_from(
+      const std::vector<cat::NodeId>& path,
+      const std::vector<std::size_t>& lo,
+      const std::vector<std::size_t>& hi) const;
+
+  std::vector<VSegment> segments_;
+  std::vector<geom::Coord> boundaries_;  ///< slab boundaries, sorted
+  std::size_t num_slabs_ = 0;            ///< padded to a power of two
+  KeyCodec codec_;
+  std::unique_ptr<cat::Tree> tree_;
+  std::unique_ptr<fc::Structure> fc_;
+  std::unique_ptr<coop::CoopStructure> coop_;
+};
+
+}  // namespace range

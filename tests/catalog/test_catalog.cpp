@@ -1,0 +1,75 @@
+#include "catalog/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using cat::Catalog;
+using cat::Key;
+
+TEST(Catalog, EmptyHasOnlySentinel) {
+  Catalog c;
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.real_size(), 0u);
+  EXPECT_EQ(c.key(0), cat::kInfinity);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(Catalog, FromSortedKeys) {
+  const std::vector<Key> keys{3, 7, 11};
+  const auto c = Catalog::from_sorted_keys(keys);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.real_size(), 3u);
+  EXPECT_EQ(c.key(0), 3);
+  EXPECT_EQ(c.key(3), cat::kInfinity);
+  EXPECT_EQ(c.payload(1), 1u);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(Catalog, FindReturnsSuccessor) {
+  const std::vector<Key> keys{10, 20, 30};
+  const auto c = Catalog::from_sorted_keys(keys);
+  EXPECT_EQ(c.find(5), 0u);
+  EXPECT_EQ(c.find(10), 0u);
+  EXPECT_EQ(c.find(11), 1u);
+  EXPECT_EQ(c.find(30), 2u);
+  EXPECT_EQ(c.find(31), 3u);  // the sentinel
+}
+
+TEST(Catalog, FindAlwaysSucceedsThanksToSentinel) {
+  Catalog c;
+  EXPECT_EQ(c.find(123456), 0u);
+  EXPECT_EQ(c.key(c.find(123456)), cat::kInfinity);
+}
+
+TEST(Catalog, PayloadsPreserved) {
+  const std::vector<Key> keys{1, 2};
+  const std::vector<std::uint64_t> pl{77, 88};
+  const auto c = Catalog::from_sorted(keys, pl);
+  EXPECT_EQ(c.payload(0), 77u);
+  EXPECT_EQ(c.payload(1), 88u);
+  EXPECT_EQ(c.payload(2), Catalog::kNoPayload);
+}
+
+TEST(Catalog, FindMatchesBruteForce) {
+  std::mt19937_64 rng(7);
+  std::vector<Key> keys;
+  Key cur = 0;
+  for (int i = 0; i < 500; ++i) {
+    cur += 1 + Key(rng() % 5);
+    keys.push_back(cur);
+  }
+  const auto c = Catalog::from_sorted_keys(keys);
+  for (int t = 0; t < 2000; ++t) {
+    const Key y = Key(rng() % (cur + 10));
+    std::size_t expect = 0;
+    while (expect < keys.size() && keys[expect] < y) {
+      ++expect;
+    }
+    ASSERT_EQ(c.find(y), expect) << y;
+  }
+}
+
+}  // namespace

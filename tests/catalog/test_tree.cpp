@@ -1,0 +1,159 @@
+#include "catalog/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using cat::CatalogShape;
+using cat::NodeId;
+using cat::Tree;
+
+TEST(Tree, BalancedBinaryShape) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(4, 100, CatalogShape::kUniform, rng);
+  EXPECT_EQ(t.num_nodes(), 31u);
+  EXPECT_EQ(t.height(), 4u);
+  EXPECT_TRUE(t.is_binary());
+  EXPECT_TRUE(t.is_complete_binary());
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.total_catalog_size(), 100u);
+  EXPECT_EQ(t.level(0).size(), 1u);
+  EXPECT_EQ(t.level(4).size(), 16u);
+}
+
+TEST(Tree, ChildSlots) {
+  std::mt19937_64 rng(2);
+  const auto t = cat::make_balanced_binary(2, 10, CatalogShape::kUniform, rng);
+  EXPECT_EQ(t.child_slot(t.root()), -1);
+  const auto kids = t.children(t.root());
+  EXPECT_EQ(t.child_slot(kids[0]), 0);
+  EXPECT_EQ(t.child_slot(kids[1]), 1);
+  EXPECT_EQ(t.parent(kids[1]), t.root());
+}
+
+TEST(Tree, PathTree) {
+  std::mt19937_64 rng(3);
+  const auto t = cat::make_path_tree(50, 200, CatalogShape::kRandom, rng);
+  EXPECT_EQ(t.num_nodes(), 50u);
+  EXPECT_EQ(t.height(), 49u);
+  EXPECT_EQ(t.max_degree(), 1u);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.total_catalog_size(), 200u);
+}
+
+class RandomTreeParam : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Degrees, RandomTreeParam,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST_P(RandomTreeParam, RandomTreeRespectsMaxDegree) {
+  std::mt19937_64 rng(GetParam());
+  const auto t = cat::make_random_tree(200, GetParam(), 1000,
+                                       CatalogShape::kRandom, rng);
+  EXPECT_TRUE(t.validate());
+  EXPECT_LE(t.max_degree(), GetParam());
+  EXPECT_EQ(t.total_catalog_size(), 1000u);
+}
+
+TEST(Tree, SplitSizesShapes) {
+  std::mt19937_64 rng(11);
+  for (auto shape :
+       {CatalogShape::kUniform, CatalogShape::kRandom, CatalogShape::kRootHeavy,
+        CatalogShape::kLeafHeavy, CatalogShape::kSkewed}) {
+    const auto sizes = cat::split_sizes(1000, 37, shape, rng);
+    std::size_t total = 0;
+    for (auto s : sizes) {
+      total += s;
+    }
+    EXPECT_EQ(total, 1000u);
+    EXPECT_EQ(sizes.size(), 37u);
+  }
+}
+
+TEST(Tree, RootHeavyConcentratesAtRoot) {
+  std::mt19937_64 rng(12);
+  const auto sizes = cat::split_sizes(1000, 10, CatalogShape::kRootHeavy, rng);
+  EXPECT_EQ(sizes[0], 1000u - 9u);
+}
+
+TEST(Tree, RandomSortedKeysDistinctAndSorted) {
+  std::mt19937_64 rng(13);
+  const auto keys = cat::random_sorted_keys(500, 1'000'000, rng);
+  ASSERT_EQ(keys.size(), 500u);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+TEST(Binarize, LeavesLowDegreeTreesAlone) {
+  std::mt19937_64 rng(14);
+  const auto t = cat::make_balanced_binary(3, 30, CatalogShape::kUniform, rng);
+  std::vector<NodeId> orig;
+  const auto b = cat::binarize(t, orig);
+  EXPECT_EQ(b.num_nodes(), t.num_nodes());
+  EXPECT_TRUE(b.is_binary());
+}
+
+TEST(Binarize, ExpandsHighDegreeNodes) {
+  std::mt19937_64 rng(15);
+  const auto t =
+      cat::make_random_tree(100, 6, 300, CatalogShape::kRandom, rng);
+  std::vector<NodeId> orig;
+  const auto b = cat::binarize(t, orig);
+  EXPECT_TRUE(b.is_binary());
+  EXPECT_TRUE(b.validate());
+  // Every original node is represented and keeps its catalog.
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(orig[v], NodeId(v));
+    EXPECT_EQ(b.catalog(NodeId(v)).size(), t.catalog(NodeId(v)).size());
+  }
+  // Auxiliary nodes carry empty catalogs and map to no original node.
+  for (std::size_t v = t.num_nodes(); v < b.num_nodes(); ++v) {
+    EXPECT_EQ(orig[v], cat::kNullNode);
+    EXPECT_EQ(b.catalog(NodeId(v)).real_size(), 0u);
+  }
+  // Total catalog content is preserved.
+  EXPECT_EQ(b.total_catalog_size(), t.total_catalog_size());
+}
+
+TEST(Binarize, PreservesDescendantReachability) {
+  std::mt19937_64 rng(16);
+  const auto t = cat::make_random_tree(60, 5, 100, CatalogShape::kRandom, rng);
+  std::vector<NodeId> orig;
+  const auto b = cat::binarize(t, orig);
+  // For every original edge (v, w), w must be reachable from v in the
+  // binarized tree through auxiliary nodes only.
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    for (NodeId w : t.children(NodeId(v))) {
+      NodeId cur = NodeId(v);
+      bool found = false;
+      for (int guard = 0; guard < 64 && !found; ++guard) {
+        const auto kids = b.children(cur);
+        bool advanced = false;
+        for (NodeId k : kids) {
+          if (k == w) {
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+        for (NodeId k : kids) {
+          if (orig[k] == cat::kNullNode) {
+            cur = k;
+            advanced = true;
+            break;
+          }
+        }
+        if (!advanced) {
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "edge " << v << "->" << w;
+    }
+  }
+}
+
+}  // namespace

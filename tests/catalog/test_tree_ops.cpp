@@ -1,0 +1,138 @@
+#include "catalog/tree_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "pram/primitives.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using cat::NodeId;
+
+TEST(ListRank, SimpleChain) {
+  pram::Machine m(4);
+  // 0 -> 1 -> 2 -> 3 -> end
+  const std::vector<std::int64_t> next{1, 2, 3, -1};
+  const auto rank = pram::list_rank(m, next);
+  EXPECT_EQ(rank, (std::vector<std::int64_t>{3, 2, 1, 0}));
+}
+
+TEST(ListRank, ScrambledList) {
+  std::mt19937_64 rng(5);
+  const std::size_t n = 1000;
+  // A random permutation defines the list order.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<std::int64_t> next(n, -1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    next[order[i]] = std::int64_t(order[i + 1]);
+  }
+  pram::Machine m(64);
+  const auto rank = pram::list_rank(m, next);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(rank[order[i]], std::int64_t(n - 1 - i));
+  }
+}
+
+TEST(ListRank, LogDepth) {
+  const std::size_t n = 1 << 14;
+  std::vector<std::int64_t> next(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    next[i] = i + 1 < n ? std::int64_t(i + 1) : -1;
+  }
+  pram::Machine m(n);
+  (void)pram::list_rank(m, next);
+  EXPECT_LE(m.stats().steps, 3 * pram::ceil_log2(n) + 10);
+}
+
+TEST(ListRank, Empty) {
+  pram::Machine m(2);
+  EXPECT_TRUE(pram::list_rank(m, {}).empty());
+}
+
+class EulerTourParam : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerTourParam,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST_P(EulerTourParam, DepthsMatchBfs) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t deg = 1 + rng() % 4;
+  const auto t = cat::make_random_tree(2 + rng() % 500, deg, 10,
+                                       CatalogShape::kUniform, rng);
+  pram::Machine m(128);
+  const auto res = pram::euler_tour(m, t);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(res.depth[v], t.depth(NodeId(v))) << "node " << v;
+  }
+}
+
+TEST_P(EulerTourParam, SubtreeSizesMatchRecursion) {
+  std::mt19937_64 rng(GetParam() * 11);
+  const auto t = cat::make_random_tree(2 + rng() % 300, 3, 10,
+                                       CatalogShape::kUniform, rng);
+  pram::Machine m(64);
+  const auto res = pram::euler_tour(m, t);
+  // Reference sizes bottom-up.
+  std::vector<std::uint32_t> size(t.num_nodes(), 1);
+  for (std::uint32_t d = t.height() + 1; d-- > 0;) {
+    for (NodeId v : t.level(d)) {
+      for (NodeId w : t.children(v)) {
+        size[v] += size[w];
+      }
+    }
+  }
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(res.subtree_size[v], size[v]) << "node " << v;
+  }
+}
+
+TEST_P(EulerTourParam, PreorderIsConsistent) {
+  std::mt19937_64 rng(GetParam() * 17);
+  const auto t = cat::make_random_tree(2 + rng() % 300, 4, 10,
+                                       CatalogShape::kUniform, rng);
+  pram::Machine m(64);
+  const auto res = pram::euler_tour(m, t);
+  // Reference preorder by DFS.
+  std::vector<std::uint32_t> pre(t.num_nodes(), 0);
+  std::uint32_t counter = 0;
+  std::vector<NodeId> stack{t.root()};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    pre[v] = counter++;
+    const auto kids = t.children(v);
+    for (std::size_t i = kids.size(); i-- > 0;) {
+      stack.push_back(kids[i]);
+    }
+  }
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    EXPECT_EQ(res.preorder[v], pre[v]) << "node " << v;
+  }
+}
+
+TEST(EulerTour, SingleNode) {
+  cat::Tree t(1);
+  t.finalize();
+  pram::Machine m(4);
+  const auto res = pram::euler_tour(m, t);
+  EXPECT_EQ(res.depth[0], 0u);
+  EXPECT_EQ(res.subtree_size[0], 1u);
+  EXPECT_EQ(res.preorder[0], 0u);
+}
+
+TEST(EulerTour, DepthIsLogarithmic) {
+  std::mt19937_64 rng(123);
+  const auto t = cat::make_balanced_binary(12, 10, CatalogShape::kUniform, rng);
+  pram::Machine m(t.num_nodes());
+  (void)pram::euler_tour(m, t);
+  const double logn = std::log2(double(t.num_nodes()));
+  EXPECT_LE(double(m.stats().steps), 8 * logn + 40);
+}
+
+}  // namespace

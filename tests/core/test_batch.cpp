@@ -1,0 +1,111 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using coop::BatchQuery;
+using coop::CoopStructure;
+
+TEST(Batch, ResultsMatchPerQuerySearch) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(7, 5000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::vector<BatchQuery> queries;
+  for (int i = 0; i < 40; ++i) {
+    queries.push_back(BatchQuery{test_helpers::random_root_leaf_path(t, rng),
+                                 test_helpers::random_query(t, rng)});
+  }
+  pram::Machine m(256);
+  const auto batch = coop::coop_search_batch(cs, m, queries);
+  ASSERT_EQ(batch.results.size(), queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (std::size_t i = 0; i < queries[qi].path.size(); ++i) {
+      ASSERT_EQ(batch.results[qi].proper_index[i],
+                test_helpers::brute_find(t, queries[qi].path[i],
+                                         queries[qi].y))
+          << "query " << qi << " node " << i;
+    }
+  }
+}
+
+TEST(Batch, OneRoundWhenQueriesFitTheMachine) {
+  std::mt19937_64 rng(2);
+  const auto t = cat::make_balanced_binary(5, 500, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::vector<BatchQuery> queries(8);
+  for (auto& q : queries) {
+    q.path = test_helpers::random_root_leaf_path(t, rng);
+    q.y = test_helpers::random_query(t, rng);
+  }
+  pram::Machine m(64);
+  const auto batch = coop::coop_search_batch(cs, m, queries);
+  EXPECT_EQ(batch.rounds, 1u);
+  EXPECT_EQ(batch.procs_per_query, 8u);
+}
+
+TEST(Batch, MultipleRoundsWhenOversubscribed) {
+  std::mt19937_64 rng(3);
+  const auto t = cat::make_balanced_binary(5, 500, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::vector<BatchQuery> queries(10);
+  for (auto& q : queries) {
+    q.path = test_helpers::random_root_leaf_path(t, rng);
+    q.y = 42;
+  }
+  pram::Machine m(4);
+  const auto batch = coop::coop_search_batch(cs, m, queries, /*per query=*/2);
+  EXPECT_EQ(batch.rounds, 5u);  // groups of 2
+}
+
+TEST(Batch, ThroughputBeatsSerialExecution) {
+  // Total charged time for Q queries with p processors must be well below
+  // Q * (time of one query with p processors).
+  std::mt19937_64 rng(4);
+  const auto t =
+      cat::make_balanced_binary(10, 100000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::vector<BatchQuery> queries(64);
+  for (auto& q : queries) {
+    q.path = test_helpers::random_root_leaf_path(t, rng);
+    q.y = test_helpers::random_query(t, rng);
+  }
+  std::uint64_t serial = 0;
+  {
+    pram::Machine m(256);
+    for (const auto& q : queries) {
+      (void)coop::coop_search_explicit(cs, m, q.path, q.y);
+    }
+    serial = m.stats().steps;
+  }
+  std::uint64_t batched = 0;
+  {
+    pram::Machine m(256);
+    (void)coop::coop_search_batch(cs, m, queries);
+    batched = m.stats().steps;
+  }
+  EXPECT_LT(batched * 4, serial);
+}
+
+TEST(Batch, EmptyBatch) {
+  std::mt19937_64 rng(5);
+  const auto t = cat::make_balanced_binary(3, 50, CatalogShape::kUniform, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(8);
+  const auto batch = coop::coop_search_batch(cs, m, {});
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.rounds, 0u);
+  EXPECT_EQ(m.stats().steps, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+#include "core/explicit_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using coop::CoopStructure;
+
+struct Case {
+  std::uint32_t height;
+  std::size_t entries;
+  CatalogShape shape;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class ExplicitParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExplicitParam,
+    ::testing::Values(Case{0, 10, CatalogShape::kUniform, 4, 1},
+                      Case{3, 100, CatalogShape::kRandom, 1, 2},
+                      Case{3, 100, CatalogShape::kRandom, 8, 3},
+                      Case{6, 3000, CatalogShape::kUniform, 2, 4},
+                      Case{6, 3000, CatalogShape::kSkewed, 16, 5},
+                      Case{6, 3000, CatalogShape::kRootHeavy, 64, 6},
+                      Case{8, 30000, CatalogShape::kLeafHeavy, 256, 7},
+                      Case{8, 30000, CatalogShape::kRandom, 1024, 8},
+                      Case{10, 100000, CatalogShape::kSkewed, 4096, 9}));
+
+TEST_P(ExplicitParam, MatchesBruteForceOnRandomPaths) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(c.p);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    ASSERT_EQ(r.proper_index.size(), path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y))
+          << "trial " << trial << " node " << path[i] << " y=" << y;
+    }
+  }
+}
+
+TEST_P(ExplicitParam, Lemma3ProcessorRangesCoverTrueFind) {
+  // The asserts inside the search already verify Lemma 3; run a batch of
+  // adversarial queries (exact keys and off-by-one values).
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 50);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(c.p);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    for (const cat::Key y : {cat::Key(0), cat::Key(999'999'999),
+                             test_helpers::random_query(t, rng)}) {
+      const auto r = coop::coop_search_explicit(cs, m, path, y);
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y));
+      }
+    }
+  }
+}
+
+TEST_P(ExplicitParam, UsesTheRightSubstructure) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 99);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(c.p);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  const auto r = coop::coop_search_explicit(cs, m, path, 42);
+  EXPECT_EQ(r.substructure_used,
+            coop::Params::substructure_for(c.p, cs.substructure_count()));
+}
+
+TEST(Explicit, StepsDecreaseWithMoreProcessors) {
+  std::mt19937_64 rng(123);
+  const auto t =
+      cat::make_balanced_binary(12, 500000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  const cat::Key y = 314159265;
+  std::uint64_t steps_small = 0, steps_big = 0;
+  {
+    pram::Machine m(4);
+    (void)coop::coop_search_explicit(cs, m, path, y);
+    steps_small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 16);
+    (void)coop::coop_search_explicit(cs, m, path, y);
+    steps_big = m.stats().steps;
+  }
+  EXPECT_LT(steps_big, steps_small);
+}
+
+TEST(Explicit, HopCountMatchesTruncationGeometry) {
+  std::mt19937_64 rng(321);
+  const auto t =
+      cat::make_balanced_binary(10, 100000, CatalogShape::kUniform, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  for (std::size_t p : {2, 16, 1024}) {
+    pram::Machine m(p);
+    const auto r = coop::coop_search_explicit(cs, m, path, 5555);
+    const auto& sub = cs.substructure(r.substructure_used);
+    // hops == ceil(trunc / h); tail == height - trunc.
+    EXPECT_EQ(r.hops, (sub.trunc_level + sub.h - 1) / sub.h);
+    EXPECT_EQ(r.sequential_tail, t.height() - sub.trunc_level);
+  }
+}
+
+TEST(Explicit, SegmentSearchFromMidTree) {
+  std::mt19937_64 rng(555);
+  const auto t =
+      cat::make_balanced_binary(8, 20000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(64);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto chain = test_helpers::random_chain(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto r = coop::coop_search_segment(cs, m, chain, y);
+    ASSERT_EQ(r.proper_index.size(), chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, chain[i], y));
+    }
+  }
+}
+
+TEST(Explicit, ChooseSampleFindsNextBackSample) {
+  std::mt19937_64 rng(777);
+  const auto t = cat::make_balanced_binary(6, 5000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto& sub = cs.substructure(0);
+  const auto& block = sub.blocks[0];
+  const std::size_t tsize = s.aug(block.root).size();
+  pram::Machine m(8);
+  for (std::size_t pos = 0; pos < tsize; pos += 7) {
+    const auto choice = coop::detail::choose_sample(m, block, tsize, sub.s, pos);
+    EXPECT_GE(choice.position, pos);
+    EXPECT_LT(choice.position - pos, sub.s);
+    EXPECT_EQ((tsize - 1 - choice.position) % sub.s, 0u);
+    EXPECT_EQ(static_cast<std::size_t>(block.skel_at(choice.j, 0)),
+              choice.position);
+  }
+}
+
+}  // namespace

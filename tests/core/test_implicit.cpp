@@ -1,0 +1,187 @@
+#include "core/implicit_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using cat::NodeId;
+using coop::CoopStructure;
+
+/// Assign BST split keys by inorder position (so "branch left iff
+/// x <= split(v)" satisfies the consistency assumption).
+std::vector<cat::Key> bst_splits(const cat::Tree& t) {
+  std::vector<cat::Key> split(t.num_nodes());
+  std::vector<NodeId> inorder;
+  std::vector<std::pair<NodeId, int>> stack{{t.root(), 0}};
+  while (!stack.empty()) {
+    auto& [v, state] = stack.back();
+    if (state == 0) {
+      state = 1;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[0], 0});
+        continue;
+      }
+    }
+    if (state == 1) {
+      inorder.push_back(v);
+      state = 2;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[1], 0});
+        continue;
+      }
+    }
+    stack.pop_back();
+  }
+  for (std::size_t i = 0; i < inorder.size(); ++i) {
+    split[inorder[i]] = cat::Key(i) * 100;
+  }
+  return split;
+}
+
+struct Case {
+  std::uint32_t height;
+  std::size_t entries;
+  CatalogShape shape;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class ImplicitParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ImplicitParam,
+    ::testing::Values(Case{1, 20, CatalogShape::kUniform, 4, 1},
+                      Case{4, 500, CatalogShape::kRandom, 2, 2},
+                      Case{4, 500, CatalogShape::kRandom, 32, 3},
+                      Case{6, 5000, CatalogShape::kSkewed, 8, 4},
+                      Case{6, 5000, CatalogShape::kRootHeavy, 128, 5},
+                      Case{8, 40000, CatalogShape::kLeafHeavy, 512, 6},
+                      Case{8, 40000, CatalogShape::kRandom, 4096, 7}));
+
+TEST_P(ImplicitParam, FollowsBstPathAndFindsMatchBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto split = bst_splits(t);
+  pram::Machine m(c.p);
+  for (int trial = 0; trial < 50; ++trial) {
+    const cat::Key x = cat::Key(rng() % (t.num_nodes() * 100));
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto branch = [&](NodeId v, std::size_t) -> std::uint32_t {
+      return x <= split[v] ? 0 : 1;
+    };
+    const auto r = coop::coop_search_implicit(cs, m, y, branch);
+    // Expected BST path.
+    NodeId v = t.root();
+    ASSERT_EQ(r.path.size(), t.height() + 1);
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      ASSERT_EQ(r.path[i], v) << "trial " << trial << " depth " << i;
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, v, y));
+      if (!t.is_leaf(v)) {
+        v = t.children(v)[x <= split[v] ? 0 : 1];
+      }
+    }
+  }
+}
+
+TEST_P(ImplicitParam, AgreesWithSequentialImplicitSearch) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 40);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto split = bst_splits(t);
+  pram::Machine m(c.p);
+  for (int trial = 0; trial < 30; ++trial) {
+    const cat::Key x = cat::Key(rng() % (t.num_nodes() * 100));
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto branch = [&](NodeId v, std::size_t) -> std::uint32_t {
+      return x <= split[v] ? 0 : 1;
+    };
+    const auto coop_r = coop::coop_search_implicit(cs, m, y, branch);
+    const auto seq_r = fc::search_implicit(s, y, branch);
+    ASSERT_EQ(coop_r.path, seq_r.path);
+    ASSERT_EQ(coop_r.proper_index, seq_r.proper_index);
+  }
+}
+
+TEST(Implicit, ExtremeBranchesReachOuterLeaves) {
+  std::mt19937_64 rng(11);
+  const auto t = cat::make_balanced_binary(7, 2000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(64);
+  const auto all_left = [](NodeId, std::size_t) -> std::uint32_t { return 0; };
+  const auto all_right = [](NodeId, std::size_t) -> std::uint32_t { return 1; };
+  const auto rl = coop::coop_search_implicit(cs, m, 42, all_left);
+  const auto rr = coop::coop_search_implicit(cs, m, 42, all_right);
+  // Leftmost / rightmost leaves.
+  NodeId v = t.root();
+  while (!t.is_leaf(v)) {
+    v = t.children(v)[0];
+  }
+  EXPECT_EQ(rl.path.back(), v);
+  v = t.root();
+  while (!t.is_leaf(v)) {
+    v = t.children(v)[1];
+  }
+  EXPECT_EQ(rr.path.back(), v);
+}
+
+TEST(Implicit, CustomResolverSeesWholeBlock) {
+  // A resolver that counts how many nodes it was shown per hop and then
+  // behaves like all-left; block sizes must match the substructure h.
+  std::mt19937_64 rng(12);
+  const auto t = cat::make_balanced_binary(8, 30000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  pram::Machine m(1 << 10);
+  std::vector<std::size_t> block_sizes;
+  const coop::HopResolver resolver =
+      [&](pram::Machine& mm, const coop::HopView& view,
+          std::span<std::uint8_t> out) {
+        block_sizes.push_back(view.block->nodes.size());
+        mm.exec(out.size(), [&](std::size_t z) { out[z] = 0; });
+      };
+  const auto seq = [](NodeId, std::size_t) -> std::uint32_t { return 0; };
+  const auto r = coop::coop_search_implicit_custom(cs, m, 7, resolver, seq);
+  const auto& sub = cs.substructure(r.substructure_used);
+  ASSERT_EQ(block_sizes.size(), r.hops);
+  for (std::size_t i = 0; i + 1 < block_sizes.size(); ++i) {
+    EXPECT_EQ(block_sizes[i], (std::size_t(1) << (sub.h + 1)) - 1);
+  }
+}
+
+TEST(Implicit, StepsDecreaseWithMoreProcessors) {
+  std::mt19937_64 rng(13);
+  const auto t =
+      cat::make_balanced_binary(12, 300000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const auto split = bst_splits(t);
+  const cat::Key x = cat::Key(t.num_nodes() * 50);
+  const auto branch = [&](NodeId v, std::size_t) -> std::uint32_t {
+    return x <= split[v] ? 0 : 1;
+  };
+  std::uint64_t steps_small = 0, steps_big = 0;
+  {
+    pram::Machine m(4);
+    (void)coop::coop_search_implicit(cs, m, 999, branch);
+    steps_small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 16);
+    (void)coop::coop_search_implicit(cs, m, 999, branch);
+    steps_big = m.stats().steps;
+  }
+  EXPECT_LT(steps_big, steps_small);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using coop::Params;
+
+TEST(Params, AlphaSolvesDefiningEquation) {
+  for (std::uint32_t b : {2u, 3u, 4u, 7u, 10u}) {
+    const Params p(b);
+    const double base = 2.0 * double(2 * b + 1) * double(2 * b + 1);
+    EXPECT_NEAR(std::pow(base, p.alpha), 2.0, 1e-9) << "b=" << b;
+    EXPECT_GT(p.alpha, 0.0);
+    EXPECT_LT(p.alpha, 0.25);  // paper: alpha < 0.25 follows from b >= 1
+  }
+}
+
+TEST(Params, HIsMonotoneAndClamped) {
+  const Params p(4);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const auto h = p.h(i);
+    EXPECT_GE(h, 1u);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+  // For large i, h ~ alpha * 2^i (until the safety clamp at 60).
+  EXPECT_NEAR(double(p.h(8)), p.alpha * 256.0, 2.0);
+  EXPECT_EQ(p.h(20), 60u);
+}
+
+TEST(Params, SMatchesFormula) {
+  const Params p(4);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto h = p.h(i);
+    double expect = (2.0 * 4 + 2);
+    for (std::uint32_t l = 0; l < h; ++l) {
+      expect *= (2.0 * 4 + 1);
+    }
+    EXPECT_EQ(double(p.s(i)), expect) << "i=" << i;
+  }
+}
+
+TEST(Params, SSaturatesInsteadOfOverflowing) {
+  const Params p(10);
+  EXPECT_GT(p.s(40), 0u);  // huge but defined
+}
+
+TEST(Params, QAndRFormulas) {
+  const Params p(4);
+  // q_l = ((2b+1)^l - 1)/2, r_l = (s_i - 1)(2b+1)^l.
+  EXPECT_EQ(p.q(0), 0u);
+  EXPECT_EQ(p.q(1), 4u);
+  EXPECT_EQ(p.q(2), 40u);
+  EXPECT_EQ(p.r(0, 1), (p.s(0) - 1) * 9);
+}
+
+TEST(Params, SubstructureCount) {
+  EXPECT_EQ(Params::substructure_count(4), 1u);
+  EXPECT_EQ(Params::substructure_count(16), 2u);
+  EXPECT_EQ(Params::substructure_count(17), 3u);
+  EXPECT_EQ(Params::substructure_count(1 << 16), 4u);
+  EXPECT_EQ(Params::substructure_count(std::size_t(1) << 20), 5u);
+}
+
+TEST(Params, SubstructureForProcessorRanges) {
+  // T_i serves 2^{2^i} < p <= 2^{2^{i+1}}.
+  const std::uint32_t count = 5;
+  EXPECT_EQ(Params::substructure_for(1, count), 0u);
+  EXPECT_EQ(Params::substructure_for(2, count), 0u);
+  EXPECT_EQ(Params::substructure_for(4, count), 0u);
+  EXPECT_EQ(Params::substructure_for(5, count), 1u);
+  EXPECT_EQ(Params::substructure_for(16, count), 1u);
+  EXPECT_EQ(Params::substructure_for(17, count), 2u);
+  EXPECT_EQ(Params::substructure_for(256, count), 2u);
+  EXPECT_EQ(Params::substructure_for(257, count), 3u);
+  EXPECT_EQ(Params::substructure_for(65536, count), 3u);
+  EXPECT_EQ(Params::substructure_for(65537, count), 4u);
+  // Clamped to the largest built substructure.
+  EXPECT_EQ(Params::substructure_for(std::size_t(1) << 40, count), count - 1);
+}
+
+TEST(Params, TruncationLevels) {
+  // trunc_i = ceil((1 - 2^-i) * height), with a floor of 1 for i = 0.
+  EXPECT_EQ(Params::truncation_level(0, 20), 1u);
+  EXPECT_EQ(Params::truncation_level(1, 20), 10u);
+  EXPECT_EQ(Params::truncation_level(2, 20), 15u);
+  EXPECT_EQ(Params::truncation_level(3, 20), 18u);
+  EXPECT_EQ(Params::truncation_level(10, 20), 20u);
+  EXPECT_EQ(Params::truncation_level(0, 0), 0u);
+}
+
+TEST(Params, TruncationCoversMoreWithLargerI) {
+  for (std::uint32_t height : {5u, 31u, 100u}) {
+    std::uint32_t prev = 0;
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const auto lvl = Params::truncation_level(i, height);
+      EXPECT_GE(lvl, prev);
+      EXPECT_LE(lvl, height);
+      prev = lvl;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,201 @@
+#include "core/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using coop::CoopStructure;
+
+struct Case {
+  std::uint32_t height;
+  std::size_t entries;
+  CatalogShape shape;
+  std::uint64_t seed;
+};
+
+class StructureParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StructureParam,
+    ::testing::Values(Case{1, 10, CatalogShape::kUniform, 1},
+                      Case{4, 200, CatalogShape::kRandom, 2},
+                      Case{6, 3000, CatalogShape::kSkewed, 3},
+                      Case{8, 20000, CatalogShape::kRootHeavy, 4},
+                      Case{8, 20000, CatalogShape::kLeafHeavy, 5},
+                      Case{10, 100000, CatalogShape::kRandom, 6}));
+
+TEST_P(StructureParam, BlocksPartitionTruncatedLevels) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    const auto& sub = cs.substructure(i);
+    // Every node at a level that is a multiple of h below trunc roots a
+    // block; block levels tile [0, trunc].
+    std::vector<int> covered(sub.trunc_level + 1, 0);
+    for (const auto& b : sub.blocks) {
+      const auto rho = t.depth(b.root);
+      EXPECT_EQ(rho % sub.h, 0u);
+      EXPECT_LT(rho, sub.trunc_level);
+      for (std::uint32_t l = 0; l <= b.height; ++l) {
+        covered[rho + l] = 1;
+      }
+      // Block nodes count: complete binary subtree of its height.
+      EXPECT_EQ(b.nodes.size(), (std::size_t(1) << (b.height + 1)) - 1);
+      EXPECT_EQ(b.inorder.size(), b.nodes.size());
+    }
+    for (std::uint32_t l = 0; l <= sub.trunc_level; ++l) {
+      EXPECT_EQ(covered[l], 1) << "level " << l << " uncovered in T_" << i;
+    }
+  }
+}
+
+TEST_P(StructureParam, Lemma1SkeletonKeysDistinct) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 10);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    for (const auto& b : cs.substructure(i).blocks) {
+      for (std::size_t z = 0; z < b.nodes.size(); ++z) {
+        std::set<std::int32_t> seen;
+        for (std::size_t j = 0; j < b.m; ++j) {
+          EXPECT_TRUE(seen.insert(b.skel_at(j, z)).second)
+              << "Lemma 1 violated: duplicate key position at block node "
+              << z << " trees " << b.m << " T_" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(StructureParam, Lemma2LinearTotalSpace) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 20);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  const std::size_t input = t.total_catalog_size() + t.num_nodes();
+  // Lemma 2: total skeleton storage O(n).  The constant absorbs the
+  // per-block sparse roots (one tree per block minimum).
+  EXPECT_LE(cs.total_skeleton_entries(), 16 * input + 64)
+      << "height " << c.height;
+}
+
+TEST_P(StructureParam, SkeletonKeysFollowBridges) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 30);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    for (const auto& b : cs.substructure(i).blocks) {
+      for (std::size_t z = 1; z < b.nodes.size(); ++z) {
+        const auto zp = static_cast<std::size_t>(b.parent_local[z]);
+        const auto slot =
+            static_cast<std::uint32_t>(t.child_slot(b.nodes[z]));
+        for (std::size_t j = 0; j < b.m; ++j) {
+          const auto expect = s.aug(b.nodes[zp]).bridge_at(
+              slot, static_cast<std::size_t>(b.skel_at(j, zp)));
+          EXPECT_EQ(b.skel_at(j, z), expect);
+        }
+      }
+    }
+  }
+}
+
+TEST(Structure, RootSamplesAreBackSamplesAtSpacingS) {
+  std::mt19937_64 rng(7);
+  const auto t = cat::make_balanced_binary(6, 5000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    const auto& sub = cs.substructure(i);
+    for (const auto& b : sub.blocks) {
+      const std::size_t tsize = s.aug(b.root).size();
+      EXPECT_EQ(b.m, (tsize + sub.s - 1) / sub.s);
+      // Last skeleton root is the +infinity terminal.
+      EXPECT_EQ(static_cast<std::size_t>(b.skel_at(b.m - 1, 0)), tsize - 1);
+      for (std::size_t j = 0; j + 1 < b.m; ++j) {
+        EXPECT_EQ(b.skel_at(j + 1, 0) - b.skel_at(j, 0),
+                  static_cast<std::int32_t>(sub.s));
+      }
+    }
+  }
+}
+
+TEST(Structure, BuildSubsetBuildsOnlyRequested) {
+  std::mt19937_64 rng(8);
+  const auto t = cat::make_balanced_binary(8, 30000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const std::vector<std::uint32_t> want{2};
+  const auto cs = CoopStructure::build_subset(s, want);
+  ASSERT_EQ(cs.substructure_count(), 1u);
+  EXPECT_EQ(cs.substructure(0).i, 2u);
+}
+
+TEST(Structure, ParallelStep2MatchesSequentialBuild) {
+  std::mt19937_64 rng(77);
+  const auto t = cat::make_balanced_binary(9, 40000,
+                                           CatalogShape::kSkewed, rng);
+  const auto s = fc::Structure::build(t);
+  const auto seq = CoopStructure::build(s);
+  pram::Machine m(256);
+  const auto par = CoopStructure::build_parallel(s, m);
+  ASSERT_EQ(seq.substructure_count(), par.substructure_count());
+  for (std::uint32_t i = 0; i < seq.substructure_count(); ++i) {
+    const auto& a = seq.substructure(i);
+    const auto& b = par.substructure(i);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    ASSERT_EQ(a.skeleton_entries, b.skeleton_entries);
+    for (std::size_t k = 0; k < a.blocks.size(); ++k) {
+      ASSERT_EQ(a.blocks[k].m, b.blocks[k].m);
+      ASSERT_EQ(a.blocks[k].skel, b.blocks[k].skel) << "T_" << i;
+    }
+  }
+  EXPECT_GT(m.stats().work, 0u);
+}
+
+TEST(Structure, ParallelStep2DepthIsLogarithmic) {
+  std::mt19937_64 rng(78);
+  std::uint64_t prev = 0;
+  for (std::uint32_t h : {8u, 10u, 12u}) {
+    const std::size_t n = std::size_t(1) << (h + 4);
+    const auto t = cat::make_balanced_binary(h, n, CatalogShape::kRandom, rng);
+    const auto s = fc::Structure::build(t);
+    pram::Machine m(std::max<std::size_t>(1, n / h));  // n / log n procs
+    (void)CoopStructure::build_parallel(s, m);
+    const double logn = std::log2(double(n));
+    // Depth: per substructure ~trunc/h levels... bounded by a modest
+    // multiple of log n across all substructures.
+    EXPECT_LE(double(m.stats().steps), 12.0 * logn) << "h=" << h;
+    EXPECT_GE(m.stats().steps, prev);
+    prev = m.stats().steps;
+  }
+}
+
+TEST(Structure, SpaceDecaysGeometricallyAcrossSubstructures) {
+  // Lemma 2's mechanism: the truncation keeps the total near the largest
+  // substructure.  Check that the per-i sizes do not blow up the sum.
+  std::mt19937_64 rng(9);
+  const auto t =
+      cat::make_balanced_binary(12, 200000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::size_t largest = 0;
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    largest = std::max(largest, cs.substructure(i).skeleton_entries);
+  }
+  EXPECT_LE(cs.total_skeleton_entries(), 4 * largest + 64);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "fc/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using fc::Structure;
+
+struct BuildCase {
+  std::uint32_t height;
+  std::size_t entries;
+  CatalogShape shape;
+  std::uint64_t seed;
+};
+
+class FcBuildParam : public ::testing::TestWithParam<BuildCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FcBuildParam,
+    ::testing::Values(BuildCase{0, 10, CatalogShape::kUniform, 1},
+                      BuildCase{1, 0, CatalogShape::kUniform, 2},
+                      BuildCase{3, 50, CatalogShape::kRandom, 3},
+                      BuildCase{5, 500, CatalogShape::kUniform, 4},
+                      BuildCase{5, 500, CatalogShape::kRootHeavy, 5},
+                      BuildCase{5, 500, CatalogShape::kLeafHeavy, 6},
+                      BuildCase{5, 500, CatalogShape::kSkewed, 7},
+                      BuildCase{8, 5000, CatalogShape::kSkewed, 8},
+                      BuildCase{10, 20000, CatalogShape::kRandom, 9}));
+
+TEST_P(FcBuildParam, PropertiesHold) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = Structure::build(t);
+  EXPECT_EQ(s.verify_properties(), "");
+}
+
+TEST_P(FcBuildParam, AugFindMapsToProperFind) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 100);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = Structure::build(t);
+  for (int trial = 0; trial < 200; ++trial) {
+    const cat::NodeId v = cat::NodeId(rng() % t.num_nodes());
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const std::size_t aug = s.aug_find(v, y);
+    EXPECT_EQ(s.to_proper(v, aug), test_helpers::brute_find(t, v, y));
+  }
+}
+
+TEST_P(FcBuildParam, LinearSpace) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 200);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto s = Structure::build(t);
+  // With k = 4 on a binary tree, total augmented size <= 2 * (catalogs +
+  // sentinels); allow slack for small trees.
+  const std::size_t input = t.total_catalog_size() + t.num_nodes();
+  EXPECT_LE(s.total_aug_entries(), 3 * input + 8);
+}
+
+TEST(FcBuild, AutoSampleFactorExceedsDegree) {
+  std::mt19937_64 rng(42);
+  const auto t = cat::make_random_tree(100, 5, 500, CatalogShape::kRandom, rng);
+  EXPECT_GT(fc::auto_sample_k(t), t.max_degree());
+  const auto s = Structure::build(t);
+  EXPECT_EQ(s.verify_properties(), "");
+}
+
+TEST(FcBuild, GeneralTreesWork) {
+  std::mt19937_64 rng(43);
+  for (std::size_t deg : {1u, 3u, 6u}) {
+    const auto t =
+        cat::make_random_tree(80, deg, 400, CatalogShape::kRandom, rng);
+    const auto s = Structure::build(t);
+    EXPECT_EQ(s.verify_properties(), "") << "degree " << deg;
+    for (int trial = 0; trial < 100; ++trial) {
+      const cat::NodeId v = cat::NodeId(rng() % t.num_nodes());
+      const cat::Key y = test_helpers::random_query(t, rng);
+      EXPECT_EQ(s.to_proper(v, s.aug_find(v, y)),
+                test_helpers::brute_find(t, v, y));
+    }
+  }
+}
+
+TEST(FcBuild, BridgeWalkNeverExceedsB) {
+  std::mt19937_64 rng(44);
+  const auto t =
+      cat::make_balanced_binary(6, 2000, CatalogShape::kSkewed, rng);
+  const auto s = Structure::build(t);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    std::size_t i = s.aug_find(path[0], y);
+    for (std::size_t step = 1; step < path.size(); ++step) {
+      fc::SearchStats st;
+      const auto slot =
+          static_cast<std::uint32_t>(t.child_slot(path[step]));
+      i = s.follow_bridge(path[step - 1], i, slot, y, &st);
+      EXPECT_LE(st.bridge_walks, s.fanout_bound());
+    }
+  }
+}
+
+TEST(FcBuild, SampleIndexGeometry) {
+  fc::SampleIndex si{10, 4};
+  EXPECT_EQ(si.count(), 3u);  // positions 1, 5, 9
+  EXPECT_EQ(si.position(0), 1u);
+  EXPECT_EQ(si.position(1), 5u);
+  EXPECT_EQ(si.position(2), 9u);
+  fc::SampleIndex exact{8, 4};
+  EXPECT_EQ(exact.count(), 2u);  // positions 3, 7
+  EXPECT_EQ(exact.position(0), 3u);
+  EXPECT_EQ(exact.position(1), 7u);
+  fc::SampleIndex one{1, 4};
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_EQ(one.position(0), 0u);
+}
+
+}  // namespace

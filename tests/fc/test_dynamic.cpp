@@ -1,0 +1,167 @@
+#include "fc/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using cat::Key;
+using cat::NodeId;
+using fc::DynamicStructure;
+
+/// Reference model: one ordered map per node.
+struct Model {
+  std::vector<std::map<Key, std::uint64_t>> cats;
+
+  explicit Model(const cat::Tree& t) : cats(t.num_nodes()) {
+    for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+      const auto& c = t.catalog(NodeId(v));
+      for (std::size_t i = 0; i < c.real_size(); ++i) {
+        cats[v][c.key(i)] = c.payload(i);
+      }
+    }
+  }
+
+  DynamicStructure::Entry find(NodeId v, Key y) const {
+    const auto it = cats[v].lower_bound(y);
+    if (it == cats[v].end()) {
+      return {};
+    }
+    return {it->first, it->second};
+  }
+};
+
+TEST(Dynamic, FindMatchesModelUnderRandomUpdates) {
+  std::mt19937_64 rng(1);
+  auto tree = cat::make_balanced_binary(5, 300, CatalogShape::kRandom, rng);
+  Model model(tree);
+  DynamicStructure dyn(std::move(tree));
+  const std::size_t nodes = dyn.tree().num_nodes();
+
+  for (int op = 0; op < 3000; ++op) {
+    const NodeId v = NodeId(rng() % nodes);
+    const Key k = Key(rng() % 5000) * 3;
+    switch (rng() % 3) {
+      case 0: {
+        const bool did = dyn.insert(v, k, std::uint64_t(op));
+        const bool expect = model.cats[v].find(k) == model.cats[v].end();
+        ASSERT_EQ(did, expect) << "op " << op;
+        if (did && model.cats[v].find(k) == model.cats[v].end()) {
+          model.cats[v][k] = std::uint64_t(op);
+        }
+        break;
+      }
+      case 1: {
+        const bool did = dyn.erase(v, k);
+        ASSERT_EQ(did, model.cats[v].erase(k) > 0) << "op " << op;
+        break;
+      }
+      default: {
+        const Key y = Key(rng() % 16000);
+        const auto got = dyn.find(v, y);
+        const auto expect = model.find(v, y);
+        ASSERT_EQ(got.key, expect.key) << "op " << op << " node " << v;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(dyn.rebuilds(), 0u) << "threshold should have triggered";
+}
+
+TEST(Dynamic, ReinsertAfterDeleteResurrectsKey) {
+  std::mt19937_64 rng(2);
+  auto tree = cat::make_balanced_binary(2, 20, CatalogShape::kUniform, rng);
+  const NodeId v = tree.root();
+  const Key k = tree.catalog(v).key(0);
+  DynamicStructure dyn(std::move(tree));
+  EXPECT_TRUE(dyn.erase(v, k));
+  EXPECT_NE(dyn.find(v, k).key, k);
+  EXPECT_TRUE(dyn.insert(v, k));
+  EXPECT_EQ(dyn.find(v, k).key, k);
+  EXPECT_FALSE(dyn.insert(v, k)) << "duplicate insert must be rejected";
+}
+
+TEST(Dynamic, PathSearchMatchesPerNodeFind) {
+  std::mt19937_64 rng(3);
+  auto tree = cat::make_balanced_binary(6, 2000, CatalogShape::kSkewed, rng);
+  DynamicStructure dyn(std::move(tree));
+  const std::size_t nodes = dyn.tree().num_nodes();
+
+  for (int round = 0; round < 20; ++round) {
+    // A burst of updates...
+    for (int u = 0; u < 50; ++u) {
+      const NodeId v = NodeId(rng() % nodes);
+      const Key k = Key(rng() % 1'000'000'000);
+      if (rng() % 2 == 0) {
+        (void)dyn.insert(v, k, std::uint64_t(u));
+      } else {
+        (void)dyn.erase(v, k);
+      }
+    }
+    // ...then path queries checked against the per-node finds (which the
+    // previous test pinned to the model).
+    for (int q = 0; q < 20; ++q) {
+      const auto path = test_helpers::random_root_leaf_path(dyn.tree(), rng);
+      const Key y = Key(rng() % 1'000'000'000);
+      const auto res = dyn.search(path, y);
+      ASSERT_EQ(res.size(), path.size());
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        const auto expect = dyn.find(path[i], y);
+        ASSERT_EQ(res[i].key, expect.key) << "round " << round;
+        ASSERT_EQ(res[i].payload, expect.payload);
+      }
+    }
+  }
+}
+
+TEST(Dynamic, ExplicitRebuildClearsPending) {
+  std::mt19937_64 rng(4);
+  auto tree = cat::make_balanced_binary(3, 50, CatalogShape::kUniform, rng);
+  DynamicStructure dyn(std::move(tree), /*rebuild_fraction=*/100.0);
+  (void)dyn.insert(NodeId(0), 123456789);
+  (void)dyn.insert(NodeId(1), 23456789);
+  EXPECT_EQ(dyn.pending_updates(), 2u);
+  dyn.rebuild();
+  EXPECT_EQ(dyn.pending_updates(), 0u);
+  // The rebuilt snapshot passes the cascading property check.
+  EXPECT_EQ(dyn.snapshot().verify_properties(), "");
+  EXPECT_EQ(dyn.find(NodeId(0), 123456789).key, 123456789);
+}
+
+TEST(Dynamic, SizeTracksLiveEntries) {
+  std::mt19937_64 rng(5);
+  auto tree = cat::make_balanced_binary(3, 100, CatalogShape::kRandom, rng);
+  const std::size_t initial = tree.total_catalog_size();
+  DynamicStructure dyn(std::move(tree));
+  EXPECT_EQ(dyn.size(), initial);
+  const NodeId v = NodeId(3);
+  ASSERT_TRUE(dyn.insert(v, 999999999));
+  EXPECT_EQ(dyn.size(), initial + 1);
+  ASSERT_TRUE(dyn.erase(v, 999999999));
+  EXPECT_EQ(dyn.size(), initial);
+}
+
+TEST(Dynamic, SearchCostStaysLogarithmicAfterRebuilds) {
+  std::mt19937_64 rng(6);
+  auto tree = cat::make_balanced_binary(8, 20000, CatalogShape::kRandom, rng);
+  DynamicStructure dyn(std::move(tree), 0.1);
+  const std::size_t nodes = dyn.tree().num_nodes();
+  for (int u = 0; u < 5000; ++u) {
+    (void)dyn.insert(NodeId(rng() % nodes), Key(rng() % 1'000'000'000));
+  }
+  EXPECT_GT(dyn.rebuilds(), 1u);
+  const auto path = test_helpers::random_root_leaf_path(dyn.tree(), rng);
+  fc::SearchStats st;
+  (void)dyn.search(path, 500'000'000, &st);
+  const double logn = std::log2(double(dyn.size()));
+  EXPECT_LE(st.comparisons, 2 * logn + 10);
+  EXPECT_LE(st.bridge_walks, dyn.snapshot().fanout_bound() * path.size());
+}
+
+}  // namespace

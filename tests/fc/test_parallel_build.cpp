@@ -1,0 +1,92 @@
+#include "fc/parallel_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+#include "pram/primitives.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+
+void expect_identical(const fc::Structure& a, const fc::Structure& b) {
+  ASSERT_EQ(a.sample_k(), b.sample_k());
+  const auto& t = a.tree();
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const auto& aa = a.aug(cat::NodeId(v));
+    const auto& bb = b.aug(cat::NodeId(v));
+    ASSERT_EQ(aa.keys, bb.keys) << "node " << v;
+    ASSERT_EQ(aa.proper, bb.proper) << "node " << v;
+    ASSERT_EQ(aa.bridge, bb.bridge) << "node " << v;
+  }
+}
+
+struct Case {
+  std::uint32_t height;
+  std::size_t entries;
+  CatalogShape shape;
+  std::uint64_t seed;
+};
+
+class ParBuildParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParBuildParam,
+    ::testing::Values(Case{0, 5, CatalogShape::kUniform, 1},
+                      Case{2, 0, CatalogShape::kUniform, 2},
+                      Case{4, 300, CatalogShape::kRandom, 3},
+                      Case{6, 2000, CatalogShape::kSkewed, 4},
+                      Case{6, 2000, CatalogShape::kRootHeavy, 5},
+                      Case{8, 10000, CatalogShape::kLeafHeavy, 6}));
+
+TEST_P(ParBuildParam, MatchesSequentialBuild) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape, rng);
+  const auto seq = fc::Structure::build(t);
+  pram::Machine m(64);
+  const auto par = fc::build_parallel(t, m);
+  expect_identical(seq, par);
+}
+
+TEST(ParBuild, GeneralTreeMatches) {
+  std::mt19937_64 rng(77);
+  const auto t = cat::make_random_tree(60, 3, 400, CatalogShape::kRandom, rng);
+  const auto seq = fc::Structure::build(t);
+  pram::Machine m(16);
+  const auto par = fc::build_parallel(t, m);
+  expect_identical(seq, par);
+}
+
+TEST(ParBuild, DepthScalesPolylog) {
+  // With p ~ n processors the measured depth should grow like log^2 n
+  // (see DESIGN.md deviation 1), far below n.
+  std::mt19937_64 rng(88);
+  std::uint64_t prev_depth = 0;
+  for (std::uint32_t h : {6u, 8u, 10u}) {
+    const std::size_t n = std::size_t(1) << (h + 4);
+    const auto t = cat::make_balanced_binary(h, n, CatalogShape::kRandom, rng);
+    pram::Machine m(n);
+    (void)fc::build_parallel(t, m);
+    const double logn = std::log2(double(n));
+    EXPECT_LE(m.stats().steps, 30 * logn * logn) << "h=" << h;
+    EXPECT_GT(m.stats().steps, prev_depth);  // monotone in n
+    prev_depth = m.stats().steps;
+  }
+}
+
+TEST(ParBuild, WorkNearLinearTimesLog) {
+  std::mt19937_64 rng(99);
+  const std::uint32_t h = 9;
+  const std::size_t n = 1 << 14;
+  const auto t = cat::make_balanced_binary(h, n, CatalogShape::kRandom, rng);
+  pram::Machine m(256);
+  (void)fc::build_parallel(t, m);
+  const double logn = std::log2(double(n));
+  const double input = double(n + t.num_nodes());
+  EXPECT_LE(double(m.stats().work), 40.0 * input * logn);
+}
+
+}  // namespace

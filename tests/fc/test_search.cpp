@@ -1,0 +1,137 @@
+#include "fc/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using fc::Structure;
+
+TEST(FcSearch, ExplicitMatchesBruteForce) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(7, 3000, CatalogShape::kRandom, rng);
+  const auto s = Structure::build(t);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto r = fc::search_explicit(s, path, y);
+    ASSERT_EQ(r.proper_index.size(), path.size());
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y))
+          << "trial " << trial << " node " << path[i];
+    }
+  }
+}
+
+TEST(FcSearch, ExplicitComparisonBoundLogNPlusMB) {
+  std::mt19937_64 rng(2);
+  const auto t =
+      cat::make_balanced_binary(10, 100000, CatalogShape::kRandom, rng);
+  const auto s = Structure::build(t);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  fc::SearchStats st;
+  (void)fc::search_explicit(s, path, 500'000'000, &st);
+  // One binary search O(log n) plus <= b walk per node.
+  const double logn = std::log2(double(t.total_catalog_size()));
+  EXPECT_LE(st.comparisons, 2 * logn + 10);
+  EXPECT_LE(st.bridge_walks, s.fanout_bound() * path.size());
+}
+
+TEST(FcSearch, BaselineDoesMoreComparisonsOnDeepTrees) {
+  std::mt19937_64 rng(3);
+  const auto t =
+      cat::make_balanced_binary(10, 50000, CatalogShape::kUniform, rng);
+  const auto s = Structure::build(t);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  fc::SearchStats fc_st, base_st;
+  const cat::Key y = 123456789;
+  const auto a = fc::search_explicit(s, path, y, &fc_st);
+  const auto b = fc::search_binary_baseline(t, path, y, &base_st);
+  ASSERT_EQ(a.proper_index, b.proper_index);
+  EXPECT_LT(fc_st.comparisons + fc_st.bridge_walks, base_st.comparisons);
+}
+
+TEST(FcSearch, ImplicitBstSemantics) {
+  // Build a binary search tree over node split keys: branch left iff
+  // y <= split(v).  The implicit search must follow exactly the BST path.
+  std::mt19937_64 rng(4);
+  const auto t = cat::make_balanced_binary(6, 1000, CatalogShape::kRandom, rng);
+  const auto s = Structure::build(t);
+  // Assign splits by inorder position so the BST property holds: node at
+  // heap index v covers an inorder interval; use midpoint keys.
+  const std::size_t n_nodes = t.num_nodes();
+  std::vector<cat::Key> split(n_nodes);
+  // Inorder numbering of a complete binary heap.
+  std::vector<cat::NodeId> inorder;
+  {
+    std::vector<std::pair<cat::NodeId, int>> stack{{t.root(), 0}};
+    while (!stack.empty()) {
+      auto& [v, state] = stack.back();
+      if (state == 0) {
+        state = 1;
+        if (!t.is_leaf(v)) {
+          stack.push_back({t.children(v)[0], 0});
+          continue;
+        }
+      }
+      if (state == 1) {
+        inorder.push_back(v);
+        state = 2;
+        if (!t.is_leaf(v)) {
+          stack.push_back({t.children(v)[1], 0});
+          continue;
+        }
+      }
+      stack.pop_back();
+    }
+  }
+  for (std::size_t i = 0; i < inorder.size(); ++i) {
+    split[inorder[i]] = cat::Key(i) * 1000;
+  }
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const cat::Key x = cat::Key(rng() % (n_nodes * 1000));
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto branch = [&](cat::NodeId v, std::size_t) -> std::uint32_t {
+      return x <= split[v] ? 0 : 1;
+    };
+    const auto r = fc::search_implicit(s, y, branch);
+    // Check the path is the BST path for x.
+    cat::NodeId v = t.root();
+    for (std::size_t i = 0; i < r.path.size(); ++i) {
+      ASSERT_EQ(r.path[i], v);
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, v, y));
+      if (!t.is_leaf(v)) {
+        v = t.children(v)[x <= split[v] ? 0 : 1];
+      }
+    }
+    EXPECT_EQ(r.path.size(), t.height() + 1);
+  }
+}
+
+TEST(FcSearch, ValidRootPath) {
+  std::mt19937_64 rng(5);
+  const auto t = cat::make_balanced_binary(3, 10, CatalogShape::kUniform, rng);
+  const auto good = test_helpers::random_root_leaf_path(t, rng);
+  EXPECT_TRUE(fc::valid_root_path(t, good));
+  std::vector<cat::NodeId> bad{t.children(t.root())[0]};
+  EXPECT_FALSE(fc::valid_root_path(t, bad));
+  std::vector<cat::NodeId> skip{t.root(),
+                                t.children(t.children(t.root())[0])[0]};
+  EXPECT_FALSE(fc::valid_root_path(t, skip));
+}
+
+TEST(FcSearch, SingleNodeTree) {
+  std::mt19937_64 rng(6);
+  const auto t = cat::make_balanced_binary(0, 20, CatalogShape::kUniform, rng);
+  const auto s = Structure::build(t);
+  const std::vector<cat::NodeId> path{t.root()};
+  const auto r = fc::search_explicit(s, path, 5);
+  EXPECT_EQ(r.proper_index[0], test_helpers::brute_find(t, t.root(), 5));
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+#include "geom/subdivision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/generators.hpp"
+
+namespace {
+
+using geom::MonotoneSubdivision;
+using geom::Point;
+using geom::SubEdge;
+
+TEST(Primitives, Orientation) {
+  const Point a{0, 0}, b{0, 10};
+  EXPECT_EQ(geom::orientation(a, b, Point{-5, 5}), 1);   // left
+  EXPECT_EQ(geom::orientation(a, b, Point{5, 5}), -1);   // right
+  EXPECT_EQ(geom::orientation(a, b, Point{0, 7}), 0);    // on
+  const Point c{10, 10};
+  EXPECT_EQ(geom::orientation(a, c, Point{0, 10}), 1);
+  EXPECT_EQ(geom::orientation(a, c, Point{10, 0}), -1);
+}
+
+TEST(SubEdge, SpansAndSide) {
+  SubEdge e;
+  e.lo = Point{100, 0};
+  e.hi = Point{200, 1000};
+  e.min_sep = 1;
+  e.max_sep = 3;
+  EXPECT_TRUE(e.spans(500));
+  EXPECT_FALSE(e.spans(0));
+  EXPECT_FALSE(e.spans(1000));
+  EXPECT_EQ(e.side(Point{0, 500}), 1);
+  EXPECT_EQ(e.side(Point{1000, 500}), -1);
+  EXPECT_EQ(e.left_region(), 0);
+  EXPECT_EQ(e.right_region(), 3);
+}
+
+class GeneratorParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(2, 1),
+                      std::make_pair<std::size_t, std::size_t>(2, 5),
+                      std::make_pair<std::size_t, std::size_t>(8, 4),
+                      std::make_pair<std::size_t, std::size_t>(16, 16),
+                      std::make_pair<std::size_t, std::size_t>(64, 10),
+                      std::make_pair<std::size_t, std::size_t>(100, 30)));
+
+TEST_P(GeneratorParam, RandomMonotoneIsValid) {
+  const auto [regions, bands] = GetParam();
+  std::mt19937_64 rng(regions * 100 + bands);
+  const auto s = geom::make_random_monotone(regions, bands, rng);
+  EXPECT_EQ(s.num_regions, regions);
+  EXPECT_EQ(s.validate(), "");
+}
+
+TEST_P(GeneratorParam, SlabsAreValid) {
+  const auto [regions, bands] = GetParam();
+  const auto s = geom::make_slabs(regions, bands);
+  EXPECT_EQ(s.validate(), "");
+  // Slabs never share edges: every edge covers exactly one separator.
+  for (const auto& e : s.edges) {
+    EXPECT_EQ(e.min_sep, e.max_sep);
+  }
+}
+
+TEST_P(GeneratorParam, QueriesAvoidEdgesAndLevels) {
+  const auto [regions, bands] = GetParam();
+  std::mt19937_64 rng(regions * 7 + bands);
+  const auto s = geom::make_random_monotone(regions, bands, rng);
+  for (int t = 0; t < 50; ++t) {
+    const Point q = geom::random_query_point(s, rng);
+    EXPECT_GT(q.y, s.ymin);
+    EXPECT_LT(q.y, s.ymax);
+    EXPECT_EQ(q.y % 2, 1);  // odd: never a vertex level
+    for (const auto& e : s.edges) {
+      if (e.spans(q.y)) {
+        EXPECT_NE(e.side(q), 0);
+      }
+    }
+  }
+}
+
+TEST_P(GeneratorParam, JaggedIsValid) {
+  const auto [regions, verts] = GetParam();
+  std::mt19937_64 rng(regions * 13 + verts);
+  const auto s = geom::make_jagged(regions, verts, rng);
+  EXPECT_EQ(s.num_regions, regions);
+  EXPECT_EQ(s.validate(), "");
+  // No shared edges by construction.
+  for (const auto& e : s.edges) {
+    EXPECT_EQ(e.min_sep, e.max_sep);
+  }
+}
+
+TEST(Generator, JaggedChainsHaveDistinctVertexLevels) {
+  std::mt19937_64 rng(99);
+  const auto s = geom::make_jagged(8, 12, rng);
+  // At least some slanted edges (x changes across an edge).
+  bool slanted = false;
+  for (const auto& e : s.edges) {
+    if (e.lo.x != e.hi.x) {
+      slanted = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(slanted);
+}
+
+TEST(Generator, SharedEdgesActuallyOccur) {
+  std::mt19937_64 rng(42);
+  const auto s = geom::make_random_monotone(40, 20, rng);
+  bool shared = false;
+  for (const auto& e : s.edges) {
+    if (e.max_sep > e.min_sep) {
+      shared = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(shared) << "generator should produce chain-shared edges";
+}
+
+TEST(LocateBrute, SlabsGroundTruth) {
+  const auto s = geom::make_slabs(5, 2);
+  // Slab boundaries at x = 2000, 4000, 6000, 8000.
+  EXPECT_EQ(s.locate_brute(Point{100, 501}), 0u);
+  EXPECT_EQ(s.locate_brute(Point{2100, 501}), 1u);
+  EXPECT_EQ(s.locate_brute(Point{5999, 501}), 2u);
+  EXPECT_EQ(s.locate_brute(Point{6001, 501}), 3u);
+  EXPECT_EQ(s.locate_brute(Point{9001, 501}), 4u);
+}
+
+TEST(TerrainComplex, BruteLocateOrdersCells) {
+  std::mt19937_64 rng(7);
+  const auto c = geom::make_terrain_complex(4, 8, 3, rng);
+  EXPECT_EQ(c.num_cells(), 5u);
+  EXPECT_EQ(c.footprint.validate(), "");
+  // Very low and very high probes.
+  const auto q2 = geom::random_query_point(c.footprint, rng);
+  EXPECT_EQ(c.locate_brute(geom::Point3{q2.x, q2.y, 1}), 0u);
+  EXPECT_EQ(c.locate_brute(geom::Point3{q2.x, q2.y, 1'000'001}),
+            c.num_surfaces);
+  // Monotone in z.
+  std::size_t prev = 0;
+  for (geom::Coord z = 1; z < 7000; z += 100) {
+    const auto cell = c.locate_brute(geom::Point3{q2.x, q2.y, z | 1});
+    EXPECT_GE(cell, prev);
+    prev = cell;
+  }
+}
+
+TEST(TerrainComplex, HeightsStrictlyIncreasing) {
+  std::mt19937_64 rng(8);
+  const auto c = geom::make_terrain_complex(6, 10, 4, rng);
+  for (std::size_t r = 0; r < c.footprint_regions; ++r) {
+    for (std::size_t s = 1; s < c.num_surfaces; ++s) {
+      EXPECT_LT(c.z[s - 1][r], c.z[s][r]);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "catalog/tree.hpp"
+
+namespace test_helpers {
+
+/// Brute-force find(y, v): index of the smallest original-catalog entry
+/// >= y (the oracle every search result is checked against).
+inline std::size_t brute_find(const cat::Tree& t, cat::NodeId v, cat::Key y) {
+  return t.catalog(v).find(y);
+}
+
+/// A uniformly random root-to-leaf path.
+inline std::vector<cat::NodeId> random_root_leaf_path(const cat::Tree& t,
+                                                      std::mt19937_64& rng) {
+  std::vector<cat::NodeId> path{t.root()};
+  while (!t.is_leaf(path.back())) {
+    const auto kids = t.children(path.back());
+    path.push_back(kids[rng() % kids.size()]);
+  }
+  return path;
+}
+
+/// A random downward chain starting anywhere (for segment searches).
+inline std::vector<cat::NodeId> random_chain(const cat::Tree& t,
+                                             std::mt19937_64& rng) {
+  cat::NodeId start = cat::NodeId(rng() % t.num_nodes());
+  std::vector<cat::NodeId> path{start};
+  while (!t.is_leaf(path.back()) && rng() % 8 != 0) {
+    const auto kids = t.children(path.back());
+    path.push_back(kids[rng() % kids.size()]);
+  }
+  return path;
+}
+
+/// Query keys worth probing: exact keys, off-by-one neighbours, extremes.
+inline cat::Key random_query(const cat::Tree& t, std::mt19937_64& rng,
+                             cat::Key key_range = 1'000'000'000) {
+  switch (rng() % 4) {
+    case 0: {
+      // An existing key (or its neighbourhood) from a random catalog.
+      const cat::NodeId v = cat::NodeId(rng() % t.num_nodes());
+      const auto& c = t.catalog(v);
+      if (c.real_size() > 0) {
+        const cat::Key k = c.key(rng() % c.real_size());
+        return k + cat::Key(rng() % 3) - 1;
+      }
+      [[fallthrough]];
+    }
+    case 1:
+      return cat::Key(rng() % key_range);
+    case 2:
+      return 0;
+    default:
+      return key_range + cat::Key(rng() % 100);
+  }
+}
+
+}  // namespace test_helpers

@@ -1,0 +1,167 @@
+// Boundary conditions across the stack: degenerate trees, empty catalogs,
+// extreme keys, minimal geometric inputs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/implicit_search.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+#include "pointloc/coop_pointloc.hpp"
+#include "range/range_tree.hpp"
+#include "range/segment_tree.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using cat::Key;
+using cat::NodeId;
+
+TEST(EdgeCases, AllCatalogsEmpty) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(5, 0, CatalogShape::kUniform, rng);
+  const auto s = fc::Structure::build(t);
+  EXPECT_EQ(s.verify_properties(), "");
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(64);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  const auto r = coop::coop_search_explicit(cs, m, path, 42);
+  // Every find lands on the +inf sentinel (index 0 of an empty catalog).
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_EQ(r.proper_index[i], 0u);
+    EXPECT_EQ(t.catalog(path[i]).key(0), cat::kInfinity);
+  }
+}
+
+TEST(EdgeCases, SingleEntryEverywhere) {
+  std::mt19937_64 rng(2);
+  auto t = cat::make_balanced_binary(4, 0, CatalogShape::kUniform, rng);
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const std::vector<Key> keys{Key(v) * 10 + 1};
+    t.set_catalog(NodeId(v), cat::Catalog::from_sorted_keys(keys));
+  }
+  const auto s = fc::Structure::build(t);
+  EXPECT_EQ(s.verify_properties(), "");
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(16);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  for (Key y : {Key(0), Key(5), Key(1000)}) {
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y));
+    }
+  }
+}
+
+TEST(EdgeCases, ExtremeKeys) {
+  std::mt19937_64 rng(3);
+  const auto t = cat::make_balanced_binary(6, 1000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(256);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  for (Key y : {std::numeric_limits<Key>::min(), Key(-1), Key(0),
+                cat::kInfinity - 1}) {
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y))
+          << "y=" << y;
+    }
+  }
+}
+
+TEST(EdgeCases, HeightZeroTree) {
+  std::mt19937_64 rng(4);
+  const auto t = cat::make_balanced_binary(0, 100, CatalogShape::kUniform, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s);
+  for (std::size_t p : {1, 7, 1000}) {
+    pram::Machine m(p);
+    const std::vector<NodeId> path{t.root()};
+    const auto r = coop::coop_search_explicit(cs, m, path, 12345);
+    EXPECT_EQ(r.proper_index[0], test_helpers::brute_find(t, t.root(), 12345));
+  }
+}
+
+TEST(EdgeCases, ProcessorCountsAroundSubstructureBoundaries) {
+  std::mt19937_64 rng(5);
+  const auto t = cat::make_balanced_binary(8, 30000, CatalogShape::kSkewed, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  // p around 2^{2^i} boundaries: 4, 5, 16, 17, 256, 257, 65536, 65537.
+  for (std::size_t p : {1, 2, 3, 4, 5, 15, 16, 17, 255, 256, 257, 65535,
+                        65536, 65537}) {
+    pram::Machine m(p);
+    const auto r = coop::coop_search_explicit(cs, m, path, 777);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], 777))
+          << "p=" << p;
+    }
+  }
+}
+
+TEST(EdgeCases, OneRegionSubdivision) {
+  std::mt19937_64 rng(6);
+  const auto sub = geom::make_random_monotone(1, 3, rng);
+  EXPECT_TRUE(sub.edges.empty());
+  const pointloc::SeparatorTree st(sub);
+  pram::Machine m(16);
+  const auto q = geom::random_query_point(sub, rng);
+  EXPECT_EQ(pointloc::coop_locate(st, m, q), 0u);
+  EXPECT_EQ(st.locate(q), 0u);
+}
+
+TEST(EdgeCases, TwoRegionSubdivision) {
+  std::mt19937_64 rng(7);
+  const auto sub = geom::make_random_monotone(2, 2, rng);
+  const pointloc::SeparatorTree st(sub);
+  pram::Machine m(8);
+  for (int t = 0; t < 50; ++t) {
+    const auto q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), sub.locate_brute(q));
+  }
+}
+
+TEST(EdgeCases, EmptySegmentSet) {
+  const range::SegmentIntersectionTree t(std::vector<range::VSegment>{});
+  pram::Machine m(8);
+  const auto ranges = t.coop_query_ranges(m, 5, 0, 100);
+  EXPECT_EQ(range::total_count(ranges), 0u);
+}
+
+TEST(EdgeCases, RangeTreeSinglePoint) {
+  const range::RangeTree2D t({range::Point2{5, 5}});
+  pram::Machine m(4);
+  auto hit = t.coop_query_ranges(m, 5, 5, 5, 5);
+  EXPECT_EQ(range::total_count(hit), 1u);
+  auto miss = t.coop_query_ranges(m, 6, 7, 5, 5);
+  EXPECT_EQ(range::total_count(miss), 0u);
+}
+
+TEST(EdgeCases, SegmentsTouchingQueryLevelBoundaries) {
+  // y == ylo is inside (half-open), y == yhi is outside.
+  std::vector<range::VSegment> segs{{10, 100, 200}};
+  const range::SegmentIntersectionTree t(std::move(segs));
+  EXPECT_EQ(t.query_brute(100, 0, 20).size(), 1u);
+  EXPECT_EQ(t.query_brute(200, 0, 20).size(), 0u);
+  auto at_lo = t.query_ranges(100, 0, 20);
+  EXPECT_EQ(range::total_count(at_lo), 1u);
+  auto at_hi = t.query_ranges(200, 0, 20);
+  EXPECT_EQ(range::total_count(at_hi), 0u);
+}
+
+TEST(EdgeCases, ImplicitOnMinimalTree) {
+  std::mt19937_64 rng(8);
+  const auto t = cat::make_balanced_binary(1, 10, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(4);
+  const auto left = [](NodeId, std::size_t) -> std::uint32_t { return 0; };
+  const auto r = coop::coop_search_implicit(cs, m, 5, left);
+  EXPECT_EQ(r.path.size(), 2u);
+  EXPECT_EQ(r.path[1], t.children(t.root())[0]);
+}
+
+}  // namespace

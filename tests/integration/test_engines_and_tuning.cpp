@@ -1,0 +1,150 @@
+// Cross-cutting integration coverage:
+//   * the thread-pool execution engine must produce the same results as
+//     the sequential engine for every search type;
+//   * the alpha_scale tuning knob must preserve correctness (Lemma 3 and
+//     Lemma 1 hold for any h_i since s_i is derived from it).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "core/implicit_search.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+#include "pointloc/coop_pointloc.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+
+TEST(ThreadsEngine, ExplicitSearchMatchesSequentialEngine) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(8, 20000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    pram::Machine seq(256, pram::Model::kCrew, pram::Engine::kSequential);
+    pram::Machine thr(256, pram::Model::kCrew, pram::Engine::kThreads);
+    const auto a = coop::coop_search_explicit(cs, seq, path, y);
+    const auto b = coop::coop_search_explicit(cs, thr, path, y);
+    ASSERT_EQ(a.proper_index, b.proper_index);
+    ASSERT_EQ(seq.stats().steps, thr.stats().steps)
+        << "accounting must not depend on the engine";
+  }
+}
+
+TEST(ThreadsEngine, PointLocationMatches) {
+  std::mt19937_64 rng(2);
+  const auto sub = geom::make_random_monotone(128, 16, rng);
+  const pointloc::SeparatorTree st(sub);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = geom::random_query_point(sub, rng);
+    pram::Machine thr(128, pram::Model::kCrew, pram::Engine::kThreads);
+    ASSERT_EQ(pointloc::coop_locate(st, thr, q), sub.locate_brute(q));
+  }
+}
+
+class AlphaScaleParam : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Scales, AlphaScaleParam,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST_P(AlphaScaleParam, ExplicitSearchStaysCorrect) {
+  const double scale = double(GetParam());
+  std::mt19937_64 rng(GetParam());
+  const auto t = cat::make_balanced_binary(9, 40000, CatalogShape::kSkewed, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s, scale);
+  for (std::size_t p : {4, 256, 65536}) {
+    pram::Machine m(p);
+    for (int trial = 0; trial < 25; ++trial) {
+      const auto path = test_helpers::random_root_leaf_path(t, rng);
+      const cat::Key y = test_helpers::random_query(t, rng);
+      const auto r = coop::coop_search_explicit(cs, m, path, y);
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        ASSERT_EQ(r.proper_index[i], test_helpers::brute_find(t, path[i], y))
+            << "scale=" << scale << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST_P(AlphaScaleParam, Lemma1StillHolds) {
+  const double scale = double(GetParam());
+  std::mt19937_64 rng(GetParam() * 7);
+  const auto t = cat::make_balanced_binary(8, 20000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s, scale);
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    for (const auto& b : cs.substructure(i).blocks) {
+      for (std::size_t z = 0; z < b.nodes.size(); ++z) {
+        std::set<std::int32_t> seen;
+        for (std::size_t j = 0; j < b.m; ++j) {
+          ASSERT_TRUE(seen.insert(b.skel_at(j, z)).second)
+              << "scale=" << scale << " T_" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AlphaScaleParam, TallerHopsReduceHopCount) {
+  const double scale = double(GetParam());
+  std::mt19937_64 rng(99);
+  const auto t = cat::make_balanced_binary(12, 200000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto base = coop::CoopStructure::build(s, 1.0);
+  const auto tuned = coop::CoopStructure::build(s, scale);
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  pram::Machine m1(4096), m2(4096);
+  const auto r1 = coop::coop_search_explicit(base, m1, path, 12345);
+  const auto r2 = coop::coop_search_explicit(tuned, m2, path, 12345);
+  EXPECT_LE(r2.hops, r1.hops);
+  EXPECT_EQ(r1.proper_index, r2.proper_index);
+}
+
+TEST(ImplicitWithTuning, BstPathStaysExact) {
+  std::mt19937_64 rng(11);
+  const auto t = cat::make_balanced_binary(7, 8000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build(s, 3.0);
+  // BST splits by inorder position.
+  std::vector<cat::Key> split(t.num_nodes());
+  std::vector<std::pair<cat::NodeId, int>> stack{{t.root(), 0}};
+  cat::Key next = 0;
+  while (!stack.empty()) {
+    auto& [v, st] = stack.back();
+    if (st == 0) {
+      st = 1;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[0], 0});
+        continue;
+      }
+    }
+    if (st == 1) {
+      split[v] = (next += 10);
+      st = 2;
+      if (!t.is_leaf(v)) {
+        stack.push_back({t.children(v)[1], 0});
+        continue;
+      }
+    }
+    stack.pop_back();
+  }
+  pram::Machine m(512);
+  for (int trial = 0; trial < 40; ++trial) {
+    const cat::Key x = cat::Key(rng() % (t.num_nodes() * 10));
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto branch = [&](cat::NodeId v, std::size_t) -> std::uint32_t {
+      return x <= split[v] ? 0 : 1;
+    };
+    const auto coop_r = coop::coop_search_implicit(cs, m, y, branch);
+    const auto seq_r = fc::search_implicit(s, y, branch);
+    ASSERT_EQ(coop_r.path, seq_r.path);
+    ASSERT_EQ(coop_r.proper_index, seq_r.proper_index);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Differential fuzzing across the whole stack: random instances x random
+// queries, every cooperative result checked against the brute-force
+// oracle and the sequential implementation.  Parameterized by seed so the
+// sweep is wide but each instance stays cheap.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/batch.hpp"
+#include "core/implicit_search.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+#include "pointloc/coop_pointloc.hpp"
+#include "range/point_enclosure.hpp"
+#include "range/range_tree.hpp"
+#include "range/segment_tree.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+TEST_P(FuzzSeed, TreeSearchStack) {
+  std::mt19937_64 rng(GetParam());
+  const std::uint32_t height = 2 + rng() % 7;
+  const std::size_t entries = 1 + rng() % 4000;
+  const auto shape = static_cast<CatalogShape>(rng() % 5);
+  const auto t = cat::make_balanced_binary(height, entries, shape, rng);
+  const auto s = fc::Structure::build(t);
+  ASSERT_EQ(s.verify_properties(), "");
+  const auto cs = coop::CoopStructure::build(s);
+  const std::size_t p = 1 + rng() % 2048;
+  pram::Machine m(p);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto coop_r = coop::coop_search_explicit(cs, m, path, y);
+    const auto seq_r = fc::search_explicit(s, path, y);
+    ASSERT_EQ(coop_r.proper_index, seq_r.proper_index);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(coop_r.proper_index[i],
+                test_helpers::brute_find(t, path[i], y));
+    }
+  }
+}
+
+TEST_P(FuzzSeed, PointLocationStack) {
+  std::mt19937_64 rng(GetParam() * 3);
+  const std::size_t regions = 1 + rng() % 200;
+  const std::size_t bands = 1 + rng() % 24;
+  const auto sub = (GetParam() % 2 == 0)
+                       ? geom::make_random_monotone(regions, bands, rng)
+                       : geom::make_jagged(regions, bands, rng);
+  ASSERT_EQ(sub.validate(), "");
+  pointloc::SeparatorTree st(sub);
+  st.precompute_gap_branches();
+  const std::size_t p = 1 + rng() % 4096;
+  pram::Machine m(p);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = geom::random_query_point(sub, rng);
+    const std::size_t expect = sub.locate_brute(q);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), expect)
+        << "regions=" << regions << " bands=" << bands << " p=" << p;
+    ASSERT_EQ(st.locate(q), expect);
+    ASSERT_EQ(st.locate_with_gaps(q), expect);
+    ASSERT_EQ(st.locate_no_bridges(q), expect);
+  }
+}
+
+TEST_P(FuzzSeed, RetrievalStack) {
+  std::mt19937_64 rng(GetParam() * 7);
+  const std::size_t n = 1 + rng() % 800;
+  const std::size_t p = 1 + rng() % 512;
+  // Segments.
+  {
+    std::vector<range::VSegment> segs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Coord x = geom::Coord(rng() % 5000) * 2;
+      const geom::Coord ylo = geom::Coord(rng() % 5000) * 2;
+      segs.push_back(
+          range::VSegment{x, ylo, ylo + 2 + geom::Coord(rng() % 3000) * 2});
+    }
+    const range::SegmentIntersectionTree t(std::move(segs));
+    pram::Machine m(p);
+    for (int trial = 0; trial < 15; ++trial) {
+      const geom::Coord y = 2 * geom::Coord(rng() % 8000) + 1;
+      const geom::Coord x1 = geom::Coord(rng() % 10000);
+      const geom::Coord x2 = x1 + geom::Coord(rng() % 10000);
+      auto got_r = t.coop_query_ranges(m, y, x1, x2);
+      auto got = range::retrieve_direct(t.tree(), m, got_r);
+      auto expect = t.query_brute(y, x1, x2);
+      std::sort(got.begin(), got.end());
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(got, expect);
+    }
+  }
+  // Rectangles.
+  {
+    std::vector<range::Rect> rects;
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Coord x1 = geom::Coord(rng() % 5000);
+      const geom::Coord y1 = geom::Coord(rng() % 5000);
+      rects.push_back(range::Rect{x1, x1 + geom::Coord(rng() % 3000), y1,
+                                  y1 + geom::Coord(rng() % 3000)});
+    }
+    const range::PointEnclosureTree t(std::move(rects));
+    pram::Machine m(p);
+    for (int trial = 0; trial < 15; ++trial) {
+      const geom::Coord x = geom::Coord(rng() % 9000);
+      const geom::Coord y = geom::Coord(rng() % 9000);
+      auto got = t.coop_query(m, x, y);
+      auto expect = t.query_brute(x, y);
+      std::sort(got.begin(), got.end());
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(got, expect);
+    }
+  }
+}
+
+TEST_P(FuzzSeed, RangeTreeStack) {
+  std::mt19937_64 rng(GetParam() * 13);
+  const std::size_t n = 1 + rng() % 600;
+  std::vector<range::Point2> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deliberately small coordinate space: many duplicates.
+    pts.push_back(range::Point2{geom::Coord(rng() % 50),
+                                geom::Coord(rng() % 50)});
+  }
+  const range::RangeTree2D t(std::move(pts));
+  pram::Machine m(1 + rng() % 1024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Coord x1 = geom::Coord(rng() % 50);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 30);
+    const geom::Coord y1 = geom::Coord(rng() % 50);
+    const geom::Coord y2 = y1 + geom::Coord(rng() % 30);
+    auto ranges = t.coop_query_ranges(m, x1, x2, y1, y2);
+    auto got = range::retrieve_direct(t.tree(), m, ranges);
+    auto expect = t.query_brute(x1, x2, y1, y2);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST_P(FuzzSeed, GeneralTreesAndBatches) {
+  std::mt19937_64 rng(GetParam() * 17);
+  const std::size_t deg = 1 + rng() % 5;
+  const auto t = cat::make_random_tree(20 + rng() % 300, deg,
+                                       100 + rng() % 2000,
+                                       CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  ASSERT_EQ(s.verify_properties(), "");
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(1 + rng() % 512);
+  std::vector<coop::BatchQuery> queries;
+  for (int i = 0; i < 10; ++i) {
+    queries.push_back(coop::BatchQuery{test_helpers::random_chain(t, rng),
+                                       test_helpers::random_query(t, rng)});
+  }
+  const auto batch = coop::coop_search_batch(cs, m, queries);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (std::size_t i = 0; i < queries[qi].path.size(); ++i) {
+      ASSERT_EQ(batch.results[qi].proper_index[i],
+                test_helpers::brute_find(t, queries[qi].path[i],
+                                         queries[qi].y));
+    }
+  }
+}
+
+}  // namespace

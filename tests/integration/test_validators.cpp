@@ -1,0 +1,178 @@
+// Negative tests: the validators must actually catch corruption.  A
+// validator that never fires is worse than none — these tests break
+// structures on purpose and assert the checks report it.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fc/build.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+
+// fc::Structure is intentionally immutable; the tests below corrupt a
+// copy of its parts and rebuild through from_parts.
+
+TEST(Validators, FcDetectsMissingTerminal) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(4, 200, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  std::vector<fc::AugCatalog> aug;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    aug.push_back(s.aug(cat::NodeId(v)));
+  }
+  aug[3].keys.back() = 12345;  // clobber the +inf terminal
+  const auto bad = fc::Structure::from_parts(t, s.sample_k(), std::move(aug));
+  // The corruption may surface first through the parent's bridge checks;
+  // any nonempty report is a catch.
+  EXPECT_FALSE(bad.verify_properties().empty());
+}
+
+TEST(Validators, FcDetectsCrossingBridges) {
+  std::mt19937_64 rng(2);
+  const auto t = cat::make_balanced_binary(4, 300, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  std::vector<fc::AugCatalog> aug;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    aug.push_back(s.aug(cat::NodeId(v)));
+  }
+  // Find an internal node with >= 2 bridge targets and swap two.
+  bool corrupted = false;
+  for (std::size_t v = 0; v < t.num_nodes() && !corrupted; ++v) {
+    auto& a = aug[v];
+    if (a.num_children == 0 || a.keys.size() < 3) {
+      continue;
+    }
+    for (std::size_t i = 0; i + 1 < a.keys.size(); ++i) {
+      if (a.bridge[i] < a.bridge[i + 1]) {
+        std::swap(a.bridge[i], a.bridge[i + 1]);
+        corrupted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const auto bad = fc::Structure::from_parts(t, s.sample_k(), std::move(aug));
+  EXPECT_FALSE(bad.verify_properties().empty());
+}
+
+TEST(Validators, FcDetectsWrongProperMapping) {
+  std::mt19937_64 rng(3);
+  const auto t = cat::make_balanced_binary(3, 200, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  std::vector<fc::AugCatalog> aug;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    aug.push_back(s.aug(cat::NodeId(v)));
+  }
+  // Find a node whose proper[] has room to be wrong.
+  bool corrupted = false;
+  for (auto& a : aug) {
+    for (auto& p : a.proper) {
+      if (p > 0) {
+        p -= 1;
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) {
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+  const auto bad = fc::Structure::from_parts(t, s.sample_k(), std::move(aug));
+  EXPECT_NE(bad.verify_properties().find("proper"), std::string::npos);
+}
+
+TEST(Validators, SubdivisionDetectsCoverageHole) {
+  geom::MonotoneSubdivision s;
+  s.num_regions = 2;
+  s.ymin = 0;
+  s.ymax = 2048;
+  // Separator 1 covers only the lower half of the strip.
+  geom::SubEdge e;
+  e.lo = geom::Point{100, 0};
+  e.hi = geom::Point{100, 1024};
+  e.min_sep = 1;
+  e.max_sep = 1;
+  s.edges.push_back(e);
+  EXPECT_NE(s.validate().find("covered"), std::string::npos);
+}
+
+TEST(Validators, SubdivisionDetectsDoubleCoverage) {
+  geom::MonotoneSubdivision s;
+  s.num_regions = 2;
+  s.ymin = 0;
+  s.ymax = 1024;
+  for (int rep = 0; rep < 2; ++rep) {
+    geom::SubEdge e;
+    e.lo = geom::Point{100 + 10 * rep, 0};
+    e.hi = geom::Point{100 + 10 * rep, 1024};
+    e.min_sep = 1;
+    e.max_sep = 1;
+    s.edges.push_back(e);
+  }
+  EXPECT_NE(s.validate().find("covered"), std::string::npos);
+}
+
+TEST(Validators, SubdivisionDetectsCrossingSeparators) {
+  geom::MonotoneSubdivision s;
+  s.num_regions = 3;
+  s.ymin = 0;
+  s.ymax = 1024;
+  geom::SubEdge a;  // separator 1 at x = 500
+  a.lo = geom::Point{500, 0};
+  a.hi = geom::Point{500, 1024};
+  a.min_sep = 1;
+  a.max_sep = 1;
+  geom::SubEdge b;  // separator 2 crossing from x=0 to... left of sep 1
+  b.lo = geom::Point{900, 0};
+  b.hi = geom::Point{100, 1024};
+  b.min_sep = 2;
+  b.max_sep = 2;
+  s.edges.push_back(a);
+  s.edges.push_back(b);
+  EXPECT_NE(s.validate().find("cross"), std::string::npos);
+}
+
+TEST(Validators, SubdivisionDetectsBadRange) {
+  geom::MonotoneSubdivision s;
+  s.num_regions = 2;
+  s.ymin = 0;
+  s.ymax = 16;
+  geom::SubEdge e;
+  e.lo = geom::Point{0, 0};
+  e.hi = geom::Point{0, 16};
+  e.min_sep = 1;
+  e.max_sep = 9;  // only separator 1 exists
+  s.edges.push_back(e);
+  EXPECT_NE(s.validate().find("range"), std::string::npos);
+}
+
+TEST(Validators, SubdivisionDetectsDownwardEdge) {
+  geom::MonotoneSubdivision s;
+  s.num_regions = 2;
+  s.ymin = 0;
+  s.ymax = 16;
+  geom::SubEdge e;
+  e.lo = geom::Point{0, 16};
+  e.hi = geom::Point{0, 0};
+  e.min_sep = 1;
+  e.max_sep = 1;
+  s.edges.push_back(e);
+  EXPECT_NE(s.validate().find("upward"), std::string::npos);
+}
+
+TEST(Validators, TreeValidateAcceptsGeneratedTrees) {
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 5; ++i) {
+    const auto t = cat::make_random_tree(50 + i * 31, 1 + i, 200,
+                                         CatalogShape::kRandom, rng);
+    EXPECT_TRUE(t.validate());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include "pointloc/coop_pointloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/generators.hpp"
+
+namespace {
+
+using geom::Point;
+using pointloc::SeparatorTree;
+
+struct Case {
+  std::size_t regions;
+  std::size_t bands;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class CoopPlParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CoopPlParam,
+    ::testing::Values(Case{2, 2, 4, 1}, Case{4, 4, 1, 2}, Case{8, 6, 2, 3},
+                      Case{16, 10, 16, 4}, Case{33, 12, 64, 5},
+                      Case{64, 16, 256, 6}, Case{128, 20, 1024, 7},
+                      Case{256, 24, 65536, 8}));
+
+TEST_P(CoopPlParam, MatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto sub = geom::make_random_monotone(c.regions, c.bands, rng);
+  ASSERT_EQ(sub.validate(), "");
+  const SeparatorTree st(sub);
+  pram::Machine m(c.p);
+  for (int t = 0; t < 100; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), sub.locate_brute(q))
+        << "q=(" << q.x << "," << q.y << ") p=" << c.p;
+  }
+}
+
+TEST_P(CoopPlParam, AgreesWithSequentialLocate) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 77);
+  const auto sub = geom::make_random_monotone(c.regions, c.bands, rng);
+  const SeparatorTree st(sub);
+  pram::Machine m(c.p);
+  for (int t = 0; t < 60; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), st.locate(q));
+  }
+}
+
+TEST(CoopPointLoc, StepsDecreaseWithMoreProcessors) {
+  std::mt19937_64 rng(9);
+  const auto sub = geom::make_random_monotone(2048, 200, rng);
+  const SeparatorTree st(sub);
+  const Point q = geom::random_query_point(sub, rng);
+  std::uint64_t steps_small = 0, steps_big = 0;
+  {
+    pram::Machine m(4);
+    (void)pointloc::coop_locate(st, m, q);
+    steps_small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 14);
+    (void)pointloc::coop_locate(st, m, q);
+    steps_big = m.stats().steps;
+  }
+  EXPECT_LT(steps_big, steps_small);
+}
+
+TEST(CoopPointLoc, HopCountMatchesSubstructureGeometry) {
+  std::mt19937_64 rng(10);
+  const auto sub = geom::make_random_monotone(512, 64, rng);
+  const SeparatorTree st(sub);
+  const Point q = geom::random_query_point(sub, rng);
+  for (std::size_t p : {2, 32, 4096}) {
+    pram::Machine m(p);
+    std::uint64_t hops = 0;
+    (void)pointloc::coop_locate(st, m, q, &hops);
+    const auto& cs = st.coop_structure();
+    const auto& subst = cs.for_processors(p);
+    EXPECT_EQ(hops, (subst.trunc_level + subst.h - 1) / subst.h);
+  }
+}
+
+TEST(CoopPointLoc, SharedEdgeHeavySubdivision) {
+  // A subdivision where most edges are shared across many separators
+  // stresses the inactive-node rule.
+  std::mt19937_64 rng(11);
+  const auto sub = geom::make_random_monotone(200, 4, rng);
+  const SeparatorTree st(sub);
+  pram::Machine m(128);
+  for (int t = 0; t < 200; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), sub.locate_brute(q));
+  }
+}
+
+TEST(CoopPointLoc, ExtremeQueriesLandInOuterRegions) {
+  std::mt19937_64 rng(12);
+  const auto sub = geom::make_random_monotone(32, 8, rng);
+  const SeparatorTree st(sub);
+  pram::Machine m(64);
+  const geom::Coord mid_y = (sub.ymin + sub.ymax) / 2 + 1;
+  EXPECT_EQ(pointloc::coop_locate(st, m, Point{-100'000'000, mid_y}), 0u);
+  EXPECT_EQ(pointloc::coop_locate(st, m, Point{100'000'000, mid_y}),
+            sub.num_regions - 1);
+}
+
+}  // namespace

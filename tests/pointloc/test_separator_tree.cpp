@@ -1,0 +1,149 @@
+#include "pointloc/separator_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+
+namespace {
+
+using geom::Point;
+using pointloc::SeparatorTree;
+
+struct Case {
+  std::size_t regions;
+  std::size_t bands;
+  std::uint64_t seed;
+};
+
+class SepTreeParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SepTreeParam,
+                         ::testing::Values(Case{1, 1, 1}, Case{2, 3, 2},
+                                           Case{3, 5, 3}, Case{8, 8, 4},
+                                           Case{17, 12, 5}, Case{64, 20, 6},
+                                           Case{100, 40, 7},
+                                           Case{256, 25, 8}));
+
+TEST_P(SepTreeParam, SequentialLocateMatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto sub = geom::make_random_monotone(c.regions, c.bands, rng);
+  ASSERT_EQ(sub.validate(), "");
+  const SeparatorTree st(sub);
+  for (int t = 0; t < 200; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(st.locate(q), sub.locate_brute(q))
+        << "q=(" << q.x << "," << q.y << ")";
+  }
+}
+
+TEST_P(SepTreeParam, NoBridgeBaselineAgrees) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 50);
+  const auto sub = geom::make_random_monotone(c.regions, c.bands, rng);
+  const SeparatorTree st(sub);
+  for (int t = 0; t < 100; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(st.locate_no_bridges(q), sub.locate_brute(q));
+  }
+}
+
+TEST_P(SepTreeParam, SlabsLocate) {
+  const auto c = GetParam();
+  const auto sub = geom::make_slabs(c.regions, c.bands);
+  const SeparatorTree st(sub);
+  std::mt19937_64 rng(c.seed + 99);
+  for (int t = 0; t < 100; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(st.locate(q), sub.locate_brute(q));
+  }
+}
+
+TEST(SeparatorTree, ProperEdgeStorageIsOncePerEdge) {
+  std::mt19937_64 rng(11);
+  const auto sub = geom::make_random_monotone(50, 20, rng);
+  const SeparatorTree st(sub);
+  std::size_t stored = 0;
+  for (std::size_t v = 0; v < st.tree().num_nodes(); ++v) {
+    stored += st.tree().catalog(cat::NodeId(v)).real_size();
+  }
+  EXPECT_EQ(stored, sub.edges.size());
+}
+
+TEST(SeparatorTree, ProperNodeIsLcaOfRange) {
+  std::mt19937_64 rng(12);
+  const auto sub = geom::make_random_monotone(32, 10, rng);
+  const SeparatorTree st(sub);
+  for (std::size_t v = 0; v < st.tree().num_nodes(); ++v) {
+    const auto& c = st.tree().catalog(cat::NodeId(v));
+    const std::int32_t m = st.separator_of(cat::NodeId(v));
+    for (std::size_t i = 0; i < c.real_size(); ++i) {
+      const auto& e = sub.edges[c.payload(i)];
+      // The separator of the storing node lies in the edge's range...
+      EXPECT_LE(e.min_sep, m);
+      EXPECT_GE(e.max_sep, m);
+      // ...and is the shallowest such tree node (LCA property): no strict
+      // ancestor's separator lies in the range.
+      cat::NodeId a = st.tree().parent(cat::NodeId(v));
+      while (a != cat::kNullNode) {
+        const std::int32_t ma = st.separator_of(a);
+        EXPECT_FALSE(e.min_sep <= ma && ma <= e.max_sep)
+            << "ancestor separator " << ma << " inside range of edge at "
+            << m;
+        a = st.tree().parent(a);
+      }
+    }
+  }
+}
+
+TEST(SeparatorTree, FcComparisonAdvantageOnQueries) {
+  std::mt19937_64 rng(13);
+  const auto sub = geom::make_random_monotone(512, 60, rng);
+  const SeparatorTree st(sub);
+  const Point q = geom::random_query_point(sub, rng);
+  fc::SearchStats bridged, plain;
+  (void)st.locate(q, &bridged);
+  (void)st.locate_no_bridges(q, &plain);
+  EXPECT_LT(bridged.comparisons + bridged.bridge_walks, plain.comparisons);
+}
+
+TEST(SeparatorTree, CascadingPropertiesHoldOnGeometricCatalogs) {
+  // The fan-out/non-crossing/mutual-density invariants must hold on the
+  // separator tree's real edge catalogs (heavily shared, very uneven
+  // sizes), not just on random synthetic ones.
+  std::mt19937_64 rng(15);
+  for (const auto& sub :
+       {geom::make_random_monotone(96, 12, rng),
+        geom::make_jagged(48, 10, rng), geom::make_slabs(64, 6)}) {
+    ASSERT_EQ(sub.validate(), "");
+    const SeparatorTree st(sub);
+    EXPECT_EQ(st.cascade().verify_properties(), "");
+  }
+}
+
+TEST(SeparatorTree, JaggedSubdivisionLocate) {
+  std::mt19937_64 rng(16);
+  const auto sub = geom::make_jagged(64, 16, rng);
+  const SeparatorTree st(sub);
+  pram::Machine m(128);
+  for (int t = 0; t < 150; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    const std::size_t expect = sub.locate_brute(q);
+    ASSERT_EQ(st.locate(q), expect);
+    ASSERT_EQ(pointloc::coop_locate(st, m, q), expect);
+  }
+}
+
+TEST(SeparatorTree, LinearSpace) {
+  std::mt19937_64 rng(14);
+  const auto sub = geom::make_random_monotone(256, 40, rng);
+  const SeparatorTree st(sub);
+  // O(n): edges + padded tree nodes, with the cascading/skeleton constant.
+  const std::size_t input = sub.edges.size() + st.tree().num_nodes();
+  EXPECT_LE(st.total_entries(), 20 * input);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+#include "pointloc/slab_index.hpp"
+
+namespace {
+
+using geom::Point;
+using pointloc::SeparatorTree;
+using pointloc::SlabIndex;
+
+class SlabParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlabParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(4, 4),
+                      std::make_pair<std::size_t, std::size_t>(32, 10),
+                      std::make_pair<std::size_t, std::size_t>(128, 24)));
+
+TEST_P(SlabParam, SlabIndexMatchesBruteForce) {
+  const auto [regions, bands] = GetParam();
+  std::mt19937_64 rng(regions + bands);
+  const auto sub = geom::make_random_monotone(regions, bands, rng);
+  const SlabIndex idx(sub);
+  for (int t = 0; t < 150; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(idx.locate(q), sub.locate_brute(q))
+        << "q=(" << q.x << "," << q.y << ")";
+  }
+}
+
+TEST(SlabIndex, SpaceBlowupOnSharedChains) {
+  // An edge spanning many bands is replicated in every slab it crosses —
+  // the space cost the separator tree avoids by storing each edge once.
+  std::mt19937_64 rng(9);
+  const auto sub = geom::make_random_monotone(64, 40, rng);
+  const SlabIndex idx(sub);
+  const SeparatorTree st(sub);
+  std::size_t stored_once = 0;
+  for (std::size_t v = 0; v < st.tree().num_nodes(); ++v) {
+    stored_once += st.tree().catalog(cat::NodeId(v)).real_size();
+  }
+  EXPECT_EQ(stored_once, sub.edges.size());
+  EXPECT_GE(idx.total_crossings(), sub.edges.size());
+}
+
+TEST_P(SlabParam, GapBranchLocateMatchesRunningMaxLocate) {
+  const auto [regions, bands] = GetParam();
+  std::mt19937_64 rng(regions * 31 + bands);
+  const auto sub = geom::make_random_monotone(regions, bands, rng);
+  SeparatorTree st(sub);
+  st.precompute_gap_branches();
+  ASSERT_TRUE(st.has_gap_branches());
+  for (int t = 0; t < 150; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    const std::size_t expect = sub.locate_brute(q);
+    ASSERT_EQ(st.locate_with_gaps(q), expect);
+    ASSERT_EQ(st.locate(q), expect);
+  }
+}
+
+TEST(GapBranches, AgreeOnSharedEdgeHeavyInput) {
+  // Few bands => many shared edges => most nodes inactive: the stored gap
+  // directions carry the whole search.
+  std::mt19937_64 rng(10);
+  const auto sub = geom::make_random_monotone(200, 3, rng);
+  SeparatorTree st(sub);
+  st.precompute_gap_branches();
+  for (int t = 0; t < 300; ++t) {
+    const Point q = geom::random_query_point(sub, rng);
+    ASSERT_EQ(st.locate_with_gaps(q), sub.locate_brute(q));
+  }
+}
+
+TEST(BatchPointLocation, MatchesSingleQueries) {
+  std::mt19937_64 rng(11);
+  const auto sub = geom::make_random_monotone(128, 16, rng);
+  const SeparatorTree st(sub);
+  std::vector<Point> queries;
+  for (int i = 0; i < 50; ++i) {
+    queries.push_back(geom::random_query_point(sub, rng));
+  }
+  pram::Machine m(512);
+  const auto got = pointloc::coop_locate_batch(st, m, queries);
+  ASSERT_EQ(got.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(got[i], sub.locate_brute(queries[i]));
+  }
+}
+
+TEST(BatchPointLocation, ThroughputBeatsSerial) {
+  std::mt19937_64 rng(12);
+  const auto sub = geom::make_random_monotone(512, 32, rng);
+  const SeparatorTree st(sub);
+  std::vector<Point> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(geom::random_query_point(sub, rng));
+  }
+  std::uint64_t serial = 0, batched = 0;
+  {
+    pram::Machine m(256);
+    for (const auto& q : queries) {
+      (void)pointloc::coop_locate(st, m, q);
+    }
+    serial = m.stats().steps;
+  }
+  {
+    pram::Machine m(256);
+    (void)pointloc::coop_locate_batch(st, m, queries);
+    batched = m.stats().steps;
+  }
+  EXPECT_LT(batched * 4, serial);
+}
+
+}  // namespace

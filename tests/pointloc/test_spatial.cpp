@@ -1,0 +1,95 @@
+#include "pointloc/spatial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace {
+
+using pointloc::SpatialTree;
+
+struct Case {
+  std::size_t surfaces;
+  std::size_t regions;
+  std::size_t bands;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class SpatialParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialParam,
+    ::testing::Values(Case{1, 2, 2, 4, 1}, Case{2, 4, 3, 2, 2},
+                      Case{5, 8, 4, 16, 3}, Case{16, 16, 6, 64, 4},
+                      Case{31, 32, 8, 1024, 5}, Case{64, 20, 10, 4096, 6}));
+
+TEST_P(SpatialParam, SequentialLocateMatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  const auto complex =
+      geom::make_terrain_complex(c.surfaces, c.regions, c.bands, rng);
+  const SpatialTree st(complex);
+  for (int t = 0; t < 100; ++t) {
+    const auto q = geom::random_query_point3(complex, rng);
+    ASSERT_EQ(st.locate(q), complex.locate_brute(q))
+        << "q=(" << q.x << "," << q.y << "," << q.z << ")";
+  }
+}
+
+TEST_P(SpatialParam, CoopLocateMatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed + 31);
+  const auto complex =
+      geom::make_terrain_complex(c.surfaces, c.regions, c.bands, rng);
+  const SpatialTree st(complex);
+  pram::Machine m(c.p);
+  for (int t = 0; t < 60; ++t) {
+    const auto q = geom::random_query_point3(complex, rng);
+    ASSERT_EQ(st.coop_locate(m, q), complex.locate_brute(q));
+  }
+}
+
+TEST(Spatial, ExtremeZ) {
+  std::mt19937_64 rng(7);
+  const auto complex = geom::make_terrain_complex(8, 8, 4, rng);
+  const SpatialTree st(complex);
+  pram::Machine m(64);
+  const auto q2 = geom::random_query_point(complex.footprint, rng);
+  EXPECT_EQ(st.coop_locate(m, geom::Point3{q2.x, q2.y, 1}), 0u);
+  EXPECT_EQ(st.coop_locate(m, geom::Point3{q2.x, q2.y, 99'999'999}),
+            complex.num_surfaces);
+}
+
+TEST(Spatial, CoopStepsImproveWithProcessors) {
+  std::mt19937_64 rng(8);
+  const auto complex = geom::make_terrain_complex(128, 64, 16, rng);
+  const SpatialTree st(complex);
+  const auto q = geom::random_query_point3(complex, rng);
+  std::uint64_t steps_small = 0, steps_big = 0;
+  {
+    pram::Machine m(4);
+    (void)st.coop_locate(m, q);
+    steps_small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 14);
+    (void)st.coop_locate(m, q);
+    steps_big = m.stats().steps;
+  }
+  EXPECT_LT(steps_big, steps_small);
+}
+
+TEST(Spatial, OuterHopsReported) {
+  std::mt19937_64 rng(9);
+  const auto complex = geom::make_terrain_complex(64, 16, 8, rng);
+  const SpatialTree st(complex);
+  pram::Machine m(256);
+  std::uint64_t hops = 0;
+  (void)st.coop_locate(m, geom::random_query_point3(complex, rng), &hops);
+  EXPECT_GE(hops, 1u);
+  // 64 surfaces, h = log2(256)/2 = 4 levels per hop: <= ~ceil(7/4)+1 hops.
+  EXPECT_LE(hops, 4u);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include "pram/coop_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace {
+
+using pram::Machine;
+
+std::vector<long> sorted_distinct(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<long> v(n);
+  long cur = 0;
+  for (auto& x : v) {
+    cur += 1 + long(rng() % 10);
+    x = cur;
+  }
+  return v;
+}
+
+class CoopSearchParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    NxP, CoopSearchParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(0, 4),
+                      std::make_pair<std::size_t, std::size_t>(1, 4),
+                      std::make_pair<std::size_t, std::size_t>(10, 1),
+                      std::make_pair<std::size_t, std::size_t>(10, 2),
+                      std::make_pair<std::size_t, std::size_t>(1000, 1),
+                      std::make_pair<std::size_t, std::size_t>(1000, 4),
+                      std::make_pair<std::size_t, std::size_t>(1000, 16),
+                      std::make_pair<std::size_t, std::size_t>(1000, 1000),
+                      std::make_pair<std::size_t, std::size_t>(65536, 7),
+                      std::make_pair<std::size_t, std::size_t>(65536, 255)));
+
+TEST_P(CoopSearchParam, MatchesStdLowerBound) {
+  const auto [n, p] = GetParam();
+  const auto v = sorted_distinct(n, n * 31 + p);
+  Machine m(p);
+  std::mt19937_64 rng(n + p);
+  for (int trial = 0; trial < 200; ++trial) {
+    long y;
+    if (n == 0 || trial % 4 == 0) {
+      y = long(rng() % 10000);  // arbitrary, possibly out of range
+    } else {
+      // Often probe exact keys and off-by-one neighbours.
+      const long base = v[rng() % n];
+      y = base + long(trial % 3) - 1;
+    }
+    const std::size_t got =
+        pram::coop_lower_bound<long>(m, std::span<const long>(v), y);
+    const std::size_t expect = static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), y) - v.begin());
+    ASSERT_EQ(got, expect) << "n=" << n << " p=" << p << " y=" << y;
+  }
+}
+
+TEST(CoopSearch, StepCountIsLogOverLogP) {
+  const std::size_t n = 1 << 20;
+  const auto v = sorted_distinct(n, 99);
+  for (std::size_t p : {2, 4, 16, 256, 1024}) {
+    Machine m(p);
+    (void)pram::coop_lower_bound<long>(m, std::span<const long>(v),
+                                       v[n / 2]);
+    const auto bound = pram::coop_search_rounds(n, p);
+    // Each round is O(1) instructions; allow a small constant factor.
+    EXPECT_LE(m.stats().steps, 6 * bound + 8)
+        << "p=" << p << " steps=" << m.stats().steps;
+  }
+}
+
+TEST(CoopSearch, MoreProcessorsNeverSlower) {
+  const std::size_t n = 1 << 16;
+  const auto v = sorted_distinct(n, 5);
+  std::uint64_t prev = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t p : {2, 8, 64, 4096}) {
+    Machine m(p);
+    (void)pram::coop_lower_bound<long>(m, std::span<const long>(v), v[123]);
+    EXPECT_LE(m.stats().steps, prev) << "p=" << p;
+    prev = m.stats().steps;
+  }
+}
+
+TEST(CoopSearchRounds, Formula) {
+  EXPECT_EQ(pram::coop_search_rounds(1, 8), 1u);
+  EXPECT_GE(pram::coop_search_rounds(1 << 20, 2), 12u);
+  EXPECT_LE(pram::coop_search_rounds(1 << 20, 1 << 20), 2u);
+}
+
+TEST(CoopSearch, AllElementsSmallerReturnsSize) {
+  const auto v = sorted_distinct(100, 1);
+  Machine m(8);
+  const auto got = pram::coop_lower_bound<long>(m, std::span<const long>(v),
+                                                v.back() + 1);
+  EXPECT_EQ(got, v.size());
+}
+
+TEST(CoopSearch, SmallerThanAllReturnsZero) {
+  const auto v = sorted_distinct(100, 2);
+  Machine m(8);
+  const auto got =
+      pram::coop_lower_bound<long>(m, std::span<const long>(v), v[0] - 1);
+  EXPECT_EQ(got, 0u);
+}
+
+TEST_P(CoopSearchParam, ErewVariantMatchesStdLowerBound) {
+  const auto [n, p] = GetParam();
+  const auto v = sorted_distinct(n, n * 47 + p);
+  pram::Machine m(p, pram::Model::kErew);
+  std::mt19937_64 rng(n * 3 + p);
+  for (int trial = 0; trial < 100; ++trial) {
+    const long y = n == 0 ? 5 : v[rng() % std::max<std::size_t>(1, n)] +
+                                    long(trial % 3) - 1;
+    const std::size_t got =
+        pram::erew_lower_bound<long>(m, std::span<const long>(v), y);
+    const std::size_t expect = static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), y) - v.begin());
+    ASSERT_EQ(got, expect) << "n=" << n << " p=" << p << " y=" << y;
+  }
+}
+
+TEST(ErewSearch, StepBoundLogPPlusLogNOverP) {
+  const std::size_t n = 1 << 20;
+  const auto v = sorted_distinct(n, 123);
+  for (std::size_t p : {2, 16, 256, 4096}) {
+    pram::Machine m(p, pram::Model::kErew);
+    (void)pram::erew_lower_bound<long>(m, std::span<const long>(v), v[77]);
+    const double bound = 3.0 * (std::log2(double(p)) +
+                                std::log2(double(n) / double(p) + 2)) +
+                         20;
+    EXPECT_LE(double(m.stats().steps), bound) << "p=" << p;
+  }
+}
+
+TEST(ErewSearch, NoModelViolations) {
+  // The internal arrays are built fresh per call; the audit covers the
+  // broadcast tree, the candidate cells, and the reduction.
+  const auto v = sorted_distinct(4096, 9);
+  pram::Machine m(64, pram::Model::kErew);
+  for (long y : {0L, 100L, 999999L}) {
+    (void)pram::erew_lower_bound<long>(m, std::span<const long>(v), y);
+  }
+  EXPECT_EQ(m.stats().violations, 0u) << m.first_violation();
+}
+
+TEST(ErewSearch, BeatsCrewAtVeryLargeP) {
+  // For p close to n the EREW bound log(n/p) + log p ~ log p loses to
+  // CREW's log n/log p ~ 1... but for moderate p the two are comparable;
+  // just pin both curves.
+  const std::size_t n = 1 << 18;
+  const auto v = sorted_distinct(n, 11);
+  pram::Machine crew(1 << 9, pram::Model::kCrew);
+  pram::Machine erew(1 << 9, pram::Model::kErew);
+  (void)pram::coop_lower_bound<long>(crew, std::span<const long>(v), v[5]);
+  (void)pram::erew_lower_bound<long>(erew, std::span<const long>(v), v[5]);
+  EXPECT_LT(crew.stats().steps, erew.stats().steps)
+      << "CREW must win at p = 512 (concurrent reads are powerful)";
+}
+
+TEST(CoopSearch, CrewAuditCleanViaSharedProbes) {
+  // The algorithm was designed for CREW; run it and simply check it
+  // completes under a CREW machine (the probe arrays are internal, so this
+  // is a smoke test of the declared model).
+  const auto v = sorted_distinct(5000, 3);
+  Machine m(16, pram::Model::kCrew);
+  for (long y : {0L, 5L, 123L, 100000L}) {
+    (void)pram::coop_lower_bound<long>(m, std::span<const long>(v), y);
+  }
+  EXPECT_EQ(m.stats().violations, 0u) << m.first_violation();
+}
+
+}  // namespace

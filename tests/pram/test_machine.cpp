@@ -1,0 +1,155 @@
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "pram/memory.hpp"
+
+namespace {
+
+TEST(Machine, ExecRunsEveryVirtualProcessorOnce) {
+  pram::Machine m(4);
+  std::vector<int> touched(100, 0);
+  m.exec(100, [&](std::size_t pid) { touched[pid] += 1; });
+  EXPECT_TRUE(std::all_of(touched.begin(), touched.end(),
+                          [](int x) { return x == 1; }));
+}
+
+TEST(Machine, BrentAccounting) {
+  pram::Machine m(8);
+  m.exec(8, [](std::size_t) {});
+  EXPECT_EQ(m.stats().steps, 1u);
+  EXPECT_EQ(m.stats().work, 8u);
+  m.exec(9, [](std::size_t) {});  // ceil(9/8) = 2 more steps
+  EXPECT_EQ(m.stats().steps, 3u);
+  EXPECT_EQ(m.stats().work, 17u);
+  m.exec(1, [](std::size_t) {});
+  EXPECT_EQ(m.stats().steps, 4u);
+}
+
+TEST(Machine, ExecKChargesMultiplier) {
+  pram::Machine m(4);
+  m.exec_k(4, 10, [](std::size_t) {});
+  EXPECT_EQ(m.stats().steps, 10u);
+  EXPECT_EQ(m.stats().work, 40u);
+}
+
+TEST(Machine, SequentialCharging) {
+  pram::Machine m(16);
+  int ran = 0;
+  m.sequential(7, [&] { ran = 1; });
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(m.stats().steps, 7u);
+  EXPECT_EQ(m.stats().work, 7u);
+}
+
+TEST(Machine, ZeroActiveIsFree) {
+  pram::Machine m(4);
+  m.exec(0, [](std::size_t) { FAIL() << "must not run"; });
+  EXPECT_EQ(m.stats().steps, 0u);
+  EXPECT_EQ(m.stats().instructions, 0u);
+}
+
+TEST(Machine, MaxActiveTracked) {
+  pram::Machine m(2);
+  m.exec(5, [](std::size_t) {});
+  m.exec(3, [](std::size_t) {});
+  EXPECT_EQ(m.stats().max_active, 5u);
+}
+
+TEST(Machine, ResetStats) {
+  pram::Machine m(2);
+  m.exec(10, [](std::size_t) {});
+  m.reset_stats();
+  EXPECT_EQ(m.stats().steps, 0u);
+  EXPECT_EQ(m.stats().work, 0u);
+}
+
+TEST(Machine, ProcessorsClampedToOne) {
+  pram::Machine m(0);
+  EXPECT_EQ(m.processors(), 1u);
+}
+
+TEST(Machine, ThreadsEngineProducesSameResults) {
+  pram::Machine m(4, pram::Model::kCrew, pram::Engine::kThreads);
+  std::vector<std::atomic<int>> counts(1000);
+  m.exec(1000, [&](std::size_t pid) {
+    counts[pid].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (auto& c : counts) {
+    EXPECT_EQ(c.load(), 1);
+  }
+  EXPECT_EQ(m.stats().work, 1000u);
+}
+
+TEST(MachineAudit, ErewDetectsConcurrentRead) {
+  pram::Machine m(4, pram::Model::kErew);
+  pram::SharedArray<int> a(8, 0);
+  a.enable_audit(&m, "a");
+  m.exec(4, [&](std::size_t) { (void)a.read(0); });
+  EXPECT_GT(m.stats().violations, 0u);
+  EXPECT_NE(m.first_violation().find("EREW"), std::string::npos);
+}
+
+TEST(MachineAudit, ErewAllowsDisjointAccess) {
+  pram::Machine m(4, pram::Model::kErew);
+  pram::SharedArray<int> a(8, 0);
+  a.enable_audit(&m, "a");
+  m.exec(8, [&](std::size_t pid) { a.write(pid, int(pid)); });
+  m.exec(8, [&](std::size_t pid) { (void)a.read(pid); });
+  EXPECT_EQ(m.stats().violations, 0u);
+}
+
+TEST(MachineAudit, CrewAllowsConcurrentReadRejectsConcurrentWrite) {
+  pram::Machine m(4, pram::Model::kCrew);
+  pram::SharedArray<int> a(8, 0);
+  a.enable_audit(&m, "a");
+  m.exec(4, [&](std::size_t) { (void)a.read(3); });
+  EXPECT_EQ(m.stats().violations, 0u);
+  m.exec(4, [&](std::size_t) { a.write(3, 1); });
+  EXPECT_GT(m.stats().violations, 0u);
+}
+
+TEST(MachineAudit, CrewDetectsReadWriteHazard) {
+  pram::Machine m(4, pram::Model::kCrew);
+  pram::SharedArray<int> a(8, 0);
+  a.enable_audit(&m, "a");
+  m.exec(2, [&](std::size_t pid) {
+    if (pid == 0) {
+      a.write(5, 1);
+    } else {
+      (void)a.read(5);
+    }
+  });
+  EXPECT_GT(m.stats().violations, 0u);
+}
+
+TEST(MachineAudit, CrcwAllowsEverything) {
+  pram::Machine m(4, pram::Model::kCrcw);
+  pram::SharedArray<int> a(8, 0);
+  a.enable_audit(&m, "a");
+  m.exec(4, [&](std::size_t pid) {
+    a.write(0, int(pid));
+    (void)a.read(0);
+  });
+  EXPECT_EQ(m.stats().violations, 0u);
+}
+
+TEST(StepStats, Accumulate) {
+  pram::StepStats a, b;
+  a.steps = 3;
+  a.work = 10;
+  a.max_active = 4;
+  b.steps = 2;
+  b.work = 5;
+  b.max_active = 9;
+  a += b;
+  EXPECT_EQ(a.steps, 5u);
+  EXPECT_EQ(a.work, 15u);
+  EXPECT_EQ(a.max_active, 9u);
+}
+
+}  // namespace

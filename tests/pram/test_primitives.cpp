@@ -1,0 +1,193 @@
+#include "pram/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace {
+
+using pram::Machine;
+using pram::SharedArray;
+
+class PrimitiveSizes : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrimitiveSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 15, 16, 100, 257,
+                                           1024, 5000));
+
+TEST_P(PrimitiveSizes, BroadcastFillsEveryCell) {
+  const std::size_t n = GetParam();
+  Machine m(4, pram::Model::kErew);
+  SharedArray<int> out(n, -1);
+  out.enable_audit(&m, "out");
+  pram::broadcast(m, out, 42);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], 42);
+  }
+  EXPECT_EQ(m.stats().violations, 0u) << m.first_violation();
+}
+
+TEST_P(PrimitiveSizes, ReduceSum) {
+  const std::size_t n = GetParam();
+  Machine m(8, pram::Model::kErew);
+  SharedArray<long> a(n);
+  long expect = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = long(i) - 3;
+    expect += a[i];
+  }
+  const long got =
+      pram::reduce(m, a, 0L, [](long x, long y) { return x + y; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, ReduceMax) {
+  const std::size_t n = GetParam();
+  Machine m(3);
+  SharedArray<long> a(n);
+  std::mt19937_64 rng(n);
+  long expect = std::numeric_limits<long>::min();
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = long(rng() % 100000);
+    expect = std::max(expect, a[i]);
+  }
+  const long got = pram::reduce(m, a, std::numeric_limits<long>::min(),
+                                [](long x, long y) { return std::max(x, y); });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(PrimitiveSizes, ExclusiveScanMatchesStd) {
+  const std::size_t n = GetParam();
+  Machine m(8, pram::Model::kErew);
+  SharedArray<long> a(n);
+  std::mt19937_64 rng(n * 7);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = long(rng() % 1000);
+  }
+  SharedArray<long> out;
+  pram::exclusive_scan(m, a, out, 0L, [](long x, long y) { return x + y; });
+  std::vector<long> expect(n);
+  std::exclusive_scan(a.raw().begin(), a.raw().end(), expect.begin(), 0L);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], expect[i]) << "i=" << i;
+  }
+}
+
+TEST_P(PrimitiveSizes, InclusiveScanMatchesStd) {
+  const std::size_t n = GetParam();
+  Machine m(5);
+  SharedArray<long> a(n);
+  std::mt19937_64 rng(n * 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = long(rng() % 1000) - 500;
+  }
+  SharedArray<long> out;
+  pram::inclusive_scan(m, a, out, 0L, [](long x, long y) { return x + y; });
+  std::vector<long> expect(n);
+  std::inclusive_scan(a.raw().begin(), a.raw().end(), expect.begin());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], expect[i]) << "i=" << i;
+  }
+}
+
+TEST_P(PrimitiveSizes, PackIndicesKeepsFlaggedPositionsInOrder) {
+  const std::size_t n = GetParam();
+  Machine m(8);
+  SharedArray<std::uint8_t> flags(n);
+  std::mt19937_64 rng(n * 31);
+  std::vector<std::size_t> expect;
+  for (std::size_t i = 0; i < n; ++i) {
+    flags[i] = (rng() % 3 == 0) ? 1 : 0;
+    if (flags[i]) {
+      expect.push_back(i);
+    }
+  }
+  SharedArray<std::size_t> out;
+  const std::size_t cnt = pram::pack_indices(m, flags, out);
+  ASSERT_EQ(cnt, expect.size());
+  for (std::size_t i = 0; i < cnt; ++i) {
+    EXPECT_EQ(out[i], expect[i]);
+  }
+}
+
+TEST(ScanDepth, LogarithmicSteps) {
+  // The Blelloch scan must cost O(n/p + log n) steps, not O(n).
+  const std::size_t n = 1 << 14;
+  Machine m(n);  // enough processors that depth dominates
+  SharedArray<long> a(n, 1);
+  SharedArray<long> out;
+  pram::exclusive_scan(m, a, out, 0L, [](long x, long y) { return x + y; });
+  EXPECT_LE(m.stats().steps, 4 * pram::ceil_log2(n) + 10);
+}
+
+struct MergeCase {
+  std::size_t na, nb;
+};
+
+class MergeSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeSizes,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(0, 0),
+                      std::make_pair<std::size_t, std::size_t>(0, 5),
+                      std::make_pair<std::size_t, std::size_t>(5, 0),
+                      std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(10, 10),
+                      std::make_pair<std::size_t, std::size_t>(100, 3),
+                      std::make_pair<std::size_t, std::size_t>(3, 100),
+                      std::make_pair<std::size_t, std::size_t>(1000, 1000),
+                      std::make_pair<std::size_t, std::size_t>(777, 1234)));
+
+TEST_P(MergeSizes, MergeParallelMatchesStdMerge) {
+  const auto [na, nb] = GetParam();
+  Machine m(8);
+  std::mt19937_64 rng(na * 1000 + nb);
+  std::vector<long> a(na), b(nb);
+  for (auto& x : a) {
+    x = long(rng() % 500);
+  }
+  for (auto& x : b) {
+    x = long(rng() % 500);
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<long> out;
+  pram::merge_parallel<long>(m, a, b, out);
+  std::vector<long> expect;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(expect));
+  EXPECT_EQ(out, expect);
+}
+
+TEST(MergeStability, TiesGoToFirstList) {
+  Machine m(4);
+  std::vector<std::pair<long, int>> a{{5, 0}, {7, 0}};
+  std::vector<std::pair<long, int>> b{{5, 1}, {7, 1}};
+  std::vector<std::pair<long, int>> out;
+  pram::merge_parallel<std::pair<long, int>>(
+      m, a, b, out,
+      [](const auto& x, const auto& y) { return x.first < y.first; });
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].second, 0);
+  EXPECT_EQ(out[1].second, 1);
+  EXPECT_EQ(out[2].second, 0);
+  EXPECT_EQ(out[3].second, 1);
+}
+
+TEST(CeilHelpers, PowersAndLogs) {
+  EXPECT_EQ(pram::ceil_pow2(1), 1u);
+  EXPECT_EQ(pram::ceil_pow2(2), 2u);
+  EXPECT_EQ(pram::ceil_pow2(3), 4u);
+  EXPECT_EQ(pram::ceil_pow2(1000), 1024u);
+  EXPECT_EQ(pram::ceil_log2(1), 0u);
+  EXPECT_EQ(pram::ceil_log2(2), 1u);
+  EXPECT_EQ(pram::ceil_log2(3), 2u);
+  EXPECT_EQ(pram::ceil_log2(1024), 10u);
+  EXPECT_EQ(pram::ceil_log2(1025), 11u);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+#include "range/point_enclosure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace {
+
+using range::PointEnclosureTree;
+using range::Rect;
+
+std::vector<Rect> random_rects(std::size_t n, std::mt19937_64& rng,
+                               geom::Coord span = 100000) {
+  std::vector<Rect> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Coord x1 = geom::Coord(rng() % span);
+    const geom::Coord y1 = geom::Coord(rng() % span);
+    out.push_back(Rect{x1, x1 + geom::Coord(rng() % (span / 2)), y1,
+                       y1 + geom::Coord(rng() % (span / 2))});
+  }
+  return out;
+}
+
+class EnclosureParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnclosureParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 2),
+                      std::make_pair<std::size_t, std::size_t>(10, 4),
+                      std::make_pair<std::size_t, std::size_t>(100, 32),
+                      std::make_pair<std::size_t, std::size_t>(1000, 512)));
+
+TEST_P(EnclosureParam, SequentialMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n + 3 * p);
+  const PointEnclosureTree t(random_rects(n, rng));
+  for (int trial = 0; trial < 80; ++trial) {
+    const geom::Coord x = geom::Coord(rng() % 160000);
+    const geom::Coord y = geom::Coord(rng() % 160000);
+    auto expect = t.query_brute(x, y);
+    auto got = t.query(x, y);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "q=(" << x << "," << y << ")";
+  }
+}
+
+TEST_P(EnclosureParam, CooperativeMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n + 7 * p);
+  const PointEnclosureTree t(random_rects(n, rng));
+  pram::Machine m(p);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Coord x = geom::Coord(rng() % 160000);
+    const geom::Coord y = geom::Coord(rng() % 160000);
+    auto expect = t.query_brute(x, y);
+    auto got = t.coop_query(m, x, y);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(PointEnclosure, BoundariesInclusive) {
+  const std::vector<Rect> rects{{10, 20, 30, 40}};
+  const PointEnclosureTree t(rects);
+  EXPECT_EQ(t.query(10, 30).size(), 1u);
+  EXPECT_EQ(t.query(20, 40).size(), 1u);
+  EXPECT_EQ(t.query(9, 35).size(), 0u);
+  EXPECT_EQ(t.query(21, 35).size(), 0u);
+  EXPECT_EQ(t.query(15, 29).size(), 0u);
+  EXPECT_EQ(t.query(15, 41).size(), 0u);
+}
+
+TEST(PointEnclosure, HeavilyNestedRectangles) {
+  std::vector<Rect> rects;
+  for (geom::Coord i = 0; i < 100; ++i) {
+    rects.push_back(Rect{i, 200 - i, i, 200 - i});
+  }
+  const PointEnclosureTree t(rects);
+  auto got = t.query(100, 100);  // inside all 100
+  EXPECT_EQ(got.size(), 100u);
+  got = t.query(50, 100);  // inside rects with i <= 50
+  EXPECT_EQ(got.size(), 51u);
+}
+
+class Enclosure3DParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Enclosure3DParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 4),
+                      std::make_pair<std::size_t, std::size_t>(25, 8),
+                      std::make_pair<std::size_t, std::size_t>(200, 64),
+                      std::make_pair<std::size_t, std::size_t>(800, 512)));
+
+std::vector<range::Box> random_boxes(std::size_t n, std::mt19937_64& rng,
+                                     geom::Coord span = 10000) {
+  std::vector<range::Box> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    range::Box b;
+    b.x1 = geom::Coord(rng() % span);
+    b.x2 = b.x1 + geom::Coord(rng() % (span / 2));
+    b.y1 = geom::Coord(rng() % span);
+    b.y2 = b.y1 + geom::Coord(rng() % (span / 2));
+    b.z1 = geom::Coord(rng() % span);
+    b.z2 = b.z1 + geom::Coord(rng() % (span / 2));
+    out.push_back(b);
+  }
+  return out;
+}
+
+TEST_P(Enclosure3DParam, SequentialMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 3 + p);
+  const range::PointEnclosure3D t(random_boxes(n, rng));
+  for (int trial = 0; trial < 60; ++trial) {
+    const geom::Coord x = geom::Coord(rng() % 16000);
+    const geom::Coord y = geom::Coord(rng() % 16000);
+    const geom::Coord z = geom::Coord(rng() % 16000);
+    auto got = t.query(x, y, z);
+    auto expect = t.query_brute(x, y, z);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << "q=(" << x << "," << y << "," << z << ")";
+  }
+}
+
+TEST_P(Enclosure3DParam, CooperativeMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 7 + p);
+  const range::PointEnclosure3D t(random_boxes(n, rng));
+  pram::Machine m(p);
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Coord x = geom::Coord(rng() % 16000);
+    const geom::Coord y = geom::Coord(rng() % 16000);
+    const geom::Coord z = geom::Coord(rng() % 16000);
+    auto got = t.coop_query(m, x, y, z);
+    auto expect = t.query_brute(x, y, z);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(PointEnclosure3D, NestedBoxes) {
+  std::vector<range::Box> boxes;
+  for (geom::Coord i = 0; i < 50; ++i) {
+    boxes.push_back(range::Box{i, 100 - i, i, 100 - i, i, 100 - i});
+  }
+  const range::PointEnclosure3D t(std::move(boxes));
+  EXPECT_EQ(t.query(50, 50, 50).size(), 50u);
+  EXPECT_EQ(t.query(10, 50, 50).size(), 11u);
+  EXPECT_EQ(t.query(50, 50, 5).size(), 6u);
+}
+
+TEST(PointEnclosure3D, SpaceIsNLog2N) {
+  std::mt19937_64 rng(21);
+  const std::size_t n = 2048;
+  const range::PointEnclosure3D t(random_boxes(n, rng));
+  const double logn = std::log2(double(n));
+  EXPECT_LE(double(t.total_entries()), 4.0 * n * logn * logn);
+}
+
+TEST(PointEnclosure, ReportCostBoundedByLogPlusK) {
+  std::mt19937_64 rng(11);
+  const std::size_t n = 5000;
+  const PointEnclosureTree t(random_rects(n, rng));
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Coord x = geom::Coord(rng() % 160000);
+    const geom::Coord y = geom::Coord(rng() % 160000);
+    pram::Machine m(4);
+    const auto got = t.coop_query(m, x, y);
+    // Work should be O(log^2 n + k log n), far below n.
+    const double logn = std::log2(double(n));
+    EXPECT_LE(double(m.stats().work),
+              40.0 * logn * logn + 8.0 * double(got.size()) * logn + 100)
+        << "k=" << got.size();
+  }
+}
+
+}  // namespace

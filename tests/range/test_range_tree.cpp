@@ -1,0 +1,168 @@
+#include "range/range_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace {
+
+using range::Point2;
+using range::RangeTree2D;
+using range::RangeTree3D;
+
+std::vector<Point2> random_points(std::size_t n, std::mt19937_64& rng,
+                                  geom::Coord span = 100000) {
+  std::vector<Point2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Point2{geom::Coord(rng() % span), geom::Coord(rng() % span)});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ids_of(const RangeTree2D& t,
+                                  const std::vector<range::AnswerRange>& rs) {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : rs) {
+    const auto& c = t.tree().catalog(r.node);
+    for (std::uint32_t i = r.lo; i < r.hi; ++i) {
+      out.push_back(c.payload(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class RangeTreeParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeTreeParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 2),
+                      std::make_pair<std::size_t, std::size_t>(7, 4),
+                      std::make_pair<std::size_t, std::size_t>(64, 16),
+                      std::make_pair<std::size_t, std::size_t>(300, 64),
+                      std::make_pair<std::size_t, std::size_t>(2000, 1024)));
+
+TEST_P(RangeTreeParam, SequentialMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n + p);
+  const RangeTree2D t(random_points(n, rng));
+  for (int trial = 0; trial < 80; ++trial) {
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 50000);
+    const geom::Coord y1 = geom::Coord(rng() % 100000);
+    const geom::Coord y2 = y1 + geom::Coord(rng() % 50000);
+    auto expect = t.query_brute(x1, x2, y1, y2);
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(ids_of(t, t.query_ranges(x1, x2, y1, y2)), expect)
+        << "[" << x1 << "," << x2 << "]x[" << y1 << "," << y2 << "]";
+  }
+}
+
+TEST_P(RangeTreeParam, CooperativeMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 3 + p);
+  const RangeTree2D t(random_points(n, rng));
+  pram::Machine m(p);
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 70000);
+    const geom::Coord y1 = geom::Coord(rng() % 100000);
+    const geom::Coord y2 = y1 + geom::Coord(rng() % 70000);
+    auto expect = t.query_brute(x1, x2, y1, y2);
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(ids_of(t, t.coop_query_ranges(m, x1, x2, y1, y2)), expect);
+  }
+}
+
+TEST(RangeTree2D, EmptyAndFullRanges) {
+  std::mt19937_64 rng(5);
+  const RangeTree2D t(random_points(100, rng));
+  EXPECT_TRUE(t.query_ranges(200000, 300000, 0, 100000).empty());
+  auto expect = t.query_brute(0, 200000, 0, 200000);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(expect.size(), 100u);
+  EXPECT_EQ(ids_of(t, t.query_ranges(0, 200000, 0, 200000)), expect);
+}
+
+TEST(RangeTree2D, DuplicateCoordinates) {
+  std::vector<Point2> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back(Point2{42, geom::Coord(i % 5)});
+  }
+  const RangeTree2D t(std::move(pts));
+  auto expect = t.query_brute(42, 42, 1, 3);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(expect.size(), 30u);
+  EXPECT_EQ(ids_of(t, t.query_ranges(42, 42, 1, 3)), expect);
+}
+
+TEST(RangeTree2D, SpaceIsNLogN) {
+  std::mt19937_64 rng(6);
+  const std::size_t n = 4096;
+  const RangeTree2D t(random_points(n, rng));
+  const double logn = std::log2(double(n));
+  // Catalog entries alone are n log n; cascading/skeletons add a constant.
+  EXPECT_LE(double(t.total_entries()), 12.0 * n * logn);
+}
+
+class RangeTree3DParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeTree3DParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 4),
+                      std::make_pair<std::size_t, std::size_t>(20, 8),
+                      std::make_pair<std::size_t, std::size_t>(128, 64),
+                      std::make_pair<std::size_t, std::size_t>(500, 512)));
+
+TEST_P(RangeTree3DParam, SequentialMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 7 + p);
+  std::vector<RangeTree3D::Point3> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({geom::Coord(rng() % 1000), geom::Coord(rng() % 1000),
+                   geom::Coord(rng() % 1000)});
+  }
+  const RangeTree3D t(std::move(pts));
+  for (int trial = 0; trial < 40; ++trial) {
+    geom::Coord b[6];
+    for (int k = 0; k < 3; ++k) {
+      b[2 * k] = geom::Coord(rng() % 1000);
+      b[2 * k + 1] = b[2 * k] + geom::Coord(rng() % 600);
+    }
+    auto expect = t.query_brute(b[0], b[1], b[2], b[3], b[4], b[5]);
+    auto got = t.query(b[0], b[1], b[2], b[3], b[4], b[5]);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST_P(RangeTree3DParam, CooperativeMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 13 + p);
+  std::vector<RangeTree3D::Point3> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({geom::Coord(rng() % 500), geom::Coord(rng() % 500),
+                   geom::Coord(rng() % 500)});
+  }
+  const RangeTree3D t(std::move(pts));
+  pram::Machine m(p);
+  for (int trial = 0; trial < 25; ++trial) {
+    geom::Coord b[6];
+    for (int k = 0; k < 3; ++k) {
+      b[2 * k] = geom::Coord(rng() % 500);
+      b[2 * k + 1] = b[2 * k] + geom::Coord(rng() % 300);
+    }
+    auto expect = t.query_brute(b[0], b[1], b[2], b[3], b[4], b[5]);
+    auto got = t.coop_query(m, b[0], b[1], b[2], b[3], b[4], b[5]);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+}  // namespace

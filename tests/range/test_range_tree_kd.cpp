@@ -1,0 +1,163 @@
+#include "range/range_tree_kd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "range/range_tree.hpp"
+
+namespace {
+
+using range::RangeTreeKD;
+
+RangeTreeKD::PointKD rand_point(std::size_t d, std::mt19937_64& rng,
+                                geom::Coord span) {
+  RangeTreeKD::PointKD p(d);
+  for (auto& c : p) {
+    c = geom::Coord(rng() % span);
+  }
+  return p;
+}
+
+struct Case {
+  std::size_t d;
+  std::size_t n;
+  std::size_t p;
+  std::uint64_t seed;
+};
+
+class KdParam : public ::testing::TestWithParam<Case> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KdParam,
+                         ::testing::Values(Case{1, 50, 4, 1},
+                                           Case{2, 200, 16, 2},
+                                           Case{3, 300, 64, 3},
+                                           Case{4, 300, 256, 4},
+                                           Case{5, 150, 64, 5}));
+
+TEST_P(KdParam, SequentialMatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed);
+  std::vector<RangeTreeKD::PointKD> pts;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    pts.push_back(rand_point(c.d, rng, 100));
+  }
+  const RangeTreeKD t(std::move(pts));
+  EXPECT_EQ(t.dimension(), c.d);
+  for (int trial = 0; trial < 40; ++trial) {
+    RangeTreeKD::PointKD lo(c.d), hi(c.d);
+    for (std::size_t k = 0; k < c.d; ++k) {
+      lo[k] = geom::Coord(rng() % 100);
+      hi[k] = lo[k] + geom::Coord(rng() % 60);
+    }
+    auto got = t.query(lo, hi);
+    auto expect = t.query_brute(lo, hi);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect) << "d=" << c.d << " trial " << trial;
+  }
+}
+
+TEST_P(KdParam, CooperativeMatchesBruteForce) {
+  const auto c = GetParam();
+  std::mt19937_64 rng(c.seed * 31);
+  std::vector<RangeTreeKD::PointKD> pts;
+  for (std::size_t i = 0; i < c.n; ++i) {
+    pts.push_back(rand_point(c.d, rng, 80));
+  }
+  const RangeTreeKD t(std::move(pts));
+  pram::Machine m(c.p);
+  for (int trial = 0; trial < 25; ++trial) {
+    RangeTreeKD::PointKD lo(c.d), hi(c.d);
+    for (std::size_t k = 0; k < c.d; ++k) {
+      lo[k] = geom::Coord(rng() % 80);
+      hi[k] = lo[k] + geom::Coord(rng() % 50);
+    }
+    auto got = t.coop_query(m, lo, hi);
+    auto expect = t.query_brute(lo, hi);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect);
+  }
+  EXPECT_GT(m.stats().steps, 0u);
+}
+
+TEST(RangeTreeKD, AgreesWithSpecialized2D) {
+  std::mt19937_64 rng(7);
+  std::vector<range::Point2> p2;
+  std::vector<RangeTreeKD::PointKD> pk;
+  for (int i = 0; i < 400; ++i) {
+    const geom::Coord x = geom::Coord(rng() % 500);
+    const geom::Coord y = geom::Coord(rng() % 500);
+    p2.push_back(range::Point2{x, y});
+    pk.push_back({x, y});
+  }
+  const range::RangeTree2D t2(std::move(p2));
+  const RangeTreeKD tk(std::move(pk));
+  for (int trial = 0; trial < 40; ++trial) {
+    const geom::Coord x1 = geom::Coord(rng() % 500);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 300);
+    const geom::Coord y1 = geom::Coord(rng() % 500);
+    const geom::Coord y2 = y1 + geom::Coord(rng() % 300);
+    auto a = t2.query_brute(x1, x2, y1, y2);
+    auto b = tk.query({x1, y1}, {x2, y2});
+    // Both id spaces are sorted-point indices with identical comparators
+    // on (x, y), so the id sets must coincide.
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a.size(), b.size());
+  }
+}
+
+TEST(RangeTreeKD, SpaceGrowsOneLogPerDimension) {
+  std::mt19937_64 rng(9);
+  const std::size_t n = 512;
+  std::vector<std::size_t> entries;
+  for (std::size_t d = 1; d <= 4; ++d) {
+    std::vector<RangeTreeKD::PointKD> pts;
+    for (std::size_t i = 0; i < n; ++i) {
+      pts.push_back(rand_point(d, rng, 1000));
+    }
+    const RangeTreeKD t(std::move(pts));
+    entries.push_back(t.total_entries());
+  }
+  const double logn = std::log2(double(n));
+  for (std::size_t d = 1; d < entries.size(); ++d) {
+    const double growth = double(entries[d]) / double(entries[d - 1]);
+    EXPECT_LE(growth, 3.0 * logn) << "d=" << d + 1;
+    EXPECT_GE(growth, 1.0);
+  }
+}
+
+TEST(RangeTreeKD, CoopStepsShrinkWithProcessors) {
+  std::mt19937_64 rng(10);
+  std::vector<RangeTreeKD::PointKD> pts;
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back(rand_point(3, rng, 2000));
+  }
+  const RangeTreeKD t(std::move(pts));
+  const RangeTreeKD::PointKD lo{100, 100, 100}, hi{1500, 1500, 1500};
+  std::uint64_t small = 0, big = 0;
+  {
+    pram::Machine m(4);
+    (void)t.coop_query(m, lo, hi);
+    small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 14);
+    (void)t.coop_query(m, lo, hi);
+    big = m.stats().steps;
+  }
+  EXPECT_LT(big, small);
+}
+
+TEST(RangeTreeKD, EmptyAndSingle) {
+  const RangeTreeKD empty{std::vector<RangeTreeKD::PointKD>{}};
+  EXPECT_TRUE(empty.query({0}, {10}).empty());
+  RangeTreeKD one{std::vector<RangeTreeKD::PointKD>{{5, 5, 5, 5}}};
+  EXPECT_EQ(one.query({0, 0, 0, 0}, {9, 9, 9, 9}).size(), 1u);
+  EXPECT_TRUE(one.query({6, 0, 0, 0}, {9, 9, 9, 9}).empty());
+}
+
+}  // namespace

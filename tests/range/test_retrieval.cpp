@@ -1,0 +1,125 @@
+#include "range/retrieval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "pram/primitives.hpp"
+#include "range/segment_tree.hpp"
+
+namespace {
+
+using range::AnswerRange;
+
+range::SegmentIntersectionTree small_tree(std::mt19937_64& rng,
+                                          std::size_t n = 200) {
+  std::vector<range::VSegment> segs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Coord x = geom::Coord(rng() % 10000) * 2;
+    const geom::Coord ylo = geom::Coord(rng() % 5000) * 2;
+    segs.push_back(range::VSegment{x, ylo, ylo + 2 + geom::Coord(rng() % 5000) * 2});
+  }
+  return range::SegmentIntersectionTree(std::move(segs));
+}
+
+TEST(RetrieveDirect, MatchesHostExtraction) {
+  std::mt19937_64 rng(1);
+  const auto t = small_tree(rng);
+  pram::Machine m(16);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Coord y = 2 * geom::Coord(rng() % 10000) + 1;
+    const geom::Coord x1 = geom::Coord(rng() % 20000);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 20000);
+    const auto ranges = t.query_ranges(y, x1, x2);
+    auto got = range::retrieve_direct(t.tree(), m, ranges);
+    auto expect = t.query_brute(y, x1, x2);
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(RetrieveDirect, EmptyRanges) {
+  pram::Machine m(4);
+  std::mt19937_64 rng(2);
+  const auto t = small_tree(rng, 10);
+  EXPECT_TRUE(range::retrieve_direct(t.tree(), m, {}).empty());
+  // All-empty ranges.
+  std::vector<AnswerRange> ranges{{cat::NodeId(0), 3, 3},
+                                  {cat::NodeId(1), 0, 0}};
+  EXPECT_TRUE(range::retrieve_direct(t.tree(), m, ranges).empty());
+}
+
+TEST(RetrieveDirect, TimeIsScanPlusKOverP) {
+  std::mt19937_64 rng(3);
+  const auto t = small_tree(rng, 2000);
+  const geom::Coord y = 5001;
+  const auto ranges = t.query_ranges(y, 0, 1'000'000);
+  const std::size_t k = range::total_count(ranges);
+  ASSERT_GT(k, 0u);
+  pram::Machine m(1024);
+  (void)range::retrieve_direct(t.tree(), m, ranges);
+  // O(log log n)-ish scan plus k/p: generous constant bound.
+  EXPECT_LE(m.stats().steps,
+            12 * pram::ceil_log2(ranges.size() + 2) + 4 * (k / 1024 + 1) + 40);
+}
+
+TEST(RetrieveIndirect, CrcwLinkingSkipsEmptyRanges) {
+  std::mt19937_64 rng(4);
+  const auto t = small_tree(rng);
+  pram::Machine m(1 << 12, pram::Model::kCrcw);
+  std::vector<AnswerRange> ranges{
+      {cat::NodeId(0), 0, 0},  {cat::NodeId(1), 2, 5},
+      {cat::NodeId(2), 1, 1},  {cat::NodeId(3), 0, 3},
+      {cat::NodeId(4), 7, 7},  {cat::NodeId(5), 4, 6},
+  };
+  const auto list = range::retrieve_indirect(m, ranges);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].node, cat::NodeId(1));
+  EXPECT_EQ(list[1].node, cat::NodeId(3));
+  EXPECT_EQ(list[2].node, cat::NodeId(5));
+}
+
+TEST(RetrieveIndirect, PrefixFallbackMatchesCrcw) {
+  std::mt19937_64 rng(5);
+  std::vector<AnswerRange> ranges;
+  for (int i = 0; i < 40; ++i) {
+    const std::uint32_t lo = std::uint32_t(rng() % 10);
+    const std::uint32_t hi = lo + std::uint32_t(rng() % 4);
+    ranges.push_back(AnswerRange{cat::NodeId(i), lo, hi});
+  }
+  pram::Machine crcw(1 << 12, pram::Model::kCrcw);
+  pram::Machine crew(4, pram::Model::kCrew);
+  const auto a = range::retrieve_indirect(crcw, ranges);
+  const auto b = range::retrieve_indirect(crew, ranges);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+}
+
+TEST(RetrieveIndirect, IndirectIsFasterThanDirectForLargeK) {
+  // The point of indirect retrieval: O((log n)/log p) regardless of k.
+  std::mt19937_64 rng(6);
+  const auto t = small_tree(rng, 5000);
+  const auto ranges = t.query_ranges(5001, 0, 10'000'000);
+  const std::size_t k = range::total_count(ranges);
+  ASSERT_GT(k, 100u);
+  pram::Machine direct_m(64);
+  (void)range::retrieve_direct(t.tree(), direct_m, ranges);
+  pram::Machine indirect_m(1 << 12, pram::Model::kCrcw);
+  (void)range::retrieve_indirect(indirect_m, ranges);
+  EXPECT_LT(indirect_m.stats().steps, direct_m.stats().steps);
+}
+
+TEST(TotalCount, SumsRanges) {
+  std::vector<AnswerRange> ranges{{cat::NodeId(0), 1, 4},
+                                  {cat::NodeId(1), 0, 0},
+                                  {cat::NodeId(2), 5, 9}};
+  EXPECT_EQ(range::total_count(ranges), 7u);
+}
+
+}  // namespace

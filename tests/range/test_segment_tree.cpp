@@ -1,0 +1,135 @@
+#include "range/segment_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace {
+
+using range::SegmentIntersectionTree;
+using range::VSegment;
+
+std::vector<VSegment> random_segments(std::size_t n, std::mt19937_64& rng) {
+  std::vector<VSegment> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Coord x = geom::Coord(rng() % 100000) * 2;
+    const geom::Coord ylo = geom::Coord(rng() % 50000) * 2;
+    const geom::Coord len = 2 + geom::Coord(rng() % 30000) * 2;
+    out.push_back(VSegment{x, ylo, ylo + len});
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ids_of(const SegmentIntersectionTree& t,
+                                  const std::vector<range::AnswerRange>& rs) {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : rs) {
+    const auto& c = t.tree().catalog(r.node);
+    for (std::uint32_t i = r.lo; i < r.hi; ++i) {
+      out.push_back(c.payload(i));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class SegTreeParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SegTreeParam,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 4),
+                      std::make_pair<std::size_t, std::size_t>(5, 2),
+                      std::make_pair<std::size_t, std::size_t>(50, 8),
+                      std::make_pair<std::size_t, std::size_t>(200, 64),
+                      std::make_pair<std::size_t, std::size_t>(1000, 1024)));
+
+TEST_P(SegTreeParam, SequentialMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 17 + p);
+  const SegmentIntersectionTree t(random_segments(n, rng));
+  for (int trial = 0; trial < 100; ++trial) {
+    const geom::Coord y = 1 + geom::Coord(rng() % 120000) * 2 / 2 * 2 + 1;
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 100000);
+    auto expect = t.query_brute(y, x1, x2);
+    std::sort(expect.begin(), expect.end());
+    const auto got = ids_of(t, t.query_ranges(y, x1, x2));
+    ASSERT_EQ(got, expect) << "y=" << y << " [" << x1 << "," << x2 << "]";
+  }
+}
+
+TEST_P(SegTreeParam, CooperativeMatchesBruteForce) {
+  const auto [n, p] = GetParam();
+  std::mt19937_64 rng(n * 31 + p);
+  const SegmentIntersectionTree t(random_segments(n, rng));
+  pram::Machine m(p);
+  for (int trial = 0; trial < 60; ++trial) {
+    const geom::Coord y = 2 * geom::Coord(rng() % 60000) + 1;
+    const geom::Coord x1 = geom::Coord(rng() % 100000);
+    const geom::Coord x2 = x1 + geom::Coord(rng() % 100000);
+    auto expect = t.query_brute(y, x1, x2);
+    std::sort(expect.begin(), expect.end());
+    const auto got = ids_of(t, t.coop_query_ranges(m, y, x1, x2));
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(SegmentTree, PathCatalogsOnlyContainSpanningSegments) {
+  std::mt19937_64 rng(7);
+  const auto segs = random_segments(300, rng);
+  const SegmentIntersectionTree t(segs);
+  for (int trial = 0; trial < 30; ++trial) {
+    const geom::Coord y = 2 * geom::Coord(rng() % 60000) + 1;
+    for (cat::NodeId v : t.path_for(y)) {
+      const auto& c = t.tree().catalog(v);
+      for (std::size_t i = 0; i < c.real_size(); ++i) {
+        const auto& s = segs[c.payload(i)];
+        EXPECT_TRUE(s.ylo <= y && y < s.yhi)
+            << "segment in path catalog does not span the query level";
+      }
+    }
+  }
+}
+
+TEST(SegmentTree, EverySegmentInOLogNCatalogs) {
+  std::mt19937_64 rng(8);
+  const auto segs = random_segments(500, rng);
+  const SegmentIntersectionTree t(segs);
+  std::vector<std::size_t> copies(segs.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < t.tree().num_nodes(); ++v) {
+    const auto& c = t.tree().catalog(cat::NodeId(v));
+    for (std::size_t i = 0; i < c.real_size(); ++i) {
+      copies[c.payload(i)] += 1;
+      ++total;
+    }
+  }
+  const std::size_t height = t.tree().height();
+  for (std::size_t id = 0; id < segs.size(); ++id) {
+    EXPECT_GE(copies[id], 1u);
+    EXPECT_LE(copies[id], 2 * height) << "segment " << id;
+  }
+  EXPECT_LE(total, segs.size() * 2 * height);
+}
+
+TEST(SegmentTree, SearchStepsScaleDownWithProcessors) {
+  std::mt19937_64 rng(9);
+  const SegmentIntersectionTree t(random_segments(20000, rng));
+  std::uint64_t small = 0, big = 0;
+  {
+    pram::Machine m(4);
+    (void)t.coop_query_ranges(m, 33333, 10, 150000);
+    small = m.stats().steps;
+  }
+  {
+    pram::Machine m(1 << 14);
+    (void)t.coop_query_ranges(m, 33333, 10, 150000);
+    big = m.stats().steps;
+  }
+  EXPECT_LT(big, small);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// coopsearch_cli — drive the library from the command line.
+//
+//   coopsearch_cli gen-tree  <height> <entries> <seed>        > tree.txt
+//   coopsearch_cli search    <tree.txt> <p> <y> [<y>...]
+//   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
+//   coopsearch_cli selftest
+//
+// Tree file format: first line "N"; then one line per node
+// "<parent|-1> <k> <key_1> ... <key_k>" in id order (node 0 is the root,
+// parents must precede children).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+
+#include "core/explicit_search.hpp"
+#include "geom/generators.hpp"
+#include "pointloc/coop_pointloc.hpp"
+
+namespace {
+
+int cmd_gen_tree(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: gen-tree <height> <entries> <seed>\n");
+    return 2;
+  }
+  const auto height = std::uint32_t(atoi(argv[0]));
+  const auto entries = std::size_t(atoll(argv[1]));
+  std::mt19937_64 rng(std::uint64_t(atoll(argv[2])));
+  const auto t = cat::make_balanced_binary(height, entries,
+                                           cat::CatalogShape::kRandom, rng);
+  std::printf("%zu\n", t.num_nodes());
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    const auto& c = t.catalog(cat::NodeId(v));
+    std::printf("%d %zu", t.parent(cat::NodeId(v)), c.real_size());
+    for (std::size_t i = 0; i < c.real_size(); ++i) {
+      std::printf(" %lld", (long long)c.key(i));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+bool load_tree(const char* path, cat::Tree& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::size_t n = 0;
+  in >> n;
+  if (n == 0) {
+    std::fprintf(stderr, "empty tree\n");
+    return false;
+  }
+  out = cat::Tree(n);
+  std::vector<std::vector<cat::Key>> keys(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    long long parent = 0;
+    std::size_t k = 0;
+    in >> parent >> k;
+    if (!in) {
+      std::fprintf(stderr, "truncated tree file at node %zu\n", v);
+      return false;
+    }
+    if (v == 0 && parent != -1) {
+      std::fprintf(stderr, "node 0 must be the root (parent -1)\n");
+      return false;
+    }
+    if (v > 0) {
+      if (parent < 0 || std::size_t(parent) >= v) {
+        std::fprintf(stderr, "node %zu: parent must precede it\n", v);
+        return false;
+      }
+      out.add_child(cat::NodeId(parent), cat::NodeId(v));
+    }
+    keys[v].resize(k);
+    for (auto& key : keys[v]) {
+      in >> key;
+    }
+    for (std::size_t i = 1; i < k; ++i) {
+      if (keys[v][i - 1] >= keys[v][i]) {
+        std::fprintf(stderr, "node %zu: keys must be strictly increasing\n",
+                     v);
+        return false;
+      }
+    }
+  }
+  out.finalize();
+  for (std::size_t v = 0; v < n; ++v) {
+    out.set_catalog(cat::NodeId(v), cat::Catalog::from_sorted_keys(keys[v]));
+  }
+  return true;
+}
+
+int cmd_search(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: search <tree.txt> <p> <y> [<y>...]\n");
+    return 2;
+  }
+  cat::Tree tree;
+  if (!load_tree(argv[0], tree)) {
+    return 1;
+  }
+  const auto p = std::size_t(atoll(argv[1]));
+  std::printf("tree: %zu nodes, height %u, %zu entries\n", tree.num_nodes(),
+              tree.height(), tree.total_catalog_size());
+  const auto s = fc::Structure::build(tree);
+  const auto err = s.verify_properties();
+  if (!err.empty()) {
+    std::fprintf(stderr, "cascading property violation: %s\n", err.c_str());
+    return 1;
+  }
+  const auto cs = coop::CoopStructure::build(s);
+  std::printf("preprocessed: %zu aug entries, %zu skeleton entries, "
+              "%u substructures\n",
+              s.total_aug_entries(), cs.total_skeleton_entries(),
+              cs.substructure_count());
+
+  // Leftmost root-to-leaf path as the demo path.
+  std::vector<cat::NodeId> path{tree.root()};
+  while (!tree.is_leaf(path.back())) {
+    path.push_back(tree.children(path.back())[0]);
+  }
+  for (int a = 2; a < argc; ++a) {
+    const cat::Key y = cat::Key(atoll(argv[a]));
+    pram::Machine m(p);
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    std::printf("y=%lld (p=%zu, %llu steps, %llu hops): ", (long long)y, p,
+                (unsigned long long)m.stats().steps,
+                (unsigned long long)r.hops);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const auto& c = tree.catalog(path[i]);
+      const std::size_t idx = r.proper_index[i];
+      if (c.key(idx) == cat::kInfinity) {
+        std::printf("[node %d: +inf] ", path[i]);
+      } else {
+        std::printf("[node %d: %lld] ", path[i], (long long)c.key(idx));
+      }
+      if (c.find(y) != idx) {
+        std::fprintf(stderr, "\nMISMATCH vs binary search!\n");
+        return 1;
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_pointloc(int argc, char** argv) {
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: pointloc <regions> <bands> <seed> <p> <queries>\n");
+    return 2;
+  }
+  const auto regions = std::size_t(atoll(argv[0]));
+  const auto bands = std::size_t(atoll(argv[1]));
+  std::mt19937_64 rng(std::uint64_t(atoll(argv[2])));
+  const auto p = std::size_t(atoll(argv[3]));
+  const auto queries = std::size_t(atoll(argv[4]));
+  const auto sub = geom::make_random_monotone(regions, bands, rng);
+  const auto err = sub.validate();
+  if (!err.empty()) {
+    std::fprintf(stderr, "generator bug: %s\n", err.c_str());
+    return 1;
+  }
+  const pointloc::SeparatorTree st(sub);
+  std::printf("subdivision: %zu regions, %zu edges; structure %zu entries\n",
+              sub.num_regions, sub.edges.size(), st.total_entries());
+  std::uint64_t steps = 0;
+  std::size_t mismatches = 0;
+  for (std::size_t qi = 0; qi < queries; ++qi) {
+    const auto q = geom::random_query_point(sub, rng);
+    pram::Machine m(p);
+    const auto got = pointloc::coop_locate(st, m, q);
+    steps += m.stats().steps;
+    if (got != sub.locate_brute(q)) {
+      ++mismatches;
+    }
+    if (qi < 5) {
+      std::printf("  q=(%lld,%lld) -> region %zu (%llu steps)\n",
+                  (long long)q.x, (long long)q.y, got,
+                  (unsigned long long)m.stats().steps);
+    }
+  }
+  std::printf("%zu queries, avg %.1f steps, %zu mismatches\n", queries,
+              queries ? double(steps) / double(queries) : 0.0, mismatches);
+  return mismatches == 0 ? 0 : 1;
+}
+
+int cmd_selftest() {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(6, 1000,
+                                           cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  if (!s.verify_properties().empty()) {
+    std::fprintf(stderr, "FAIL: cascading properties\n");
+    return 1;
+  }
+  const auto cs = coop::CoopStructure::build(s);
+  pram::Machine m(64);
+  std::vector<cat::NodeId> path{t.root()};
+  while (!t.is_leaf(path.back())) {
+    path.push_back(t.children(path.back())[0]);
+  }
+  for (cat::Key y : {0, 1000, 999999999}) {
+    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (r.proper_index[i] != t.catalog(path[i]).find(y)) {
+        std::fprintf(stderr, "FAIL: search mismatch\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("selftest OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s gen-tree|search|pointloc|selftest [args]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "gen-tree") == 0) {
+    return cmd_gen_tree(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "search") == 0) {
+    return cmd_search(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "pointloc") == 0) {
+    return cmd_pointloc(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "selftest") == 0) {
+    return cmd_selftest();
+  }
+  std::fprintf(stderr, "unknown command %s\n", argv[1]);
+  return 2;
+}
