@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coop_explicit.dir/bench_coop_explicit.cpp.o"
+  "CMakeFiles/bench_coop_explicit.dir/bench_coop_explicit.cpp.o.d"
+  "bench_coop_explicit"
+  "bench_coop_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coop_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

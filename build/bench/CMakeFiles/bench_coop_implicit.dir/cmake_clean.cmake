@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coop_implicit.dir/bench_coop_implicit.cpp.o"
+  "CMakeFiles/bench_coop_implicit.dir/bench_coop_implicit.cpp.o.d"
+  "bench_coop_implicit"
+  "bench_coop_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coop_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_general_tree.dir/bench_general_tree.cpp.o"
+  "CMakeFiles/bench_general_tree.dir/bench_general_tree.cpp.o.d"
+  "bench_general_tree"
+  "bench_general_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_general_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pointloc.dir/bench_pointloc.cpp.o"
+  "CMakeFiles/bench_pointloc.dir/bench_pointloc.cpp.o.d"
+  "bench_pointloc"
+  "bench_pointloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

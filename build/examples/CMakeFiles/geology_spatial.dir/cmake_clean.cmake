@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geology_spatial.dir/geology_spatial.cpp.o"
+  "CMakeFiles/geology_spatial.dir/geology_spatial.cpp.o.d"
+  "geology_spatial"
+  "geology_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geology_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_pointloc.dir/gis_pointloc.cpp.o"
+  "CMakeFiles/gis_pointloc.dir/gis_pointloc.cpp.o.d"
+  "gis_pointloc"
+  "gis_pointloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_pointloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_range.dir/timeseries_range.cpp.o"
+  "CMakeFiles/timeseries_range.dir/timeseries_range.cpp.o.d"
+  "timeseries_range"
+  "timeseries_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_segments.dir/vlsi_segments.cpp.o"
+  "CMakeFiles/vlsi_segments.dir/vlsi_segments.cpp.o.d"
+  "vlsi_segments"
+  "vlsi_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

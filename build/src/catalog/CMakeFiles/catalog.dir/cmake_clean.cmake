@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog.dir/tree.cpp.o"
+  "CMakeFiles/catalog.dir/tree.cpp.o.d"
+  "CMakeFiles/catalog.dir/tree_ops.cpp.o"
+  "CMakeFiles/catalog.dir/tree_ops.cpp.o.d"
+  "libcatalog.a"
+  "libcatalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

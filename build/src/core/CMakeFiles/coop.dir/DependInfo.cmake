@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/coop.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/batch.cpp.o.d"
+  "/root/repo/src/core/explicit_search.cpp" "src/core/CMakeFiles/coop.dir/explicit_search.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/explicit_search.cpp.o.d"
+  "/root/repo/src/core/general_tree.cpp" "src/core/CMakeFiles/coop.dir/general_tree.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/general_tree.cpp.o.d"
+  "/root/repo/src/core/implicit_search.cpp" "src/core/CMakeFiles/coop.dir/implicit_search.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/implicit_search.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/coop.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/params.cpp.o.d"
+  "/root/repo/src/core/structure.cpp" "src/core/CMakeFiles/coop.dir/structure.cpp.o" "gcc" "src/core/CMakeFiles/coop.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fc/CMakeFiles/fc.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

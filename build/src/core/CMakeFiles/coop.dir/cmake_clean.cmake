@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coop.dir/batch.cpp.o"
+  "CMakeFiles/coop.dir/batch.cpp.o.d"
+  "CMakeFiles/coop.dir/explicit_search.cpp.o"
+  "CMakeFiles/coop.dir/explicit_search.cpp.o.d"
+  "CMakeFiles/coop.dir/general_tree.cpp.o"
+  "CMakeFiles/coop.dir/general_tree.cpp.o.d"
+  "CMakeFiles/coop.dir/implicit_search.cpp.o"
+  "CMakeFiles/coop.dir/implicit_search.cpp.o.d"
+  "CMakeFiles/coop.dir/params.cpp.o"
+  "CMakeFiles/coop.dir/params.cpp.o.d"
+  "CMakeFiles/coop.dir/structure.cpp.o"
+  "CMakeFiles/coop.dir/structure.cpp.o.d"
+  "libcoop.a"
+  "libcoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

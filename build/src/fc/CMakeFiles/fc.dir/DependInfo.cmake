@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fc/build.cpp" "src/fc/CMakeFiles/fc.dir/build.cpp.o" "gcc" "src/fc/CMakeFiles/fc.dir/build.cpp.o.d"
+  "/root/repo/src/fc/dynamic.cpp" "src/fc/CMakeFiles/fc.dir/dynamic.cpp.o" "gcc" "src/fc/CMakeFiles/fc.dir/dynamic.cpp.o.d"
+  "/root/repo/src/fc/parallel_build.cpp" "src/fc/CMakeFiles/fc.dir/parallel_build.cpp.o" "gcc" "src/fc/CMakeFiles/fc.dir/parallel_build.cpp.o.d"
+  "/root/repo/src/fc/search.cpp" "src/fc/CMakeFiles/fc.dir/search.cpp.o" "gcc" "src/fc/CMakeFiles/fc.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

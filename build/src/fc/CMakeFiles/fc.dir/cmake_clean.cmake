@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fc.dir/build.cpp.o"
+  "CMakeFiles/fc.dir/build.cpp.o.d"
+  "CMakeFiles/fc.dir/dynamic.cpp.o"
+  "CMakeFiles/fc.dir/dynamic.cpp.o.d"
+  "CMakeFiles/fc.dir/parallel_build.cpp.o"
+  "CMakeFiles/fc.dir/parallel_build.cpp.o.d"
+  "CMakeFiles/fc.dir/search.cpp.o"
+  "CMakeFiles/fc.dir/search.cpp.o.d"
+  "libfc.a"
+  "libfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

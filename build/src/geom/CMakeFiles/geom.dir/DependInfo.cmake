@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/generators.cpp" "src/geom/CMakeFiles/geom.dir/generators.cpp.o" "gcc" "src/geom/CMakeFiles/geom.dir/generators.cpp.o.d"
+  "/root/repo/src/geom/subdivision.cpp" "src/geom/CMakeFiles/geom.dir/subdivision.cpp.o" "gcc" "src/geom/CMakeFiles/geom.dir/subdivision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

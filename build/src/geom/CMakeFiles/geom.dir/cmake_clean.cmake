@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom.dir/generators.cpp.o"
+  "CMakeFiles/geom.dir/generators.cpp.o.d"
+  "CMakeFiles/geom.dir/subdivision.cpp.o"
+  "CMakeFiles/geom.dir/subdivision.cpp.o.d"
+  "libgeom.a"
+  "libgeom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointloc/coop_pointloc.cpp" "src/pointloc/CMakeFiles/pointloc.dir/coop_pointloc.cpp.o" "gcc" "src/pointloc/CMakeFiles/pointloc.dir/coop_pointloc.cpp.o.d"
+  "/root/repo/src/pointloc/separator_tree.cpp" "src/pointloc/CMakeFiles/pointloc.dir/separator_tree.cpp.o" "gcc" "src/pointloc/CMakeFiles/pointloc.dir/separator_tree.cpp.o.d"
+  "/root/repo/src/pointloc/slab_index.cpp" "src/pointloc/CMakeFiles/pointloc.dir/slab_index.cpp.o" "gcc" "src/pointloc/CMakeFiles/pointloc.dir/slab_index.cpp.o.d"
+  "/root/repo/src/pointloc/spatial.cpp" "src/pointloc/CMakeFiles/pointloc.dir/spatial.cpp.o" "gcc" "src/pointloc/CMakeFiles/pointloc.dir/spatial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fc/CMakeFiles/fc.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointloc.dir/coop_pointloc.cpp.o"
+  "CMakeFiles/pointloc.dir/coop_pointloc.cpp.o.d"
+  "CMakeFiles/pointloc.dir/separator_tree.cpp.o"
+  "CMakeFiles/pointloc.dir/separator_tree.cpp.o.d"
+  "CMakeFiles/pointloc.dir/slab_index.cpp.o"
+  "CMakeFiles/pointloc.dir/slab_index.cpp.o.d"
+  "CMakeFiles/pointloc.dir/spatial.cpp.o"
+  "CMakeFiles/pointloc.dir/spatial.cpp.o.d"
+  "libpointloc.a"
+  "libpointloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

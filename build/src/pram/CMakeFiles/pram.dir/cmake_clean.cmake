@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram.dir/coop_search.cpp.o"
+  "CMakeFiles/pram.dir/coop_search.cpp.o.d"
+  "CMakeFiles/pram.dir/machine.cpp.o"
+  "CMakeFiles/pram.dir/machine.cpp.o.d"
+  "CMakeFiles/pram.dir/primitives.cpp.o"
+  "CMakeFiles/pram.dir/primitives.cpp.o.d"
+  "libpram.a"
+  "libpram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

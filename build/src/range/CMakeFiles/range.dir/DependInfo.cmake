@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/range/point_enclosure.cpp" "src/range/CMakeFiles/range.dir/point_enclosure.cpp.o" "gcc" "src/range/CMakeFiles/range.dir/point_enclosure.cpp.o.d"
+  "/root/repo/src/range/range_tree.cpp" "src/range/CMakeFiles/range.dir/range_tree.cpp.o" "gcc" "src/range/CMakeFiles/range.dir/range_tree.cpp.o.d"
+  "/root/repo/src/range/range_tree_kd.cpp" "src/range/CMakeFiles/range.dir/range_tree_kd.cpp.o" "gcc" "src/range/CMakeFiles/range.dir/range_tree_kd.cpp.o.d"
+  "/root/repo/src/range/retrieval.cpp" "src/range/CMakeFiles/range.dir/retrieval.cpp.o" "gcc" "src/range/CMakeFiles/range.dir/retrieval.cpp.o.d"
+  "/root/repo/src/range/segment_tree.cpp" "src/range/CMakeFiles/range.dir/segment_tree.cpp.o" "gcc" "src/range/CMakeFiles/range.dir/segment_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/coop.dir/DependInfo.cmake"
+  "/root/repo/build/src/fc/CMakeFiles/fc.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pram/CMakeFiles/pram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range.dir/point_enclosure.cpp.o"
+  "CMakeFiles/range.dir/point_enclosure.cpp.o.d"
+  "CMakeFiles/range.dir/range_tree.cpp.o"
+  "CMakeFiles/range.dir/range_tree.cpp.o.d"
+  "CMakeFiles/range.dir/range_tree_kd.cpp.o"
+  "CMakeFiles/range.dir/range_tree_kd.cpp.o.d"
+  "CMakeFiles/range.dir/retrieval.cpp.o"
+  "CMakeFiles/range.dir/retrieval.cpp.o.d"
+  "CMakeFiles/range.dir/segment_tree.cpp.o"
+  "CMakeFiles/range.dir/segment_tree.cpp.o.d"
+  "librange.a"
+  "librange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

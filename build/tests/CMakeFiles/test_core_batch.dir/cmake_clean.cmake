@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_batch.dir/core/test_batch.cpp.o"
+  "CMakeFiles/test_core_batch.dir/core/test_batch.cpp.o.d"
+  "test_core_batch"
+  "test_core_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_explicit.dir/core/test_explicit.cpp.o"
+  "CMakeFiles/test_core_explicit.dir/core/test_explicit.cpp.o.d"
+  "test_core_explicit"
+  "test_core_explicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_explicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_general_tree.dir/core/test_general_tree.cpp.o"
+  "CMakeFiles/test_core_general_tree.dir/core/test_general_tree.cpp.o.d"
+  "test_core_general_tree"
+  "test_core_general_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_general_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_implicit.dir/core/test_implicit.cpp.o"
+  "CMakeFiles/test_core_implicit.dir/core/test_implicit.cpp.o.d"
+  "test_core_implicit"
+  "test_core_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

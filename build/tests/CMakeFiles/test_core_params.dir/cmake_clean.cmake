@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_params.dir/core/test_params.cpp.o"
+  "CMakeFiles/test_core_params.dir/core/test_params.cpp.o.d"
+  "test_core_params"
+  "test_core_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_structure.dir/core/test_structure.cpp.o"
+  "CMakeFiles/test_core_structure.dir/core/test_structure.cpp.o.d"
+  "test_core_structure"
+  "test_core_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fc_dynamic.dir/fc/test_dynamic.cpp.o"
+  "CMakeFiles/test_fc_dynamic.dir/fc/test_dynamic.cpp.o.d"
+  "test_fc_dynamic"
+  "test_fc_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fc_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

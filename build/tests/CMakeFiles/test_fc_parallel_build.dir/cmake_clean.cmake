@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fc_parallel_build.dir/fc/test_parallel_build.cpp.o"
+  "CMakeFiles/test_fc_parallel_build.dir/fc/test_parallel_build.cpp.o.d"
+  "test_fc_parallel_build"
+  "test_fc_parallel_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fc_parallel_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_subdivision.dir/geom/test_subdivision.cpp.o"
+  "CMakeFiles/test_geom_subdivision.dir/geom/test_subdivision.cpp.o.d"
+  "test_geom_subdivision"
+  "test_geom_subdivision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_subdivision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_engines.dir/integration/test_engines_and_tuning.cpp.o"
+  "CMakeFiles/test_integration_engines.dir/integration/test_engines_and_tuning.cpp.o.d"
+  "test_integration_engines"
+  "test_integration_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_validators.dir/integration/test_validators.cpp.o"
+  "CMakeFiles/test_integration_validators.dir/integration/test_validators.cpp.o.d"
+  "test_integration_validators"
+  "test_integration_validators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_validators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointloc_coop.dir/pointloc/test_coop_pointloc.cpp.o"
+  "CMakeFiles/test_pointloc_coop.dir/pointloc/test_coop_pointloc.cpp.o.d"
+  "test_pointloc_coop"
+  "test_pointloc_coop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointloc_coop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointloc_separator_tree.dir/pointloc/test_separator_tree.cpp.o"
+  "CMakeFiles/test_pointloc_separator_tree.dir/pointloc/test_separator_tree.cpp.o.d"
+  "test_pointloc_separator_tree"
+  "test_pointloc_separator_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointloc_separator_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointloc_slab_and_gaps.dir/pointloc/test_slab_and_gaps.cpp.o"
+  "CMakeFiles/test_pointloc_slab_and_gaps.dir/pointloc/test_slab_and_gaps.cpp.o.d"
+  "test_pointloc_slab_and_gaps"
+  "test_pointloc_slab_and_gaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointloc_slab_and_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pointloc_slab_and_gaps.
+# This may be replaced when dependencies are built.

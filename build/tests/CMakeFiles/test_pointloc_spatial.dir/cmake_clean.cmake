@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointloc_spatial.dir/pointloc/test_spatial.cpp.o"
+  "CMakeFiles/test_pointloc_spatial.dir/pointloc/test_spatial.cpp.o.d"
+  "test_pointloc_spatial"
+  "test_pointloc_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointloc_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

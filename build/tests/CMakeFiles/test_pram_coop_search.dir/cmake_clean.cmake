@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram_coop_search.dir/pram/test_coop_search.cpp.o"
+  "CMakeFiles/test_pram_coop_search.dir/pram/test_coop_search.cpp.o.d"
+  "test_pram_coop_search"
+  "test_pram_coop_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram_coop_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_pram_coop_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram_machine.dir/pram/test_machine.cpp.o"
+  "CMakeFiles/test_pram_machine.dir/pram/test_machine.cpp.o.d"
+  "test_pram_machine"
+  "test_pram_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

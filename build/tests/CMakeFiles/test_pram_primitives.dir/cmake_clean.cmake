@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pram_primitives.dir/pram/test_primitives.cpp.o"
+  "CMakeFiles/test_pram_primitives.dir/pram/test_primitives.cpp.o.d"
+  "test_pram_primitives"
+  "test_pram_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pram_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_point_enclosure.dir/range/test_point_enclosure.cpp.o"
+  "CMakeFiles/test_range_point_enclosure.dir/range/test_point_enclosure.cpp.o.d"
+  "test_range_point_enclosure"
+  "test_range_point_enclosure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_point_enclosure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_retrieval.dir/range/test_retrieval.cpp.o"
+  "CMakeFiles/test_range_retrieval.dir/range/test_retrieval.cpp.o.d"
+  "test_range_retrieval"
+  "test_range_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

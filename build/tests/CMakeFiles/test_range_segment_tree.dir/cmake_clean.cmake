@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_segment_tree.dir/range/test_segment_tree.cpp.o"
+  "CMakeFiles/test_range_segment_tree.dir/range/test_segment_tree.cpp.o.d"
+  "test_range_segment_tree"
+  "test_range_segment_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_segment_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_tree_kd.dir/range/test_range_tree_kd.cpp.o"
+  "CMakeFiles/test_range_tree_kd.dir/range/test_range_tree_kd.cpp.o.d"
+  "test_range_tree_kd"
+  "test_range_tree_kd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_tree_kd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coopsearch_cli.dir/coopsearch_cli.cpp.o"
+  "CMakeFiles/coopsearch_cli.dir/coopsearch_cli.cpp.o.d"
+  "coopsearch_cli"
+  "coopsearch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coopsearch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
