@@ -2,9 +2,71 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <numeric>
 
 namespace coop {
+
+namespace {
+
+/// Cheap structural scan of a (possibly untrusted) cascaded structure —
+/// O(total augmented entries), no key-level semantics.  The deep semantic
+/// checks live in fc::Structure::verify_properties / robust::validate_fc.
+Status check_fc_structural(const fc::Structure& s) {
+  const cat::Tree& t = s.tree();
+  if (t.num_nodes() == 0) {
+    return Status::invalid_argument("cascaded structure over an empty tree");
+  }
+  if (s.sample_k() <= t.max_degree()) {
+    return Status::invalid_argument(
+        "cascaded structure has sampling factor k=" +
+        std::to_string(s.sample_k()) + " <= max degree " +
+        std::to_string(t.max_degree()));
+  }
+  for (std::size_t vi = 0; vi < t.num_nodes(); ++vi) {
+    const auto v = static_cast<NodeId>(vi);
+    const fc::AugCatalog& a = s.aug(v);
+    const std::string at = " at node " + std::to_string(vi);
+    if (a.keys.empty() || a.keys.back() != cat::kInfinity) {
+      return Status::corrupted("augmented catalog missing +inf terminal" + at);
+    }
+    for (std::size_t i = 1; i < a.keys.size(); ++i) {
+      if (a.keys[i - 1] >= a.keys[i]) {
+        return Status::corrupted("augmented keys not strictly increasing" +
+                                 at);
+      }
+    }
+    if (a.num_children != t.degree(v)) {
+      return Status::corrupted("augmented catalog child count mismatch" + at);
+    }
+    if (a.proper.size() != a.keys.size()) {
+      return Status::corrupted("proper[] size mismatch" + at);
+    }
+    if (a.bridge.size() != a.keys.size() * t.degree(v)) {
+      return Status::corrupted("bridge[] size mismatch" + at);
+    }
+    const auto own_size = static_cast<std::int32_t>(t.catalog(v).size());
+    for (const std::int32_t p : a.proper) {
+      if (p < 0 || p >= own_size) {
+        return Status::corrupted("proper[] index out of range" + at);
+      }
+    }
+    const auto kids = t.children(v);
+    for (std::uint32_t e = 0; e < kids.size(); ++e) {
+      const auto kid_size =
+          static_cast<std::int32_t>(s.aug(kids[e]).keys.size());
+      for (std::size_t i = 0; i < a.keys.size(); ++i) {
+        const std::int32_t br = a.bridge_at(e, i);
+        if (br < 0 || br >= kid_size) {
+          return Status::corrupted("bridge index out of range" + at);
+        }
+      }
+    }
+  }
+  return coop::OkStatus();
+}
+
+}  // namespace
 
 namespace {
 
@@ -233,6 +295,21 @@ CoopStructure CoopStructure::build(const fc::Structure& s,
     cs.subs_.push_back(build_substructure(s, cs.params_, i));
   }
   return cs;
+}
+
+Expected<CoopStructure> CoopStructure::build_checked(const fc::Structure& s,
+                                                     double alpha_scale) {
+  if (!std::isfinite(alpha_scale) || alpha_scale < 1.0 ||
+      alpha_scale > 64.0) {
+    return Status::invalid_argument(
+        "alpha_scale must be a finite value in [1, 64], got " +
+        std::to_string(alpha_scale));
+  }
+  Status st = check_fc_structural(s);
+  if (!st.ok()) {
+    return st;
+  }
+  return build(s, alpha_scale);
 }
 
 CoopStructure CoopStructure::build_subset(

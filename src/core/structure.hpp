@@ -7,6 +7,11 @@
 #include "core/params.hpp"
 #include "fc/build.hpp"
 #include "pram/machine.hpp"
+#include "robust/status.hpp"
+
+namespace robust {
+struct StructureAccess;  // fault-injection backdoor (src/robust/corrupt.hpp)
+}
 
 namespace coop {
 
@@ -69,6 +74,14 @@ class CoopStructure {
   /// paper's 1.0) is forwarded to Params — see params.hpp.
   static CoopStructure build(const fc::Structure& s, double alpha_scale = 1.0);
 
+  /// Fallible variant of build() for untrusted cascaded structures and
+  /// tuning knobs: rejects non-finite / out-of-range alpha_scale and
+  /// structurally broken fc::Structure instances (array-size mismatches,
+  /// unsorted or unterminated augmented catalogs, k <= max_degree) with a
+  /// Status instead of UB.  `s` must outlive the returned structure.
+  static Expected<CoopStructure> build_checked(const fc::Structure& s,
+                                               double alpha_scale = 1.0);
+
   /// Build only the given substructure indices (space benches).
   static CoopStructure build_subset(const fc::Structure& s,
                                     std::span<const std::uint32_t> indices,
@@ -108,6 +121,8 @@ class CoopStructure {
   }
 
  private:
+  friend struct ::robust::StructureAccess;
+
   CoopStructure() : params_(4) {}
 
   static Substructure build_substructure(const fc::Structure& s,

@@ -36,6 +36,28 @@ std::vector<Key> merge_dedup(const std::vector<Key>& a,
 
 }  // namespace
 
+coop::Expected<Structure> Structure::build_checked(const cat::Tree& tree,
+                                                   std::uint32_t sample_k) {
+  using coop::Status;
+  if (tree.num_nodes() == 0) {
+    return Status::invalid_argument("catalog tree is empty");
+  }
+  if (!tree.validate()) {
+    return Status::invalid_argument(
+        "catalog tree fails structural validation (unfinalized tree, "
+        "unreachable nodes, or unsorted/unterminated catalogs)");
+  }
+  const std::uint32_t k = sample_k == 0 ? auto_sample_k(tree) : sample_k;
+  if (k <= tree.max_degree()) {
+    return Status::invalid_argument(
+        "sampling factor k=" + std::to_string(k) +
+        " must exceed the tree's max degree " +
+        std::to_string(tree.max_degree()) +
+        " (otherwise augmented catalogs are not O(n))");
+  }
+  return build(tree, k);
+}
+
 Structure Structure::build(const cat::Tree& tree, std::uint32_t sample_k) {
   const std::uint32_t k = sample_k == 0 ? auto_sample_k(tree) : sample_k;
   assert(k > tree.max_degree() && "sampling factor must exceed max degree");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fc/types.hpp"
+#include "robust/status.hpp"
 
 namespace fc {
 
@@ -24,6 +25,13 @@ class Structure {
   /// exceed the maximum degree for O(n) total size.  Pass 0 to choose
   /// max(4, 2 * max_degree) automatically.  The fan-out bound is b == k.
   static Structure build(const cat::Tree& tree, std::uint32_t sample_k = 0);
+
+  /// Fallible variant of build() for untrusted trees: validates the input
+  /// (non-empty finalized tree, sorted catalogs, sampling factor
+  /// k > max_degree) and returns a Status instead of tripping an assert /
+  /// invoking UB.  The happy path then delegates to build().
+  static coop::Expected<Structure> build_checked(const cat::Tree& tree,
+                                                 std::uint32_t sample_k = 0);
 
   [[nodiscard]] const cat::Tree& tree() const { return *tree_; }
   [[nodiscard]] std::uint32_t sample_k() const { return k_; }

@@ -20,7 +20,15 @@ std::string MonotoneSubdivision::validate() const {
   if (num_regions == 0) {
     return "no regions";
   }
+  if (ymin < -kCoordLimit || ymax > kCoordLimit) {
+    return "strip bounds exceed the coordinate limit";
+  }
   for (const SubEdge& e : edges) {
+    for (const Coord c : {e.lo.x, e.lo.y, e.hi.x, e.hi.y}) {
+      if (c < -kCoordLimit || c > kCoordLimit) {
+        return "edge coordinate exceeds the coordinate limit (|c| <= 2^40)";
+      }
+    }
     if (e.lo.y >= e.hi.y) {
       return "edge not oriented upward";
     }

@@ -8,6 +8,13 @@
 
 namespace geom {
 
+/// Coordinate magnitude bound for subdivisions: the exact predicates
+/// (orientation, the crossing check in validate()) evaluate products of
+/// three coordinate-sized factors in 128-bit intermediates, which is exact
+/// only while |coord| <= 2^40.  Generators stay far below this; validate()
+/// and the checked loaders reject anything outside.
+inline constexpr std::int64_t kCoordLimit = std::int64_t{1} << 40;
+
 /// One edge of a monotone subdivision, oriented upward (lo.y < hi.y).
 ///
 /// An edge lies on the common boundary of the regions left and right of

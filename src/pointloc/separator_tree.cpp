@@ -86,6 +86,15 @@ SeparatorTree::SeparatorTree(const geom::MonotoneSubdivision& sub)
       std::make_unique<coop::CoopStructure>(coop::CoopStructure::build(*fc_));
 }
 
+coop::Expected<SeparatorTree> SeparatorTree::build_checked(
+    const geom::MonotoneSubdivision& sub) {
+  const std::string err = sub.validate();
+  if (!err.empty()) {
+    return coop::Status::invalid_argument("invalid subdivision: " + err);
+  }
+  return SeparatorTree(sub);
+}
+
 const geom::SubEdge* SeparatorTree::active_edge(cat::NodeId v,
                                                 std::size_t proper_index,
                                                 geom::Coord qy) const {

@@ -7,6 +7,7 @@
 #include "fc/build.hpp"
 #include "fc/search.hpp"
 #include "geom/subdivision.hpp"
+#include "robust/status.hpp"
 
 namespace pointloc {
 
@@ -22,6 +23,13 @@ namespace pointloc {
 class SeparatorTree {
  public:
   explicit SeparatorTree(const geom::MonotoneSubdivision& sub);
+
+  /// Fallible construction for untrusted subdivisions: runs the full
+  /// structural validation (coverage, separator order, coordinate bounds)
+  /// and returns a Status instead of building a corrupt structure.  `sub`
+  /// must outlive the returned tree.
+  static coop::Expected<SeparatorTree> build_checked(
+      const geom::MonotoneSubdivision& sub);
 
   SeparatorTree(const SeparatorTree&) = delete;
   SeparatorTree& operator=(const SeparatorTree&) = delete;
@@ -94,6 +102,8 @@ class SeparatorTree {
   }
 
  private:
+  friend struct ::robust::StructureAccess;
+
   /// Shared branch logic: given the catalog entry at node v, decide the
   /// branch (0 left / 1 right) and maintain the running max(e_L) state.
   [[nodiscard]] std::uint32_t branch_at(cat::NodeId v,

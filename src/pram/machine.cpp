@@ -38,7 +38,15 @@ Machine::~Machine() {
   }
 }
 
+void Machine::check_deadline() {
+  if (deadline_expired()) {
+    throw DeadlineExceeded("machine deadline expired before instruction " +
+                           std::to_string(stats_.instructions + 1));
+  }
+}
+
 void Machine::begin_instruction(std::size_t active) {
+  check_deadline();
   stats_.instructions += 1;
   stats_.steps += (active + p_ - 1) / p_;  // Brent's scheduling principle
   stats_.work += active;
@@ -47,12 +55,32 @@ void Machine::begin_instruction(std::size_t active) {
 
 void Machine::end_instruction() {}
 
+void Machine::set_deadline(std::chrono::nanoseconds budget) {
+  deadline_armed_ = true;
+  deadline_at_ = std::chrono::steady_clock::now() + budget;
+}
+
 void Machine::report_violation(const std::string& what) {
   std::lock_guard<std::mutex> lock(violation_mutex_);
   stats_.violations += 1;
   if (first_violation_.empty()) {
     first_violation_ = what;
   }
+  if (violation_log_.size() < kMaxViolationLog &&
+      std::find(violation_log_.begin(), violation_log_.end(), what) ==
+          violation_log_.end()) {
+    violation_log_.push_back(what);
+  }
+}
+
+void Machine::note_diagnostic(std::string what) {
+  std::lock_guard<std::mutex> lock(violation_mutex_);
+  diagnostics_.push_back(std::move(what));
+}
+
+void Machine::note_degradation(const std::string& reason) {
+  stats_.degradations += 1;
+  note_diagnostic("degraded to sequential engine: " + reason);
 }
 
 void Machine::run_threaded(std::size_t active,
@@ -61,11 +89,26 @@ void Machine::run_threaded(std::size_t active,
   pool_fn_ = &fn;
   pool_active_ = active;
   pool_next_.store(0, std::memory_order_relaxed);
+  pool_abort_.store(false, std::memory_order_relaxed);
+  pool_error_ = nullptr;
   pool_remaining_ = workers_.size();
   ++pool_generation_;
   pool_cv_.notify_all();
   done_cv_.wait(lock, [this] { return pool_remaining_ == 0; });
   pool_fn_ = nullptr;
+  // Surface mid-instruction faults on the calling thread, worker
+  // exceptions first (a deadline abort may be a side effect of one).
+  if (pool_error_ != nullptr) {
+    std::exception_ptr err = pool_error_;
+    pool_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+  if (pool_abort_.load(std::memory_order_relaxed)) {
+    lock.unlock();
+    throw DeadlineExceeded("machine deadline expired inside instruction " +
+                           std::to_string(stats_.instructions));
+  }
 }
 
 void Machine::worker_loop(std::size_t /*worker_id*/) {
@@ -85,17 +128,33 @@ void Machine::worker_loop(std::size_t /*worker_id*/) {
       fn = pool_fn_;
       active = pool_active_;
     }
-    // Grab chunks of virtual processors until the instruction is drained.
+    // Grab chunks of virtual processors until the instruction is drained,
+    // a worker faults, or the watchdog fires.
     constexpr std::size_t kChunk = 256;
-    for (;;) {
+    while (!pool_abort_.load(std::memory_order_relaxed)) {
+      if (deadline_expired()) {
+        pool_abort_.store(true, std::memory_order_relaxed);
+        break;
+      }
       const std::size_t begin =
           pool_next_.fetch_add(kChunk, std::memory_order_relaxed);
       if (begin >= active) {
         break;
       }
       const std::size_t end = std::min(active, begin + kChunk);
-      for (std::size_t pid = begin; pid < end; ++pid) {
-        (*fn)(pid);
+      try {
+        for (std::size_t pid = begin; pid < end; ++pid) {
+          (*fn)(pid);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(pool_mutex_);
+          if (pool_error_ == nullptr) {
+            pool_error_ = std::current_exception();
+          }
+        }
+        pool_abort_.store(true, std::memory_order_relaxed);
+        break;
       }
     }
     {

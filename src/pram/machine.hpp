@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "pram/work_depth.hpp"
@@ -19,6 +23,14 @@ namespace pram {
 enum class Engine : std::uint8_t {
   kSequential,  ///< deterministic in-order simulation (default; exact audit)
   kThreads,     ///< std::thread pool; real concurrency, audit disabled
+};
+
+/// Thrown by `exec` / `exec_k` when the machine's deadline (set via
+/// `set_deadline`) has expired.  `run_resilient` catches it and re-executes
+/// the algorithm on the sequential engine.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// A simulated PRAM with `p` virtual processors.
@@ -37,6 +49,14 @@ enum class Engine : std::uint8_t {
 /// rely on that order (that would be a read-after-write hazard on a real
 /// PRAM).  The `SharedArray` auditor (memory.hpp) detects such hazards as
 /// well as EREW/CREW discipline violations.
+///
+/// Fault model: a machine can carry a *deadline* (watchdog) — when it
+/// expires, the next logical instruction throws DeadlineExceeded (thread
+/// workers also poll it between chunks mid-instruction).  Exceptions thrown
+/// by virtual processors under the thread engine are captured and rethrown
+/// on the calling thread once the instruction has drained, so a faulty
+/// worker can never tear down the process.  `run_resilient` builds graceful
+/// degradation on top of both.
 class Machine {
  public:
   explicit Machine(std::size_t p, Model model = Model::kCrew,
@@ -58,14 +78,7 @@ class Machine {
       return;
     }
     begin_instruction(active);
-    if (engine_ == Engine::kThreads && workers_.size() > 1 && active > 1) {
-      run_threaded(active, std::function<void(std::size_t)>(
-                               [&fn](std::size_t pid) { fn(pid); }));
-    } else {
-      for (std::size_t pid = 0; pid < active; ++pid) {
-        fn(pid);
-      }
-    }
+    dispatch(active, fn);
     end_instruction();
   }
 
@@ -78,18 +91,12 @@ class Machine {
     if (active == 0 || k == 0) {
       return;
     }
+    check_deadline();
     stats_.instructions += 1;
     stats_.steps += k * ((active + p_ - 1) / p_);
     stats_.work += static_cast<std::uint64_t>(active) * k;
     stats_.max_active = std::max<std::uint64_t>(stats_.max_active, active);
-    if (engine_ == Engine::kThreads && workers_.size() > 1 && active > 1) {
-      run_threaded(active, std::function<void(std::size_t)>(
-                               [&fn](std::size_t pid) { fn(pid); }));
-    } else {
-      for (std::size_t pid = 0; pid < active; ++pid) {
-        fn(pid);
-      }
-    }
+    dispatch(active, fn);
   }
 
   /// Sequential (single-processor) region executed by processor 0; charges
@@ -97,6 +104,7 @@ class Machine {
   /// sequential phases (e.g. Step 5 of the explicit search).
   template <typename Fn>
   void sequential(std::uint64_t units, Fn&& fn) {
+    check_deadline();
     stats_.steps += units;
     stats_.work += units;
     stats_.instructions += 1;
@@ -121,7 +129,16 @@ class Machine {
     return stats_.instructions;
   }
 
-  /// Record a model-audit violation (called by SharedArray).
+  /// True if SharedArray auditing is sound on this machine.  The thread
+  /// engine runs virtual processors concurrently, so the auditor's
+  /// bookkeeping would itself be a data race; auditing is sequential-only.
+  [[nodiscard]] bool audit_supported() const {
+    return engine_ != Engine::kThreads;
+  }
+
+  /// Record a model-audit violation (called by SharedArray).  The total is
+  /// counted in stats().violations; up to kMaxViolationLog *distinct*
+  /// messages are retained and exposed via violations_seen().
   void report_violation(const std::string& what);
 
   /// First violation message, empty if none.
@@ -129,9 +146,51 @@ class Machine {
     return first_violation_;
   }
 
+  /// Bounded list of distinct violation messages (insertion order).
+  [[nodiscard]] const std::vector<std::string>& violations_seen() const {
+    return violation_log_;
+  }
+
+  /// Cap on violations_seen(); further distinct messages only count.
+  static constexpr std::size_t kMaxViolationLog = 16;
+
+  /// Record a non-fatal operational note (e.g. "audit refused under the
+  /// thread engine", "fell back to the sequential engine").
+  void note_diagnostic(std::string what);
+  [[nodiscard]] const std::vector<std::string>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// Mark this machine as the fall-back executor of a degraded run:
+  /// increments stats().degradations and records `reason`.
+  void note_degradation(const std::string& reason);
+
+  /// Arm the watchdog: instructions issued after `budget` has elapsed
+  /// (from now) throw DeadlineExceeded; thread-pool workers also poll the
+  /// deadline between chunks inside long instructions.
+  void set_deadline(std::chrono::nanoseconds budget);
+  void clear_deadline() { deadline_armed_ = false; }
+  [[nodiscard]] bool deadline_expired() const {
+    return deadline_armed_ &&
+           std::chrono::steady_clock::now() >= deadline_at_;
+  }
+
  private:
+  template <typename Fn>
+  void dispatch(std::size_t active, Fn& fn) {
+    if (engine_ == Engine::kThreads && workers_.size() > 1 && active > 1) {
+      run_threaded(active, std::function<void(std::size_t)>(
+                               [&fn](std::size_t pid) { fn(pid); }));
+    } else {
+      for (std::size_t pid = 0; pid < active; ++pid) {
+        fn(pid);
+      }
+    }
+  }
+
   void begin_instruction(std::size_t active);
   void end_instruction();
+  void check_deadline();
   void run_threaded(std::size_t active,
                     const std::function<void(std::size_t)>& fn);
   void worker_loop(std::size_t worker_id);
@@ -141,7 +200,12 @@ class Machine {
   Engine engine_;
   StepStats stats_;
   std::string first_violation_;
+  std::vector<std::string> violation_log_;
+  std::vector<std::string> diagnostics_;
   std::mutex violation_mutex_;
+
+  bool deadline_armed_ = false;
+  std::chrono::steady_clock::time_point deadline_at_{};
 
   // Thread-pool state (Engine::kThreads only).
   std::vector<std::thread> workers_;
@@ -153,7 +217,75 @@ class Machine {
   std::uint64_t pool_generation_ = 0;
   std::size_t pool_remaining_ = 0;
   std::atomic<std::size_t> pool_next_{0};
+  std::atomic<bool> pool_abort_{false};  ///< deadline/exception mid-drain
+  std::exception_ptr pool_error_;        ///< first worker exception
   bool pool_shutdown_ = false;
 };
+
+/// Outcome report of a `run_resilient` call.
+struct RunReport {
+  bool degraded = false;      ///< the fall-back machine produced the result
+  std::string reason;         ///< why the primary run was abandoned
+  StepStats stats;            ///< stats of the machine that produced the
+                              ///< result (degradations > 0 iff degraded)
+  StepStats abandoned_stats;  ///< partial stats of the failed attempt
+};
+
+/// Graceful degradation: run `algo(machine)` on a machine with the
+/// requested engine, guarded by `deadline` (0 disables the watchdog).  If
+/// the run throws (worker exception, deadline) or trips a model-audit
+/// violation, the algorithm is transparently re-executed on a fresh
+/// *sequential* machine with the same processor count and model; the
+/// fall-back machine's stats carry `degradations == 1` so callers and
+/// benches can see the degradation.  Returns whatever `algo` returns.
+///
+/// `algo` must be re-runnable from scratch (idempotent up to its result) —
+/// true of all searches in this repo, which only write their own outputs.
+template <typename Algo>
+auto run_resilient(std::size_t p, Model model, Engine engine,
+                   std::chrono::nanoseconds deadline, Algo&& algo,
+                   RunReport* report = nullptr)
+    -> std::invoke_result_t<Algo&, Machine&> {
+  using R = std::invoke_result_t<Algo&, Machine&>;
+  static_assert(!std::is_void_v<R>,
+                "run_resilient needs a result to return; have the algorithm "
+                "return its output (or a dummy value)");
+  std::string reason;
+  {
+    Machine primary(p, model, engine);
+    if (deadline.count() > 0) {
+      primary.set_deadline(deadline);
+    }
+    try {
+      R result = algo(primary);
+      if (primary.stats().violations == 0) {
+        if (report != nullptr) {
+          report->degraded = false;
+          report->reason.clear();
+          report->stats = primary.stats();
+          report->abandoned_stats = StepStats{};
+        }
+        return result;
+      }
+      reason = "audit violation: " + primary.first_violation();
+    } catch (const DeadlineExceeded& e) {
+      reason = std::string("deadline: ") + e.what();
+    } catch (const std::exception& e) {
+      reason = std::string("worker exception: ") + e.what();
+    }
+    if (report != nullptr) {
+      report->abandoned_stats = primary.stats();
+    }
+  }
+  Machine fallback(p, model, Engine::kSequential);
+  fallback.note_degradation(reason);
+  R result = algo(fallback);
+  if (report != nullptr) {
+    report->degraded = true;
+    report->reason = reason;
+    report->stats = fallback.stats();
+  }
+  return result;
+}
 
 }  // namespace pram

@@ -57,12 +57,30 @@ class SharedArray {
 
   /// Enable conflict auditing against `machine`'s model.  The machine must
   /// outlive this array (or auditing must be disabled first).
-  void enable_audit(Machine* machine, std::string name) {
+  ///
+  /// Auditing is refused under the thread engine: the `reads_`/`writes_`
+  /// bookkeeping is unsynchronized by design (it sits on the sequential
+  /// hot path), so mutating it from concurrent workers would be a data
+  /// race in the auditor itself.  The refusal is recorded as a machine
+  /// diagnostic and `false` is returned; the array stays unaudited.
+  bool enable_audit(Machine* machine, std::string name) {
+    if (machine != nullptr && !machine->audit_supported()) {
+      machine->note_diagnostic(
+          "audit disabled for SharedArray \"" + name +
+          "\": the thread engine runs virtual processors concurrently and "
+          "the audit bookkeeping is unsynchronized; use Engine::kSequential "
+          "for audited runs");
+      audit_ = nullptr;
+      return false;
+    }
     audit_ = machine;
     name_ = std::move(name);
     reads_.assign(data_.size(), kNever);
     writes_.assign(data_.size(), kNever);
+    return true;
   }
+
+  [[nodiscard]] bool audit_enabled() const { return audit_ != nullptr; }
 
   void disable_audit() {
     audit_ = nullptr;

@@ -40,6 +40,8 @@ struct StepStats {
   std::uint64_t instructions = 0;///< logical parallel instructions issued
   std::uint64_t max_active = 0;  ///< widest logical instruction seen
   std::uint64_t violations = 0;  ///< model-audit violations detected
+  std::uint64_t degradations = 0;///< engine fall-backs that produced this run
+                                 ///< (see Machine::note_degradation)
 
   void reset() { *this = StepStats{}; }
 
@@ -49,6 +51,7 @@ struct StepStats {
     instructions += o.instructions;
     if (o.max_active > max_active) max_active = o.max_active;
     violations += o.violations;
+    degradations += o.degradations;
     return *this;
   }
 };

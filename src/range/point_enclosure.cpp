@@ -57,6 +57,30 @@ std::size_t PointEnclosureTree::Stabber::report(
   return comparisons;
 }
 
+coop::Expected<PointEnclosureTree> PointEnclosureTree::build_checked(
+    std::vector<Rect> rects) {
+  KeyCodec codec{static_cast<cat::Key>(
+      std::bit_ceil(std::max<std::size_t>(2, rects.size() + 1)))};
+  const cat::Key limit = codec.max_abs_coord();
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    const Rect& r = rects[i];
+    if (r.x1 > r.x2 || r.y1 > r.y2) {
+      return coop::Status::invalid_argument(
+          "rectangle " + std::to_string(i) +
+          " is degenerate (needs x1 <= x2 and y1 <= y2)");
+    }
+    for (const geom::Coord c : {r.x1, r.x2, r.y1, r.y2}) {
+      if (c < -limit || c > limit) {
+        return coop::Status::invalid_argument(
+            "rectangle " + std::to_string(i) +
+            " has a coordinate outside the encodable range (|c| <= " +
+            std::to_string(limit) + ")");
+      }
+    }
+  }
+  return PointEnclosureTree(std::move(rects));
+}
+
 PointEnclosureTree::PointEnclosureTree(std::vector<Rect> rects)
     : rects_(std::move(rects)) {
   for (const auto& r : rects_) {

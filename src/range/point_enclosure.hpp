@@ -7,6 +7,7 @@
 #include "fc/search.hpp"
 #include "geom/primitives.hpp"
 #include "range/retrieval.hpp"
+#include "robust/status.hpp"
 
 namespace range {
 
@@ -30,6 +31,12 @@ struct Rect {
 class PointEnclosureTree {
  public:
   explicit PointEnclosureTree(std::vector<Rect> rects);
+
+  /// Fallible construction for untrusted rectangles: rejects degenerate
+  /// rectangles (x1 > x2 or y1 > y2) and out-of-range coordinates with a
+  /// Status instead of an assert / silent corruption.
+  static coop::Expected<PointEnclosureTree> build_checked(
+      std::vector<Rect> rects);
 
   PointEnclosureTree(const PointEnclosureTree&) = delete;
   PointEnclosureTree(PointEnclosureTree&&) = default;

@@ -25,6 +25,24 @@ std::vector<std::uint64_t> extract_ids(const cat::Tree& tree,
 
 }  // namespace
 
+coop::Expected<RangeTree2D> RangeTree2D::build_checked(
+    std::vector<Point2> points) {
+  KeyCodec codec{static_cast<cat::Key>(
+      std::bit_ceil(std::max<std::size_t>(2, points.size() + 1)))};
+  const cat::Key limit = codec.max_abs_coord();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].x < -limit || points[i].x > limit || points[i].y < -limit ||
+        points[i].y > limit) {
+      return coop::Status::invalid_argument(
+          "point " + std::to_string(i) +
+          " has a coordinate outside the encodable range (|c| <= " +
+          std::to_string(limit) + " for " + std::to_string(points.size()) +
+          " points)");
+    }
+  }
+  return RangeTree2D(std::move(points));
+}
+
 RangeTree2D::RangeTree2D(std::vector<Point2> points)
     : points_(std::move(points)) {
   std::sort(points_.begin(), points_.end(),

@@ -7,6 +7,7 @@
 #include "fc/search.hpp"
 #include "geom/primitives.hpp"
 #include "range/retrieval.hpp"
+#include "robust/status.hpp"
 
 namespace range {
 
@@ -25,6 +26,11 @@ struct Point2 {
 class RangeTree2D {
  public:
   explicit RangeTree2D(std::vector<Point2> points);
+
+  /// Fallible construction for untrusted point sets: rejects coordinates
+  /// whose composite keys (coord * stride + id) would overflow or collide
+  /// with the +infinity sentinel.
+  static coop::Expected<RangeTree2D> build_checked(std::vector<Point2> points);
 
   RangeTree2D(const RangeTree2D&) = delete;
   RangeTree2D(RangeTree2D&&) = default;

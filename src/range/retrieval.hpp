@@ -21,6 +21,14 @@ struct KeyCodec {
   [[nodiscard]] cat::Key upper_exclusive(cat::Key coord) const {
     return (coord + 1) * stride;
   }
+
+  /// Largest |coordinate| this codec can encode without the composite key
+  /// overflowing or colliding with the +infinity sentinel (headroom factor
+  /// 4 leaves room for the +1 in upper_exclusive and query widening).  The
+  /// `*_checked` builders reject coordinates outside this bound.
+  [[nodiscard]] cat::Key max_abs_coord() const {
+    return cat::kInfinity / 4 / stride;
+  }
 };
 
 /// One reported range: catalog positions [lo, hi) at a tree node.

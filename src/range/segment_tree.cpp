@@ -8,6 +8,30 @@
 
 namespace range {
 
+coop::Expected<SegmentIntersectionTree> SegmentIntersectionTree::build_checked(
+    std::vector<VSegment> segments) {
+  KeyCodec codec{static_cast<cat::Key>(
+      std::bit_ceil(std::max<std::size_t>(2, segments.size() + 1)))};
+  const cat::Key limit = codec.max_abs_coord();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const VSegment& s = segments[i];
+    if (s.ylo >= s.yhi) {
+      return coop::Status::invalid_argument(
+          "segment " + std::to_string(i) + " has a degenerate span (ylo=" +
+          std::to_string(s.ylo) + " >= yhi=" + std::to_string(s.yhi) + ")");
+    }
+    for (const geom::Coord c : {s.x, s.ylo, s.yhi}) {
+      if (c < -limit || c > limit) {
+        return coop::Status::invalid_argument(
+            "segment " + std::to_string(i) +
+            " has a coordinate outside the encodable range (|c| <= " +
+            std::to_string(limit) + ")");
+      }
+    }
+  }
+  return SegmentIntersectionTree(std::move(segments));
+}
+
 SegmentIntersectionTree::SegmentIntersectionTree(std::vector<VSegment> segments)
     : segments_(std::move(segments)) {
   // Elementary slabs between distinct y endpoints.

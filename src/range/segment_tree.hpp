@@ -7,6 +7,7 @@
 #include "fc/search.hpp"
 #include "geom/primitives.hpp"
 #include "range/retrieval.hpp"
+#include "robust/status.hpp"
 
 namespace range {
 
@@ -27,6 +28,12 @@ struct VSegment {
 class SegmentIntersectionTree {
  public:
   explicit SegmentIntersectionTree(std::vector<VSegment> segments);
+
+  /// Fallible construction for untrusted segments: rejects degenerate
+  /// spans (ylo >= yhi, which the half-open slab decomposition cannot
+  /// represent) and coordinates outside the codec's safe range.
+  static coop::Expected<SegmentIntersectionTree> build_checked(
+      std::vector<VSegment> segments);
 
   SegmentIntersectionTree(const SegmentIntersectionTree&) = delete;
   SegmentIntersectionTree(SegmentIntersectionTree&&) = default;

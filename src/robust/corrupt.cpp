@@ -1,0 +1,275 @@
+#include "robust/corrupt.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace robust {
+
+using coop::Status;
+
+const char* to_string(CorruptionKind k) {
+  switch (k) {
+    case CorruptionKind::kUnsortedCatalog: return "unsorted-catalog";
+    case CorruptionKind::kMissingTerminal: return "missing-terminal";
+    case CorruptionKind::kCrossingBridges: return "crossing-bridges";
+    case CorruptionKind::kBridgeOutOfRange: return "bridge-out-of-range";
+    case CorruptionKind::kWrongProper: return "wrong-proper";
+    case CorruptionKind::kSkeletonNonMonotone: return "skeleton-non-monotone";
+    case CorruptionKind::kSkeletonOutOfRange: return "skeleton-out-of-range";
+    case CorruptionKind::kBlockMapDangling: return "block-map-dangling";
+    case CorruptionKind::kGapBreakpointDisorder:
+      return "gap-breakpoint-disorder";
+  }
+  return "?";
+}
+
+namespace {
+
+Status not_applicable(CorruptionKind kind, const char* target) {
+  return Status::failed_precondition(std::string(to_string(kind)) +
+                                     " does not apply to " + target);
+}
+
+Status too_small(CorruptionKind kind) {
+  return Status::failed_precondition(
+      std::string("structure too small to host ") + to_string(kind));
+}
+
+/// Pick one of `count` candidates deterministically from the seed.
+std::size_t pick(std::uint64_t seed, std::size_t count) {
+  std::mt19937_64 rng(seed);
+  return static_cast<std::size_t>(rng() % count);
+}
+
+}  // namespace
+
+Status corrupt(cat::Tree& t, CorruptionKind kind, std::uint64_t seed) {
+  if (kind != CorruptionKind::kUnsortedCatalog) {
+    return not_applicable(kind, "cat::Tree");
+  }
+  std::vector<cat::NodeId> hosts;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    if (t.catalog(cat::NodeId(v)).real_size() >= 2) {
+      hosts.push_back(cat::NodeId(v));
+    }
+  }
+  if (hosts.empty()) {
+    return too_small(kind);
+  }
+  const cat::NodeId v = hosts[pick(seed, hosts.size())];
+  const cat::Catalog& c = t.catalog(v);
+  // Real entries only; from_sorted() re-appends the sentinel (and does not
+  // validate, which is exactly what lets us plant the fault).
+  std::vector<cat::Key> keys(c.keys().begin(), c.keys().end() - 1);
+  std::vector<std::uint64_t> payloads(c.payloads().begin(),
+                                      c.payloads().end() - 1);
+  const std::size_t i = pick(seed ^ 0x9e3779b97f4a7c15ULL, keys.size() - 1);
+  std::swap(keys[i], keys[i + 1]);
+  std::swap(payloads[i], payloads[i + 1]);
+  t.set_catalog(v, cat::Catalog::from_sorted(keys, payloads));
+  return coop::OkStatus();
+}
+
+Status corrupt(fc::Structure& s, CorruptionKind kind, std::uint64_t seed) {
+  const cat::Tree& t = s.tree();
+  std::vector<fc::AugCatalog> aug;
+  aug.reserve(t.num_nodes());
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    aug.push_back(s.aug(cat::NodeId(v)));
+  }
+
+  switch (kind) {
+    case CorruptionKind::kMissingTerminal: {
+      const std::size_t v = pick(seed, aug.size());
+      aug[v].keys.back() = cat::kInfinity - 1 - static_cast<cat::Key>(v);
+      break;
+    }
+    case CorruptionKind::kCrossingBridges: {
+      // Adjacent entries whose bridges differ: swapping them plants a
+      // decreasing (crossing) pair while keeping every index in range.
+      struct Site {
+        std::size_t v, e, i;
+      };
+      std::vector<Site> sites;
+      for (std::size_t v = 0; v < aug.size(); ++v) {
+        const std::size_t sz = aug[v].keys.size();
+        for (std::size_t e = 0; e < aug[v].num_children; ++e) {
+          for (std::size_t i = 1; i < sz; ++i) {
+            if (aug[v].bridge[e * sz + i - 1] != aug[v].bridge[e * sz + i]) {
+              sites.push_back(Site{v, e, i});
+            }
+          }
+        }
+      }
+      if (sites.empty()) {
+        return too_small(kind);
+      }
+      const Site site = sites[pick(seed, sites.size())];
+      auto& b = aug[site.v].bridge;
+      const std::size_t sz = aug[site.v].keys.size();
+      std::swap(b[site.e * sz + site.i - 1], b[site.e * sz + site.i]);
+      break;
+    }
+    case CorruptionKind::kBridgeOutOfRange: {
+      std::vector<std::size_t> hosts;
+      for (std::size_t v = 0; v < aug.size(); ++v) {
+        if (aug[v].num_children > 0) {
+          hosts.push_back(v);
+        }
+      }
+      if (hosts.empty()) {
+        return too_small(kind);
+      }
+      const std::size_t v = hosts[pick(seed, hosts.size())];
+      const std::size_t slot = pick(seed ^ 0xbf58476d1ce4e5b9ULL,
+                                    aug[v].bridge.size());
+      const cat::NodeId kid =
+          t.children(cat::NodeId(v))[slot / aug[v].keys.size()];
+      aug[v].bridge[slot] = static_cast<std::int32_t>(aug[kid].keys.size());
+      break;
+    }
+    case CorruptionKind::kWrongProper: {
+      // Needs a catalog with >= 2 entries so the off-by-one lands on a
+      // different (still in-range) index.
+      std::vector<std::size_t> hosts;
+      for (std::size_t v = 0; v < aug.size(); ++v) {
+        if (t.catalog(cat::NodeId(v)).size() >= 2) {
+          hosts.push_back(v);
+        }
+      }
+      if (hosts.empty()) {
+        return too_small(kind);
+      }
+      const std::size_t v = hosts[pick(seed, hosts.size())];
+      const std::size_t i = pick(seed ^ 0x94d049bb133111ebULL,
+                                 aug[v].proper.size());
+      const auto own = static_cast<std::int32_t>(t.catalog(cat::NodeId(v)).size());
+      aug[v].proper[i] = (aug[v].proper[i] + 1) % own;
+      break;
+    }
+    default:
+      return not_applicable(kind, "fc::Structure");
+  }
+  s = fc::Structure::from_parts(t, s.sample_k(), std::move(aug));
+  return coop::OkStatus();
+}
+
+Status corrupt(coop::CoopStructure& cs, CorruptionKind kind,
+               std::uint64_t seed) {
+  auto& subs = StructureAccess::substructures(cs);
+  switch (kind) {
+    case CorruptionKind::kSkeletonNonMonotone: {
+      // A block with >= 2 skeletons: duplicate the root's sample 0 into
+      // sample 1, breaking the strictly-increasing back-sample order.
+      struct Site {
+        std::size_t sub, block;
+      };
+      std::vector<Site> sites;
+      for (std::size_t si = 0; si < subs.size(); ++si) {
+        for (std::size_t bi = 0; bi < subs[si].blocks.size(); ++bi) {
+          if (subs[si].blocks[bi].m >= 2) {
+            sites.push_back(Site{si, bi});
+          }
+        }
+      }
+      if (sites.empty()) {
+        return too_small(kind);
+      }
+      const Site site = sites[pick(seed, sites.size())];
+      coop::HopBlock& b = subs[site.sub].blocks[site.block];
+      b.skel[b.nodes.size()] = b.skel[0];
+      return coop::OkStatus();
+    }
+    case CorruptionKind::kSkeletonOutOfRange: {
+      struct Site {
+        std::size_t sub, block;
+      };
+      std::vector<Site> sites;
+      for (std::size_t si = 0; si < subs.size(); ++si) {
+        for (std::size_t bi = 0; bi < subs[si].blocks.size(); ++bi) {
+          if (!subs[si].blocks[bi].skel.empty()) {
+            sites.push_back(Site{si, bi});
+          }
+        }
+      }
+      if (sites.empty()) {
+        return too_small(kind);
+      }
+      const Site site = sites[pick(seed, sites.size())];
+      coop::HopBlock& b = subs[site.sub].blocks[site.block];
+      const std::size_t slot = pick(seed ^ 0x2545f4914f6cdd1dULL,
+                                    b.skel.size());
+      const cat::NodeId v = b.nodes[slot % b.nodes.size()];
+      b.skel[slot] =
+          static_cast<std::int32_t>(cs.cascade().aug(v).size()) + 5;
+      return coop::OkStatus();
+    }
+    case CorruptionKind::kBlockMapDangling: {
+      std::vector<std::size_t> hosts;
+      for (std::size_t si = 0; si < subs.size(); ++si) {
+        if (!subs[si].blocks.empty()) {
+          hosts.push_back(si);
+        }
+      }
+      if (hosts.empty()) {
+        return too_small(kind);
+      }
+      coop::Substructure& sub = subs[hosts[pick(seed, hosts.size())]];
+      const std::size_t bi = pick(seed ^ 0xd6e8feb86659fd93ULL,
+                                  sub.blocks.size());
+      const auto root = static_cast<std::size_t>(sub.blocks[bi].root);
+      sub.block_of[root] = static_cast<std::int32_t>(sub.blocks.size());
+      return coop::OkStatus();
+    }
+    default:
+      return not_applicable(kind, "coop::CoopStructure");
+  }
+}
+
+Status corrupt(pointloc::SeparatorTree& st, CorruptionKind kind,
+               std::uint64_t seed) {
+  switch (kind) {
+    case CorruptionKind::kUnsortedCatalog:
+      return corrupt(StructureAccess::tree(st), kind, seed);
+    case CorruptionKind::kMissingTerminal:
+    case CorruptionKind::kCrossingBridges:
+    case CorruptionKind::kBridgeOutOfRange:
+    case CorruptionKind::kWrongProper:
+      return corrupt(StructureAccess::cascade(st), kind, seed);
+    case CorruptionKind::kSkeletonNonMonotone:
+    case CorruptionKind::kSkeletonOutOfRange:
+    case CorruptionKind::kBlockMapDangling:
+      return corrupt(StructureAccess::coop_structure(st), kind, seed);
+    case CorruptionKind::kGapBreakpointDisorder:
+      break;
+  }
+  if (!st.has_gap_branches()) {
+    return Status::failed_precondition(
+        "gap-breakpoint-disorder needs precompute_gap_branches() first");
+  }
+  auto& gb = StructureAccess::gap_branches(st);
+  struct Site {
+    std::size_t v, i;
+  };
+  std::vector<Site> sites;
+  for (std::size_t v = 0; v < gb.size(); ++v) {
+    for (std::size_t i = 0; i < gb[v].size(); ++i) {
+      if (!gb[v][i].empty()) {
+        sites.push_back(Site{v, i});
+      }
+    }
+  }
+  if (sites.empty()) {
+    return too_small(kind);
+  }
+  const Site site = sites[pick(seed, sites.size())];
+  auto& bps = gb[site.v][site.i];
+  // Append a breakpoint strictly below the current minimum: the list is
+  // no longer sorted by level, which the branch lookup binary search
+  // silently relies on.
+  bps.emplace_back(bps.front().first - 1, bps.front().second);
+  return coop::OkStatus();
+}
+
+}  // namespace robust

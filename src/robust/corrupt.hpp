@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "core/structure.hpp"
+#include "fc/build.hpp"
+#include "geom/primitives.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "robust/status.hpp"
+
+namespace robust {
+
+/// Fault-injection harness: each kind deliberately breaks one invariant
+/// class of one structure, so tests can assert the validators catch every
+/// class (and, dually, that a structure passing validate() has none of
+/// these defects).  `seed` picks *where* the fault lands, so repeated runs
+/// cover different nodes/entries.
+enum class CorruptionKind : int {
+  // cat::Tree
+  kUnsortedCatalog = 0,   ///< swap two adjacent keys in one catalog
+  // fc::Structure
+  kMissingTerminal = 1,   ///< demote an augmented +inf terminal
+  kCrossingBridges = 2,   ///< make two adjacent bridges cross (property 3)
+  kBridgeOutOfRange = 3,  ///< point a bridge past the child's catalog
+  kWrongProper = 4,       ///< break the aug -> proper index map
+  // coop::CoopStructure
+  kSkeletonNonMonotone = 5,  ///< break the back-sample position order
+  kSkeletonOutOfRange = 6,   ///< skeleton position past the aug catalog
+  kBlockMapDangling = 7,     ///< block_of points at the wrong/no block
+  // pointloc::SeparatorTree
+  kGapBreakpointDisorder = 8,  ///< unsort one gap's (level, dir) list
+};
+
+inline constexpr CorruptionKind kAllCorruptionKinds[] = {
+    CorruptionKind::kUnsortedCatalog,      CorruptionKind::kMissingTerminal,
+    CorruptionKind::kCrossingBridges,      CorruptionKind::kBridgeOutOfRange,
+    CorruptionKind::kWrongProper,          CorruptionKind::kSkeletonNonMonotone,
+    CorruptionKind::kSkeletonOutOfRange,   CorruptionKind::kBlockMapDangling,
+    CorruptionKind::kGapBreakpointDisorder,
+};
+
+[[nodiscard]] const char* to_string(CorruptionKind k);
+
+/// Apply the corruption in place.  Returns OK when the fault was injected;
+/// kFailedPrecondition when this kind does not target this structure type
+/// or the structure is too small/regular to host it (callers should skip,
+/// not fail).  All mutations go through public rebuild APIs or the
+/// StructureAccess backdoor below — no UB is involved in *injecting* the
+/// fault; detecting it is the validators' job.
+[[nodiscard]] coop::Status corrupt(cat::Tree& t, CorruptionKind kind,
+                                   std::uint64_t seed);
+[[nodiscard]] coop::Status corrupt(fc::Structure& s, CorruptionKind kind,
+                                   std::uint64_t seed);
+[[nodiscard]] coop::Status corrupt(coop::CoopStructure& cs,
+                                   CorruptionKind kind, std::uint64_t seed);
+[[nodiscard]] coop::Status corrupt(pointloc::SeparatorTree& st,
+                                   CorruptionKind kind, std::uint64_t seed);
+
+/// The backdoor the corruption harness (and the deep validators) use to
+/// reach otherwise-encapsulated state.  Befriended by CoopStructure and
+/// SeparatorTree; kept to trivial accessors so the invariants live in
+/// validate.cpp / corrupt.cpp, not here.
+struct StructureAccess {
+  static std::vector<coop::Substructure>& substructures(
+      coop::CoopStructure& cs) {
+    return cs.subs_;
+  }
+  static const std::vector<coop::Substructure>& substructures(
+      const coop::CoopStructure& cs) {
+    return cs.subs_;
+  }
+
+  using GapBreakpoints = std::vector<std::pair<geom::Coord, std::uint8_t>>;
+  static std::vector<std::vector<GapBreakpoints>>& gap_branches(
+      pointloc::SeparatorTree& st) {
+    return st.gap_branch_;
+  }
+  static const std::vector<std::vector<GapBreakpoints>>& gap_branches(
+      const pointloc::SeparatorTree& st) {
+    return st.gap_branch_;
+  }
+  static coop::CoopStructure& coop_structure(pointloc::SeparatorTree& st) {
+    return *st.coop_;
+  }
+  static fc::Structure& cascade(pointloc::SeparatorTree& st) {
+    return *st.fc_;
+  }
+  static cat::Tree& tree(pointloc::SeparatorTree& st) { return *st.tree_; }
+};
+
+}  // namespace robust

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace coop {
+
+/// Outcome categories of the fallible APIs.  The numeric values are part
+/// of the CLI contract (printed in diagnostics), so append only.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    ///< caller passed malformed input
+  kFailedPrecondition = 2, ///< structure not in the required state
+  kCorrupted = 3,          ///< a built structure violates its invariants
+  kDeadlineExceeded = 4,   ///< a guarded run outlived its deadline
+  kInternal = 5,           ///< unexpected failure (bug)
+};
+
+[[nodiscard]] inline const char* to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kCorrupted: return "CORRUPTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+/// Error model of the `*_checked` entry points and validators: a code plus
+/// a human-readable message naming the offending node/entry.  The assert-
+/// based fast paths stay as they are; `Status` is for inputs that cross a
+/// trust boundary (files, network, fault injection) and must not be able
+/// to cause UB even with asserts compiled out.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  [[nodiscard]] static Status error(StatusCode code, std::string message) {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    return s;
+  }
+  [[nodiscard]] static Status invalid_argument(std::string message) {
+    return error(StatusCode::kInvalidArgument, std::move(message));
+  }
+  [[nodiscard]] static Status failed_precondition(std::string message) {
+    return error(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  [[nodiscard]] static Status corrupted(std::string message) {
+    return error(StatusCode::kCorrupted, std::move(message));
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string message) {
+    return error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  [[nodiscard]] static Status internal(std::string message) {
+    return error(StatusCode::kInternal, std::move(message));
+  }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) {
+      return "OK";
+    }
+    return std::string(coop::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// The singular OK status (absl naming; `Status::ok()` is the accessor).
+[[nodiscard]] inline Status OkStatus() { return Status(); }
+
+/// Either a value or the Status explaining why there is none.  Moves the
+/// value in and out; works with move-only payloads (the tree structures
+/// are non-copyable).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  Expected(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "an OK Expected must carry a value");
+    if (status_.ok()) {
+      status_ = Status::internal("Expected constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Move the value out (the Expected is left empty-but-ok; use once).
+  [[nodiscard]] T take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace coop

@@ -1,0 +1,278 @@
+#include "robust/validate.hpp"
+
+#include <string>
+#include <vector>
+
+#include "robust/corrupt.hpp"
+
+namespace robust {
+
+using coop::Status;
+
+Status validate_catalog(const cat::Catalog& c) {
+  if (c.size() == 0 || c.key(c.size() - 1) != cat::kInfinity) {
+    return Status::corrupted("catalog missing the +infinity terminal");
+  }
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c.key(i - 1) >= c.key(i)) {
+      return Status::corrupted("catalog keys not strictly increasing at entry " +
+                               std::to_string(i));
+    }
+  }
+  if (c.keys().size() != c.payloads().size()) {
+    return Status::corrupted("catalog payload arity mismatch");
+  }
+  return coop::OkStatus();
+}
+
+Status validate_tree(const cat::Tree& t) {
+  const std::size_t n = t.num_nodes();
+  if (n == 0) {
+    return Status::invalid_argument("tree has no nodes");
+  }
+  if (t.parent(t.root()) != cat::kNullNode) {
+    return Status::corrupted("root has a parent");
+  }
+  // Parent/child mutual consistency + every node reachable from the root
+  // (BFS), which also rules out cycles and secondary roots.
+  std::vector<char> seen(n, 0);
+  std::vector<cat::NodeId> queue{t.root()};
+  seen[0] = 1;
+  std::size_t reached = 0;
+  while (!queue.empty()) {
+    const cat::NodeId v = queue.back();
+    queue.pop_back();
+    ++reached;
+    const auto kids = t.children(v);
+    for (std::size_t slot = 0; slot < kids.size(); ++slot) {
+      const cat::NodeId c = kids[slot];
+      if (c < 0 || static_cast<std::size_t>(c) >= n) {
+        return Status::corrupted("child id out of range at node " +
+                                 std::to_string(v));
+      }
+      if (t.parent(c) != v) {
+        return Status::corrupted("parent/child mismatch at node " +
+                                 std::to_string(c));
+      }
+      if (t.child_slot(c) != static_cast<std::int32_t>(slot)) {
+        return Status::corrupted("child slot mismatch at node " +
+                                 std::to_string(c));
+      }
+      if (seen[c]) {
+        return Status::corrupted("node " + std::to_string(c) +
+                                 " reached twice (cycle or shared child)");
+      }
+      seen[c] = 1;
+      queue.push_back(c);
+    }
+  }
+  if (reached != n) {
+    return Status::corrupted(
+        std::to_string(n - reached) + " node(s) unreachable from the root");
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (const Status s = validate_catalog(t.catalog(cat::NodeId(v)));
+        !s.ok()) {
+      return Status::corrupted("node " + std::to_string(v) + ": " +
+                               s.message());
+    }
+  }
+  return coop::OkStatus();
+}
+
+Status validate_fc(const fc::Structure& s) {
+  const cat::Tree& t = s.tree();
+  if (t.num_nodes() == 0) {
+    return Status::invalid_argument("cascaded structure over an empty tree");
+  }
+  if (s.sample_k() <= t.max_degree()) {
+    return Status::corrupted("sampling factor k=" +
+                             std::to_string(s.sample_k()) +
+                             " does not exceed max degree " +
+                             std::to_string(t.max_degree()));
+  }
+  // Structural pass first: array sizes and index ranges, so the deep
+  // property checks below cannot themselves read out of bounds on a
+  // corrupted structure.
+  for (std::size_t vi = 0; vi < t.num_nodes(); ++vi) {
+    const auto v = static_cast<cat::NodeId>(vi);
+    const fc::AugCatalog& a = s.aug(v);
+    const std::string at = " at node " + std::to_string(vi);
+    if (a.keys.empty() || a.keys.back() != cat::kInfinity) {
+      return Status::corrupted("augmented catalog missing +inf terminal" + at);
+    }
+    if (a.num_children != t.degree(v)) {
+      return Status::corrupted("augmented num_children mismatch" + at);
+    }
+    if (a.proper.size() != a.keys.size()) {
+      return Status::corrupted("proper[] size mismatch" + at);
+    }
+    if (a.bridge.size() != a.keys.size() * t.degree(v)) {
+      return Status::corrupted("bridge[] size mismatch" + at);
+    }
+    const auto own_size = static_cast<std::int32_t>(t.catalog(v).size());
+    for (const std::int32_t p : a.proper) {
+      if (p < 0 || p >= own_size) {
+        return Status::corrupted("proper index out of range" + at);
+      }
+    }
+    const auto kids = t.children(v);
+    for (std::size_t e = 0; e < kids.size(); ++e) {
+      const auto kid_size = static_cast<std::int32_t>(s.aug(kids[e]).size());
+      for (std::size_t i = 0; i < a.keys.size(); ++i) {
+        const std::int32_t br = a.bridge[e * a.keys.size() + i];
+        if (br < 0 || br >= kid_size) {
+          return Status::corrupted("bridge index out of range" + at);
+        }
+      }
+    }
+  }
+  // Deep pass: the paper's properties 1-3, exact successor positions,
+  // proper[] correctness, mutual density.
+  if (const std::string err = s.verify_properties(); !err.empty()) {
+    return Status::corrupted(err);
+  }
+  return coop::OkStatus();
+}
+
+namespace {
+
+Status validate_substructure(const fc::Structure& s,
+                             const coop::Substructure& sub) {
+  const std::string ti = "T_" + std::to_string(sub.i);
+  if (sub.h < 1) {
+    return Status::corrupted(ti + ": hop height h < 1");
+  }
+  if (sub.s < 1) {
+    return Status::corrupted(ti + ": sampling factor s < 1");
+  }
+  const std::size_t n = s.tree().num_nodes();
+  if (sub.block_of.size() != n) {
+    return Status::corrupted(ti + ": block_of size mismatch");
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const std::int32_t b = sub.block_of[u];
+    if (b == -1) {
+      continue;
+    }
+    if (b < 0 || static_cast<std::size_t>(b) >= sub.blocks.size()) {
+      return Status::corrupted(ti + ": block_of[" + std::to_string(u) +
+                               "] dangles past the block list");
+    }
+    if (sub.blocks[static_cast<std::size_t>(b)].root !=
+        static_cast<cat::NodeId>(u)) {
+      return Status::corrupted(ti + ": block_of[" + std::to_string(u) +
+                               "] points at a block rooted elsewhere");
+    }
+  }
+  for (std::size_t bi = 0; bi < sub.blocks.size(); ++bi) {
+    const coop::HopBlock& b = sub.blocks[bi];
+    const std::string at = ti + " block " + std::to_string(bi);
+    const std::size_t nn = b.nodes.size();
+    if (nn == 0 || b.nodes[0] != b.root) {
+      return Status::corrupted(at + ": BFS order does not start at the root");
+    }
+    // child_off is a prefix-sum array (one extra terminal slot).
+    if (b.level_of.size() != nn || b.parent_local.size() != nn ||
+        b.child_off.size() != nn + 1) {
+      return Status::corrupted(at + ": per-node array size mismatch");
+    }
+    if (b.skel.size() != b.m * nn) {
+      return Status::corrupted(at + ": skeleton size is not m * |nodes|");
+    }
+    for (std::size_t z = 0; z < nn; ++z) {
+      const cat::NodeId v = b.nodes[z];
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        return Status::corrupted(at + ": node id out of range");
+      }
+      const auto aug_size = static_cast<std::int32_t>(s.aug(v).size());
+      std::int32_t prev = -1;
+      for (std::size_t j = 0; j < b.m; ++j) {
+        const std::int32_t pos = b.skel[j * nn + z];
+        if (pos < 0 || pos >= aug_size) {
+          return Status::corrupted(at + ": skeleton position out of range" +
+                                   " (node " + std::to_string(v) + ", U_" +
+                                   std::to_string(j) + ")");
+        }
+        // Root samples are strictly increasing by construction; bridged
+        // descendant positions are non-decreasing (bridges do not cross).
+        const bool ordered = (z == 0) ? (pos > prev) : (pos >= prev);
+        if (j > 0 && !ordered) {
+          return Status::corrupted(at + ": skeleton positions not monotone" +
+                                   " (node " + std::to_string(v) + ", U_" +
+                                   std::to_string(j) + ")");
+        }
+        prev = pos;
+      }
+    }
+  }
+  return coop::OkStatus();
+}
+
+}  // namespace
+
+Status validate(const coop::CoopStructure& cs) {
+  if (const Status s = validate_fc(cs.cascade()); !s.ok()) {
+    return s;
+  }
+  for (std::uint32_t i = 0; i < cs.substructure_count(); ++i) {
+    if (const Status s = validate_substructure(cs.cascade(),
+                                               cs.substructure(i));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return coop::OkStatus();
+}
+
+Status validate_subdivision(const geom::MonotoneSubdivision& sub) {
+  if (const std::string err = sub.validate(); !err.empty()) {
+    return Status::corrupted(err);
+  }
+  return coop::OkStatus();
+}
+
+Status validate(const pointloc::SeparatorTree& st) {
+  if (const Status s = validate_subdivision(st.subdivision()); !s.ok()) {
+    return s;
+  }
+  if (const Status s = validate_tree(st.tree()); !s.ok()) {
+    return s;
+  }
+  if (const Status s = validate(st.coop_structure()); !s.ok()) {
+    return s;
+  }
+  if (!st.has_gap_branches()) {
+    return coop::OkStatus();
+  }
+  const auto& gb = StructureAccess::gap_branches(st);
+  if (gb.size() != st.tree().num_nodes()) {
+    return Status::corrupted("gap-branch table size mismatch");
+  }
+  for (std::size_t v = 0; v < gb.size(); ++v) {
+    const std::string at = " at node " + std::to_string(v);
+    if (gb[v].size() != st.tree().catalog(cat::NodeId(v)).size()) {
+      return Status::corrupted("gap-branch entry count mismatch" + at);
+    }
+    for (std::size_t i = 0; i < gb[v].size(); ++i) {
+      geom::Coord prev_level = 0;
+      bool first = true;
+      for (const auto& [level, dir] : gb[v][i]) {
+        if (dir != 0 && dir != 1) {
+          return Status::corrupted("gap-branch direction is not 0/1" + at);
+        }
+        if (!first && level < prev_level) {
+          return Status::corrupted(
+              "gap breakpoints out of order" + at + " entry " +
+              std::to_string(i) +
+              " (binary search over them would misroute)");
+        }
+        prev_level = level;
+        first = false;
+      }
+    }
+  }
+  return coop::OkStatus();
+}
+
+}  // namespace robust

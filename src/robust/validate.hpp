@@ -1,0 +1,51 @@
+#pragma once
+
+#include "catalog/catalog.hpp"
+#include "catalog/tree.hpp"
+#include "core/structure.hpp"
+#include "fc/build.hpp"
+#include "geom/subdivision.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "robust/status.hpp"
+
+namespace robust {
+
+/// Deep, machine-checkable invariant validators.  Each returns OK or a
+/// Status naming the first violated invariant and where.  They are meant
+/// for tests, the CLI, and post-corruption detection (see corrupt.hpp) —
+/// not for hot paths; several are O(structure size) or slower.
+
+/// Catalog: strictly increasing keys, +infinity terminal, payload arity.
+[[nodiscard]] coop::Status validate_catalog(const cat::Catalog& c);
+
+/// Catalog tree: single root, every node reachable at a consistent depth,
+/// every catalog valid.
+[[nodiscard]] coop::Status validate_tree(const cat::Tree& t);
+
+/// Fractional cascading: array-size / index-range sanity first (so a
+/// corrupted structure cannot make the deep checks themselves read out of
+/// bounds), then the paper's properties 1-3 exhaustively — bridges are
+/// exact successor positions, do not cross, adjacent bridges are <= 2b+1
+/// apart (gap-size invariant), fan-out within b, mutual density.
+[[nodiscard]] coop::Status validate_fc(const fc::Structure& s);
+
+/// Cooperative-search substructures: for every T_i, every hop block must
+/// have a consistent skeleton forest — m * |nodes| entries, every entry a
+/// valid position in its node's augmented catalog, positions strictly
+/// increasing across the skeleton index j (the monotone back-sample order
+/// that Step 2's window argument needs), and block_of must map each block
+/// root to its block.
+[[nodiscard]] coop::Status validate(const coop::CoopStructure& cs);
+
+/// Monotone subdivision: wraps MonotoneSubdivision::validate() (coverage,
+/// separator order, coordinate bounds) into a Status.
+[[nodiscard]] coop::Status validate_subdivision(
+    const geom::MonotoneSubdivision& sub);
+
+/// Separator tree: the underlying subdivision, cascading structure and
+/// coop substructures, plus — when precompute_gap_branches() has run —
+/// per-gap breakpoint lists sorted strictly by level (the branch lookup
+/// binary-searches them, so disorder silently misroutes queries).
+[[nodiscard]] coop::Status validate(const pointloc::SeparatorTree& st);
+
+}  // namespace robust

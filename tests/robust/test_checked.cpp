@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "catalog/tree.hpp"
+#include "core/structure.hpp"
+#include "fc/build.hpp"
+#include "geom/generators.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "range/point_enclosure.hpp"
+#include "range/range_tree.hpp"
+#include "range/segment_tree.hpp"
+#include "robust/loaders.hpp"
+#include "robust/validate.hpp"
+
+namespace {
+
+cat::Tree good_tree(std::uint64_t seed = 7, std::uint32_t height = 4,
+                    std::size_t entries = 200) {
+  std::mt19937_64 rng(seed);
+  return cat::make_balanced_binary(height, entries,
+                                   cat::CatalogShape::kRandom, rng);
+}
+
+// ---------------------------------------------------------------- fc
+
+TEST(FcBuildChecked, AcceptsValidTree) {
+  const auto t = good_tree();
+  const auto s = fc::Structure::build_checked(t);
+  ASSERT_TRUE(s.ok()) << s.status().to_string();
+  EXPECT_TRUE(robust::validate_fc(*s).ok());
+}
+
+TEST(FcBuildChecked, RejectsEmptyTree) {
+  const cat::Tree t;
+  const auto s = fc::Structure::build_checked(t);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), coop::StatusCode::kInvalidArgument);
+}
+
+TEST(FcBuildChecked, RejectsUnsortedCatalog) {
+  auto t = good_tree();
+  const std::vector<cat::Key> bad{30, 10, 20};
+  const std::vector<std::uint64_t> pay{0, 1, 2};
+  t.set_catalog(t.root(), cat::Catalog::from_sorted(bad, pay));
+  const auto s = fc::Structure::build_checked(t);
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(FcBuildChecked, RejectsSamplingFactorBelowDegree) {
+  const auto t = good_tree();  // binary: max_degree == 2
+  const auto s = fc::Structure::build_checked(t, 2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), coop::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------- coop
+
+TEST(CoopBuildChecked, AcceptsValidStructure) {
+  const auto t = good_tree();
+  const auto s = fc::Structure::build(t);
+  const auto cs = coop::CoopStructure::build_checked(s);
+  ASSERT_TRUE(cs.ok()) << cs.status().to_string();
+  EXPECT_TRUE(robust::validate(*cs).ok());
+}
+
+TEST(CoopBuildChecked, RejectsBadAlphaScale) {
+  const auto t = good_tree();
+  const auto s = fc::Structure::build(t);
+  EXPECT_FALSE(coop::CoopStructure::build_checked(s, 0.25).ok());
+  EXPECT_FALSE(coop::CoopStructure::build_checked(s, 1000.0).ok());
+  EXPECT_FALSE(coop::CoopStructure::build_checked(s, std::nan("")).ok());
+}
+
+TEST(CoopBuildChecked, RejectsStructurallyBrokenCascade) {
+  const auto t = good_tree();
+  const auto s = fc::Structure::build(t);
+  // Rebuild with a truncated proper[] array on the root.
+  std::vector<fc::AugCatalog> aug;
+  for (std::size_t v = 0; v < t.num_nodes(); ++v) {
+    aug.push_back(s.aug(cat::NodeId(v)));
+  }
+  aug[0].proper.pop_back();
+  const auto broken = fc::Structure::from_parts(t, s.sample_k(),
+                                                std::move(aug));
+  const auto cs = coop::CoopStructure::build_checked(broken);
+  ASSERT_FALSE(cs.ok());
+  EXPECT_EQ(cs.status().code(), coop::StatusCode::kCorrupted);
+}
+
+// ---------------------------------------------------------------- pointloc
+
+TEST(SeparatorTreeBuildChecked, AcceptsValidSubdivision) {
+  std::mt19937_64 rng(3);
+  const auto sub = geom::make_random_monotone(8, 4, rng);
+  auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_TRUE(st.ok()) << st.status().to_string();
+  EXPECT_TRUE(robust::validate(*st).ok());
+}
+
+TEST(SeparatorTreeBuildChecked, RejectsUncoveredSeparator) {
+  geom::MonotoneSubdivision sub;
+  sub.num_regions = 2;  // one separator, zero edges: never covered
+  sub.ymin = 0;
+  sub.ymax = 100;
+  const auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(SeparatorTreeBuildChecked, RejectsOversizedCoordinates) {
+  auto sub = geom::make_slabs(4, 2);
+  sub.edges[0].hi.x = geom::kCoordLimit + 1;
+  const auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_FALSE(st.ok());
+}
+
+// ---------------------------------------------------------------- range
+
+TEST(RangeTreeBuildChecked, RejectsOversizedCoordinates) {
+  std::vector<range::Point2> pts{{1, 2}, {cat::kInfinity / 2, 3}};
+  const auto rt = range::RangeTree2D::build_checked(std::move(pts));
+  ASSERT_FALSE(rt.ok());
+  EXPECT_EQ(rt.status().code(), coop::StatusCode::kInvalidArgument);
+}
+
+TEST(RangeTreeBuildChecked, AcceptsValidPoints) {
+  std::vector<range::Point2> pts{{1, 2}, {5, -3}, {9, 4}};
+  auto rt = range::RangeTree2D::build_checked(std::move(pts));
+  ASSERT_TRUE(rt.ok()) << rt.status().to_string();
+}
+
+TEST(SegmentTreeBuildChecked, RejectsDegenerateSpan) {
+  std::vector<range::VSegment> segs{{5, 10, 10}};
+  const auto st = range::SegmentIntersectionTree::build_checked(
+      std::move(segs));
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(SegmentTreeBuildChecked, RejectsOversizedCoordinates) {
+  std::vector<range::VSegment> segs{{cat::kInfinity / 2, 0, 10}};
+  const auto st = range::SegmentIntersectionTree::build_checked(
+      std::move(segs));
+  ASSERT_FALSE(st.ok());
+}
+
+TEST(SegmentTreeBuildChecked, AcceptsValidSegments) {
+  std::vector<range::VSegment> segs{{5, 0, 10}, {7, -4, 2}};
+  auto st = range::SegmentIntersectionTree::build_checked(std::move(segs));
+  ASSERT_TRUE(st.ok()) << st.status().to_string();
+}
+
+TEST(PointEnclosureBuildChecked, RejectsDegenerateRect) {
+  std::vector<range::Rect> rects{{10, 5, 0, 1}};  // x1 > x2
+  const auto pe = range::PointEnclosureTree::build_checked(std::move(rects));
+  ASSERT_FALSE(pe.ok());
+}
+
+TEST(PointEnclosureBuildChecked, AcceptsValidRects) {
+  std::vector<range::Rect> rects{{0, 10, 0, 10}, {-5, 5, 2, 8}};
+  auto pe = range::PointEnclosureTree::build_checked(std::move(rects));
+  ASSERT_TRUE(pe.ok()) << pe.status().to_string();
+}
+
+// ---------------------------------------------------------------- loaders
+
+TEST(LoadTree, RoundTripsAValidFile) {
+  std::istringstream in("3\n-1 2 10 20\n0 1 5\n0 0\n");
+  auto t = robust::load_tree(in);
+  ASSERT_TRUE(t.ok()) << t.status().to_string();
+  EXPECT_EQ(t->num_nodes(), 3u);
+  EXPECT_EQ(t->catalog(0).real_size(), 2u);
+  EXPECT_TRUE(robust::validate_tree(*t).ok());
+}
+
+TEST(LoadTree, RejectsGarbageHeader) {
+  std::istringstream in("banana\n");
+  EXPECT_FALSE(robust::load_tree(in).ok());
+}
+
+TEST(LoadTree, RejectsTruncatedFile) {
+  std::istringstream in("3\n-1 2 10 20\n0 1\n");
+  EXPECT_FALSE(robust::load_tree(in).ok());
+}
+
+TEST(LoadTree, RejectsDanglingParent) {
+  std::istringstream in("2\n-1 0\n5 0\n");
+  EXPECT_FALSE(robust::load_tree(in).ok());
+}
+
+TEST(LoadTree, RejectsUnsortedKeys) {
+  std::istringstream in("1\n-1 3 30 10 20\n");
+  EXPECT_FALSE(robust::load_tree(in).ok());
+}
+
+TEST(LoadTree, RejectsAllocationBombHeader) {
+  std::istringstream in("99999999999999\n");
+  const auto t = robust::load_tree(in);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), coop::StatusCode::kInvalidArgument);
+}
+
+TEST(LoadTree, RejectsSentinelKey) {
+  std::istringstream in("1\n-1 1 9223372036854775807\n");
+  EXPECT_FALSE(robust::load_tree(in).ok());
+}
+
+std::string serialize(const geom::MonotoneSubdivision& sub) {
+  std::ostringstream out;
+  out << sub.num_regions << " " << sub.ymin << " " << sub.ymax << " "
+      << sub.edges.size() << "\n";
+  for (const auto& e : sub.edges) {
+    out << e.lo.x << " " << e.lo.y << " " << e.hi.x << " " << e.hi.y << " "
+        << e.min_sep << " " << e.max_sep << "\n";
+  }
+  return out.str();
+}
+
+TEST(LoadSubdivision, RoundTripsAGeneratedSubdivision) {
+  std::mt19937_64 rng(11);
+  const auto sub = geom::make_random_monotone(6, 3, rng);
+  std::istringstream in(serialize(sub));
+  auto loaded = robust::load_subdivision(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->num_regions, sub.num_regions);
+  EXPECT_EQ(loaded->edges.size(), sub.edges.size());
+  EXPECT_TRUE(robust::validate_subdivision(*loaded).ok());
+}
+
+TEST(LoadSubdivision, RejectsGarbageHeader) {
+  std::istringstream in("not a subdivision\n");
+  EXPECT_FALSE(robust::load_subdivision(in).ok());
+}
+
+TEST(LoadSubdivision, RejectsInvertedStrip) {
+  std::istringstream in("2 100 0 0\n");
+  EXPECT_FALSE(robust::load_subdivision(in).ok());
+}
+
+TEST(LoadSubdivision, RejectsTruncatedEdgeList) {
+  std::istringstream in("2 0 100 1\n0 0 0\n");
+  EXPECT_FALSE(robust::load_subdivision(in).ok());
+}
+
+TEST(LoadSubdivision, RejectsSemanticallyBrokenInput) {
+  // Syntactically fine, but the single separator covers nothing.
+  std::istringstream in("2 0 100 0\n");
+  const auto sub = robust::load_subdivision(in);
+  ASSERT_FALSE(sub.ok());
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+#include "robust/corrupt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "catalog/tree.hpp"
+#include "core/structure.hpp"
+#include "fc/build.hpp"
+#include "geom/generators.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "robust/validate.hpp"
+
+namespace {
+
+using robust::CorruptionKind;
+
+cat::Tree good_tree(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return cat::make_balanced_binary(4, 300, cat::CatalogShape::kRandom, rng);
+}
+
+// Large enough that hop blocks carry >= 2 skeleton trees (m >= 2), which
+// the skeleton-monotonicity corruption needs a pair of to disorder.
+cat::Tree big_tree(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  return cat::make_balanced_binary(6, 20000, cat::CatalogShape::kRandom, rng);
+}
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+TEST(Corrupt, UnsortedCatalogIsCaughtByTreeValidator) {
+  for (const auto seed : kSeeds) {
+    auto t = good_tree(seed);
+    ASSERT_TRUE(robust::validate_tree(t).ok());
+    ASSERT_TRUE(robust::corrupt(t, CorruptionKind::kUnsortedCatalog, seed)
+                    .ok());
+    const auto s = robust::validate_tree(t);
+    EXPECT_FALSE(s.ok()) << "seed " << seed;
+    EXPECT_EQ(s.code(), coop::StatusCode::kCorrupted);
+  }
+}
+
+TEST(Corrupt, EveryFcCorruptionIsCaughtByFcValidator) {
+  constexpr CorruptionKind kinds[] = {
+      CorruptionKind::kMissingTerminal,
+      CorruptionKind::kCrossingBridges,
+      CorruptionKind::kBridgeOutOfRange,
+      CorruptionKind::kWrongProper,
+  };
+  for (const auto kind : kinds) {
+    for (const auto seed : kSeeds) {
+      const auto t = good_tree(seed);
+      auto s = fc::Structure::build(t);
+      ASSERT_TRUE(robust::validate_fc(s).ok());
+      const auto applied = robust::corrupt(s, kind, seed);
+      ASSERT_TRUE(applied.ok())
+          << robust::to_string(kind) << ": " << applied.to_string();
+      const auto v = robust::validate_fc(s);
+      EXPECT_FALSE(v.ok())
+          << robust::to_string(kind) << " seed " << seed << " undetected";
+      EXPECT_EQ(v.code(), coop::StatusCode::kCorrupted);
+    }
+  }
+}
+
+TEST(Corrupt, EveryCoopCorruptionIsCaughtByCoopValidator) {
+  constexpr CorruptionKind kinds[] = {
+      CorruptionKind::kSkeletonNonMonotone,
+      CorruptionKind::kSkeletonOutOfRange,
+      CorruptionKind::kBlockMapDangling,
+  };
+  for (const auto kind : kinds) {
+    for (const auto seed : kSeeds) {
+      const auto t = big_tree(seed);
+      const auto s = fc::Structure::build(t);
+      auto cs = coop::CoopStructure::build(s);
+      ASSERT_TRUE(robust::validate(cs).ok());
+      const auto applied = robust::corrupt(cs, kind, seed);
+      ASSERT_TRUE(applied.ok())
+          << robust::to_string(kind) << ": " << applied.to_string();
+      const auto v = robust::validate(cs);
+      EXPECT_FALSE(v.ok())
+          << robust::to_string(kind) << " seed " << seed << " undetected";
+      EXPECT_EQ(v.code(), coop::StatusCode::kCorrupted);
+    }
+  }
+}
+
+TEST(Corrupt, GapBreakpointDisorderIsCaughtBySeparatorValidator) {
+  for (const auto seed : kSeeds) {
+    std::mt19937_64 rng(seed);
+    const auto sub = geom::make_random_monotone(8, 4, rng);
+    pointloc::SeparatorTree st(sub);
+    st.precompute_gap_branches();
+    ASSERT_TRUE(robust::validate(st).ok());
+    const auto applied =
+        robust::corrupt(st, CorruptionKind::kGapBreakpointDisorder, seed);
+    ASSERT_TRUE(applied.ok()) << applied.to_string();
+    const auto v = robust::validate(st);
+    EXPECT_FALSE(v.ok()) << "seed " << seed;
+    EXPECT_EQ(v.code(), coop::StatusCode::kCorrupted);
+  }
+}
+
+TEST(Corrupt, GapBreakpointDisorderNeedsPrecompute) {
+  std::mt19937_64 rng(1);
+  const auto sub = geom::make_random_monotone(4, 2, rng);
+  pointloc::SeparatorTree st(sub);
+  const auto applied =
+      robust::corrupt(st, CorruptionKind::kGapBreakpointDisorder, 1);
+  EXPECT_EQ(applied.code(), coop::StatusCode::kFailedPrecondition);
+}
+
+// The paper-level guarantee of the harness: for EVERY kind there is a
+// structure it applies to, and the top-level separator-tree validator
+// (which subsumes tree, fc and coop checks) catches each kind injected
+// through the separator tree.
+TEST(Corrupt, EveryKindIsCaughtThroughTheSeparatorTree) {
+  // Sized so hop blocks carry >= 2 skeleton trees (m >= 2); see above.
+  std::mt19937_64 sub_rng(42);
+  const auto sub = geom::make_random_monotone(48, 128, sub_rng);
+  for (const auto kind : robust::kAllCorruptionKinds) {
+    pointloc::SeparatorTree st(sub);
+    st.precompute_gap_branches();
+    ASSERT_TRUE(robust::validate(st).ok()) << robust::to_string(kind);
+    const auto applied = robust::corrupt(st, kind, 9);
+    ASSERT_TRUE(applied.ok())
+        << robust::to_string(kind) << ": " << applied.to_string();
+    EXPECT_FALSE(robust::validate(st).ok())
+        << robust::to_string(kind) << " undetected";
+  }
+}
+
+TEST(Corrupt, WrongKindOnWrongTargetIsRefusedNotApplied) {
+  auto t = good_tree(1);
+  EXPECT_EQ(robust::corrupt(t, CorruptionKind::kCrossingBridges, 1).code(),
+            coop::StatusCode::kFailedPrecondition);
+  auto s = fc::Structure::build(t);
+  EXPECT_EQ(robust::corrupt(s, CorruptionKind::kUnsortedCatalog, 1).code(),
+            coop::StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(robust::validate_tree(t).ok());
+  EXPECT_TRUE(robust::validate_fc(s).ok());
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "pram/machine.hpp"
+#include "pram/memory.hpp"
+
+namespace {
+
+using pram::Engine;
+using pram::Machine;
+using pram::Model;
+
+constexpr auto kNoDeadline = std::chrono::nanoseconds{0};
+
+TEST(Degradation, CleanRunIsNotDegraded) {
+  pram::RunReport report;
+  const int result = pram::run_resilient(
+      4, Model::kCrew, Engine::kSequential, kNoDeadline,
+      [](Machine& m) {
+        int sum = 0;
+        m.exec(4, [&](std::size_t pid) { sum += int(pid); });
+        return sum;
+      },
+      &report);
+  EXPECT_EQ(result, 6);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(report.reason.empty());
+  EXPECT_EQ(report.stats.degradations, 0u);
+}
+
+TEST(Degradation, AuditViolationTriggersSequentialRerun) {
+  pram::RunReport report;
+  const int result = pram::run_resilient(
+      4, Model::kCrew, Engine::kSequential, kNoDeadline,
+      [](Machine& m) {
+        pram::SharedArray<int> a(1);
+        a.enable_audit(&m, "a");
+        // CREW violation: every processor writes the same cell.
+        m.exec(4, [&](std::size_t pid) { a.write(0, int(pid)); });
+        return a[0];
+      },
+      &report);
+  EXPECT_EQ(result, 3);  // deterministic sequential rerun: last pid wins
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("audit violation"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.stats.degradations, 1u);
+  EXPECT_GT(report.abandoned_stats.violations, 0u);
+}
+
+TEST(Degradation, WorkerExceptionTriggersSequentialRerun) {
+  pram::RunReport report;
+  const int result = pram::run_resilient(
+      4, Model::kCrew, Engine::kThreads, kNoDeadline,
+      [](Machine& m) {
+        if (m.engine() == Engine::kThreads) {
+          m.exec(4, [](std::size_t pid) {
+            if (pid == 2) {
+              throw std::runtime_error("simulated worker fault");
+            }
+          });
+        }
+        return 42;
+      },
+      &report);
+  EXPECT_EQ(result, 42);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("worker exception"), std::string::npos)
+      << report.reason;
+  EXPECT_NE(report.reason.find("simulated worker fault"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.stats.degradations, 1u);
+}
+
+TEST(Degradation, DeadlineTriggersSequentialRerun) {
+  pram::RunReport report;
+  const int result = pram::run_resilient(
+      2, Model::kCrew, Engine::kSequential, std::chrono::nanoseconds{1},
+      [](Machine& m) {
+        // Give the 1ns watchdog time to expire, then issue instructions.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        int sum = 0;
+        for (int i = 0; i < 100; ++i) {
+          m.exec(2, [&](std::size_t pid) { sum += int(pid); });
+        }
+        return sum;
+      },
+      &report);
+  EXPECT_EQ(result, 100);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("deadline"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.stats.degradations, 1u);
+}
+
+TEST(Degradation, ThreadedDeadlineAlsoFallsBack) {
+  pram::RunReport report;
+  const int result = pram::run_resilient(
+      4, Model::kCrew, Engine::kThreads, std::chrono::nanoseconds{1},
+      [](Machine& m) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        int x = 0;
+        m.exec(1, [&](std::size_t) { x = 7; });
+        return x;
+      },
+      &report);
+  EXPECT_EQ(result, 7);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.stats.degradations, 1u);
+}
+
+TEST(Degradation, FallbackMachineRecordsTheReason) {
+  Machine m(2);
+  m.note_degradation("test reason");
+  EXPECT_EQ(m.stats().degradations, 1u);
+  ASSERT_FALSE(m.diagnostics().empty());
+  EXPECT_NE(m.diagnostics().back().find("test reason"), std::string::npos);
+}
+
+TEST(Audit, RefusedUnderThreadEngineWithDiagnostic) {
+  Machine m(4, Model::kCrew, Engine::kThreads);
+  EXPECT_FALSE(m.audit_supported());
+  pram::SharedArray<int> a(8);
+  EXPECT_FALSE(a.enable_audit(&m, "a"));
+  EXPECT_FALSE(a.audit_enabled());
+  ASSERT_FALSE(m.diagnostics().empty());
+  EXPECT_NE(m.diagnostics().back().find("audit disabled"), std::string::npos);
+  // Unaudited accesses under the thread engine remain safe.
+  m.exec(8, [&](std::size_t pid) { a.write(pid, int(pid)); });
+  EXPECT_EQ(a[5], 5);
+  EXPECT_EQ(m.stats().violations, 0u);
+}
+
+TEST(Audit, SequentialEngineStillAudits) {
+  Machine m(4);
+  EXPECT_TRUE(m.audit_supported());
+  pram::SharedArray<int> a(1);
+  EXPECT_TRUE(a.enable_audit(&m, "a"));
+  EXPECT_TRUE(a.audit_enabled());
+  m.exec(2, [&](std::size_t pid) { a.write(0, int(pid)); });
+  EXPECT_GT(m.stats().violations, 0u);
+}
+
+TEST(Audit, ViolationLogIsBoundedButCountIsNot) {
+  Machine m(64);
+  pram::SharedArray<int> a(64);
+  a.enable_audit(&m, "a");
+  // 40 distinct double-write conflicts: one per cell.
+  m.exec(80, [&](std::size_t pid) { a.write(pid % 40, int(pid)); });
+  EXPECT_EQ(m.stats().violations, 40u);
+  EXPECT_EQ(m.violations_seen().size(), Machine::kMaxViolationLog);
+  EXPECT_FALSE(m.first_violation().empty());
+  EXPECT_EQ(m.violations_seen().front(), m.first_violation());
+}
+
+TEST(Deadline, ExpiredDeadlineThrowsFromExec) {
+  Machine m(2);
+  m.set_deadline(std::chrono::nanoseconds{1});
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_THROW(m.exec(2, [](std::size_t) {}), pram::DeadlineExceeded);
+  m.clear_deadline();
+  EXPECT_NO_THROW(m.exec(2, [](std::size_t) {}));
+}
+
+TEST(Deadline, UnarmedMachineNeverExpires) {
+  Machine m(2);
+  EXPECT_FALSE(m.deadline_expired());
+  EXPECT_NO_THROW(m.exec(2, [](std::size_t) {}));
+}
+
+TEST(Stats, DegradationsAggregateAcrossStepStats) {
+  pram::StepStats a, b;
+  a.degradations = 1;
+  b.degradations = 2;
+  a += b;
+  EXPECT_EQ(a.degradations, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,73 @@
+#include "robust/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  coop::Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), coop::StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+  EXPECT_TRUE(coop::OkStatus().ok());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const auto s = coop::Status::invalid_argument("bad tree");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), coop::StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad tree");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad tree");
+}
+
+TEST(Status, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(coop::Status::failed_precondition("x").code(),
+            coop::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(coop::Status::corrupted("x").code(),
+            coop::StatusCode::kCorrupted);
+  EXPECT_EQ(coop::Status::deadline_exceeded("x").code(),
+            coop::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(coop::Status::internal("x").code(), coop::StatusCode::kInternal);
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kOk), "OK");
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kCorrupted), "CORRUPTED");
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+}
+
+TEST(Expected, HoldsValue) {
+  coop::Expected<int> e(7);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(*e, 7);
+  EXPECT_TRUE(e.status().ok());
+}
+
+TEST(Expected, HoldsStatus) {
+  coop::Expected<int> e(coop::Status::corrupted("broken"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), coop::StatusCode::kCorrupted);
+  EXPECT_EQ(e.status().message(), "broken");
+}
+
+TEST(Expected, WorksWithMoveOnlyTypes) {
+  coop::Expected<std::unique_ptr<std::string>> e(
+      std::make_unique<std::string>("payload"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(**e, "payload");
+  auto taken = e.take();
+  EXPECT_EQ(*taken, "payload");
+}
+
+TEST(Expected, ArrowDereferencesValue) {
+  coop::Expected<std::string> e(std::string("abc"));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size(), 3u);
+}
+
+}  // namespace

@@ -1,37 +1,88 @@
 // coopsearch_cli — drive the library from the command line.
 //
 //   coopsearch_cli gen-tree  <height> <entries> <seed>        > tree.txt
-//   coopsearch_cli search    <tree.txt> <p> <y> [<y>...]
+//   coopsearch_cli gen-sub   <regions> <bands> <seed>         > sub.txt
+//   coopsearch_cli search    <tree.txt> <p> <y> [<y>...] [--threads]
+//   coopsearch_cli validate  <tree.txt>
 //   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
+//   coopsearch_cli pointloc-file <sub.txt> <p> <queries> <seed>
 //   coopsearch_cli selftest
 //
 // Tree file format: first line "N"; then one line per node
 // "<parent|-1> <k> <key_1> ... <key_k>" in id order (node 0 is the root,
-// parents must precede children).
+// parents must precede children).  Subdivision file format: first line
+// "f ymin ymax E"; then one edge per line "lox loy hix hiy min_sep max_sep".
+//
+// All inputs (arguments and files) are untrusted: every parse and build
+// goes through the checked entry points and prints a Status + non-zero
+// exit instead of tripping asserts or UB.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <random>
-#include <sstream>
 
 #include "core/explicit_search.hpp"
 #include "geom/generators.hpp"
 #include "pointloc/coop_pointloc.hpp"
+#include "robust/loaders.hpp"
+#include "robust/validate.hpp"
 
 namespace {
 
-int cmd_gen_tree(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: gen-tree <height> <entries> <seed>\n");
-    return 2;
+int fail(const coop::Status& s) {
+  std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+  return 1;
+}
+
+int usage(const char* msg) {
+  std::fprintf(stderr, "usage: %s\n", msg);
+  return 2;
+}
+
+/// Strict integer parsing: the whole token must be a number in range.
+bool parse_i64(const char* arg, long long min, long long max,
+               long long& out) {
+  if (arg == nullptr || *arg == '\0') {
+    return false;
   }
-  const auto height = std::uint32_t(atoi(argv[0]));
-  const auto entries = std::size_t(atoll(argv[1]));
-  std::mt19937_64 rng(std::uint64_t(atoll(argv[2])));
-  const auto t = cat::make_balanced_binary(height, entries,
-                                           cat::CatalogShape::kRandom, rng);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(arg, &end, 10);
+  if (errno != 0 || end == arg || *end != '\0' || v < min || v > max) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_size(const char* arg, std::size_t max, std::size_t& out) {
+  long long v = 0;
+  const long long hi = max > static_cast<std::size_t>(LLONG_MAX)
+                           ? LLONG_MAX
+                           : static_cast<long long>(max);
+  if (!parse_i64(arg, 0, hi, v)) {
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+int cmd_gen_tree(int argc, char** argv) {
+  std::size_t height = 0, entries = 0, seed = 0;
+  if (argc < 3 || !parse_size(argv[0], 24, height) ||
+      !parse_size(argv[1], std::size_t{1} << 24, entries) ||
+      !parse_size(argv[2], SIZE_MAX, seed)) {
+    return usage("gen-tree <height<=24> <entries<=2^24> <seed>");
+  }
+  std::mt19937_64 rng(seed);
+  const auto t = cat::make_balanced_binary(static_cast<std::uint32_t>(height),
+                                           entries, cat::CatalogShape::kRandom,
+                                           rng);
   std::printf("%zu\n", t.num_nodes());
   for (std::size_t v = 0; v < t.num_nodes(); ++v) {
     const auto& c = t.catalog(cat::NodeId(v));
@@ -44,96 +95,106 @@ int cmd_gen_tree(int argc, char** argv) {
   return 0;
 }
 
-bool load_tree(const char* path, cat::Tree& out) {
+int cmd_gen_sub(int argc, char** argv) {
+  std::size_t regions = 0, bands = 0, seed = 0;
+  if (argc < 3 || !parse_size(argv[0], std::size_t{1} << 20, regions) ||
+      regions == 0 || !parse_size(argv[1], std::size_t{1} << 16, bands) ||
+      !parse_size(argv[2], SIZE_MAX, seed)) {
+    return usage("gen-sub <regions<=2^20> <bands<=2^16> <seed>");
+  }
+  std::mt19937_64 rng(seed);
+  const auto sub = geom::make_random_monotone(regions, bands, rng);
+  if (const auto s = robust::validate_subdivision(sub); !s.ok()) {
+    return fail(coop::Status::internal("generator bug: " + s.message()));
+  }
+  std::printf("%zu %lld %lld %zu\n", sub.num_regions, (long long)sub.ymin,
+              (long long)sub.ymax, sub.edges.size());
+  for (const auto& e : sub.edges) {
+    std::printf("%lld %lld %lld %lld %d %d\n", (long long)e.lo.x,
+                (long long)e.lo.y, (long long)e.hi.x, (long long)e.hi.y,
+                e.min_sep, e.max_sep);
+  }
+  return 0;
+}
+
+coop::Expected<cat::Tree> load_tree_file(const char* path) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    return false;
+    return coop::Status::invalid_argument(std::string("cannot open ") + path);
   }
-  std::size_t n = 0;
-  in >> n;
-  if (n == 0) {
-    std::fprintf(stderr, "empty tree\n");
-    return false;
-  }
-  out = cat::Tree(n);
-  std::vector<std::vector<cat::Key>> keys(n);
-  for (std::size_t v = 0; v < n; ++v) {
-    long long parent = 0;
-    std::size_t k = 0;
-    in >> parent >> k;
-    if (!in) {
-      std::fprintf(stderr, "truncated tree file at node %zu\n", v);
-      return false;
-    }
-    if (v == 0 && parent != -1) {
-      std::fprintf(stderr, "node 0 must be the root (parent -1)\n");
-      return false;
-    }
-    if (v > 0) {
-      if (parent < 0 || std::size_t(parent) >= v) {
-        std::fprintf(stderr, "node %zu: parent must precede it\n", v);
-        return false;
-      }
-      out.add_child(cat::NodeId(parent), cat::NodeId(v));
-    }
-    keys[v].resize(k);
-    for (auto& key : keys[v]) {
-      in >> key;
-    }
-    for (std::size_t i = 1; i < k; ++i) {
-      if (keys[v][i - 1] >= keys[v][i]) {
-        std::fprintf(stderr, "node %zu: keys must be strictly increasing\n",
-                     v);
-        return false;
-      }
-    }
-  }
-  out.finalize();
-  for (std::size_t v = 0; v < n; ++v) {
-    out.set_catalog(cat::NodeId(v), cat::Catalog::from_sorted_keys(keys[v]));
-  }
-  return true;
+  return robust::load_tree(in);
 }
 
 int cmd_search(int argc, char** argv) {
+  const char* use =
+      "search <tree.txt> <p> <y> [<y>...] [--threads]";
   if (argc < 3) {
-    std::fprintf(stderr, "usage: search <tree.txt> <p> <y> [<y>...]\n");
-    return 2;
+    return usage(use);
   }
-  cat::Tree tree;
-  if (!load_tree(argv[0], tree)) {
-    return 1;
+  bool threads = false;
+  if (std::strcmp(argv[argc - 1], "--threads") == 0) {
+    threads = true;
+    --argc;
+    if (argc < 3) {
+      return usage(use);
+    }
   }
-  const auto p = std::size_t(atoll(argv[1]));
-  std::printf("tree: %zu nodes, height %u, %zu entries\n", tree.num_nodes(),
-              tree.height(), tree.total_catalog_size());
-  const auto s = fc::Structure::build(tree);
-  const auto err = s.verify_properties();
-  if (!err.empty()) {
-    std::fprintf(stderr, "cascading property violation: %s\n", err.c_str());
-    return 1;
+  auto tree = load_tree_file(argv[0]);
+  if (!tree.ok()) {
+    return fail(tree.status());
   }
-  const auto cs = coop::CoopStructure::build(s);
+  std::size_t p = 0;
+  if (!parse_size(argv[1], std::size_t{1} << 20, p) || p == 0) {
+    return usage(use);
+  }
+  std::printf("tree: %zu nodes, height %u, %zu entries\n",
+              tree->num_nodes(), tree->height(), tree->total_catalog_size());
+  const auto s = fc::Structure::build_checked(*tree);
+  if (!s.ok()) {
+    return fail(s.status());
+  }
+  if (const auto st = robust::validate_fc(*s); !st.ok()) {
+    return fail(st);
+  }
+  const auto cs = coop::CoopStructure::build_checked(*s);
+  if (!cs.ok()) {
+    return fail(cs.status());
+  }
   std::printf("preprocessed: %zu aug entries, %zu skeleton entries, "
               "%u substructures\n",
-              s.total_aug_entries(), cs.total_skeleton_entries(),
-              cs.substructure_count());
+              s->total_aug_entries(), cs->total_skeleton_entries(),
+              cs->substructure_count());
 
   // Leftmost root-to-leaf path as the demo path.
-  std::vector<cat::NodeId> path{tree.root()};
-  while (!tree.is_leaf(path.back())) {
-    path.push_back(tree.children(path.back())[0]);
+  std::vector<cat::NodeId> path{tree->root()};
+  while (!tree->is_leaf(path.back())) {
+    path.push_back(tree->children(path.back())[0]);
   }
+  const auto engine =
+      threads ? pram::Engine::kThreads : pram::Engine::kSequential;
   for (int a = 2; a < argc; ++a) {
-    const cat::Key y = cat::Key(atoll(argv[a]));
-    pram::Machine m(p);
-    const auto r = coop::coop_search_explicit(cs, m, path, y);
-    std::printf("y=%lld (p=%zu, %llu steps, %llu hops): ", (long long)y, p,
-                (unsigned long long)m.stats().steps,
-                (unsigned long long)r.hops);
+    long long yv = 0;
+    if (!parse_i64(argv[a], INT64_MIN, INT64_MAX, yv)) {
+      return usage(use);
+    }
+    const cat::Key y = cat::Key(yv);
+    pram::RunReport report;
+    const auto r = pram::run_resilient(
+        p, pram::Model::kCrew, engine, std::chrono::seconds(30),
+        [&](pram::Machine& m) {
+          return coop::coop_search_explicit(*cs, m, path, y);
+        },
+        &report);
+    std::printf("y=%lld (p=%zu, %llu steps, %llu hops%s): ", (long long)y, p,
+                (unsigned long long)report.stats.steps,
+                (unsigned long long)r.hops,
+                report.degraded ? ", degraded" : "");
+    if (report.degraded) {
+      std::fprintf(stderr, "note: degraded run (%s)\n",
+                   report.reason.c_str());
+    }
     for (std::size_t i = 0; i < path.size(); ++i) {
-      const auto& c = tree.catalog(path[i]);
+      const auto& c = tree->catalog(path[i]);
       const std::size_t idx = r.proper_index[i];
       if (c.key(idx) == cat::kInfinity) {
         std::printf("[node %d: +inf] ", path[i]);
@@ -150,32 +211,49 @@ int cmd_search(int argc, char** argv) {
   return 0;
 }
 
-int cmd_pointloc(int argc, char** argv) {
-  if (argc < 5) {
-    std::fprintf(stderr,
-                 "usage: pointloc <regions> <bands> <seed> <p> <queries>\n");
-    return 2;
+int cmd_validate(int argc, char** argv) {
+  if (argc < 1) {
+    return usage("validate <tree.txt>");
   }
-  const auto regions = std::size_t(atoll(argv[0]));
-  const auto bands = std::size_t(atoll(argv[1]));
-  std::mt19937_64 rng(std::uint64_t(atoll(argv[2])));
-  const auto p = std::size_t(atoll(argv[3]));
-  const auto queries = std::size_t(atoll(argv[4]));
-  const auto sub = geom::make_random_monotone(regions, bands, rng);
-  const auto err = sub.validate();
-  if (!err.empty()) {
-    std::fprintf(stderr, "generator bug: %s\n", err.c_str());
-    return 1;
+  auto tree = load_tree_file(argv[0]);
+  if (!tree.ok()) {
+    return fail(tree.status());
   }
-  const pointloc::SeparatorTree st(sub);
+  if (const auto s = robust::validate_tree(*tree); !s.ok()) {
+    return fail(s);
+  }
+  const auto s = fc::Structure::build_checked(*tree);
+  if (!s.ok()) {
+    return fail(s.status());
+  }
+  const auto cs = coop::CoopStructure::build_checked(*s);
+  if (!cs.ok()) {
+    return fail(cs.status());
+  }
+  if (const auto st = robust::validate(*cs); !st.ok()) {
+    return fail(st);
+  }
+  std::printf("OK: %zu nodes, %zu entries, %zu aug entries, "
+              "%zu skeleton entries\n",
+              tree->num_nodes(), tree->total_catalog_size(),
+              s->total_aug_entries(), cs->total_skeleton_entries());
+  return 0;
+}
+
+int run_pointloc(const geom::MonotoneSubdivision& sub, std::size_t p,
+                 std::size_t queries, std::mt19937_64& rng) {
+  auto st = pointloc::SeparatorTree::build_checked(sub);
+  if (!st.ok()) {
+    return fail(st.status());
+  }
   std::printf("subdivision: %zu regions, %zu edges; structure %zu entries\n",
-              sub.num_regions, sub.edges.size(), st.total_entries());
+              sub.num_regions, sub.edges.size(), st->total_entries());
   std::uint64_t steps = 0;
   std::size_t mismatches = 0;
   for (std::size_t qi = 0; qi < queries; ++qi) {
     const auto q = geom::random_query_point(sub, rng);
     pram::Machine m(p);
-    const auto got = pointloc::coop_locate(st, m, q);
+    const auto got = pointloc::coop_locate(*st, m, q);
     steps += m.stats().steps;
     if (got != sub.locate_brute(q)) {
       ++mismatches;
@@ -191,23 +269,64 @@ int cmd_pointloc(int argc, char** argv) {
   return mismatches == 0 ? 0 : 1;
 }
 
+int cmd_pointloc(int argc, char** argv) {
+  std::size_t regions = 0, bands = 0, seed = 0, p = 0, queries = 0;
+  if (argc < 5 || !parse_size(argv[0], std::size_t{1} << 20, regions) ||
+      regions == 0 || !parse_size(argv[1], std::size_t{1} << 16, bands) ||
+      !parse_size(argv[2], SIZE_MAX, seed) ||
+      !parse_size(argv[3], std::size_t{1} << 20, p) || p == 0 ||
+      !parse_size(argv[4], std::size_t{1} << 24, queries)) {
+    return usage("pointloc <regions> <bands> <seed> <p> <queries>");
+  }
+  std::mt19937_64 rng(seed);
+  const auto sub = geom::make_random_monotone(regions, bands, rng);
+  if (const auto s = robust::validate_subdivision(sub); !s.ok()) {
+    return fail(coop::Status::internal("generator bug: " + s.message()));
+  }
+  return run_pointloc(sub, p, queries, rng);
+}
+
+int cmd_pointloc_file(int argc, char** argv) {
+  std::size_t p = 0, queries = 0, seed = 0;
+  if (argc < 4 || !parse_size(argv[1], std::size_t{1} << 20, p) || p == 0 ||
+      !parse_size(argv[2], std::size_t{1} << 24, queries) ||
+      !parse_size(argv[3], SIZE_MAX, seed)) {
+    return usage("pointloc-file <sub.txt> <p> <queries> <seed>");
+  }
+  std::ifstream in(argv[0]);
+  if (!in) {
+    return fail(coop::Status::invalid_argument(std::string("cannot open ") +
+                                               argv[0]));
+  }
+  auto sub = robust::load_subdivision(in);
+  if (!sub.ok()) {
+    return fail(sub.status());
+  }
+  std::mt19937_64 rng(seed);
+  return run_pointloc(*sub, p, queries, rng);
+}
+
 int cmd_selftest() {
   std::mt19937_64 rng(1);
   const auto t = cat::make_balanced_binary(6, 1000,
                                            cat::CatalogShape::kRandom, rng);
-  const auto s = fc::Structure::build(t);
-  if (!s.verify_properties().empty()) {
+  const auto s = fc::Structure::build_checked(t);
+  if (!s.ok() || !robust::validate_fc(*s).ok()) {
     std::fprintf(stderr, "FAIL: cascading properties\n");
     return 1;
   }
-  const auto cs = coop::CoopStructure::build(s);
+  const auto cs = coop::CoopStructure::build_checked(*s);
+  if (!cs.ok() || !robust::validate(*cs).ok()) {
+    std::fprintf(stderr, "FAIL: coop structure invariants\n");
+    return 1;
+  }
   pram::Machine m(64);
   std::vector<cat::NodeId> path{t.root()};
   while (!t.is_leaf(path.back())) {
     path.push_back(t.children(path.back())[0]);
   }
   for (cat::Key y : {0, 1000, 999999999}) {
-    const auto r = coop::coop_search_explicit(cs, m, path, y);
+    const auto r = coop::coop_search_explicit(*cs, m, path, y);
     for (std::size_t i = 0; i < path.size(); ++i) {
       if (r.proper_index[i] != t.catalog(path[i]).find(y)) {
         std::fprintf(stderr, "FAIL: search mismatch\n");
@@ -222,24 +341,37 @@ int cmd_selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s gen-tree|search|pointloc|selftest [args]\n",
-                 argv[0]);
+  try {
+    if (argc < 2) {
+      return usage("coopsearch_cli gen-tree|gen-sub|search|validate|pointloc|"
+                   "pointloc-file|selftest [args]");
+    }
+    if (std::strcmp(argv[1], "gen-tree") == 0) {
+      return cmd_gen_tree(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "gen-sub") == 0) {
+      return cmd_gen_sub(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "search") == 0) {
+      return cmd_search(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "validate") == 0) {
+      return cmd_validate(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "pointloc") == 0) {
+      return cmd_pointloc(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "pointloc-file") == 0) {
+      return cmd_pointloc_file(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "selftest") == 0) {
+      return cmd_selftest();
+    }
+    std::fprintf(stderr, "unknown command %s\n", argv[1]);
     return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: INTERNAL: unhandled exception: %s\n",
+                 e.what());
+    return 1;
   }
-  if (std::strcmp(argv[1], "gen-tree") == 0) {
-    return cmd_gen_tree(argc - 2, argv + 2);
-  }
-  if (std::strcmp(argv[1], "search") == 0) {
-    return cmd_search(argc - 2, argv + 2);
-  }
-  if (std::strcmp(argv[1], "pointloc") == 0) {
-    return cmd_pointloc(argc - 2, argv + 2);
-  }
-  if (std::strcmp(argv[1], "selftest") == 0) {
-    return cmd_selftest();
-  }
-  std::fprintf(stderr, "unknown command %s\n", argv[1]);
-  return 2;
 }
