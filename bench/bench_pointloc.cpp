@@ -14,6 +14,7 @@
 #include "geom/generators.hpp"
 #include "pointloc/coop_pointloc.hpp"
 #include "pointloc/slab_index.hpp"
+#include "serve_compare.hpp"
 
 namespace {
 
@@ -157,4 +158,19 @@ BENCHMARK(BM_BatchThroughput)
     ->ArgsProduct({{512, 4096}, {64, 1024, 65536}})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// `--json[=FILE]` switches to the serving-layer throughput comparison
+// (flat point locator vs simulator, BENCH_pointloc_serve.json); anything
+// else runs the google-benchmark step-count experiments as before.
+int main(int argc, char** argv) {
+  serve_bench::Options opts;
+  if (serve_bench::parse_args(argc, argv, opts, "BENCH_pointloc_serve.json")) {
+    return serve_bench::run_pointloc_compare(opts);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "range/point_enclosure.hpp"
 #include "range/range_tree.hpp"
 #include "range/segment_tree.hpp"
+#include "serve_compare.hpp"
 
 namespace {
 
@@ -192,4 +193,19 @@ BENCHMARK(BM_PointEnclosure)
     ->ArgsProduct({{4096, 32768}, {4, 64, 1024}})
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+// `--json[=FILE]` switches to the serving-layer throughput comparison
+// (flat arena vs simulator, BENCH_serve.json); anything else runs the
+// google-benchmark step-count experiments as before.
+int main(int argc, char** argv) {
+  serve_bench::Options opts;
+  if (serve_bench::parse_args(argc, argv, opts, "BENCH_serve.json")) {
+    return serve_bench::run_paths_compare(opts);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

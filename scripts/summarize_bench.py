@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Summarize bench_output.txt into per-experiment tables.
+"""Summarize benchmark output into per-experiment tables.
 
 Usage:
-    python3 scripts/summarize_bench.py [bench_output.txt]
+    python3 scripts/summarize_bench.py [bench_output.txt | BENCH_*.json ...]
 
-Parses google-benchmark console output (with UserCounters) and prints one
-aligned table per benchmark family, keeping the counters that matter for
-the EXPERIMENTS.md narrative.
+Two input kinds, decided per file by extension:
+
+* google-benchmark console output (with UserCounters), as captured to
+  bench_output.txt — printed as one aligned table per benchmark family;
+* the serving-layer JSON emitted by `bench_retrieval --json` /
+  `bench_pointloc --json` (BENCH_serve.json, BENCH_pointloc_serve.json) —
+  printed as a throughput table plus the flat-vs-simulator speedup and
+  the differential-check verdict.
 """
 
+import json
 import re
 import sys
 from collections import defaultdict
@@ -41,8 +47,7 @@ def fmt_table(rows):
     return "\n".join(out)
 
 
-def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+def summarize_console(path):
     fams = parse(path)
     if not fams:
         print(f"no benchmark rows found in {path}", file=sys.stderr)
@@ -52,6 +57,41 @@ def main():
         print(fmt_table(fams[name]))
         print()
     return 0
+
+
+def summarize_serve_json(path):
+    with open(path) as f:
+        data = json.load(f)
+    for key in ("bench", "rows", "speedup_flat_vs_simulator", "equal_answers"):
+        if key not in data:
+            print(f"{path}: missing '{key}' — not a serve bench file?",
+                  file=sys.stderr)
+            return 1
+    kind = "smoke" if data.get("smoke") else "full"
+    print(f"== {data['bench']} ({kind}: n={data.get('n')}, "
+          f"{data.get('queries')} queries)")
+    rows = [
+        {"args": f"{r['mode']}/t{r['threads']}", "qps": f"{r['qps']:,.0f}"}
+        for r in data["rows"]
+    ]
+    print(fmt_table(rows))
+    print(f"flat vs simulator (single thread): "
+          f"{data['speedup_flat_vs_simulator']:.2f}x")
+    verdict = "yes" if data["equal_answers"] else "NO — MISMATCH"
+    print(f"answers equal across modes: {verdict}")
+    print()
+    return 0 if data["equal_answers"] else 1
+
+
+def main():
+    paths = sys.argv[1:] if len(sys.argv) > 1 else ["bench_output.txt"]
+    rc = 0
+    for path in paths:
+        if path.endswith(".json"):
+            rc |= summarize_serve_json(path)
+        else:
+            rc |= summarize_console(path)
+    return rc
 
 
 if __name__ == "__main__":

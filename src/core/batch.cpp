@@ -19,11 +19,18 @@ BatchResult coop_search_batch(const CoopStructure& cs, pram::Machine& m,
   const std::size_t group = std::max<std::size_t>(1, p / procs_per_query);
   out.results.resize(queries.size());
 
+  // One sub-machine for the whole batch, reset between queries: when
+  // Q > p the default share degenerates to one processor per query, and
+  // constructing a fresh Machine per query (worker pool, bookkeeping)
+  // dominated the round's actual search work.  Rounds are still charged
+  // to `m` as whole groups — the slowest member's steps, everyone's work —
+  // exactly like Theorem 2's subpath groups.
+  pram::Machine sub(procs_per_query, m.model());
   for (std::size_t first = 0; first < queries.size(); first += group) {
     const std::size_t last = std::min(queries.size(), first + group);
     std::uint64_t max_steps = 0, total_work = 0;
     for (std::size_t qi = first; qi < last; ++qi) {
-      pram::Machine sub(procs_per_query, m.model());
+      sub.reset_stats();
       out.results[qi] =
           coop_search_segment(cs, sub, queries[qi].path, queries[qi].y);
       max_steps = std::max(max_steps, sub.stats().steps);

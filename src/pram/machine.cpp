@@ -79,8 +79,12 @@ void Machine::note_diagnostic(std::string what) {
 }
 
 void Machine::note_degradation(const std::string& reason) {
+  // Reached from the caller/watchdog side while workers may still be
+  // draining, so the counter needs the same lock as the other
+  // concurrently-updated bookkeeping (violations, diagnostics).
+  std::lock_guard<std::mutex> lock(violation_mutex_);
   stats_.degradations += 1;
-  note_diagnostic("degraded to sequential engine: " + reason);
+  diagnostics_.push_back("degraded to sequential engine: " + reason);
 }
 
 void Machine::run_threaded(std::size_t active,

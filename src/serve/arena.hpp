@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+namespace serve {
+
+/// Cache-line size the serving layer packs for.  64 bytes covers every
+/// x86-64 and most AArch64 parts; the layout only relies on it being a
+/// multiple of every pool element's alignment.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A fixed-size array in ONE cache-line-aligned allocation — the backing
+/// store of the serving arena's SoA pools.  Unlike std::vector it never
+/// reallocates, so a FlatCascade's raw pointers stay valid for its whole
+/// lifetime, and the start of every pool sits on a cache-line boundary.
+///
+/// T must be trivially copyable/destructible (the pools hold keys and
+/// integer offsets only); elements are value-initialized.
+template <typename T>
+class Pool {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "arena pools hold plain scalar data only");
+  static_assert(kCacheLine % alignof(T) == 0);
+
+ public:
+  Pool() = default;
+
+  explicit Pool(std::size_t n) : size_(n) {
+    if (n == 0) {
+      return;
+    }
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLine - 1) / kCacheLine * kCacheLine;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLine, bytes));
+    if (data_ == nullptr) {
+      throw std::bad_alloc();
+    }
+    std::memset(static_cast<void*>(data_), 0, bytes);
+  }
+
+  ~Pool() { std::free(data_); }
+
+  Pool(Pool&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)) {}
+  Pool& operator=(Pool&& o) noexcept {
+    if (this != &o) {
+      std::free(data_);
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+    }
+    return *this;
+  }
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] T& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
+
+  /// Bytes actually reserved (for space accounting in benches/docs).
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return size_ == 0
+               ? 0
+               : (size_ * sizeof(T) + kCacheLine - 1) / kCacheLine * kCacheLine;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace serve

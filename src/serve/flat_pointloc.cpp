@@ -1,0 +1,71 @@
+#include "serve/flat_pointloc.hpp"
+
+#include <limits>
+#include <string>
+
+namespace serve {
+
+coop::Expected<FlatPointLocator> FlatPointLocator::compile(
+    const pointloc::SeparatorTree& st) {
+  auto cascade = FlatCascade::compile(st.cascade());
+  if (!cascade.ok()) {
+    return cascade.status();
+  }
+  const cat::Tree& t = st.tree();
+  const geom::MonotoneSubdivision& sub = st.subdivision();
+  const std::size_t nn = t.num_nodes();
+
+  std::size_t total_entries = 0;
+  for (std::size_t vi = 0; vi < nn; ++vi) {
+    total_entries += t.catalog(static_cast<NodeId>(vi)).size();
+  }
+  if (total_entries > std::numeric_limits<std::uint32_t>::max()) {
+    return coop::Status::invalid_argument(
+        "separator tree too large for uint32 arena offsets");
+  }
+
+  FlatPointLocator f;
+  f.cascade_ = cascade.take();
+  f.num_regions_ = sub.num_regions;
+  f.entry_off_ = Pool<std::uint32_t>(nn);
+  f.sep_ = Pool<std::int32_t>(nn);
+  f.lo_x_ = Pool<geom::Coord>(total_entries);
+  f.lo_y_ = Pool<geom::Coord>(total_entries);
+  f.hi_x_ = Pool<geom::Coord>(total_entries);
+  f.hi_y_ = Pool<geom::Coord>(total_entries);
+  f.max_sep_ = Pool<std::int32_t>(total_entries);
+
+  std::uint32_t off = 0;
+  for (std::size_t vi = 0; vi < nn; ++vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const cat::Catalog& c = t.catalog(v);
+    f.entry_off_[vi] = off;
+    f.sep_[vi] = st.separator_of(v);
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      const std::uint64_t payload = c.payload(j);
+      const std::size_t e = off + j;
+      if (payload == cat::Catalog::kNoPayload) {
+        // Gap above every proper edge: never active.  lo_y == +inf makes
+        // the activity test fail for every query level.
+        f.lo_y_[e] = std::numeric_limits<geom::Coord>::max();
+        f.max_sep_[e] = -1;
+        continue;
+      }
+      if (payload >= sub.edges.size()) {
+        return coop::Status::corrupted(
+            "catalog payload " + std::to_string(payload) +
+            " is not an edge index at node " + std::to_string(vi));
+      }
+      const geom::SubEdge& edge = sub.edges[payload];
+      f.lo_x_[e] = edge.lo.x;
+      f.lo_y_[e] = edge.lo.y;
+      f.hi_x_[e] = edge.hi.x;
+      f.hi_y_[e] = edge.hi.y;
+      f.max_sep_[e] = edge.max_sep;
+    }
+    off += static_cast<std::uint32_t>(c.size());
+  }
+  return f;
+}
+
+}  // namespace serve

@@ -1,0 +1,290 @@
+#include "serve/query_engine.hpp"
+
+#include <algorithm>
+
+namespace serve {
+
+namespace {
+
+std::size_t default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t default_shard_size(std::size_t n, std::size_t threads) {
+  // Aim for several shards per thread so stragglers rebalance, but keep
+  // shards big enough that the atomic cursor is cold compared to the
+  // query work itself.
+  const std::size_t target = std::max<std::size_t>(1, n / (threads * 8));
+  return std::clamp<std::size_t>(target, 1, 1024);
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::size_t threads)
+    : threads_(threads == 0 ? default_threads() : threads) {
+  if (threads_ > 1) {
+    workers_.reserve(threads_);
+    for (std::size_t w = 0; w < threads_; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : workers_) {
+      t.join();
+    }
+  }
+}
+
+BatchReport QueryEngine::for_each(std::size_t n,
+                                  const std::function<void(std::size_t)>& fn,
+                                  const BatchOptions& opts) {
+  BatchReport report;
+  if (n == 0) {
+    report.threads_used = 1;
+    return report;
+  }
+  const std::size_t shard_size =
+      opts.shard_size == 0 ? default_shard_size(n, threads_) : opts.shard_size;
+  const bool armed = opts.deadline.count() > 0;
+  const auto deadline_at = std::chrono::steady_clock::now() + opts.deadline;
+
+  if (workers_.empty() || n <= shard_size) {
+    // Inline fast path: a single-thread engine or a batch that fits one
+    // shard.  The deadline is not polled here — an inline run IS the
+    // sequential fallback.
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    report.shards = 1;
+    report.threads_used = 1;
+    return report;
+  }
+
+  std::string fail_reason;
+  if (run_parallel(n, shard_size, fn, deadline_at, armed, fail_reason)) {
+    report.shards = (n + shard_size - 1) / shard_size;
+    report.threads_used = threads_;
+    return report;
+  }
+
+  // Degradation (run_resilient discipline): the parallel attempt is fully
+  // drained above, so re-running every index sequentially cannot race
+  // with a stale worker; per-index idempotence makes the rerun safe.
+  for (std::size_t i = 0; i < n; ++i) {
+    fn(i);
+  }
+  report.degraded = true;
+  report.reason = fail_reason;
+  report.shards = 1;
+  report.threads_used = 1;
+  return report;
+}
+
+bool QueryEngine::run_parallel(
+    std::size_t n, std::size_t shard_size,
+    const std::function<void(std::size_t)>& fn,
+    std::chrono::steady_clock::time_point deadline_at, bool deadline_armed,
+    std::string& fail_reason) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  fn_ = &fn;
+  batch_n_ = n;
+  shard_size_ = shard_size;
+  num_shards_ = (n + shard_size - 1) / shard_size;
+  next_shard_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  error_ = nullptr;
+  deadline_at_ = deadline_at;
+  deadline_armed_ = deadline_armed;
+  remaining_ = workers_.size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+  if (error_ != nullptr) {
+    try {
+      std::rethrow_exception(std::exchange(error_, nullptr));
+    } catch (const std::exception& e) {
+      fail_reason = std::string("worker exception: ") + e.what();
+    } catch (...) {
+      fail_reason = "worker exception: (non-standard)";
+    }
+    return false;
+  }
+  if (abort_.load(std::memory_order_relaxed)) {
+    fail_reason = "deadline expired mid-batch";
+    return false;
+  }
+  return true;
+}
+
+void QueryEngine::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0, shard_size = 1, num_shards = 0;
+    std::chrono::steady_clock::time_point deadline_at;
+    bool deadline_armed = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      fn = fn_;
+      n = batch_n_;
+      shard_size = shard_size_;
+      num_shards = num_shards_;
+      deadline_at = deadline_at_;
+      deadline_armed = deadline_armed_;
+    }
+    while (!abort_.load(std::memory_order_relaxed)) {
+      if (deadline_armed && std::chrono::steady_clock::now() >= deadline_at) {
+        abort_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const std::size_t shard =
+          next_shard_.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= num_shards) {
+        break;
+      }
+      const std::size_t begin = shard * shard_size;
+      const std::size_t end = std::min(n, begin + shard_size);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          (*fn)(i);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (error_ == nullptr) {
+            error_ = std::current_exception();
+          }
+        }
+        abort_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void search_paths_grouped(const FlatCascade& f, const PathQuery* queries,
+                          std::size_t count, PathAnswer* out) {
+  while (count > 0) {
+    const std::size_t g = std::min(count, kPathGroup);
+    std::uint32_t v[kPathGroup];
+    std::uint32_t idx[kPathGroup];
+    std::uint32_t pos[kPathGroup];
+    const std::uint32_t* cell[kPathGroup];
+    const std::uint32_t b = f.fanout_bound();
+
+    std::size_t maxlen = 0;
+    for (std::size_t q = 0; q < g; ++q) {
+      const std::size_t len = queries[q].path.size();
+      out[q].aug_index.resize(len);
+      out[q].proper_index.resize(len);
+      maxlen = std::max(maxlen, len);
+    }
+    // Round 0: binary searches at the paths' heads (usually all the root,
+    // whose key block stays hot across the group).
+    for (std::size_t q = 0; q < g; ++q) {
+      if (queries[q].path.empty()) {
+        continue;
+      }
+      v[q] = static_cast<std::uint32_t>(queries[q].path[0]);
+      idx[q] = f.find(v[q], queries[q].y);
+      out[q].aug_index[0] = idx[q];
+      out[q].proper_index[0] = f.to_proper(v[q], idx[q]);
+    }
+    // One bridge hop per round for every query still on its path.
+    for (std::size_t step = 1; step < maxlen; ++step) {
+      // Phase 0: next nodes' metadata.
+      for (std::size_t q = 0; q < g; ++q) {
+        if (step < queries[q].path.size()) {
+          __builtin_prefetch(&f.node(
+              static_cast<std::uint32_t>(queries[q].path[step])));
+        }
+      }
+      // Phase 1: bridge cells.
+      for (std::size_t q = 0; q < g; ++q) {
+        if (step < queries[q].path.size()) {
+          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
+          cell[q] = f.bridge_cell(v[q], idx[q], f.node(w).slot);
+          __builtin_prefetch(cell[q]);
+        }
+      }
+      // Phase 2: landing positions + the key/proper lines the walk-back
+      // will touch (it moves at most fanout_bound() entries left).
+      for (std::size_t q = 0; q < g; ++q) {
+        if (step < queries[q].path.size()) {
+          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
+          pos[q] = *cell[q];
+          const std::uint32_t back = pos[q] > b ? pos[q] - b : 0;
+          __builtin_prefetch(f.key_ptr(w, back));
+          __builtin_prefetch(f.proper_ptr(w, back));
+        }
+      }
+      // Phase 3: walk-backs + answers.
+      for (std::size_t q = 0; q < g; ++q) {
+        if (step < queries[q].path.size()) {
+          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
+          idx[q] = f.walk_back(w, pos[q], queries[q].y);
+          v[q] = w;
+          out[q].aug_index[step] = idx[q];
+          out[q].proper_index[step] = f.to_proper(w, idx[q]);
+        }
+      }
+    }
+    queries += g;
+    out += g;
+    count -= g;
+  }
+}
+
+BatchReport serve_path_queries(const FlatCascade& f, QueryEngine& engine,
+                               std::span<const PathQuery> queries,
+                               std::vector<PathAnswer>& out,
+                               const BatchOptions& opts) {
+  out.assign(queries.size(), PathAnswer{});
+  const std::size_t groups = (queries.size() + kPathGroup - 1) / kPathGroup;
+  return engine.for_each(
+      groups,
+      [&](std::size_t gi) {
+        const std::size_t begin = gi * kPathGroup;
+        const std::size_t cnt =
+            std::min(kPathGroup, queries.size() - begin);
+        search_paths_grouped(f, queries.data() + begin, cnt,
+                             out.data() + begin);
+      },
+      opts);
+}
+
+BatchReport serve_point_queries(const FlatPointLocator& loc,
+                                QueryEngine& engine,
+                                std::span<const geom::Point> points,
+                                std::vector<std::size_t>& out,
+                                const BatchOptions& opts) {
+  out.assign(points.size(), 0);
+  return engine.for_each(
+      points.size(), [&](std::size_t i) { out[i] = loc.locate(points[i]); },
+      opts);
+}
+
+}  // namespace serve

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "geom/primitives.hpp"
+#include "serve/flat_cascade.hpp"
+#include "serve/flat_pointloc.hpp"
+
+namespace serve {
+
+/// Per-batch execution knobs.
+struct BatchOptions {
+  /// Watchdog for the parallel attempt; 0 disables it.  Mirrors the
+  /// deadline discipline of pram::run_resilient: expiry abandons the
+  /// parallel run and the batch is re-executed sequentially.
+  std::chrono::nanoseconds deadline{0};
+  /// Queries per shard.  Shards are the unit workers claim; a shard's
+  /// queries run back-to-back on one core so their arena accesses amortize
+  /// cache misses.  0 picks a default from the batch size.
+  std::size_t shard_size = 0;
+};
+
+/// Outcome of one batch, mirroring pram::RunReport: if the parallel
+/// attempt failed (worker exception or deadline) the batch was transparently
+/// re-run sequentially on the calling thread and `degraded` is set.
+struct BatchReport {
+  bool degraded = false;
+  std::string reason;
+  std::size_t shards = 0;        ///< shards the parallel attempt was cut into
+  std::size_t threads_used = 0;  ///< 1 when run inline / degraded
+};
+
+/// A persistent worker pool that serves independent queries against the
+/// immutable flat structures.  Threads are spawned once and reused across
+/// batches (no per-query or per-batch thread churn); a batch is sharded
+/// and workers claim shards from an atomic cursor, so an imbalanced query
+/// mix still load-balances.
+///
+/// Degradation discipline (from PR 1's run_resilient): the job function
+/// must be idempotent per index — it only writes slot i of its own output.
+/// If any worker throws, or the batch deadline expires, the parallel
+/// attempt is drained, its partial output is discarded, and the whole
+/// batch is re-run sequentially on the calling thread; the report carries
+/// `degraded` and the reason.  A faulty worker can never tear down the
+/// process or produce a torn batch.
+class QueryEngine {
+ public:
+  /// `threads == 0` uses the hardware concurrency.  One thread means every
+  /// batch runs inline on the calling thread (no pool is spawned).
+  explicit QueryEngine(std::size_t threads = 0);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Run `fn(i)` for every i in [0, n), sharded across the pool.
+  BatchReport for_each(std::size_t n,
+                       const std::function<void(std::size_t)>& fn,
+                       const BatchOptions& opts = {});
+
+ private:
+  void worker_loop();
+  bool run_parallel(std::size_t n, std::size_t shard_size,
+                    const std::function<void(std::size_t)>& fn,
+                    std::chrono::steady_clock::time_point deadline_at,
+                    bool deadline_armed, std::string& fail_reason);
+
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+
+  // Current batch (valid while remaining_ > 0).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t batch_n_ = 0;
+  std::size_t shard_size_ = 1;
+  std::size_t num_shards_ = 0;
+  std::atomic<std::size_t> next_shard_{0};
+  std::atomic<bool> abort_{false};
+  std::exception_ptr error_;
+  std::chrono::steady_clock::time_point deadline_at_{};
+  bool deadline_armed_ = false;
+};
+
+/// One explicit-path query against a FlatCascade.
+struct PathQuery {
+  std::vector<NodeId> path;
+  Key y = 0;
+};
+
+/// Answers for one PathQuery: find(y, v) per path node, root first —
+/// identical, index for index, to fc::search_explicit's result.
+struct PathAnswer {
+  std::vector<std::uint32_t> aug_index;
+  std::vector<std::uint32_t> proper_index;
+};
+
+/// Queries per lockstep group in search_paths_grouped: enough in-flight
+/// misses to cover DRAM latency, small enough that per-query state stays
+/// in registers / L1.
+inline constexpr std::size_t kPathGroup = 16;
+
+/// Single-thread batch kernel: serve `count` explicit-path queries,
+/// advancing a group of up to kPathGroup queries one bridge hop per round.
+/// Each round runs in phases (node metadata -> bridge cells -> landing key
+/// blocks -> walk-backs) with the next phase's loads prefetched across the
+/// whole group, so the per-hop cache miss of every grouped query overlaps
+/// instead of serializing along one query's dependency chain.  Answers are
+/// identical to per-query FlatCascade::search_path.
+void search_paths_grouped(const FlatCascade& f, const PathQuery* queries,
+                          std::size_t count, PathAnswer* out);
+
+/// Serve a batch of explicit-path queries.  `out` is resized to the batch;
+/// the batch is cut into kPathGroup-sized lockstep groups (the unit workers
+/// claim), and answer q is written only by the worker that owns query q's
+/// group.
+BatchReport serve_path_queries(const FlatCascade& f, QueryEngine& engine,
+                               std::span<const PathQuery> queries,
+                               std::vector<PathAnswer>& out,
+                               const BatchOptions& opts = {});
+
+/// Serve a batch of point-location queries; out[i] is the region of
+/// points[i].
+BatchReport serve_point_queries(const FlatPointLocator& loc,
+                                QueryEngine& engine,
+                                std::span<const geom::Point> points,
+                                std::vector<std::size_t>& out,
+                                const BatchOptions& opts = {});
+
+}  // namespace serve

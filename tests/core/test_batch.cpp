@@ -96,6 +96,32 @@ TEST(Batch, ThroughputBeatsSerialExecution) {
   EXPECT_LT(batched * 4, serial);
 }
 
+TEST(Batch, OversubscribedDefaultSharePacksWholeRounds) {
+  // Regression: with Q > p the default share degenerates to one processor
+  // per query; the batch must still round-robin whole p-sized rounds —
+  // rounds == ceil(Q / p) — and answers must match the oracle.
+  std::mt19937_64 rng(6);
+  const auto t = cat::make_balanced_binary(6, 2000, CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  const auto cs = CoopStructure::build(s);
+  std::vector<BatchQuery> queries(100);
+  for (auto& q : queries) {
+    q.path = test_helpers::random_root_leaf_path(t, rng);
+    q.y = test_helpers::random_query(t, rng);
+  }
+  pram::Machine m(8);
+  const auto batch = coop::coop_search_batch(cs, m, queries);
+  EXPECT_EQ(batch.procs_per_query, 1u);
+  EXPECT_EQ(batch.rounds, (queries.size() + 7) / 8);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    for (std::size_t i = 0; i < queries[qi].path.size(); ++i) {
+      ASSERT_EQ(batch.results[qi].proper_index[i],
+                test_helpers::brute_find(t, queries[qi].path[i],
+                                         queries[qi].y));
+    }
+  }
+}
+
 TEST(Batch, EmptyBatch) {
   std::mt19937_64 rng(5);
   const auto t = cat::make_balanced_binary(3, 50, CatalogShape::kUniform, rng);

@@ -1,0 +1,84 @@
+#include "serve/flat_pointloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/generators.hpp"
+#include "robust/corrupt.hpp"
+#include "serve/query_engine.hpp"
+
+namespace {
+
+using serve::FlatPointLocator;
+
+TEST(FlatPointLocator, MatchesSeparatorTreeAndBruteForce) {
+  for (const auto& [regions, bands] :
+       {std::pair<std::size_t, std::size_t>{7, 12},
+        {16, 30},
+        {61, 50}}) {
+    std::mt19937_64 rng(regions * 100 + bands);
+    const auto sub = geom::make_random_monotone(regions, bands, rng);
+    const pointloc::SeparatorTree st(sub);
+    auto loc = FlatPointLocator::compile(st);
+    ASSERT_TRUE(loc.ok()) << loc.status().to_string();
+    EXPECT_EQ(loc->num_regions(), sub.num_regions);
+    for (int qi = 0; qi < 300; ++qi) {
+      const auto q = geom::random_query_point(sub, rng);
+      const std::size_t expect = sub.locate_brute(q);
+      ASSERT_EQ(st.locate(q), expect);
+      ASSERT_EQ(loc->locate(q), expect)
+          << "q=(" << q.x << "," << q.y << ") regions=" << regions;
+    }
+  }
+}
+
+TEST(FlatPointLocator, BatchAcrossThreadCountsMatchesOracle) {
+  std::mt19937_64 rng(99);
+  const auto sub = geom::make_random_monotone(32, 40, rng);
+  const pointloc::SeparatorTree st(sub);
+  auto loc = FlatPointLocator::compile(st);
+  ASSERT_TRUE(loc.ok());
+  std::vector<geom::Point> points;
+  std::vector<std::size_t> expect;
+  for (int i = 0; i < 400; ++i) {
+    points.push_back(geom::random_query_point(sub, rng));
+    expect.push_back(sub.locate_brute(points.back()));
+  }
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    serve::QueryEngine engine(threads);
+    std::vector<std::size_t> out;
+    const auto report =
+        serve::serve_point_queries(*loc, engine, points, out);
+    EXPECT_FALSE(report.degraded) << report.reason;
+    ASSERT_EQ(out, expect) << "threads=" << threads;
+  }
+}
+
+TEST(FlatPointLocator, RejectsCorruptedCascade) {
+  const robust::CorruptionKind kinds[] = {
+      robust::CorruptionKind::kMissingTerminal,
+      robust::CorruptionKind::kCrossingBridges,
+      robust::CorruptionKind::kBridgeOutOfRange,
+      robust::CorruptionKind::kWrongProper,
+  };
+  for (const auto kind : kinds) {
+    int injected = 0;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      std::mt19937_64 rng(1000 + seed);
+      const auto sub = geom::make_random_monotone(24, 30, rng);
+      pointloc::SeparatorTree st(sub);
+      const auto status = robust::corrupt(st, kind, seed);
+      if (!status.ok()) {
+        continue;
+      }
+      ++injected;
+      const auto loc = FlatPointLocator::compile(st);
+      EXPECT_FALSE(loc.ok()) << "compiled a separator tree corrupted with "
+                             << robust::to_string(kind);
+    }
+    EXPECT_GT(injected, 0) << robust::to_string(kind);
+  }
+}
+
+}  // namespace

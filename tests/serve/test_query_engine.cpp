@@ -1,0 +1,180 @@
+#include "serve/query_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <stdexcept>
+#include <thread>
+
+#include "fc/search.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using serve::BatchOptions;
+using serve::FlatCascade;
+using serve::PathAnswer;
+using serve::PathQuery;
+using serve::QueryEngine;
+
+struct Fixture {
+  cat::Tree tree;
+  std::unique_ptr<fc::Structure> s;
+  FlatCascade flat;
+  std::vector<PathQuery> queries;
+
+  explicit Fixture(std::size_t num_queries, std::uint64_t seed = 21) {
+    std::mt19937_64 rng(seed);
+    tree = cat::make_balanced_binary(8, 30000, CatalogShape::kRandom, rng);
+    s = std::make_unique<fc::Structure>(fc::Structure::build(tree));
+    auto f = FlatCascade::compile(*s);
+    EXPECT_TRUE(f.ok());
+    flat = f.take();
+    queries.resize(num_queries);
+    for (auto& q : queries) {
+      q.path = test_helpers::random_root_leaf_path(tree, rng);
+      q.y = test_helpers::random_query(tree, rng);
+    }
+  }
+
+  void expect_answers_match(const std::vector<PathAnswer>& out) const {
+    ASSERT_EQ(out.size(), queries.size());
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto oracle = fc::search_explicit(*s, queries[qi].path,
+                                              queries[qi].y);
+      ASSERT_EQ(out[qi].proper_index.size(), queries[qi].path.size());
+      for (std::size_t i = 0; i < queries[qi].path.size(); ++i) {
+        ASSERT_EQ(out[qi].proper_index[i], oracle.proper_index[i])
+            << "query " << qi << " node " << i;
+        ASSERT_EQ(out[qi].aug_index[i], oracle.aug_index[i]);
+      }
+    }
+  }
+};
+
+TEST(QueryEngine, GroupedKernelMatchesOracleOnRaggedPaths) {
+  // The lockstep kernel must handle groups whose paths end at different
+  // rounds: full root-leaf paths, truncated paths ending mid-tree, and
+  // length-1 paths (root only), interleaved in one batch.
+  std::mt19937_64 rng(77);
+  const Fixture fx(0);
+  std::vector<PathQuery> queries(100);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    auto path = test_helpers::random_root_leaf_path(fx.tree, rng);
+    path.resize(1 + rng() % path.size());
+    queries[qi].path = std::move(path);
+    queries[qi].y = test_helpers::random_query(fx.tree, rng);
+  }
+  std::vector<PathAnswer> out(queries.size());
+  serve::search_paths_grouped(fx.flat, queries.data(), queries.size(),
+                              out.data());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto oracle =
+        fc::search_explicit(*fx.s, queries[qi].path, queries[qi].y);
+    ASSERT_EQ(out[qi].proper_index.size(), queries[qi].path.size());
+    for (std::size_t i = 0; i < queries[qi].path.size(); ++i) {
+      ASSERT_EQ(out[qi].proper_index[i], oracle.proper_index[i])
+          << "query " << qi << " node " << i;
+      ASSERT_EQ(out[qi].aug_index[i], oracle.aug_index[i]);
+    }
+  }
+}
+
+TEST(QueryEngine, BatchMatchesOracleAcrossThreadCounts) {
+  const Fixture fx(500);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    QueryEngine engine(threads);
+    EXPECT_EQ(engine.threads(), threads);
+    std::vector<PathAnswer> out;
+    const auto report =
+        serve::serve_path_queries(fx.flat, engine, fx.queries, out);
+    EXPECT_FALSE(report.degraded) << report.reason;
+    fx.expect_answers_match(out);
+  }
+}
+
+TEST(QueryEngine, ReusableAcrossBatches) {
+  const Fixture fx(200);
+  QueryEngine engine(2);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<PathAnswer> out;
+    const auto report =
+        serve::serve_path_queries(fx.flat, engine, fx.queries, out);
+    EXPECT_FALSE(report.degraded);
+    fx.expect_answers_match(out);
+  }
+}
+
+TEST(QueryEngine, EmptyBatch) {
+  QueryEngine engine(2);
+  const auto report = engine.for_each(0, [](std::size_t) { FAIL(); });
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.shards, 0u);
+}
+
+TEST(QueryEngine, DegradesOnTransientWorkerException) {
+  // run_resilient discipline: a worker that throws abandons the parallel
+  // attempt, and the batch is re-run sequentially — the caller still gets
+  // every answer plus a degradation report, never a torn batch.
+  QueryEngine engine(2);
+  std::atomic<bool> thrown{false};
+  std::vector<int> out(1000, 0);
+  BatchOptions opts;
+  opts.shard_size = 16;
+  const auto report = engine.for_each(
+      out.size(),
+      [&](std::size_t i) {
+        if (i == 357 && !thrown.exchange(true)) {
+          throw std::runtime_error("transient query fault");
+        }
+        out[i] = static_cast<int>(i) + 1;
+      },
+      opts);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("worker exception"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.threads_used, 1u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) + 1);
+  }
+}
+
+TEST(QueryEngine, DegradesOnDeadline) {
+  QueryEngine engine(2);
+  std::vector<int> out(64, 0);
+  BatchOptions opts;
+  opts.shard_size = 1;
+  opts.deadline = std::chrono::nanoseconds(1);
+  const auto report = engine.for_each(
+      out.size(),
+      [&](std::size_t i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        out[i] = 1;
+      },
+      opts);
+  // The watchdog fires during the parallel attempt; the sequential rerun
+  // (which, like run_resilient's fallback, is not deadline-guarded) still
+  // completes the batch.
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("deadline"), std::string::npos);
+  for (int v : out) {
+    ASSERT_EQ(v, 1);
+  }
+}
+
+TEST(QueryEngine, SingleThreadRunsInline) {
+  QueryEngine engine(1);
+  std::vector<int> out(100, 0);
+  const auto report =
+      engine.for_each(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_FALSE(report.degraded);
+  EXPECT_EQ(report.threads_used, 1u);
+  for (int v : out) {
+    ASSERT_EQ(v, 1);
+  }
+}
+
+}  // namespace

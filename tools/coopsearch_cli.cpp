@@ -6,6 +6,7 @@
 //   coopsearch_cli validate  <tree.txt>
 //   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
 //   coopsearch_cli pointloc-file <sub.txt> <p> <queries> <seed>
+//   coopsearch_cli serve     <tree.txt> <threads> <queries> <seed>
 //   coopsearch_cli selftest
 //
 // Tree file format: first line "N"; then one line per node
@@ -26,11 +27,14 @@
 #include <iostream>
 #include <random>
 
+#include <chrono>
+
 #include "core/explicit_search.hpp"
 #include "geom/generators.hpp"
 #include "pointloc/coop_pointloc.hpp"
 #include "robust/loaders.hpp"
 #include "robust/validate.hpp"
+#include "serve/query_engine.hpp"
 
 namespace {
 
@@ -306,6 +310,74 @@ int cmd_pointloc_file(int argc, char** argv) {
   return run_pointloc(*sub, p, queries, rng);
 }
 
+// Load a tree, compile the flat serving arena, run a batch of random
+// root-leaf queries through the engine, and verify every answer against
+// the catalogs' own binary search.  Untrusted input: a corrupted tree is
+// rejected by the checked build / flat compiler, never served.
+int cmd_serve(int argc, char** argv) {
+  std::size_t threads = 0, queries = 0, seed = 0;
+  if (argc < 4 || !parse_size(argv[1], 256, threads) || threads == 0 ||
+      !parse_size(argv[2], std::size_t{1} << 24, queries) ||
+      !parse_size(argv[3], SIZE_MAX, seed)) {
+    return usage("serve <tree.txt> <threads<=256> <queries<=2^24> <seed>");
+  }
+  auto tree = load_tree_file(argv[0]);
+  if (!tree.ok()) {
+    return fail(tree.status());
+  }
+  const auto s = fc::Structure::build_checked(*tree);
+  if (!s.ok()) {
+    return fail(s.status());
+  }
+  auto flat = serve::FlatCascade::compile(*s);
+  if (!flat.ok()) {
+    return fail(flat.status());
+  }
+  std::printf("arena: %zu nodes, %zu aug entries, %zu bytes\n",
+              flat->num_nodes(), flat->total_entries(), flat->arena_bytes());
+
+  std::mt19937_64 rng(seed);
+  std::vector<serve::PathQuery> batch(queries);
+  for (auto& q : batch) {
+    std::vector<cat::NodeId> path{tree->root()};
+    while (!tree->is_leaf(path.back())) {
+      const auto kids = tree->children(path.back());
+      path.push_back(kids[rng() % kids.size()]);
+    }
+    q.path = std::move(path);
+    q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+  }
+
+  serve::QueryEngine engine(threads);
+  std::vector<serve::PathAnswer> answers;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto report = serve::serve_path_queries(*flat, engine, batch, answers);
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (report.degraded) {
+    std::printf("degraded: %s\n", report.reason.c_str());
+  }
+
+  std::size_t mismatches = 0;
+  for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+    for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+      if (answers[qi].proper_index[i] !=
+          tree->catalog(batch[qi].path[i]).find(batch[qi].y)) {
+        ++mismatches;
+      }
+    }
+  }
+  std::printf("%zu queries on %zu threads: %.0f queries/sec, %zu mismatches\n",
+              batch.size(), engine.threads(),
+              sec > 0 ? double(batch.size()) / sec : 0.0, mismatches);
+  if (mismatches != 0) {
+    return 1;
+  }
+  std::printf("serve OK\n");
+  return 0;
+}
+
 int cmd_selftest() {
   std::mt19937_64 rng(1);
   const auto t = cat::make_balanced_binary(6, 1000,
@@ -344,7 +416,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       return usage("coopsearch_cli gen-tree|gen-sub|search|validate|pointloc|"
-                   "pointloc-file|selftest [args]");
+                   "pointloc-file|serve|selftest [args]");
     }
     if (std::strcmp(argv[1], "gen-tree") == 0) {
       return cmd_gen_tree(argc - 2, argv + 2);
@@ -363,6 +435,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "pointloc-file") == 0) {
       return cmd_pointloc_file(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "serve") == 0) {
+      return cmd_serve(argc - 2, argv + 2);
     }
     if (std::strcmp(argv[1], "selftest") == 0) {
       return cmd_selftest();
