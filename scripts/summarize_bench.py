@@ -59,9 +59,39 @@ def summarize_console(path):
     return 0
 
 
+def summarize_snapshot_json(path, data):
+    keys = ("cold_build_sec", "mmap_load_sec", "load_speedup",
+            "swap_publishes", "swap_qps", "swap_mismatches", "equal_answers")
+    for key in keys:
+        if key not in data:
+            print(f"{path}: missing '{key}' — not a snapshot bench file?",
+                  file=sys.stderr)
+            return 1
+    kind = "smoke" if data.get("smoke") else "full"
+    print(f"== snapshot ({kind}: n={data.get('n')}, "
+          f"{data.get('queries')} queries/batch)")
+    rows = [
+        {"args": "cold build", "sec": f"{data['cold_build_sec']:.3f}"},
+        {"args": "snapshot write", "sec": f"{data['snapshot_write_sec']:.3f}"},
+        {"args": "mmap load", "sec": f"{data['mmap_load_sec']:.3f}"},
+    ]
+    print(fmt_table(rows))
+    print(f"mmap load vs cold build: {data['load_speedup']:.1f}x faster")
+    print(f"hot swap: {data['swap_publishes']} publishes, "
+          f"{data['swap_qps']:,.0f} qps, "
+          f"{data['swap_mismatches']} mismatches")
+    verdict = "yes" if data["equal_answers"] else "NO — MISMATCH"
+    print(f"answers equal after round-trip: {verdict}")
+    print()
+    ok = data["equal_answers"] and data["swap_mismatches"] == 0
+    return 0 if ok else 1
+
+
 def summarize_serve_json(path):
     with open(path) as f:
         data = json.load(f)
+    if data.get("bench") == "snapshot":
+        return summarize_snapshot_json(path, data)
     for key in ("bench", "rows", "speedup_flat_vs_simulator", "equal_answers"):
         if key not in data:
             print(f"{path}: missing '{key}' — not a serve bench file?",

@@ -1,8 +1,15 @@
 #include "robust/corrupt.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <random>
 #include <string>
 #include <vector>
+
+// Header-only layout constants + CRC32 of the snapshot format, included
+// so the harness can craft targeted file faults without linking the
+// snapshot library (which depends on robust, not vice versa).
+#include "snapshot/format.hpp"
 
 namespace robust {
 
@@ -20,6 +27,13 @@ const char* to_string(CorruptionKind k) {
     case CorruptionKind::kBlockMapDangling: return "block-map-dangling";
     case CorruptionKind::kGapBreakpointDisorder:
       return "gap-breakpoint-disorder";
+    case CorruptionKind::kSnapshotTruncated: return "snapshot-truncated";
+    case CorruptionKind::kSnapshotHeaderBitFlip:
+      return "snapshot-header-bit-flip";
+    case CorruptionKind::kSnapshotSectionCrc:
+      return "snapshot-section-crc-mismatch";
+    case CorruptionKind::kSnapshotSectionOffset:
+      return "snapshot-section-offset-oob";
   }
   return "?";
 }
@@ -241,6 +255,11 @@ Status corrupt(pointloc::SeparatorTree& st, CorruptionKind kind,
     case CorruptionKind::kSkeletonOutOfRange:
     case CorruptionKind::kBlockMapDangling:
       return corrupt(StructureAccess::coop_structure(st), kind, seed);
+    case CorruptionKind::kSnapshotTruncated:
+    case CorruptionKind::kSnapshotHeaderBitFlip:
+    case CorruptionKind::kSnapshotSectionCrc:
+    case CorruptionKind::kSnapshotSectionOffset:
+      return not_applicable(kind, "pointloc::SeparatorTree");
     case CorruptionKind::kGapBreakpointDisorder:
       break;
   }
@@ -270,6 +289,129 @@ Status corrupt(pointloc::SeparatorTree& st, CorruptionKind kind,
   // silently relies on.
   bps.emplace_back(bps.front().first - 1, bps.front().second);
   return coop::OkStatus();
+}
+
+namespace {
+
+/// Read a whole file into memory (snapshot files in tests are small).
+Status slurp(const std::string& path, std::vector<unsigned char>& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::invalid_argument("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out.resize(size < 0 ? 0 : static_cast<std::size_t>(size));
+  const bool ok =
+      out.empty() || std::fread(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  if (!ok) {
+    return Status::invalid_argument("cannot read " + path);
+  }
+  return coop::OkStatus();
+}
+
+Status spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::invalid_argument("cannot open " + path + " for writing");
+  }
+  const bool ok = bytes.empty() ||
+                  std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  if (std::fclose(f) != 0 || !ok) {
+    return Status::invalid_argument("cannot write " + path);
+  }
+  return coop::OkStatus();
+}
+
+}  // namespace
+
+Status corrupt_file(const std::string& path, CorruptionKind kind,
+                    std::uint64_t seed) {
+  std::vector<unsigned char> bytes;
+  if (Status s = slurp(path, bytes); !s.ok()) {
+    return s;
+  }
+  if (bytes.size() < sizeof(snapshot::FileHeader)) {
+    return Status::failed_precondition(path +
+                                       " is too small to be a snapshot");
+  }
+  snapshot::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (header.magic != snapshot::kMagic) {
+    return Status::failed_precondition(path + " is not a snapshot file");
+  }
+  const std::size_t table_off = sizeof(snapshot::FileHeader);
+  const std::size_t table_bytes =
+      std::size_t{header.section_count} * sizeof(snapshot::SectionRecord);
+
+  switch (kind) {
+    case CorruptionKind::kSnapshotTruncated: {
+      // Cut anywhere, from an empty file to one byte short: every length
+      // must be rejected (by the size probe, the file_size cross-check,
+      // or a section bounds/CRC failure — whichever trips first).
+      bytes.resize(pick(seed, bytes.size()));
+      break;
+    }
+    case CorruptionKind::kSnapshotHeaderBitFlip: {
+      const std::size_t bit = pick(seed, sizeof(snapshot::FileHeader) * 8);
+      bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+      break;
+    }
+    case CorruptionKind::kSnapshotSectionCrc: {
+      // Flip a bit strictly inside one section's payload (not in the
+      // uncovered alignment padding), leaving header and table intact,
+      // so only that section's CRC can catch it.
+      if (header.section_count == 0 ||
+          table_off + table_bytes > bytes.size()) {
+        return Status::failed_precondition(path + " has no section table");
+      }
+      std::vector<snapshot::SectionRecord> table(header.section_count);
+      std::memcpy(table.data(), bytes.data() + table_off, table_bytes);
+      std::vector<std::size_t> hosts;
+      for (std::size_t i = 0; i < table.size(); ++i) {
+        if (table[i].length > 0 &&
+            table[i].offset + table[i].length <= bytes.size()) {
+          hosts.push_back(i);
+        }
+      }
+      if (hosts.empty()) {
+        return Status::failed_precondition(path + " has no section payloads");
+      }
+      const auto& rec = table[hosts[pick(seed, hosts.size())]];
+      const std::size_t bit = pick(seed ^ 0x5eed, rec.length * 8);
+      bytes[rec.offset + bit / 8] ^=
+          static_cast<unsigned char>(1u << (bit % 8));
+      break;
+    }
+    case CorruptionKind::kSnapshotSectionOffset: {
+      if (header.section_count == 0 ||
+          table_off + table_bytes > bytes.size()) {
+        return Status::failed_precondition(path + " has no section table");
+      }
+      // Point one section far past end-of-file, then re-forge the table
+      // CRC: the fault is invisible to every checksum and must be caught
+      // by snapshot::open's explicit bounds validation.
+      const std::size_t victim = pick(seed, header.section_count);
+      snapshot::SectionRecord rec;
+      unsigned char* rec_at =
+          bytes.data() + table_off + victim * sizeof(snapshot::SectionRecord);
+      std::memcpy(&rec, rec_at, sizeof(rec));
+      rec.offset = snapshot::align_up(
+          header.file_size + (1 + seed % 7) * snapshot::kSectionAlign,
+          snapshot::kSectionAlign);
+      std::memcpy(rec_at, &rec, sizeof(rec));
+      header.table_crc =
+          snapshot::crc32(bytes.data() + table_off, table_bytes);
+      header.header_crc = snapshot::header_crc(header);
+      std::memcpy(bytes.data(), &header, sizeof(header));
+      break;
+    }
+    default:
+      return not_applicable(kind, "a snapshot file");
+  }
+  return spit(path, bytes);
 }
 
 }  // namespace robust

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,13 @@ enum class CorruptionKind : int {
   kBlockMapDangling = 7,     ///< block_of points at the wrong/no block
   // pointloc::SeparatorTree
   kGapBreakpointDisorder = 8,  ///< unsort one gap's (level, dir) list
+  // snapshot files on disk (corrupt_file; snapshot::open must reject)
+  kSnapshotTruncated = 9,       ///< cut the file short at a random byte
+  kSnapshotHeaderBitFlip = 10,  ///< flip one bit inside the 64-byte header
+  kSnapshotSectionCrc = 11,     ///< flip one bit inside a section payload
+  kSnapshotSectionOffset = 12,  ///< point a section past end-of-file,
+                                ///  with the table CRC re-forged so only
+                                ///  the bounds check can catch it
 };
 
 inline constexpr CorruptionKind kAllCorruptionKinds[] = {
@@ -40,6 +48,15 @@ inline constexpr CorruptionKind kAllCorruptionKinds[] = {
     CorruptionKind::kWrongProper,          CorruptionKind::kSkeletonNonMonotone,
     CorruptionKind::kSkeletonOutOfRange,   CorruptionKind::kBlockMapDangling,
     CorruptionKind::kGapBreakpointDisorder,
+};
+
+/// The file-level kinds (targets of corrupt_file, not of the in-memory
+/// corrupt overloads).
+inline constexpr CorruptionKind kAllSnapshotFaultKinds[] = {
+    CorruptionKind::kSnapshotTruncated,
+    CorruptionKind::kSnapshotHeaderBitFlip,
+    CorruptionKind::kSnapshotSectionCrc,
+    CorruptionKind::kSnapshotSectionOffset,
 };
 
 [[nodiscard]] const char* to_string(CorruptionKind k);
@@ -58,6 +75,17 @@ inline constexpr CorruptionKind kAllCorruptionKinds[] = {
                                    CorruptionKind kind, std::uint64_t seed);
 [[nodiscard]] coop::Status corrupt(pointloc::SeparatorTree& st,
                                    CorruptionKind kind, std::uint64_t seed);
+
+/// Apply a file-level fault (one of kAllSnapshotFaultKinds) to a
+/// snapshot file on disk, in place.  The file must be a structurally
+/// valid snapshot (it is parsed just enough to aim the fault — e.g. the
+/// section-offset kind rewrites the table and re-forges its CRC so the
+/// damage is only catchable by snapshot::open's bounds checks, not by a
+/// checksum).  kFailedPrecondition when the file is too small or not a
+/// snapshot; kInvalidArgument when it cannot be opened.
+[[nodiscard]] coop::Status corrupt_file(const std::string& path,
+                                        CorruptionKind kind,
+                                        std::uint64_t seed);
 
 /// The backdoor the corruption harness (and the deep validators) use to
 /// reach otherwise-encapsulated state.  Befriended by CoopStructure and

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,23 @@ namespace serve {
 /// multiple of every pool element's alignment.
 inline constexpr std::size_t kCacheLine = 64;
 
+// The snapshot format (src/snapshot, DESIGN.md §8) memory-maps these
+// pools byte-for-byte: a snapshot file IS a little-endian image of the
+// arena, with every section aligned to kCacheLine.  Two platform
+// assumptions are therefore load-bearing and checked here, at the root
+// of the serving layer, rather than discovered as silent corruption at
+// load time.  Porting to a big-endian machine requires byte-swapping
+// readers/writers in src/snapshot (snapshot::open additionally rejects
+// cross-endian *files* at runtime via FileHeader::endian_tag, so a
+// mixed-endian fleet degrades to a Status, never to garbage answers).
+static_assert(std::endian::native == std::endian::little,
+              "serve arena pools and the snapshot format assume a "
+              "little-endian host; add byte-swapping codecs to "
+              "src/snapshot before porting to a big-endian platform");
+static_assert(kCacheLine == 64,
+              "snapshot section alignment (snapshot::kSectionAlign) is "
+              "fixed at 64 bytes; keep the two constants in lockstep");
+
 /// A fixed-size array in ONE cache-line-aligned allocation — the backing
 /// store of the serving arena's SoA pools.  Unlike std::vector it never
 /// reallocates, so a FlatCascade's raw pointers stay valid for its whole
@@ -21,6 +39,12 @@ inline constexpr std::size_t kCacheLine = 64;
 ///
 /// T must be trivially copyable/destructible (the pools hold keys and
 /// integer offsets only); elements are value-initialized.
+///
+/// A pool can alternatively be a non-owning *view* of externally managed
+/// memory (Pool::view): the zero-copy path of snapshot::open points pools
+/// straight into a read-only mmap.  A view is never freed and must never
+/// be written through — the serving layer only writes pools during
+/// compile(), which always uses owning pools.
 template <typename T>
 class Pool {
   static_assert(std::is_trivially_copyable_v<T> &&
@@ -45,21 +69,45 @@ class Pool {
     std::memset(static_cast<void*>(data_), 0, bytes);
   }
 
-  ~Pool() { std::free(data_); }
+  /// A non-owning view of `n` elements at `data` (e.g. inside a mmapped
+  /// snapshot).  The memory must outlive the pool and is treated as
+  /// read-only: the const_cast below exists only so owning and borrowed
+  /// pools share one representation — nothing in the serving hot path
+  /// writes through data().
+  [[nodiscard]] static Pool view(const T* data, std::size_t n) {
+    Pool p;
+    p.data_ = const_cast<T*>(data);
+    p.size_ = n;
+    p.owned_ = false;
+    return p;
+  }
+
+  ~Pool() {
+    if (owned_) {
+      std::free(data_);
+    }
+  }
 
   Pool(Pool&& o) noexcept
       : data_(std::exchange(o.data_, nullptr)),
-        size_(std::exchange(o.size_, 0)) {}
+        size_(std::exchange(o.size_, 0)),
+        owned_(std::exchange(o.owned_, true)) {}
   Pool& operator=(Pool&& o) noexcept {
     if (this != &o) {
-      std::free(data_);
+      if (owned_) {
+        std::free(data_);
+      }
       data_ = std::exchange(o.data_, nullptr);
       size_ = std::exchange(o.size_, 0);
+      owned_ = std::exchange(o.owned_, true);
     }
     return *this;
   }
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
+
+  /// False for views (snapshot-backed arenas report zero owned bytes).
+  [[nodiscard]] bool owns() const { return owned_; }
 
   [[nodiscard]] T* data() { return data_; }
   [[nodiscard]] const T* data() const { return data_; }
@@ -69,6 +117,8 @@ class Pool {
   [[nodiscard]] std::span<const T> span() const { return {data_, size_}; }
 
   /// Bytes actually reserved (for space accounting in benches/docs).
+  /// Views report the bytes they span — for a snapshot-backed arena that
+  /// is the mapped footprint, the fair comparison against owned pools.
   [[nodiscard]] std::size_t allocated_bytes() const {
     return size_ == 0
                ? 0
@@ -78,6 +128,7 @@ class Pool {
  private:
   T* data_ = nullptr;
   std::size_t size_ = 0;
+  bool owned_ = true;
 };
 
 }  // namespace serve

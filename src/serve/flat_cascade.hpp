@@ -8,6 +8,10 @@
 #include "robust/status.hpp"
 #include "serve/arena.hpp"
 
+namespace snapshot {
+struct ArenaAccess;  // snapshot (de)serializer backdoor, see snapshot.hpp
+}  // namespace snapshot
+
 namespace serve {
 
 using cat::Key;
@@ -226,6 +230,11 @@ class FlatCascade {
   [[nodiscard]] std::size_t total_entries() const { return keys_.size(); }
 
  private:
+  /// The snapshot codec reads the pools verbatim for write() and installs
+  /// view pools over a mmap for open() — the only code, besides compile,
+  /// that touches the representation (robust::StructureAccess idiom).
+  friend struct snapshot::ArenaAccess;
+
   Pool<FlatNode> nodes_;
   Pool<Key> keys_;            ///< all augmented keys, node-major
   Pool<std::uint32_t> proper_;///< aug index -> original-catalog index

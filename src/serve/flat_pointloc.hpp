@@ -51,6 +51,8 @@ class FlatPointLocator {
   }
 
  private:
+  friend struct snapshot::ArenaAccess;  // snapshot codec backdoor
+
   FlatPointLocator() = default;
 
   /// The running-max branch rule on flat data (see SeparatorTree::branch_at

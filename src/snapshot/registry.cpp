@@ -1,0 +1,186 @@
+#include "snapshot/registry.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace snapshot {
+
+using coop::Status;
+
+Registry::~Registry() {
+  // No pins may outlive the registry (they hold a raw pointer into it);
+  // by then every retired version is reclaimable and `current_` is ours.
+  delete current_.exchange(nullptr, std::memory_order_acq_rel);
+}
+
+const Snapshot& Registry::Pin::snapshot() const {
+  return static_cast<const Registry::Versioned*>(versioned_)->snap;
+}
+
+std::uint64_t Registry::Pin::version() const {
+  return versioned_ == nullptr
+             ? 0
+             : static_cast<const Registry::Versioned*>(versioned_)->version;
+}
+
+void Registry::Pin::release() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const Registry* r = std::exchange(registry_, nullptr);
+  r->slots_[slot_].epoch.store(kFree, std::memory_order_release);
+  versioned_ = nullptr;
+  // The publisher reclaims on publish; releasing the (possibly last) pin
+  // reclaims too, so retired arenas drain without waiting for traffic.
+  r->reclaim();
+}
+
+Registry::Pin Registry::pin() const {
+  // Acquire a free announcement slot.  Pins are per batch, so more than
+  // kMaxPins concurrent batches means the caller is oversubscribed
+  // anyway; back off until a slot frees rather than failing the batch.
+  std::size_t slot = 0;
+  for (;;) {
+    bool claimed = false;
+    for (std::size_t i = 0; i < kMaxPins; ++i) {
+      std::uint64_t expected = kFree;
+      if (slots_[i].epoch.compare_exchange_strong(
+              expected, kClaiming, std::memory_order_acq_rel)) {
+        slot = i;
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  // Announce the current epoch, then re-check it: once the double-read
+  // agrees, either we announced before any concurrent retire (epoch <= r
+  // keeps the old version alive for us) or after the bump (the read
+  // below is guaranteed to see the new `current_`).
+  for (;;) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    slots_[slot].epoch.store(e, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == e) {
+      break;
+    }
+  }
+  Pin p;
+  p.registry_ = this;
+  p.slot_ = slot;
+  p.versioned_ = current_.load(std::memory_order_seq_cst);
+  if (p.versioned_ == nullptr) {
+    // Nothing published yet: hand back an empty pin (slot released now).
+    slots_[slot].epoch.store(kFree, std::memory_order_release);
+    p.registry_ = nullptr;
+  }
+  return p;
+}
+
+std::uint64_t Registry::publish(Snapshot snap) {
+  auto v = std::make_unique<Versioned>();
+  v->snap = std::move(snap);
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    version = next_version_++;
+    v->version = version;
+    Versioned* old =
+        current_.exchange(v.release(), std::memory_order_seq_cst);
+    if (old != nullptr) {
+      // Epoch at retire time: readers announced at <= this value may
+      // still hold `old`; readers announcing later cannot obtain it.
+      const std::uint64_t retire_epoch =
+          global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+      retired_.emplace_back(retire_epoch, std::unique_ptr<Versioned>(old));
+    }
+  }
+  reclaim();
+  return version;
+}
+
+void Registry::reclaim() const {
+  std::lock_guard<std::mutex> lock(retire_mutex_);
+  if (retired_.empty()) {
+    return;
+  }
+  std::uint64_t min_epoch = ~std::uint64_t{0};
+  for (const ReaderSlot& s : slots_) {
+    const std::uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != kFree && e != kClaiming) {
+      min_epoch = std::min(min_epoch, e);
+    }
+    // kClaiming counts as quiescent: the claimer has not read `current_`
+    // yet, and its announce/re-check loop forces it onto the newest
+    // epoch before it does.
+  }
+  std::erase_if(retired_, [min_epoch](const auto& r) {
+    return r.first < min_epoch;  // destroys the Versioned -> unmaps
+  });
+}
+
+std::size_t Registry::retired_count() const {
+  std::lock_guard<std::mutex> lock(retire_mutex_);
+  return retired_.size();
+}
+
+Status serve_path_queries(const Registry& registry,
+                          serve::QueryEngine& engine,
+                          std::span<const serve::PathQuery> queries,
+                          std::vector<serve::PathAnswer>& out,
+                          serve::BatchReport* report,
+                          std::uint64_t* served_version,
+                          const serve::BatchOptions& opts) {
+  const Registry::Pin pin = registry.pin();
+  if (!pin.has_snapshot()) {
+    return Status::failed_precondition(
+        "no snapshot published in the registry");
+  }
+  if (pin.snapshot().kind != SnapshotKind::kCascade) {
+    return Status::failed_precondition(
+        "current snapshot is not a cascade (path queries need kCascade)");
+  }
+  const serve::BatchReport r =
+      serve::serve_path_queries(pin.snapshot().cascade, engine, queries, out,
+                                opts);
+  if (report != nullptr) {
+    *report = r;
+  }
+  if (served_version != nullptr) {
+    *served_version = pin.version();
+  }
+  return coop::OkStatus();
+}
+
+Status serve_point_queries(const Registry& registry,
+                           serve::QueryEngine& engine,
+                           std::span<const geom::Point> points,
+                           std::vector<std::size_t>& out,
+                           serve::BatchReport* report,
+                           std::uint64_t* served_version,
+                           const serve::BatchOptions& opts) {
+  const Registry::Pin pin = registry.pin();
+  if (!pin.has_snapshot()) {
+    return Status::failed_precondition(
+        "no snapshot published in the registry");
+  }
+  if (pin.snapshot().kind != SnapshotKind::kPointLocator ||
+      !pin.snapshot().pointloc.has_value()) {
+    return Status::failed_precondition(
+        "current snapshot is not a point locator (point queries need "
+        "kPointLocator)");
+  }
+  const serve::BatchReport r = serve::serve_point_queries(
+      *pin.snapshot().pointloc, engine, points, out, opts);
+  if (report != nullptr) {
+    *report = r;
+  }
+  if (served_version != nullptr) {
+    *served_version = pin.version();
+  }
+  return coop::OkStatus();
+}
+
+}  // namespace snapshot

@@ -1,0 +1,89 @@
+#pragma once
+
+// Binary arena persistence (DESIGN.md §8): serialize a compiled serving
+// structure once, then bring it up in any process with a zero-copy mmap
+// instead of re-paying fc::build + serve::compile.
+//
+//   snapshot::write(flat, "r42.snap");            // offline / build box
+//   auto s = snapshot::open("r42.snap");          // serving box, ~O(CRC)
+//   if (!s.ok()) ...                              // torn file -> Status
+//   registry.publish(s.take());                   // hot-swap (registry.hpp)
+//
+// open() maps the file PROT_READ and points serve::Pool views straight
+// into it — the pools are never copied; the page cache is the arena.
+// Before anything can be served, open() verifies the full robust
+// discipline: magic/version/endian header with its own CRC, a CRC'd
+// section table, per-section CRC32 over every payload byte, and a
+// structural bounds pass (offsets, counts, bridge targets, topology) so
+// even a file that forges valid checksums cannot make the assert-free
+// hot loop read outside its pools.  Any violation is a descriptive
+// coop::Status — a truncated or bit-flipped snapshot can never be
+// published.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "robust/status.hpp"
+#include "serve/flat_cascade.hpp"
+#include "serve/flat_pointloc.hpp"
+#include "snapshot/format.hpp"
+
+namespace snapshot {
+
+/// RAII read-only mapping of a whole file.  Move-only; unmaps on
+/// destruction — lifetime is managed by the Snapshot that owns it (and,
+/// under traffic, by the Registry's epoch reclamation).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only.  Fails with kInvalidArgument if the file
+  /// cannot be opened/mapped; an empty file maps to {nullptr, 0}.
+  [[nodiscard]] static coop::Expected<MappedFile> map(const std::string& path);
+
+  [[nodiscard]] const unsigned char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool mapped() const { return data_ != nullptr; }
+
+ private:
+  unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// A loaded serving structure plus the mapping backing its arena views.
+/// Queries go through cascade() / pointloc(); the mapping must stay alive
+/// (and stays alive, via Registry epochs) while any query is in flight.
+struct Snapshot {
+  SnapshotKind kind = SnapshotKind::kCascade;
+  serve::FlatCascade cascade;  ///< kCascade payload (views into mapping)
+  std::optional<serve::FlatPointLocator> pointloc;  ///< kPointLocator payload
+  MappedFile mapping;  ///< unmapped state for in-memory snapshots
+
+  /// Wrap an in-memory compile result (owning pools, no file) so freshly
+  /// built and mmap-loaded structures publish through the same Registry.
+  [[nodiscard]] static Snapshot in_memory(serve::FlatCascade f);
+  [[nodiscard]] static Snapshot in_memory(serve::FlatPointLocator f);
+};
+
+/// Serialize to `path` (atomically: written to path + ".tmp", then
+/// renamed, so a crashed writer never leaves a half-snapshot under the
+/// published name).  The structure must be non-empty (compiled).
+[[nodiscard]] coop::Status write(const serve::FlatCascade& f,
+                                 const std::string& path);
+[[nodiscard]] coop::Status write(const serve::FlatPointLocator& f,
+                                 const std::string& path);
+
+/// Map `path` and reconstruct the arena zero-copy.  Every header,
+/// checksum, and bounds violation is a Status (kCorrupted for a damaged
+/// file, kInvalidArgument for an unopenable one, kFailedPrecondition for
+/// a cross-endian file) — see the file comment for the validation
+/// ladder.
+[[nodiscard]] coop::Expected<Snapshot> open(const std::string& path);
+
+}  // namespace snapshot

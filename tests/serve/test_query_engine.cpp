@@ -165,6 +165,27 @@ TEST(QueryEngine, DegradesOnDeadline) {
   }
 }
 
+TEST(QueryEngine, DeadlineMidGroupedBatchDegradesToSequentialRerun) {
+  // Regression: a deadline expiring while serve_path_queries is inside the
+  // grouped lockstep kernel must not tear the batch.  The parallel attempt
+  // is abandoned wholesale, the sequential rerun recomputes every answer,
+  // and the degradation is recorded in the report — callers see correct
+  // answers plus `degraded`, never a half-written answer vector.
+  const Fixture fx(400);
+  QueryEngine engine(2);
+  BatchOptions opts;
+  opts.shard_size = 1;  // many shards => every worker polls the deadline
+  opts.deadline = std::chrono::nanoseconds(1);
+  std::vector<PathAnswer> out;
+  const auto report =
+      serve::serve_path_queries(fx.flat, engine, fx.queries, out, opts);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.reason.find("deadline"), std::string::npos)
+      << report.reason;
+  EXPECT_EQ(report.threads_used, 1u);
+  fx.expect_answers_match(out);
+}
+
 TEST(QueryEngine, SingleThreadRunsInline) {
   QueryEngine engine(1);
   std::vector<int> out(100, 0);

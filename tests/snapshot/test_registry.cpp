@@ -1,0 +1,251 @@
+#include "snapshot/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fc/build.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+
+namespace {
+
+using serve::PathAnswer;
+using serve::PathQuery;
+using serve::QueryEngine;
+using snapshot::Registry;
+using snapshot::Snapshot;
+
+struct Fixture {
+  cat::Tree tree;
+  std::string snap_path;
+  std::vector<PathQuery> queries;
+  std::vector<std::vector<std::uint32_t>> expected;  ///< proper per node
+
+  explicit Fixture(std::size_t num_queries, std::uint64_t seed = 31) {
+    std::mt19937_64 rng(seed);
+    tree = cat::make_balanced_binary(7, 15000, cat::CatalogShape::kRandom,
+                                     rng);
+    snap_path = testing::TempDir() + "coop_registry.snap";
+    EXPECT_TRUE(snapshot::write(compile(), snap_path).ok());
+    queries.resize(num_queries);
+    expected.resize(num_queries);
+    for (std::size_t qi = 0; qi < num_queries; ++qi) {
+      queries[qi].path = test_helpers::random_root_leaf_path(tree, rng);
+      queries[qi].y = test_helpers::random_query(tree, rng);
+      for (const cat::NodeId v : queries[qi].path) {
+        expected[qi].push_back(static_cast<std::uint32_t>(
+            tree.catalog(v).find(queries[qi].y)));
+      }
+    }
+  }
+  ~Fixture() { std::remove(snap_path.c_str()); }
+
+  [[nodiscard]] serve::FlatCascade compile() const {
+    const auto s = fc::Structure::build_checked(tree);
+    EXPECT_TRUE(s.ok());
+    auto f = serve::FlatCascade::compile(*s);
+    EXPECT_TRUE(f.ok());
+    return f.take();
+  }
+
+  /// A freshly opened mmap-backed snapshot of the same content.
+  [[nodiscard]] Snapshot open_snapshot() const {
+    auto snap = snapshot::open(snap_path);
+    EXPECT_TRUE(snap.ok()) << snap.status().to_string();
+    return snap.take();
+  }
+
+  [[nodiscard]] std::size_t count_mismatches(
+      const std::vector<PathAnswer>& out) const {
+    std::size_t bad = 0;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      if (out[qi].proper_index.size() != expected[qi].size()) {
+        ++bad;
+        continue;
+      }
+      for (std::size_t i = 0; i < expected[qi].size(); ++i) {
+        bad += out[qi].proper_index[i] != expected[qi][i] ? 1 : 0;
+      }
+    }
+    return bad;
+  }
+};
+
+TEST(Registry, EmptyRegistryHasNothingToServe) {
+  Registry registry;
+  EXPECT_EQ(registry.current_version(), 0u);
+  const Registry::Pin pin = registry.pin();
+  EXPECT_FALSE(pin.has_snapshot());
+
+  const Fixture fx(10);
+  QueryEngine engine(1);
+  std::vector<PathAnswer> out;
+  const auto s =
+      snapshot::serve_path_queries(registry, engine, fx.queries, out);
+  EXPECT_EQ(s.code(), coop::StatusCode::kFailedPrecondition);
+}
+
+TEST(Registry, PublishInstallsMonotoneVersions) {
+  const Fixture fx(0);
+  Registry registry;
+  EXPECT_EQ(registry.publish(fx.open_snapshot()), 1u);
+  EXPECT_EQ(registry.current_version(), 1u);
+  EXPECT_EQ(registry.publish(Snapshot::in_memory(fx.compile())), 2u);
+  EXPECT_EQ(registry.current_version(), 2u);
+  const Registry::Pin pin = registry.pin();
+  ASSERT_TRUE(pin.has_snapshot());
+  EXPECT_EQ(pin.version(), 2u);
+}
+
+TEST(Registry, PinKeepsRetiredVersionMappedUntilRelease) {
+  const Fixture fx(50);
+  Registry registry;
+  registry.publish(fx.open_snapshot());
+
+  Registry::Pin pin = registry.pin();
+  ASSERT_TRUE(pin.has_snapshot());
+  EXPECT_EQ(pin.version(), 1u);
+
+  // Publish over the pinned version: v1 is retired but must stay mapped
+  // and fully servable through the existing pin.
+  registry.publish(fx.open_snapshot());
+  registry.publish(Snapshot::in_memory(fx.compile()));
+  EXPECT_EQ(registry.current_version(), 3u);
+  EXPECT_GE(registry.retired_count(), 1u);
+  EXPECT_EQ(pin.version(), 1u);
+  for (std::size_t qi = 0; qi < fx.queries.size(); ++qi) {
+    const auto r =
+        pin.snapshot().cascade.search(fx.queries[qi].path, fx.queries[qi].y);
+    for (std::size_t i = 0; i < fx.expected[qi].size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], fx.expected[qi][i]);
+    }
+  }
+
+  // Dropping the last pin drains the retired list (v2 was retired after
+  // v1 but never pinned; both reclaim once no announced epoch is old
+  // enough to reach them).
+  pin.release();
+  EXPECT_EQ(registry.retired_count(), 0u);
+
+  // A fresh pin sees the current version.
+  const Registry::Pin fresh = registry.pin();
+  EXPECT_EQ(fresh.version(), 3u);
+}
+
+TEST(Registry, ServeHelpersRejectWrongKind) {
+  std::mt19937_64 rng(13);
+  const auto sub = geom::make_random_monotone(150, 8, rng);
+  auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_TRUE(st.ok());
+  auto flat = serve::FlatPointLocator::compile(*st);
+  ASSERT_TRUE(flat.ok());
+
+  Registry registry;
+  registry.publish(Snapshot::in_memory(flat.take()));
+  QueryEngine engine(1);
+
+  const Fixture fx(5);
+  std::vector<PathAnswer> path_out;
+  EXPECT_EQ(snapshot::serve_path_queries(registry, engine, fx.queries,
+                                         path_out)
+                .code(),
+            coop::StatusCode::kFailedPrecondition);
+
+  // And the converse: a cascade snapshot cannot serve point queries.
+  Registry cascades;
+  cascades.publish(Snapshot::in_memory(fx.compile()));
+  std::vector<geom::Point> pts{{0, 0}};
+  std::vector<std::size_t> pt_out;
+  EXPECT_EQ(snapshot::serve_point_queries(cascades, engine, pts, pt_out)
+                .code(),
+            coop::StatusCode::kFailedPrecondition);
+
+  // The right kind works.
+  std::vector<geom::Point> qs;
+  for (int i = 0; i < 100; ++i) {
+    qs.push_back(geom::random_query_point(sub, rng));
+  }
+  std::vector<std::size_t> regions;
+  ASSERT_TRUE(
+      snapshot::serve_point_queries(registry, engine, qs, regions).ok());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(regions[i], sub.locate_brute(qs[i]));
+  }
+}
+
+TEST(Registry, HotSwapUnderConcurrentLoad) {
+  // The acceptance scenario: many publish cycles while reader threads
+  // serve continuously.  Every batch must come back complete and correct
+  // (the snapshots all carry the same content, so the oracle is
+  // version-independent), with zero mismatches and zero use-after-unmap
+  // (the latter is what ASan runs of this test prove).
+  const Fixture fx(256);
+  Registry registry;
+  registry.publish(fx.open_snapshot());
+
+  constexpr int kPublishes = 12;
+  constexpr int kReaders = 3;
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> total_mismatches{0};
+  std::atomic<std::size_t> total_batches{0};
+  std::atomic<std::size_t> serve_failures{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      QueryEngine engine(2);
+      std::uint64_t last_version = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::vector<PathAnswer> out;
+        serve::BatchReport report;
+        std::uint64_t version = 0;
+        const auto s = snapshot::serve_path_queries(
+            registry, engine, fx.queries, out, &report, &version);
+        if (!s.ok()) {
+          serve_failures.fetch_add(1);
+          continue;
+        }
+        // Versions served by one reader never go backwards.
+        if (version < last_version) {
+          serve_failures.fetch_add(1);
+        }
+        last_version = version;
+        total_mismatches.fetch_add(fx.count_mismatches(out));
+        total_batches.fetch_add(1);
+      }
+      (void)r;
+    });
+  }
+
+  // Publisher: alternate mmap-backed reopens and fresh in-memory
+  // compiles of the same tree, so both lifetimes cross the epoch
+  // machinery while readers are mid-batch.
+  for (int i = 0; i < kPublishes; ++i) {
+    if (i % 2 == 0) {
+      registry.publish(fx.open_snapshot());
+    } else {
+      registry.publish(Snapshot::in_memory(fx.compile()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  done.store(true);
+  for (auto& th : readers) {
+    th.join();
+  }
+
+  EXPECT_EQ(registry.current_version(), 1u + kPublishes);
+  EXPECT_EQ(total_mismatches.load(), 0u);
+  EXPECT_EQ(serve_failures.load(), 0u);
+  EXPECT_GT(total_batches.load(), 0u);
+  // With every reader drained, the retired list reclaims completely.
+  EXPECT_EQ(registry.retired_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,225 @@
+#include "snapshot/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fc/search.hpp"
+#include "geom/generators.hpp"
+#include "helpers.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "serve/flat_pointloc.hpp"
+
+namespace {
+
+using cat::CatalogShape;
+using serve::FlatCascade;
+using serve::FlatPointLocator;
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "coop_" + name;
+}
+
+serve::FlatCascade compile_tree(const cat::Tree& t) {
+  const auto s = fc::Structure::build_checked(t);
+  EXPECT_TRUE(s.ok()) << s.status().to_string();
+  auto f = FlatCascade::compile(*s);
+  EXPECT_TRUE(f.ok()) << f.status().to_string();
+  return f.take();
+}
+
+/// Round-trip fidelity oracle: the mmap-loaded cascade must answer every
+/// query bit-identically (aug AND proper index) to the in-memory arena it
+/// was written from, and both must agree with the tree's own binary
+/// search.
+void expect_round_trip_identical(const cat::Tree& t, const FlatCascade& mem,
+                                 const FlatCascade& loaded,
+                                 std::uint64_t seed) {
+  ASSERT_EQ(loaded.num_nodes(), mem.num_nodes());
+  ASSERT_EQ(loaded.total_entries(), mem.total_entries());
+  ASSERT_EQ(loaded.fanout_bound(), mem.fanout_bound());
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 200; ++round) {
+    const auto path = test_helpers::random_root_leaf_path(t, rng);
+    const cat::Key y = test_helpers::random_query(t, rng);
+    const auto a = mem.search(path, y);
+    const auto b = loaded.search(path, y);
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      ASSERT_EQ(a.aug_index[i], b.aug_index[i]) << "round " << round;
+      ASSERT_EQ(a.proper_index[i], b.proper_index[i]) << "round " << round;
+      ASSERT_EQ(b.proper_index[i], t.catalog(path[i]).find(y));
+    }
+  }
+}
+
+TEST(Snapshot, CascadeRoundTripAcrossShapes) {
+  struct Case {
+    const char* name;
+    std::uint32_t height;
+    std::size_t entries;
+    CatalogShape shape;
+  };
+  const Case cases[] = {
+      {"tiny", 1, 4, CatalogShape::kRandom},
+      {"random", 7, 20000, CatalogShape::kRandom},
+      {"root_heavy", 5, 8000, CatalogShape::kRootHeavy},
+      {"skewed", 6, 12000, CatalogShape::kSkewed},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::mt19937_64 rng(42);
+    const auto t = cat::make_balanced_binary(c.height, c.entries, c.shape,
+                                             rng);
+    const auto mem = compile_tree(t);
+    const std::string path = tmp_path(std::string("rt_") + c.name + ".snap");
+    ASSERT_TRUE(snapshot::write(mem, path).ok());
+    auto snap = snapshot::open(path);
+    ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+    EXPECT_EQ(snap->kind, snapshot::SnapshotKind::kCascade);
+    EXPECT_TRUE(snap->mapping.mapped());
+    expect_round_trip_identical(t, mem, snap->cascade, 7);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Snapshot, GeneralTreeRoundTrip) {
+  // Non-binary topologies exercise the bridge-row and child-slot layout
+  // checks with num_children > 2.
+  std::mt19937_64 rng(5);
+  const auto t = cat::make_random_tree(200, 6, 10000, CatalogShape::kRandom,
+                                       rng);
+  const auto mem = compile_tree(t);
+  const std::string path = tmp_path("rt_general.snap");
+  ASSERT_TRUE(snapshot::write(mem, path).ok());
+  auto snap = snapshot::open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+  expect_round_trip_identical(t, mem, snap->cascade, 11);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, PointLocatorRoundTrip) {
+  std::mt19937_64 rng(9);
+  const auto sub = geom::make_random_monotone(400, 16, rng);
+  auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_TRUE(st.ok()) << st.status().to_string();
+  auto mem = FlatPointLocator::compile(*st);
+  ASSERT_TRUE(mem.ok()) << mem.status().to_string();
+
+  const std::string path = tmp_path("rt_pointloc.snap");
+  ASSERT_TRUE(snapshot::write(*mem, path).ok());
+  auto snap = snapshot::open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+  ASSERT_EQ(snap->kind, snapshot::SnapshotKind::kPointLocator);
+  ASSERT_TRUE(snap->pointloc.has_value());
+  EXPECT_EQ(snap->pointloc->num_regions(), mem->num_regions());
+
+  for (int round = 0; round < 500; ++round) {
+    const auto q = geom::random_query_point(sub, rng);
+    const std::size_t got = snap->pointloc->locate(q);
+    ASSERT_EQ(got, mem->locate(q)) << "round " << round;
+    ASSERT_EQ(got, sub.locate_brute(q)) << "round " << round;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ReopenedFileIsByteStable) {
+  // Writing the same arena twice produces identical bytes (no timestamps
+  // or randomness in the format) — a differential guard for the CI
+  // save -> reopen -> save comparison.
+  std::mt19937_64 rng(3);
+  const auto t = cat::make_balanced_binary(5, 3000, CatalogShape::kRandom,
+                                           rng);
+  const auto mem = compile_tree(t);
+  const std::string p1 = tmp_path("stable1.snap");
+  const std::string p2 = tmp_path("stable2.snap");
+  ASSERT_TRUE(snapshot::write(mem, p1).ok());
+  ASSERT_TRUE(snapshot::write(mem, p2).ok());
+  std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+  const std::string b1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string b2((std::istreambuf_iterator<char>(f2)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_FALSE(b1.empty());
+  EXPECT_EQ(b1, b2);
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
+TEST(Snapshot, WriteRejectsEmptyCascade) {
+  const FlatCascade empty;
+  const auto s = snapshot::write(empty, tmp_path("never.snap"));
+  EXPECT_EQ(s.code(), coop::StatusCode::kFailedPrecondition);
+}
+
+TEST(Snapshot, WriteToUnwritablePathFails) {
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(2, 50, CatalogShape::kRandom, rng);
+  const auto mem = compile_tree(t);
+  const auto s = snapshot::write(mem, "/no/such/dir/x.snap");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Snapshot, OpenRejectsMissingFile) {
+  auto snap = snapshot::open(tmp_path("does_not_exist.snap"));
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), coop::StatusCode::kInvalidArgument);
+}
+
+TEST(Snapshot, OpenRejectsNonSnapshotFiles) {
+  // Empty, too-short, and wrong-magic files must all be descriptive
+  // Status failures, never crashes or false opens.
+  const std::string path = tmp_path("not_a_snapshot");
+  for (const std::string& content :
+       {std::string(), std::string("short"), std::string(4096, 'x')}) {
+    std::ofstream(path, std::ios::binary) << content;
+    auto snap = snapshot::open(path);
+    ASSERT_FALSE(snap.ok()) << content.size() << " bytes";
+    EXPECT_EQ(snap.status().code(), coop::StatusCode::kCorrupted);
+    EXPECT_FALSE(snap.status().message().empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, OpenRejectsFutureFormatVersion) {
+  // Versioning rule (DESIGN.md §8): readers refuse files from a newer
+  // format instead of guessing at their layout.
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(2, 50, CatalogShape::kRandom, rng);
+  const std::string path = tmp_path("future.snap");
+  ASSERT_TRUE(snapshot::write(compile_tree(t), path).ok());
+
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  snapshot::FileHeader h;
+  f.read(reinterpret_cast<char*>(&h), sizeof(h));
+  h.version = snapshot::kFormatVersion + 1;
+  h.header_crc = snapshot::header_crc(h);
+  f.seekp(0);
+  f.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  f.close();
+
+  auto snap = snapshot::open(path);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), coop::StatusCode::kFailedPrecondition);
+  EXPECT_NE(snap.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, InMemoryWrapsCompiledStructures) {
+  std::mt19937_64 rng(2);
+  const auto t = cat::make_balanced_binary(4, 1000, CatalogShape::kRandom,
+                                           rng);
+  auto snap = snapshot::Snapshot::in_memory(compile_tree(t));
+  EXPECT_EQ(snap.kind, snapshot::SnapshotKind::kCascade);
+  EXPECT_FALSE(snap.mapping.mapped());
+  const auto path = test_helpers::random_root_leaf_path(t, rng);
+  const auto r = snap.cascade.search(path, 500);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_EQ(r.proper_index[i], t.catalog(path[i]).find(500));
+  }
+}
+
+}  // namespace

@@ -7,6 +7,10 @@
 //   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
 //   coopsearch_cli pointloc-file <sub.txt> <p> <queries> <seed>
 //   coopsearch_cli serve     <tree.txt> <threads> <queries> <seed>
+//   coopsearch_cli snapshot save  <tree.txt> <out.snap>
+//   coopsearch_cli snapshot load  <file.snap>
+//   coopsearch_cli snapshot serve <file.snap> <threads> <queries> <seed>
+//                                 [--check-tree <tree.txt>]
 //   coopsearch_cli selftest
 //
 // Tree file format: first line "N"; then one line per node
@@ -35,6 +39,8 @@
 #include "robust/loaders.hpp"
 #include "robust/validate.hpp"
 #include "serve/query_engine.hpp"
+#include "snapshot/registry.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace {
 
@@ -378,6 +384,188 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+// snapshot save: tree file -> checked build -> flat compile -> binary
+// snapshot on disk.  Untrusted input discipline as everywhere else: a
+// malformed tree is a printed Status, never a written snapshot.
+int cmd_snapshot_save(int argc, char** argv) {
+  if (argc < 2) {
+    return usage("snapshot save <tree.txt> <out.snap>");
+  }
+  auto tree = load_tree_file(argv[0]);
+  if (!tree.ok()) {
+    return fail(tree.status());
+  }
+  const auto s = fc::Structure::build_checked(*tree);
+  if (!s.ok()) {
+    return fail(s.status());
+  }
+  auto flat = serve::FlatCascade::compile(*s);
+  if (!flat.ok()) {
+    return fail(flat.status());
+  }
+  if (const auto st = snapshot::write(*flat, argv[1]); !st.ok()) {
+    return fail(st);
+  }
+  std::printf("snapshot saved: %zu nodes, %zu aug entries, %zu arena bytes "
+              "-> %s\n",
+              flat->num_nodes(), flat->total_entries(), flat->arena_bytes(),
+              argv[1]);
+  return 0;
+}
+
+// snapshot load: open (mmap + full header/CRC/bounds verification) and
+// report what the file holds.  Exit 0 only for a servable snapshot.
+int cmd_snapshot_load(int argc, char** argv) {
+  if (argc < 1) {
+    return usage("snapshot load <file.snap>");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto snap = snapshot::open(argv[0]);
+  if (!snap.ok()) {
+    return fail(snap.status());
+  }
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const serve::FlatCascade& c = snap->kind == snapshot::SnapshotKind::kCascade
+                                    ? snap->cascade
+                                    : snap->pointloc->cascade();
+  std::printf("snapshot OK: kind %s, %zu nodes, %zu aug entries, "
+              "%zu mapped bytes, opened in %.3f ms\n",
+              snap->kind == snapshot::SnapshotKind::kCascade ? "cascade"
+                                                             : "pointloc",
+              c.num_nodes(), c.total_entries(), snap->mapping.size(),
+              sec * 1e3);
+  return 0;
+}
+
+// snapshot serve: open the snapshot, publish it into a Registry, and
+// serve a random batch through the engine via the epoch-pinned path.
+// Every answer is checked grouped-kernel vs per-query; with
+// --check-tree the answers are additionally checked against the source
+// tree's own binary search (the full differential round-trip CI runs).
+int cmd_snapshot_serve(int argc, char** argv) {
+  const char* use = "snapshot serve <file.snap> <threads<=256> "
+                    "<queries<=2^24> <seed> [--check-tree <tree.txt>]";
+  const char* tree_path = nullptr;
+  if (argc >= 6 && std::strcmp(argv[4], "--check-tree") == 0) {
+    tree_path = argv[5];
+    argc = 4;
+  }
+  std::size_t threads = 0, queries = 0, seed = 0;
+  if (argc < 4 || !parse_size(argv[1], 256, threads) || threads == 0 ||
+      !parse_size(argv[2], std::size_t{1} << 24, queries) ||
+      !parse_size(argv[3], SIZE_MAX, seed)) {
+    return usage(use);
+  }
+  auto snap = snapshot::open(argv[0]);
+  if (!snap.ok()) {
+    return fail(snap.status());
+  }
+  if (snap->kind != snapshot::SnapshotKind::kCascade) {
+    return fail(coop::Status::failed_precondition(
+        "snapshot serve expects a cascade snapshot"));
+  }
+
+  snapshot::Registry registry;
+  registry.publish(snap.take());
+
+  // Random root-to-leaf paths walked over the snapshot's own topology.
+  std::mt19937_64 rng(seed);
+  std::vector<serve::PathQuery> batch(queries);
+  {
+    const snapshot::Registry::Pin pin = registry.pin();
+    const serve::FlatCascade& flat = pin.snapshot().cascade;
+    for (auto& q : batch) {
+      std::vector<cat::NodeId> path{
+          static_cast<cat::NodeId>(flat.root())};
+      std::uint32_t v = flat.root();
+      while (!flat.is_leaf(v)) {
+        v = flat.child(v, static_cast<std::uint32_t>(
+                              rng() % flat.node(v).num_children));
+        path.push_back(static_cast<cat::NodeId>(v));
+      }
+      q.path = std::move(path);
+      q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+    }
+  }
+
+  serve::QueryEngine engine(threads);
+  std::vector<serve::PathAnswer> answers;
+  serve::BatchReport report;
+  std::uint64_t version = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (const auto st = snapshot::serve_path_queries(
+          registry, engine, batch, answers, &report, &version);
+      !st.ok()) {
+    return fail(st);
+  }
+  const double sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (report.degraded) {
+    std::printf("degraded: %s\n", report.reason.c_str());
+  }
+
+  std::size_t mismatches = 0;
+  {
+    const snapshot::Registry::Pin pin = registry.pin();
+    const serve::FlatCascade& flat = pin.snapshot().cascade;
+    std::vector<std::uint32_t> aug(64), prop(64);
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      aug.resize(batch[qi].path.size());
+      prop.resize(batch[qi].path.size());
+      flat.search_path(batch[qi].path, batch[qi].y, aug.data(), prop.data());
+      for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+        if (answers[qi].aug_index[i] != aug[i] ||
+            answers[qi].proper_index[i] != prop[i]) {
+          ++mismatches;
+        }
+      }
+    }
+  }
+  if (tree_path != nullptr) {
+    auto tree = load_tree_file(tree_path);
+    if (!tree.ok()) {
+      return fail(tree.status());
+    }
+    for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+      for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+        if (answers[qi].proper_index[i] !=
+            tree->catalog(batch[qi].path[i]).find(batch[qi].y)) {
+          ++mismatches;
+        }
+      }
+    }
+    std::printf("checked against %s\n", tree_path);
+  }
+  std::printf("version %llu: %zu queries on %zu threads: %.0f queries/sec, "
+              "%zu mismatches\n",
+              (unsigned long long)version, batch.size(), engine.threads(),
+              sec > 0 ? double(batch.size()) / sec : 0.0, mismatches);
+  if (mismatches != 0) {
+    return 1;
+  }
+  std::printf("snapshot serve OK\n");
+  return 0;
+}
+
+int cmd_snapshot(int argc, char** argv) {
+  if (argc < 1) {
+    return usage("snapshot save|load|serve [args]");
+  }
+  if (std::strcmp(argv[0], "save") == 0) {
+    return cmd_snapshot_save(argc - 1, argv + 1);
+  }
+  if (std::strcmp(argv[0], "load") == 0) {
+    return cmd_snapshot_load(argc - 1, argv + 1);
+  }
+  if (std::strcmp(argv[0], "serve") == 0) {
+    return cmd_snapshot_serve(argc - 1, argv + 1);
+  }
+  return usage("snapshot save|load|serve [args]");
+}
+
 int cmd_selftest() {
   std::mt19937_64 rng(1);
   const auto t = cat::make_balanced_binary(6, 1000,
@@ -416,7 +604,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       return usage("coopsearch_cli gen-tree|gen-sub|search|validate|pointloc|"
-                   "pointloc-file|serve|selftest [args]");
+                   "pointloc-file|serve|snapshot|selftest [args]");
     }
     if (std::strcmp(argv[1], "gen-tree") == 0) {
       return cmd_gen_tree(argc - 2, argv + 2);
@@ -438,6 +626,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "snapshot") == 0) {
+      return cmd_snapshot(argc - 2, argv + 2);
     }
     if (std::strcmp(argv[1], "selftest") == 0) {
       return cmd_selftest();
