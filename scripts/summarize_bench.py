@@ -87,11 +87,42 @@ def summarize_snapshot_json(path, data):
     return 0 if ok else 1
 
 
+def summarize_overload_json(path, data):
+    keys = ("capacity_qps", "offered_qps", "admitted_qps", "shed_qps",
+            "p50_ms", "p99_ms", "equal_answers")
+    for key in keys:
+        if key not in data:
+            print(f"{path}: missing '{key}' — not an overload bench file?",
+                  file=sys.stderr)
+            return 1
+    kind = "smoke" if data.get("smoke") else "full"
+    print(f"== overload ({kind}: n={data.get('n')}, "
+          f"{data.get('queries')} queries/batch, "
+          f"{data.get('clients')} clients vs "
+          f"max_inflight={data.get('max_inflight')})")
+    rows = [
+        {"args": "capacity (1 client)", "qps": f"{data['capacity_qps']:,.0f}"},
+        {"args": "offered (~2x)", "qps": f"{data['offered_qps']:,.0f}"},
+        {"args": "admitted", "qps": f"{data['admitted_qps']:,.0f}"},
+        {"args": "shed", "qps": f"{data['shed_qps']:,.0f}"},
+    ]
+    print(fmt_table(rows))
+    print(f"admitted batch latency: p50 {data['p50_ms']:.2f} ms, "
+          f"p99 {data['p99_ms']:.2f} ms")
+    verdict = "yes" if data["equal_answers"] else "NO — MISMATCH"
+    print(f"answers equal: {verdict}")
+    print()
+    ok = data["equal_answers"] and data.get("other_errors", 0) == 0
+    return 0 if ok else 1
+
+
 def summarize_serve_json(path):
     with open(path) as f:
         data = json.load(f)
     if data.get("bench") == "snapshot":
         return summarize_snapshot_json(path, data)
+    if data.get("bench") == "overload":
+        return summarize_overload_json(path, data)
     for key in ("bench", "rows", "speedup_flat_vs_simulator", "equal_answers"):
         if key not in data:
             print(f"{path}: missing '{key}' — not a serve bench file?",

@@ -1,0 +1,45 @@
+#include "robust/chaos.hpp"
+
+namespace robust {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t chaos_mix(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t i) {
+  return splitmix64(splitmix64(seed ^ splitmix64(stream)) ^ splitmix64(i));
+}
+
+BatchFault ChaosPlan::fault_for_batch(std::uint64_t seq) const {
+  BatchFault f;
+  if (cfg_.squeeze_burst_period > 0 && cfg_.squeeze_burst_len > 0 &&
+      seq % cfg_.squeeze_burst_period < cfg_.squeeze_burst_len) {
+    f.deadline_squeeze = true;
+    return f;  // squeezes and throws stay disjoint: distinct failure modes
+  }
+  if (cfg_.throw_every > 0 &&
+      chaos_mix(seed_, /*stream=*/1, seq) % cfg_.throw_every == 0) {
+    f.worker_throw = true;
+    f.throw_item =
+        static_cast<std::size_t>(chaos_mix(seed_, /*stream=*/2, seq));
+  }
+  return f;
+}
+
+std::uint32_t ChaosPlan::publish_burst_size(std::uint64_t cycle) const {
+  const std::uint32_t lo = cfg_.publish_burst_min;
+  const std::uint32_t hi =
+      cfg_.publish_burst_max >= lo ? cfg_.publish_burst_max : lo;
+  return lo + static_cast<std::uint32_t>(
+                  chaos_mix(seed_, /*stream=*/3, cycle) % (hi - lo + 1));
+}
+
+}  // namespace robust

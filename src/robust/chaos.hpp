@@ -1,0 +1,67 @@
+#pragma once
+
+// Deterministic chaos schedule for the soak harness (DESIGN.md §9).
+// A ChaosPlan is pure scheduling — *what* fault hits *which* batch /
+// cycle, as a pure function of (seed, index) — with no dependency on the
+// serving layer; the soak driver in src/serve applies it.  Same seed,
+// same schedule, every run: a soak failure replays exactly.
+//
+// Fault vocabulary (matching the failure modes PRs 1-3 defend against):
+//   worker throw      one query group's worker raises mid-batch
+//   deadline squeeze  the batch runs with a 1 ns deadline (degrades the
+//                     parallel attempt deterministically)
+//   publish storm     several registry publishes back-to-back
+//   payload bit-flip  a byte of a served (copy-on-write) snapshot rots
+
+#include <cstddef>
+#include <cstdint>
+
+namespace robust {
+
+struct ChaosConfig {
+  /// One in `throw_every` non-squeezed batches gets a worker throw.
+  std::uint32_t throw_every = 13;
+  /// Deadline squeezes come in bursts of `squeeze_burst_len` consecutive
+  /// batch seqs every `squeeze_burst_period` — consecutive degraded
+  /// batches are what trips a breaker with threshold < burst length.
+  std::uint32_t squeeze_burst_period = 48;
+  std::uint32_t squeeze_burst_len = 10;
+  /// Publishes per publish-storm cycle, in [min, max].
+  std::uint32_t publish_burst_min = 1;
+  std::uint32_t publish_burst_max = 2;
+};
+
+/// Faults for one served batch.
+struct BatchFault {
+  bool worker_throw = false;
+  std::size_t throw_item = 0;  ///< modulo the batch's item count
+  bool deadline_squeeze = false;
+};
+
+/// Counter-based mix (splitmix64 over (seed, stream, i)): the one source
+/// of chaos randomness, shared by the plan and the driver so every
+/// decision is replayable from the seed alone.
+[[nodiscard]] std::uint64_t chaos_mix(std::uint64_t seed,
+                                      std::uint64_t stream, std::uint64_t i);
+
+class ChaosPlan {
+ public:
+  explicit ChaosPlan(std::uint64_t seed, ChaosConfig cfg = {})
+      : seed_(seed), cfg_(cfg) {}
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] const ChaosConfig& config() const { return cfg_; }
+
+  /// Faults for batch `seq` — pure, so concurrent clients can consult
+  /// the plan without coordination.
+  [[nodiscard]] BatchFault fault_for_batch(std::uint64_t seq) const;
+
+  /// Publishes in storm cycle `cycle` — pure.
+  [[nodiscard]] std::uint32_t publish_burst_size(std::uint64_t cycle) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  ChaosConfig cfg_;
+};
+
+}  // namespace robust

@@ -16,6 +16,8 @@ enum class StatusCode : int {
   kCorrupted = 3,          ///< a built structure violates its invariants
   kDeadlineExceeded = 4,   ///< a guarded run outlived its deadline
   kInternal = 5,           ///< unexpected failure (bug)
+  kResourceExhausted = 6,  ///< admission control shed the request
+  kUnavailable = 7,        ///< serving temporarily refused (circuit open)
 };
 
 [[nodiscard]] inline const char* to_string(StatusCode c) {
@@ -26,6 +28,8 @@ enum class StatusCode : int {
     case StatusCode::kCorrupted: return "CORRUPTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "?";
 }
@@ -59,6 +63,12 @@ class Status {
   }
   [[nodiscard]] static Status internal(std::string message) {
     return error(StatusCode::kInternal, std::move(message));
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string message) {
+    return error(StatusCode::kResourceExhausted, std::move(message));
+  }
+  [[nodiscard]] static Status unavailable(std::string message) {
+    return error(StatusCode::kUnavailable, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

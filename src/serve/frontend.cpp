@@ -1,0 +1,349 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace serve {
+
+using coop::Status;
+
+const char* to_string(HealthState h) {
+  switch (h) {
+    case HealthState::kHealthy: return "HEALTHY";
+    case HealthState::kDegraded: return "DEGRADED";
+    case HealthState::kLameDuck: return "LAME_DUCK";
+  }
+  return "?";
+}
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "CLOSED";
+    case BreakerState::kOpen: return "OPEN";
+    case BreakerState::kHalfOpen: return "HALF_OPEN";
+  }
+  return "?";
+}
+
+namespace {
+
+/// splitmix64: the jitter stream.  Chosen over a stateful RNG so the
+/// factor for (seed, batch, attempt) is a pure function — two runs with
+/// the same seed produce byte-identical backoff schedules regardless of
+/// interleaving.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::nanoseconds backoff_for(const FrontendOptions& o,
+                                     std::uint64_t batch_seq,
+                                     std::uint32_t attempt) {
+  if (attempt == 0) {
+    return std::chrono::nanoseconds{0};
+  }
+  const std::uint32_t exp = std::min<std::uint32_t>(attempt - 1, 30);
+  const std::int64_t base = o.backoff_base.count();
+  std::int64_t raw = base;
+  if (base > 0 && exp < 63 && base <= (o.backoff_cap.count() >> exp)) {
+    raw = base << exp;
+  } else {
+    raw = o.backoff_cap.count();
+  }
+  raw = std::min(raw, o.backoff_cap.count());
+  // Jitter factor in [0.5, 1): half the nominal value is guaranteed, the
+  // other half decorrelates retrying clients.
+  const std::uint64_t r = splitmix64(o.jitter_seed ^
+                                     splitmix64(batch_seq * 0x9E3779B9ull +
+                                                attempt));
+  const double factor = 0.5 + 0.5 * (static_cast<double>(r >> 11) /
+                                     static_cast<double>(1ull << 53));
+  return std::chrono::nanoseconds{
+      static_cast<std::int64_t>(static_cast<double>(raw) * factor)};
+}
+
+Frontend::Frontend(snapshot::Registry& registry, QueryEngine& engine,
+                   FrontendOptions opts)
+    : registry_(registry), engine_(engine), opts_(std::move(opts)) {}
+
+HealthState Frontend::health_locked() const {
+  if (state_ == BreakerState::kOpen) {
+    return HealthState::kLameDuck;
+  }
+  if (state_ == BreakerState::kHalfOpen || stats_.consecutive_degraded > 0) {
+    return HealthState::kDegraded;
+  }
+  return HealthState::kHealthy;
+}
+
+FrontendStats Frontend::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FrontendStats s = stats_;
+  s.breaker = state_;
+  s.health = health_locked();
+  return s;
+}
+
+HealthState Frontend::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_locked();
+}
+
+BreakerState Frontend::breaker_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+Frontend::Mode Frontend::breaker_admit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  if (state_ == BreakerState::kOpen && now >= open_until_) {
+    state_ = BreakerState::kHalfOpen;
+    probe_inflight_ = false;
+  }
+  switch (state_) {
+    case BreakerState::kClosed:
+      return Mode::kParallel;
+    case BreakerState::kHalfOpen:
+      if (!probe_inflight_) {
+        probe_inflight_ = true;
+        ++stats_.breaker_probes;
+        return Mode::kProbe;
+      }
+      [[fallthrough]];  // others wait out the probe like OPEN traffic
+    case BreakerState::kOpen:
+      return opts_.open_policy == OpenPolicy::kSequential
+                 ? Mode::kSequentialOnly
+                 : Mode::kShed;
+  }
+  return Mode::kParallel;
+}
+
+void Frontend::breaker_on_result(Mode mode, bool degraded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (degraded) {
+    ++stats_.consecutive_degraded;
+    if (mode == Mode::kProbe) {
+      // Failed probe: straight back to OPEN for another window (not a
+      // new trip — the incident is still the one that opened it).
+      probe_inflight_ = false;
+      state_ = BreakerState::kOpen;
+      open_until_ = std::chrono::steady_clock::now() + opts_.breaker_open_for;
+    } else if (state_ == BreakerState::kClosed &&
+               stats_.consecutive_degraded >= opts_.breaker_threshold) {
+      state_ = BreakerState::kOpen;
+      open_until_ = std::chrono::steady_clock::now() + opts_.breaker_open_for;
+      ++stats_.breaker_trips;
+    }
+  } else {
+    stats_.consecutive_degraded = 0;
+    if (mode == Mode::kProbe) {
+      probe_inflight_ = false;
+      state_ = BreakerState::kClosed;
+    }
+  }
+}
+
+Status Frontend::run_admitted(snapshot::SnapshotKind need,
+                              const BatchOptions* batch_override,
+                              BatchReport* report,
+                              std::uint64_t* served_version,
+                              const AttemptFn& attempt) {
+  const std::uint64_t seq =
+      batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+
+  // Admission: bounded in-flight budget, checked lock-free on the hot
+  // path.  Shedding here is the overload contract — the caller gets an
+  // immediate, retryable kResourceExhausted instead of a queue slot.
+  if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+      opts_.max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed;
+    return Status::resource_exhausted(
+        "admission budget exhausted (" + std::to_string(opts_.max_inflight) +
+        " batches in flight); batch shed");
+  }
+  struct InflightGuard {
+    std::atomic<std::size_t>& n;
+    ~InflightGuard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{inflight_};
+
+  const Mode mode = breaker_admit();
+  if (mode == Mode::kShed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_breaker;
+    return Status::unavailable("circuit breaker open; batch shed");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.admitted;
+    if (mode == Mode::kSequentialOnly) {
+      ++stats_.sequential_batches;
+    }
+  }
+
+  const BatchOptions& opts =
+      batch_override != nullptr ? *batch_override : opts_.batch;
+  const std::size_t max_attempts =
+      mode == Mode::kSequentialOnly ? 1 : opts_.max_retries + 1;
+
+  BatchReport final_report;
+  std::vector<BatchAttempt> trail;
+  for (std::uint32_t a = 0; a < max_attempts; ++a) {
+    std::chrono::nanoseconds back{0};
+    if (a > 0) {
+      back = backoff_for(opts_, seq, a);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      if (opts_.sleep_on_backoff) {
+        std::this_thread::sleep_for(back);
+      }
+    }
+    // A fresh pin per attempt: a retry after a publish (or a rollback)
+    // runs against the *new* current snapshot, which is the point of
+    // retrying a batch that degraded while the structure was swapping.
+    const snapshot::Registry::Pin pin = registry_.pin();
+    if (!pin.has_snapshot()) {
+      if (mode == Mode::kProbe) {
+        breaker_on_result(mode, /*degraded=*/true);
+      }
+      return Status::unavailable("no snapshot published in the registry");
+    }
+    if (pin.snapshot().kind != need ||
+        (need == snapshot::SnapshotKind::kPointLocator &&
+         !pin.snapshot().pointloc.has_value())) {
+      if (mode == Mode::kProbe) {
+        breaker_on_result(mode, /*degraded=*/true);
+      }
+      return Status::failed_precondition(
+          "current snapshot kind does not match the batch type");
+    }
+    QueryEngine& eng =
+        mode == Mode::kSequentialOnly ? seq_engine_ : engine_;
+    BatchReport r = attempt(eng, pin.snapshot(), opts, seq);
+    trail.push_back(BatchAttempt{a, r.degraded, r.reason, back});
+    if (served_version != nullptr) {
+      *served_version = pin.version();
+    }
+    final_report = std::move(r);
+    if (!final_report.degraded) {
+      break;
+    }
+  }
+
+  breaker_on_result(mode, final_report.degraded);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.completed;
+    if (final_report.degraded) {
+      ++stats_.degraded_batches;
+    }
+  }
+  final_report.attempts = std::move(trail);
+  if (report != nullptr) {
+    *report = std::move(final_report);
+  }
+  return coop::OkStatus();
+}
+
+Status Frontend::serve_paths(std::span<const PathQuery> queries,
+                             std::vector<PathAnswer>& out,
+                             BatchReport* report,
+                             std::uint64_t* served_version,
+                             const BatchOptions* batch_override,
+                             const ChaosHooks* chaos) {
+  const AttemptFn attempt = [&queries, &out, chaos](
+                                QueryEngine& eng,
+                                const snapshot::Snapshot& snap,
+                                const BatchOptions& opts,
+                                std::uint64_t seq) -> BatchReport {
+    const FlatCascade& f = snap.cascade;
+    out.assign(queries.size(), PathAnswer{});
+    const std::size_t groups =
+        (queries.size() + kPathGroup - 1) / kPathGroup;
+    const auto run_group = [&](std::size_t gi) {
+      const std::size_t begin = gi * kPathGroup;
+      const std::size_t cnt = std::min(kPathGroup, queries.size() - begin);
+      search_paths_grouped(f, queries.data() + begin, cnt,
+                           out.data() + begin);
+    };
+    const std::function<void(std::size_t)> fn = [&](std::size_t gi) {
+      if (chaos != nullptr && chaos->on_item) {
+        chaos->on_item(seq, gi);
+      }
+      run_group(gi);
+    };
+    try {
+      return eng.for_each(groups, fn, opts);
+    } catch (const std::exception& e) {
+      // The injected exception escaped the engine's worker try/catch —
+      // it fired on the inline path (one-thread engine or the engine's
+      // own sequential rerun).  The kernel itself never throws, so a
+      // clean rerun completes the batch.
+      for (std::size_t gi = 0; gi < groups; ++gi) {
+        run_group(gi);
+      }
+      BatchReport r;
+      r.degraded = true;
+      r.reason = std::string("inline exception: ") + e.what();
+      r.shards = 1;
+      r.threads_used = 1;
+      return r;
+    }
+  };
+  return run_admitted(snapshot::SnapshotKind::kCascade, batch_override, report,
+                      served_version, attempt);
+}
+
+Status Frontend::serve_points(std::span<const geom::Point> points,
+                              std::vector<std::size_t>& out,
+                              BatchReport* report,
+                              std::uint64_t* served_version,
+                              const BatchOptions* batch_override,
+                              const ChaosHooks* chaos) {
+  const AttemptFn attempt = [&points, &out, chaos](
+                                QueryEngine& eng,
+                                const snapshot::Snapshot& snap,
+                                const BatchOptions& opts,
+                                std::uint64_t seq) -> BatchReport {
+    const FlatPointLocator& loc = *snap.pointloc;
+    out.assign(points.size(), 0);
+    const auto run_one = [&](std::size_t i) { out[i] = loc.locate(points[i]); };
+    const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+      if (chaos != nullptr && chaos->on_item) {
+        chaos->on_item(seq, i);
+      }
+      run_one(i);
+    };
+    try {
+      return eng.for_each(points.size(), fn, opts);
+    } catch (const std::exception& e) {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        run_one(i);
+      }
+      BatchReport r;
+      r.degraded = true;
+      r.reason = std::string("inline exception: ") + e.what();
+      r.shards = 1;
+      r.threads_used = 1;
+      return r;
+    }
+  };
+  return run_admitted(snapshot::SnapshotKind::kPointLocator, batch_override,
+                      report,
+                      served_version, attempt);
+}
+
+}  // namespace serve

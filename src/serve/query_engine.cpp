@@ -94,6 +94,8 @@ bool QueryEngine::run_parallel(
     const std::function<void(std::size_t)>& fn,
     std::chrono::steady_clock::time_point deadline_at, bool deadline_armed,
     std::string& fail_reason) {
+  // One batch owns the pool at a time, submission through drain.
+  std::lock_guard<std::mutex> batch_lock(submit_mutex_);
   std::unique_lock<std::mutex> lock(mutex_);
   fn_ = &fn;
   batch_n_ = n;

@@ -29,6 +29,17 @@ struct BatchOptions {
   std::size_t shard_size = 0;
 };
 
+/// One execution attempt of a batch as retried by serve::Frontend: the
+/// engine-level outcome plus the backoff that was slept *before* this
+/// attempt ran (0 for the first attempt).  The trail is deterministic
+/// given the frontend's jitter seed and the batch sequence number.
+struct BatchAttempt {
+  std::uint32_t attempt = 0;  ///< 0-based attempt index
+  bool degraded = false;
+  std::string reason;
+  std::chrono::nanoseconds backoff{0};
+};
+
 /// Outcome of one batch, mirroring pram::RunReport: if the parallel
 /// attempt failed (worker exception or deadline) the batch was transparently
 /// re-run sequentially on the calling thread and `degraded` is set.
@@ -37,6 +48,10 @@ struct BatchReport {
   std::string reason;
   std::size_t shards = 0;        ///< shards the parallel attempt was cut into
   std::size_t threads_used = 0;  ///< 1 when run inline / degraded
+  /// Per-attempt trail when the batch went through serve::Frontend's
+  /// retry loop; empty for direct QueryEngine calls.  The final attempt's
+  /// degraded/reason always equal the top-level fields.
+  std::vector<BatchAttempt> attempts;
 };
 
 /// A persistent worker pool that serves independent queries against the
@@ -78,6 +93,11 @@ class QueryEngine {
 
   std::size_t threads_ = 1;
   std::vector<std::thread> workers_;
+  /// Serializes whole batches.  mutex_ alone is not enough: the submitter
+  /// releases it inside done_cv_.wait(), so without this outer lock a
+  /// second for_each could republish the batch state mid-drain and the
+  /// first caller would return "success" for work that never ran.
+  std::mutex submit_mutex_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

@@ -1,0 +1,355 @@
+#include "serve/soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "fc/build.hpp"
+#include "robust/chaos.hpp"
+#include "snapshot/registry.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace serve {
+
+using coop::Status;
+
+namespace {
+
+/// Client-side tallies, one struct per client thread (no sharing).
+struct ClientTally {
+  std::uint64_t batches = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t shed_breaker = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t wrong_answers = 0;
+  std::string first_failure;
+};
+
+}  // namespace
+
+coop::Expected<SoakOutcome> run_chaos_soak(const SoakOptions& opts) {
+  using Clock = std::chrono::steady_clock;
+
+  // ---- Fixture: source tree -> checked build -> flat arena -> disk. ----
+  std::mt19937_64 fixture_rng(opts.seed);
+  const cat::Tree tree =
+      cat::make_balanced_binary(opts.tree_height, opts.tree_entries,
+                                cat::CatalogShape::kRandom, fixture_rng);
+  const auto structure = fc::Structure::build_checked(tree);
+  if (!structure.ok()) {
+    return structure.status();
+  }
+  auto flat = FlatCascade::compile(*structure);
+  if (!flat.ok()) {
+    return flat.status();
+  }
+  if (Status st = snapshot::write(*flat, opts.snap_path); !st.ok()) {
+    return st;
+  }
+
+  // Every publish is a fresh copy-on-write mapping of the pristine file:
+  // bit-flips rot one served generation, never the snapshot on disk.
+  snapshot::Registry registry;
+  const auto publish_clean = [&]() -> Status {
+    auto snap =
+        snapshot::open(opts.snap_path, snapshot::OpenMode::kWritableCopy);
+    if (!snap.ok()) {
+      return snap.status();
+    }
+    registry.publish(snap.take());
+    return coop::OkStatus();
+  };
+  if (Status st = publish_clean(); !st.ok()) {
+    return st;
+  }
+
+  // Flip target, computed ONCE while the mapping is pristine
+  // (section_extent re-runs the CRC ladder): the low byte of the last key
+  // in the kKeys section.  That key is the final catalog's +inf terminal
+  // (kInfinity = int64 max), so the flip cannot change any answer for the
+  // generated key range — but it is fatal to the section CRC.  Detection
+  // must come from the scrubber, not from a wrong answer.
+  std::uint64_t flip_off = 0;
+  {
+    const snapshot::Registry::Pin pin = registry.pin();
+    const auto ext =
+        snapshot::section_extent(pin.snapshot(), snapshot::SectionId::kKeys);
+    if (!ext.ok()) {
+      return ext.status();
+    }
+    if (ext->second < sizeof(cat::Key)) {
+      return Status::internal("kKeys section too small to host a bit flip");
+    }
+    flip_off = ext->first + ext->second - sizeof(cat::Key);
+  }
+
+  // ---- Serving stack under test. ----
+  QueryEngine engine(opts.engine_threads);
+  FrontendOptions fopts;
+  fopts.max_inflight = 2;  // < clients: admission sheds are guaranteed
+  fopts.max_retries = 1;
+  fopts.backoff_base = std::chrono::microseconds(200);
+  fopts.backoff_cap = std::chrono::milliseconds(2);
+  fopts.jitter_seed = opts.seed;
+  fopts.breaker_threshold = 4;  // < squeeze burst length: trips guaranteed
+  fopts.breaker_open_for = std::chrono::milliseconds(50);
+  fopts.open_policy = OpenPolicy::kSequential;
+  Frontend frontend(registry, engine, fopts);
+
+  ScrubberOptions sopts;
+  sopts.interval = std::chrono::milliseconds(10);
+  sopts.samples = 16;
+  sopts.seed = opts.seed;
+  Scrubber scrubber(registry, sopts,
+                    [&tree](std::uint32_t node, cat::Key y) {
+                      return tree.catalog(cat::NodeId(node)).find(y);
+                    });
+  // Generation 1 must scrub clean before any chaos: it is the root of the
+  // last-known-good chain every rollback hangs off.
+  if (Status st = scrubber.run_pass(); !st.ok()) {
+    return st;
+  }
+  scrubber.start();
+
+  const robust::ChaosPlan plan(opts.seed);
+  std::atomic<std::uint64_t> chaos_seq{0};
+  std::atomic<bool> stop{false};
+
+  // ---- Clients: build random root-leaf batches, serve them through the
+  // frontend with the plan's faults, and differentially check every
+  // admitted answer against the source tree. ----
+  const std::size_t n_clients = std::max<std::size_t>(1, opts.clients);
+  std::vector<ClientTally> tallies(n_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (std::size_t ci = 0; ci < n_clients; ++ci) {
+    clients.emplace_back([&, ci] {
+      ClientTally& tally = tallies[ci];
+      std::mt19937_64 rng(opts.seed ^ (0xC11E57ull * (ci + 1)));
+      std::vector<PathQuery> batch(opts.batch_queries);
+      std::vector<PathAnswer> answers;
+      while (!stop.load(std::memory_order_acquire)) {
+        for (auto& q : batch) {
+          std::vector<cat::NodeId> path{tree.root()};
+          while (!tree.is_leaf(path.back())) {
+            const auto kids = tree.children(path.back());
+            path.push_back(kids[rng() % kids.size()]);
+          }
+          q.path = std::move(path);
+          q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+        }
+        const std::uint64_t seq =
+            chaos_seq.fetch_add(1, std::memory_order_relaxed);
+        const robust::BatchFault fault = plan.fault_for_batch(seq);
+
+        BatchOptions bopts;
+        const BatchOptions* override_opts = nullptr;
+        if (fault.deadline_squeeze) {
+          bopts.deadline = std::chrono::nanoseconds(1);
+          bopts.shard_size = 1;
+          override_opts = &bopts;
+        }
+        const std::size_t groups =
+            (batch.size() + kPathGroup - 1) / kPathGroup;
+        std::atomic<bool> thrown{false};
+        ChaosHooks hooks;
+        const ChaosHooks* chaos = nullptr;
+        if (fault.worker_throw) {
+          const std::size_t victim = fault.throw_item % groups;
+          hooks.on_item = [victim, &thrown](std::uint64_t /*seq*/,
+                                            std::size_t item) {
+            if (item == victim && !thrown.exchange(true)) {
+              throw std::runtime_error("chaos: injected worker fault");
+            }
+          };
+          chaos = &hooks;
+        }
+
+        BatchReport report;
+        const Status st = frontend.serve_paths(batch, answers, &report,
+                                               nullptr, override_opts, chaos);
+        ++tally.batches;
+        if (st.ok()) {
+          ++tally.admitted;
+          if (report.degraded) {
+            ++tally.degraded;
+          }
+          for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+            for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+              if (answers[qi].proper_index.size() !=
+                      batch[qi].path.size() ||
+                  answers[qi].proper_index[i] !=
+                      tree.catalog(batch[qi].path[i]).find(batch[qi].y)) {
+                ++tally.wrong_answers;
+              }
+            }
+          }
+        } else if (st.code() == coop::StatusCode::kResourceExhausted) {
+          ++tally.shed;
+        } else if (st.code() == coop::StatusCode::kUnavailable) {
+          ++tally.shed_breaker;
+        } else {
+          ++tally.failed;
+          if (tally.first_failure.empty()) {
+            tally.first_failure = st.to_string();
+          }
+        }
+      }
+    });
+  }
+
+  // ---- Conductor: publish storms + payload rot, one cycle at a time.
+  // Each cycle waits for the scrubber to bless the fresh current
+  // generation before rotting it, so every flip has a rollback target and
+  // every detection is attributable to that cycle's flip. ----
+  std::atomic<std::uint64_t> publishes{0};
+  std::atomic<std::uint64_t> bitflips{0};
+  std::thread conductor([&] {
+    std::uint64_t cycle = 0;
+    const auto wait_until = [&](const auto& pred) {
+      const auto deadline = Clock::now() + std::chrono::seconds(1);
+      while (!stop.load(std::memory_order_acquire) && Clock::now() < deadline) {
+        if (pred()) {
+          return true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      return pred();
+    };
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint32_t burst = plan.publish_burst_size(cycle);
+      for (std::uint32_t b = 0; b < burst; ++b) {
+        if (publish_clean().ok()) {
+          publishes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (opts.verbose) {
+        std::printf("soak: cycle %llu published %u (registry at gen %llu)\n",
+                    static_cast<unsigned long long>(cycle), burst,
+                    static_cast<unsigned long long>(
+                        registry.current_version()));
+      }
+      // Wait for a clean scrub of the new current generation.
+      if (!wait_until([&] {
+            return registry.last_known_good() == registry.current_version();
+          })) {
+        ++cycle;
+        continue;
+      }
+      // Rot the served copy.  The pin keeps the mapping alive; the write
+      // goes to the COW copy, so re-publishes stay clean.
+      const std::uint64_t quarantines_before = scrubber.stats().quarantines;
+      {
+        const snapshot::Registry::Pin pin = registry.pin();
+        if (!pin.has_snapshot() ||
+            pin.snapshot().mapping.mutable_data() == nullptr) {
+          ++cycle;
+          continue;
+        }
+        pin.snapshot().mapping.mutable_data()[flip_off] ^= 0x01;
+        bitflips.fetch_add(1, std::memory_order_relaxed);
+        if (opts.verbose) {
+          std::printf("soak: cycle %llu flipped bit in gen %llu\n",
+                      static_cast<unsigned long long>(cycle),
+                      static_cast<unsigned long long>(pin.version()));
+        }
+      }
+      // Wait for detection + rollback before the next storm.
+      (void)wait_until([&] {
+        return scrubber.stats().quarantines > quarantines_before;
+      });
+      if (opts.verbose) {
+        const ScrubberStats ss = scrubber.stats();
+        std::printf("soak: cycle %llu scrubber quarantines=%llu "
+                    "rollbacks=%llu (gen %llu -> %llu)\n",
+                    static_cast<unsigned long long>(cycle),
+                    static_cast<unsigned long long>(ss.quarantines),
+                    static_cast<unsigned long long>(ss.rollbacks),
+                    static_cast<unsigned long long>(ss.last_bad_version),
+                    static_cast<unsigned long long>(ss.last_rollback_to));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++cycle;
+    }
+  });
+
+  // ---- Run until the duration elapsed AND every goal was observed (the
+  // goals are probabilistic in time, not in outcome; the hard cap bounds
+  // a pathological scheduler). ----
+  const auto started = Clock::now();
+  const auto min_end = started + opts.duration;
+  const auto hard_end =
+      started + opts.duration * 6 + std::chrono::seconds(2);
+  const auto goals_met_now = [&] {
+    const FrontendStats fs = frontend.stats();
+    const ScrubberStats ss = scrubber.stats();
+    return fs.shed >= 1 && fs.breaker_trips >= 1 && ss.quarantines >= 1 &&
+           ss.rollbacks >= 1 && bitflips.load(std::memory_order_relaxed) >= 1;
+  };
+  for (;;) {
+    const auto now = Clock::now();
+    if ((now >= min_end && goals_met_now()) || now >= hard_end) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& c : clients) {
+    c.join();
+  }
+  conductor.join();
+  scrubber.stop();
+
+  // ---- Assemble the outcome. ----
+  SoakOutcome out;
+  std::string first_failure;
+  for (const ClientTally& t : tallies) {
+    out.batches += t.batches;
+    out.admitted += t.admitted;
+    out.shed += t.shed;
+    out.shed_breaker += t.shed_breaker;
+    out.failed += t.failed;
+    out.degraded += t.degraded;
+    out.wrong_answers += t.wrong_answers;
+    if (first_failure.empty() && !t.first_failure.empty()) {
+      first_failure = t.first_failure;
+    }
+  }
+  out.publishes = publishes.load(std::memory_order_relaxed);
+  out.bitflips = bitflips.load(std::memory_order_relaxed);
+  out.frontend = frontend.stats();
+  out.scrubber = scrubber.stats();
+  out.goals_met = out.frontend.shed >= 1 && out.frontend.breaker_trips >= 1 &&
+                  out.scrubber.quarantines >= 1 &&
+                  out.scrubber.rollbacks >= 1 && out.bitflips >= 1;
+
+  if (out.wrong_answers > 0) {
+    out.verdict = "FAIL: " + std::to_string(out.wrong_answers) +
+                  " wrong answers among admitted batches";
+  } else if (out.failed > 0) {
+    out.verdict = "FAIL: " + std::to_string(out.failed) +
+                  " batches failed with unexpected status (first: " +
+                  first_failure + ")";
+  } else if (!out.goals_met) {
+    out.verdict =
+        "FAIL: soak ended without observing every chaos goal "
+        "(shed/trip/quarantine/rollback/flip)";
+  } else {
+    out.verdict = "OK: zero wrong answers, zero unexpected failures; "
+                  "observed >=1 shed, breaker trip, quarantine, rollback";
+  }
+
+  std::remove(opts.snap_path.c_str());
+  return out;
+}
+
+}  // namespace serve

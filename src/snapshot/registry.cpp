@@ -9,8 +9,9 @@ using coop::Status;
 
 Registry::~Registry() {
   // No pins may outlive the registry (they hold a raw pointer into it);
-  // by then every retired version is reclaimable and `current_` is ours.
-  delete current_.exchange(nullptr, std::memory_order_acq_rel);
+  // by then every generation is reclaimable.  current_owner_ / kept_ /
+  // retired_ own every Versioned, so members clean up.
+  current_.store(nullptr, std::memory_order_release);
 }
 
 const Snapshot& Registry::Pin::snapshot() const {
@@ -87,18 +88,132 @@ std::uint64_t Registry::publish(Snapshot snap) {
     std::lock_guard<std::mutex> lock(retire_mutex_);
     version = next_version_++;
     v->version = version;
-    Versioned* old =
-        current_.exchange(v.release(), std::memory_order_seq_cst);
+    current_.store(v.get(), std::memory_order_seq_cst);
+    std::unique_ptr<Versioned> old = std::exchange(current_owner_,
+                                                   std::move(v));
     if (old != nullptr) {
-      // Epoch at retire time: readers announced at <= this value may
-      // still hold `old`; readers announcing later cannot obtain it.
-      const std::uint64_t retire_epoch =
-          global_epoch_.fetch_add(1, std::memory_order_seq_cst);
-      retired_.emplace_back(retire_epoch, std::unique_ptr<Versioned>(old));
+      // The displaced generation stays mapped in the keep window as a
+      // rollback target; only keep-window overflow is retired.  Readers
+      // pinned to it are protected either way: kept_ owns it, and the
+      // retire path below stamps an epoch before any unmap.
+      retain_locked(std::move(old));
     }
   }
   reclaim();
   return version;
+}
+
+void Registry::retire_locked(std::unique_ptr<Versioned> v) {
+  // Epoch at retire time: readers announced at <= this value may still
+  // hold `v`; readers announcing later cannot obtain it.
+  const std::uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.emplace_back(retire_epoch, std::move(v));
+}
+
+void Registry::retain_locked(std::unique_ptr<Versioned> v) {
+  kept_.push_back(std::move(v));
+  while (kept_.size() > kKeepGenerations) {
+    // Spill the oldest keepable generation — but never the newest good
+    // one, or a long publish storm would starve the scrubber of its
+    // rollback target.
+    std::uint64_t newest_good = 0;
+    for (const auto& k : kept_) {
+      if (k->good) {
+        newest_good = std::max(newest_good, k->version);
+      }
+    }
+    std::size_t spill = kept_.size();
+    for (std::size_t i = 0; i < kept_.size(); ++i) {
+      if (kept_[i]->version != newest_good) {
+        spill = i;
+        break;
+      }
+    }
+    if (spill == kept_.size()) {
+      break;  // only the protected generation left
+    }
+    std::unique_ptr<Versioned> out = std::move(kept_[spill]);
+    kept_.erase(kept_.begin() + static_cast<std::ptrdiff_t>(spill));
+    retire_locked(std::move(out));
+  }
+}
+
+void Registry::mark_good(std::uint64_t version) {
+  std::lock_guard<std::mutex> lock(retire_mutex_);
+  if (current_owner_ != nullptr && current_owner_->version == version) {
+    current_owner_->good = true;
+    return;
+  }
+  for (auto& k : kept_) {
+    if (k->version == version) {
+      k->good = true;
+      return;
+    }
+  }
+}
+
+std::uint64_t Registry::last_known_good(std::uint64_t excluding) const {
+  std::lock_guard<std::mutex> lock(retire_mutex_);
+  std::uint64_t best = 0;
+  if (current_owner_ != nullptr && current_owner_->good &&
+      current_owner_->version != excluding) {
+    best = current_owner_->version;
+  }
+  for (const auto& k : kept_) {
+    if (k->good && k->version != excluding) {
+      best = std::max(best, k->version);
+    }
+  }
+  return best;
+}
+
+Status Registry::rollback(std::uint64_t to_version, std::uint64_t if_current) {
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    if (current_owner_ == nullptr) {
+      return Status::failed_precondition("rollback on an empty registry");
+    }
+    if (if_current != 0 && current_owner_->version != if_current) {
+      return Status::failed_precondition(
+          "rollback lost the race: current is version " +
+          std::to_string(current_owner_->version) + ", not " +
+          std::to_string(if_current));
+    }
+    if (current_owner_->version == to_version) {
+      return coop::OkStatus();  // already serving the target
+    }
+    std::size_t idx = kept_.size();
+    for (std::size_t i = 0; i < kept_.size(); ++i) {
+      if (kept_[i]->version == to_version) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == kept_.size()) {
+      return Status::failed_precondition(
+          "generation " + std::to_string(to_version) +
+          " is not retained (keep window holds the last " +
+          std::to_string(kKeepGenerations) + ")");
+    }
+    std::unique_ptr<Versioned> target = std::move(kept_[idx]);
+    kept_.erase(kept_.begin() + static_cast<std::ptrdiff_t>(idx));
+    current_.store(target.get(), std::memory_order_seq_cst);
+    std::unique_ptr<Versioned> bad =
+        std::exchange(current_owner_, std::move(target));
+    // Quarantine: the displaced generation must never be a rollback
+    // target again, and its mapping goes away as soon as pinned readers
+    // of it drain.
+    bad->good = false;
+    retire_locked(std::move(bad));
+  }
+  reclaim();
+  return coop::OkStatus();
+}
+
+std::size_t Registry::retained_count() const {
+  std::lock_guard<std::mutex> lock(retire_mutex_);
+  return kept_.size() + (current_owner_ != nullptr ? 1 : 0);
 }
 
 void Registry::reclaim() const {

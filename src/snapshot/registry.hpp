@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -85,10 +86,37 @@ class Registry {
   };
 
   /// Atomically install `snap` as the current version; returns its
-  /// version number (monotonic from 1).  The previous version is retired
-  /// and reclaimed once no pin can still reference it.  Thread-safe
-  /// against readers; concurrent publishers serialize internally.
+  /// version number (monotonic from 1).  The displaced version is
+  /// *retained* (still mapped, eligible as a rollback target) until the
+  /// keep window overflows, then retired and reclaimed once no pin can
+  /// still reference it.  Thread-safe against readers; concurrent
+  /// publishers serialize internally.
   std::uint64_t publish(Snapshot snap);
+
+  /// Recently displaced generations kept mapped as rollback targets.
+  /// The newest generation marked good is never spilled from the window,
+  /// so a scrubber always has somewhere to roll back to.
+  static constexpr std::size_t kKeepGenerations = 3;
+
+  /// Record that `version` passed an integrity scrub.  No-op when the
+  /// generation is no longer retained.
+  void mark_good(std::uint64_t version);
+
+  /// Newest retained generation that was mark_good()'d, skipping
+  /// `excluding` (pass the quarantine suspect); 0 when there is none.
+  [[nodiscard]] std::uint64_t last_known_good(std::uint64_t excluding = 0)
+      const;
+
+  /// Atomically reinstate retained generation `to_version` as current.
+  /// The displaced current is quarantined: its good mark is cleared and
+  /// it is retired immediately (unmapped only after every pinned reader
+  /// of it drains — the epoch protocol above is unchanged).  With
+  /// `if_current` != 0 the swap only happens while that exact version is
+  /// still current (kFailedPrecondition otherwise) so a scrubber cannot
+  /// race a concurrent publish and quarantine a fresh snapshot.  Fails
+  /// with kFailedPrecondition when `to_version` is not retained.
+  [[nodiscard]] coop::Status rollback(std::uint64_t to_version,
+                                      std::uint64_t if_current = 0);
 
   /// Pin the current version for the duration of a batch.
   [[nodiscard]] Pin pin() const;
@@ -103,10 +131,15 @@ class Registry {
   /// drain to 0 once all pins are released).
   [[nodiscard]] std::size_t retired_count() const;
 
+  /// Retained (not yet retired) generations, current included
+  /// (observability / tests).
+  [[nodiscard]] std::size_t retained_count() const;
+
  private:
   struct Versioned {
     Snapshot snap;
     std::uint64_t version = 0;
+    bool good = false;  ///< passed a scrub; guarded by retire_mutex_
   };
 
   /// Reader announcement slots, one cache line each.  Epoch 0 = free,
@@ -121,11 +154,20 @@ class Registry {
   };
 
   void reclaim() const;
+  /// Move `v` into the keep window, spilling overflow to retired_
+  /// (never the newest good generation).  Caller holds retire_mutex_.
+  void retain_locked(std::unique_ptr<Versioned> v);
+  void retire_locked(std::unique_ptr<Versioned> v);
 
   mutable ReaderSlot slots_[kMaxPins];
   mutable std::atomic<std::uint64_t> global_epoch_{1};
+  /// Readers' view of the current version.  Ownership lives in
+  /// current_owner_; the raw atomic is what pin() loads lock-free.
   std::atomic<Versioned*> current_{nullptr};
   mutable std::mutex retire_mutex_;
+  std::unique_ptr<Versioned> current_owner_;  ///< guarded by retire_mutex_
+  std::deque<std::unique_ptr<Versioned>>
+      kept_;  ///< displaced, still-mapped rollback targets (oldest first)
   mutable std::vector<std::pair<std::uint64_t, std::unique_ptr<Versioned>>>
       retired_;  ///< (retire epoch, version); guarded by retire_mutex_
   std::uint64_t next_version_ = 1;  ///< guarded by retire_mutex_

@@ -436,7 +436,8 @@ MappedFile::~MappedFile() {
 
 MappedFile::MappedFile(MappedFile&& o) noexcept
     : data_(std::exchange(o.data_, nullptr)),
-      size_(std::exchange(o.size_, 0)) {}
+      size_(std::exchange(o.size_, 0)),
+      writable_(std::exchange(o.writable_, false)) {}
 
 MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
   if (this != &o) {
@@ -445,11 +446,13 @@ MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
     }
     data_ = std::exchange(o.data_, nullptr);
     size_ = std::exchange(o.size_, 0);
+    writable_ = std::exchange(o.writable_, false);
   }
   return *this;
 }
 
-coop::Expected<MappedFile> MappedFile::map(const std::string& path) {
+coop::Expected<MappedFile> MappedFile::map(const std::string& path,
+                                           bool writable) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return Status::invalid_argument("cannot open " + path);
@@ -461,11 +464,15 @@ coop::Expected<MappedFile> MappedFile::map(const std::string& path) {
   }
   MappedFile m;
   m.size_ = static_cast<std::size_t>(st.st_size);
+  m.writable_ = writable;
   if (m.size_ > 0) {
     // MAP_POPULATE prefaults the whole mapping in one kernel pass — the
     // CRC verification walks every byte immediately anyway, and batching
     // the faults is measurably cheaper than taking them one by one.
-    void* p = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE | MAP_POPULATE,
+    // A writable mapping stays MAP_PRIVATE: stores copy-on-write into
+    // anonymous pages and never dirty the file.
+    const int prot = writable ? PROT_READ | PROT_WRITE : PROT_READ;
+    void* p = ::mmap(nullptr, m.size_, prot, MAP_PRIVATE | MAP_POPULATE,
                      fd, 0);
     if (p == MAP_FAILED) {
       ::close(fd);
@@ -543,8 +550,8 @@ coop::Status write(const serve::FlatPointLocator& f, const std::string& path) {
   return write_file(SnapshotKind::kPointLocator, sections, path);
 }
 
-coop::Expected<Snapshot> open(const std::string& path) {
-  auto mapped = MappedFile::map(path);
+coop::Expected<Snapshot> open(const std::string& path, OpenMode mode) {
+  auto mapped = MappedFile::map(path, mode == OpenMode::kWritableCopy);
   if (!mapped.ok()) {
     return mapped.status();
   }
@@ -719,6 +726,35 @@ coop::Expected<Snapshot> open(const std::string& path) {
       static_cast<std::size_t>(meta.num_regions)));
   snap.mapping = std::move(map);
   return snap;
+}
+
+coop::Status verify(const Snapshot& snap) {
+  if (!snap.mapping.mapped()) {
+    return coop::OkStatus();  // in-memory: owning pools, no file bytes to rot
+  }
+  Parsed p;
+  return parse_and_verify(snap.mapping, p);
+}
+
+coop::Expected<std::pair<std::uint64_t, std::uint64_t>> section_extent(
+    const Snapshot& snap, SectionId id) {
+  if (!snap.mapping.mapped()) {
+    return Status::failed_precondition(
+        "in-memory snapshot has no file sections");
+  }
+  // The mapping was fully verified at open(); re-parse just the header
+  // and table (cheap) rather than caching parse results in Snapshot.
+  Parsed p;
+  if (Status s = parse_and_verify(snap.mapping, p); !s.ok()) {
+    return s;
+  }
+  for (const SectionRecord& r : p.table) {
+    if (r.id == static_cast<std::uint32_t>(id)) {
+      return std::make_pair(r.offset, r.length);
+    }
+  }
+  return Status::corrupted("missing section id " +
+                           std::to_string(static_cast<std::uint32_t>(id)));
 }
 
 }  // namespace snapshot

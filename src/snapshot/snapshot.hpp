@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "robust/status.hpp"
 #include "serve/flat_cascade.hpp"
@@ -43,17 +44,29 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  /// Map `path` read-only.  Fails with kInvalidArgument if the file
-  /// cannot be opened/mapped; an empty file maps to {nullptr, 0}.
-  [[nodiscard]] static coop::Expected<MappedFile> map(const std::string& path);
+  /// Map `path` read-only, or — with `writable` — as a PROT_WRITE
+  /// MAP_PRIVATE copy-on-write mapping whose stores never reach the file
+  /// (the chaos harness uses this to rot a *served copy* in place while
+  /// the on-disk snapshot stays pristine).  Fails with kInvalidArgument
+  /// if the file cannot be opened/mapped; an empty file maps to
+  /// {nullptr, 0}.
+  [[nodiscard]] static coop::Expected<MappedFile> map(const std::string& path,
+                                                      bool writable = false);
 
   [[nodiscard]] const unsigned char* data() const { return data_; }
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool mapped() const { return data_ != nullptr; }
 
+  /// Non-null only for writable (copy-on-write) mappings.
+  [[nodiscard]] unsigned char* mutable_data() const {
+    return writable_ ? data_ : nullptr;
+  }
+  [[nodiscard]] bool writable() const { return writable_; }
+
  private:
   unsigned char* data_ = nullptr;
   std::size_t size_ = 0;
+  bool writable_ = false;
 };
 
 /// A loaded serving structure plus the mapping backing its arena views.
@@ -79,11 +92,37 @@ struct Snapshot {
 [[nodiscard]] coop::Status write(const serve::FlatPointLocator& f,
                                  const std::string& path);
 
+/// How open() maps the file.
+enum class OpenMode {
+  kReadOnly = 0,
+  /// PROT_WRITE MAP_PRIVATE: a copy-on-write serving copy.  Stores into
+  /// the mapping (fault injection) are private to this Snapshot and never
+  /// reach the file.  Validation is identical to kReadOnly.
+  kWritableCopy = 1,
+};
+
 /// Map `path` and reconstruct the arena zero-copy.  Every header,
 /// checksum, and bounds violation is a Status (kCorrupted for a damaged
 /// file, kInvalidArgument for an unopenable one, kFailedPrecondition for
 /// a cross-endian file) — see the file comment for the validation
 /// ladder.
-[[nodiscard]] coop::Expected<Snapshot> open(const std::string& path);
+[[nodiscard]] coop::Expected<Snapshot> open(
+    const std::string& path, OpenMode mode = OpenMode::kReadOnly);
+
+/// Re-run the checksum half of the validation ladder over a *live*
+/// mapping (header, table, and per-section payload CRCs — the scrubber's
+/// detection primitive for in-memory rot).  The structural pass is not
+/// repeated: it proved bounds at open() time and those bytes are covered
+/// by the CRCs re-checked here.  In-memory snapshots (no mapping) verify
+/// trivially OK.
+[[nodiscard]] coop::Status verify(const Snapshot& snap);
+
+/// Byte extent (offset, length) of section `id` inside the snapshot's
+/// mapping — lets the chaos harness and targeted tests flip payload bytes
+/// of a specific section without re-parsing the format.  Fails with
+/// kFailedPrecondition for in-memory snapshots and kCorrupted when the
+/// section is absent.
+[[nodiscard]] coop::Expected<std::pair<std::uint64_t, std::uint64_t>>
+section_extent(const Snapshot& snap, SectionId id);
 
 }  // namespace snapshot

@@ -1,0 +1,55 @@
+#include "serve/soak.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+// The chaos soak acceptance run (DESIGN.md §9): worker throws, deadline
+// squeezes, publish storms, and payload bit-flips against the full
+// frontend + scrubber + registry stack.  Must finish with
+//
+//   zero unexpected batch failures, zero wrong answers among admitted
+//   batches, and at least one admission shed, breaker trip, scrubber
+//   quarantine, and registry rollback.
+//
+// COOP_SOAK_MS overrides the duration (CI keeps it short under
+// sanitizers; run with e.g. COOP_SOAK_MS=10000 for the local soak).
+TEST(ChaosSoak, SurvivesSeededChaosWithZeroWrongAnswers) {
+  serve::SoakOptions opts;
+  opts.seed = 7;
+  opts.duration = std::chrono::milliseconds(2500);
+  if (const char* ms = std::getenv("COOP_SOAK_MS")) {
+    opts.duration = std::chrono::milliseconds(std::atol(ms));
+  }
+  opts.snap_path = testing::TempDir() + "coop_chaos_soak.snap";
+
+  const auto outcome = serve::run_chaos_soak(opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().to_string();
+  const serve::SoakOutcome& o = *outcome;
+
+  // Correctness under chaos, the non-negotiables.
+  EXPECT_EQ(o.wrong_answers, 0u) << o.verdict;
+  EXPECT_EQ(o.failed, 0u) << o.verdict;
+
+  // Chaos coverage: every fault class actually fired and was handled.
+  EXPECT_TRUE(o.goals_met) << o.verdict;
+  EXPECT_GE(o.frontend.shed, 1u) << "no admission shed was observed";
+  EXPECT_GE(o.frontend.breaker_trips, 1u) << "the breaker never tripped";
+  EXPECT_GE(o.scrubber.quarantines, 1u) << "the scrubber never quarantined";
+  EXPECT_GE(o.scrubber.rollbacks, 1u) << "no rollback was performed";
+  EXPECT_GE(o.bitflips, 1u);
+  EXPECT_GE(o.publishes, 1u);
+
+  // The chaos was real: work was admitted and some of it degraded
+  // through the retry machinery rather than failing.
+  EXPECT_GT(o.admitted, 0u);
+  EXPECT_GT(o.degraded, 0u);
+  EXPECT_EQ(o.batches, o.admitted + o.shed + o.shed_breaker + o.failed);
+  EXPECT_EQ(o.verdict.rfind("OK", 0), 0u) << o.verdict;
+}
+
+}  // namespace

@@ -31,6 +31,10 @@ TEST(Status, EveryFactoryMapsToItsCode) {
   EXPECT_EQ(coop::Status::deadline_exceeded("x").code(),
             coop::StatusCode::kDeadlineExceeded);
   EXPECT_EQ(coop::Status::internal("x").code(), coop::StatusCode::kInternal);
+  EXPECT_EQ(coop::Status::resource_exhausted("x").code(),
+            coop::StatusCode::kResourceExhausted);
+  EXPECT_EQ(coop::Status::unavailable("x").code(),
+            coop::StatusCode::kUnavailable);
 }
 
 TEST(Status, CodeNamesAreStable) {
@@ -38,6 +42,16 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(coop::to_string(coop::StatusCode::kCorrupted), "CORRUPTED");
   EXPECT_STREQ(coop::to_string(coop::StatusCode::kDeadlineExceeded),
                "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kUnavailable), "UNAVAILABLE");
+}
+
+TEST(Status, NumericValuesAreTheCliContract) {
+  // Appended codes must never renumber the existing ones.
+  EXPECT_EQ(static_cast<int>(coop::StatusCode::kInternal), 5);
+  EXPECT_EQ(static_cast<int>(coop::StatusCode::kResourceExhausted), 6);
+  EXPECT_EQ(static_cast<int>(coop::StatusCode::kUnavailable), 7);
 }
 
 TEST(Expected, HoldsValue) {

@@ -9,7 +9,10 @@
 #include <thread>
 
 #include "fc/search.hpp"
+#include "geom/generators.hpp"
 #include "helpers.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "serve/flat_pointloc.hpp"
 
 namespace {
 
@@ -115,6 +118,35 @@ TEST(QueryEngine, EmptyBatch) {
   EXPECT_EQ(report.shards, 0u);
 }
 
+TEST(QueryEngine, EmptyPathSpanClearsOutputWithoutDegrading) {
+  // Regression: an empty batch must early-return before sharding (the
+  // n == 0 fast path in for_each), clear any stale output, and never be
+  // reported degraded — with or without a deadline armed.
+  const Fixture fx(0);
+  QueryEngine engine(2);
+  std::vector<PathAnswer> out(5);  // stale entries must not survive
+  BatchOptions opts;
+  opts.deadline = std::chrono::nanoseconds(1);
+  const auto report =
+      serve::serve_path_queries(fx.flat, engine, {}, out, opts);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(QueryEngine, EmptyPointSpanClearsOutputWithoutDegrading) {
+  std::mt19937_64 rng(5);
+  const auto sub = geom::make_random_monotone(60, 6, rng);
+  auto st = pointloc::SeparatorTree::build_checked(sub);
+  ASSERT_TRUE(st.ok());
+  auto flat = serve::FlatPointLocator::compile(*st);
+  ASSERT_TRUE(flat.ok());
+  QueryEngine engine(2);
+  std::vector<std::size_t> out(5);
+  const auto report = serve::serve_point_queries(*flat, engine, {}, out);
+  EXPECT_FALSE(report.degraded);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(QueryEngine, DegradesOnTransientWorkerException) {
   // run_resilient discipline: a worker that throws abandons the parallel
   // attempt, and the batch is re-run sequentially — the caller still gets
@@ -184,6 +216,45 @@ TEST(QueryEngine, DeadlineMidGroupedBatchDegradesToSequentialRerun) {
       << report.reason;
   EXPECT_EQ(report.threads_used, 1u);
   fx.expect_answers_match(out);
+}
+
+TEST(QueryEngine, ConcurrentCallersEachGetTheirFullBatch) {
+  // Regression: the batch submitter releases the pool mutex while it waits
+  // for the drain, so without whole-batch serialization a second for_each
+  // could republish the shared batch state mid-drain and the first caller
+  // would return non-degraded with none of its items executed.  Hammer the
+  // pool from several threads and require every caller's output complete.
+  QueryEngine engine(4);
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kRounds = 50;
+  constexpr std::size_t kItems = 64;
+  std::atomic<std::uint64_t> incomplete{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&engine, &incomplete, c] {
+      BatchOptions opts;
+      opts.shard_size = 1;  // many shards => maximal interleaving windows
+      if (c % 2 == 0) {
+        opts.deadline = std::chrono::nanoseconds(1);  // instant-abort mix
+      }
+      std::vector<int> out(kItems);
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        std::fill(out.begin(), out.end(), 0);
+        engine.for_each(
+            kItems, [&out](std::size_t i) { out[i] = 1; }, opts);
+        for (int v : out) {
+          if (v != 1) {
+            incomplete.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(incomplete.load(), 0u);
 }
 
 TEST(QueryEngine, SingleThreadRunsInline) {

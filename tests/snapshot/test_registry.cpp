@@ -112,11 +112,18 @@ TEST(Registry, PinKeepsRetiredVersionMappedUntilRelease) {
   ASSERT_TRUE(pin.has_snapshot());
   EXPECT_EQ(pin.version(), 1u);
 
-  // Publish over the pinned version: v1 is retired but must stay mapped
-  // and fully servable through the existing pin.
+  // Publish over the pinned version until the keep window (current plus
+  // kKeepGenerations retained rollback targets) overflows and v1 truly
+  // retires: it must stay mapped and fully servable through the existing
+  // pin regardless.
   registry.publish(fx.open_snapshot());
   registry.publish(Snapshot::in_memory(fx.compile()));
   EXPECT_EQ(registry.current_version(), 3u);
+  EXPECT_EQ(registry.retired_count(), 0u);  // v1, v2 merely displaced
+  registry.publish(fx.open_snapshot());
+  registry.publish(Snapshot::in_memory(fx.compile()));
+  EXPECT_EQ(registry.current_version(), 5u);
+  EXPECT_EQ(registry.retained_count(), 1u + Registry::kKeepGenerations);
   EXPECT_GE(registry.retired_count(), 1u);
   EXPECT_EQ(pin.version(), 1u);
   for (std::size_t qi = 0; qi < fx.queries.size(); ++qi) {
@@ -135,7 +142,7 @@ TEST(Registry, PinKeepsRetiredVersionMappedUntilRelease) {
 
   // A fresh pin sees the current version.
   const Registry::Pin fresh = registry.pin();
-  EXPECT_EQ(fresh.version(), 3u);
+  EXPECT_EQ(fresh.version(), 5u);
 }
 
 TEST(Registry, ServeHelpersRejectWrongKind) {
@@ -177,6 +184,92 @@ TEST(Registry, ServeHelpersRejectWrongKind) {
   for (std::size_t i = 0; i < qs.size(); ++i) {
     ASSERT_EQ(regions[i], sub.locate_brute(qs[i]));
   }
+}
+
+TEST(Registry, LastKnownGoodTracksScrubbedGenerations) {
+  const Fixture fx(0);
+  Registry registry;
+  EXPECT_EQ(registry.last_known_good(), 0u);
+
+  registry.publish(fx.open_snapshot());  // v1
+  EXPECT_EQ(registry.last_known_good(), 0u);  // never scrubbed
+  registry.mark_good(1);
+  EXPECT_EQ(registry.last_known_good(), 1u);
+
+  registry.publish(fx.open_snapshot());  // v2, v1 retained
+  registry.mark_good(2);
+  EXPECT_EQ(registry.last_known_good(), 2u);
+  // The quarantine lookup skips the suspect itself.
+  EXPECT_EQ(registry.last_known_good(/*excluding=*/2), 1u);
+  EXPECT_EQ(registry.last_known_good(/*excluding=*/1), 2u);
+
+  // Marking a generation that is no longer retained is a harmless no-op.
+  registry.mark_good(99);
+  EXPECT_EQ(registry.last_known_good(), 2u);
+}
+
+TEST(Registry, KeepWindowNeverSpillsTheNewestGoodGeneration) {
+  const Fixture fx(0);
+  Registry registry;
+  registry.publish(fx.open_snapshot());  // v1
+  registry.mark_good(1);
+  // Publish far past the keep window without ever scrubbing the newer
+  // generations: v1 is the only good one and must survive every spill.
+  for (int i = 0; i < 6; ++i) {
+    registry.publish(fx.open_snapshot());
+  }
+  EXPECT_EQ(registry.current_version(), 7u);
+  EXPECT_EQ(registry.last_known_good(), 1u);
+  EXPECT_TRUE(registry.rollback(1).ok());
+  EXPECT_EQ(registry.current_version(), 1u);
+}
+
+TEST(Registry, RollbackReinstatesRetainedGeneration) {
+  const Fixture fx(64);
+  Registry registry;
+  registry.publish(fx.open_snapshot());  // v1
+  registry.mark_good(1);
+  registry.publish(fx.open_snapshot());  // v2 (the one we will quarantine)
+
+  // A reader is pinned to the soon-to-be-quarantined generation: the
+  // rollback must not unmap it under the reader (ASan runs prove it).
+  Registry::Pin reader = registry.pin();
+  ASSERT_TRUE(reader.has_snapshot());
+  EXPECT_EQ(reader.version(), 2u);
+
+  // Guarded rollback: wrong if_current loses the race and is refused.
+  EXPECT_EQ(registry.rollback(1, /*if_current=*/7).code(),
+            coop::StatusCode::kFailedPrecondition);
+  // Unknown target generation is refused.
+  EXPECT_EQ(registry.rollback(42).code(),
+            coop::StatusCode::kFailedPrecondition);
+  // The real thing.
+  ASSERT_TRUE(registry.rollback(1, /*if_current=*/2).ok());
+  EXPECT_EQ(registry.current_version(), 1u);
+  // Rolling back to the already-current generation is a trivial OK.
+  EXPECT_TRUE(registry.rollback(1).ok());
+
+  // The quarantined generation was retired, not freed: the pinned reader
+  // still serves correct answers from it.
+  EXPECT_GE(registry.retired_count(), 1u);
+  for (std::size_t qi = 0; qi < fx.queries.size(); ++qi) {
+    const auto r = reader.snapshot().cascade.search(fx.queries[qi].path,
+                                                    fx.queries[qi].y);
+    for (std::size_t i = 0; i < fx.expected[qi].size(); ++i) {
+      ASSERT_EQ(r.proper_index[i], fx.expected[qi][i]);
+    }
+  }
+  // Its good mark (if any) was cleared: it can no longer be a rollback
+  // target even while a pin keeps it mapped.
+  EXPECT_EQ(registry.last_known_good(/*excluding=*/1), 0u);
+
+  // Draining the reader reclaims the quarantined mapping.
+  reader.release();
+  EXPECT_EQ(registry.retired_count(), 0u);
+
+  // New traffic serves the reinstated generation.
+  const Registry::Pin fresh = registry.pin();
+  EXPECT_EQ(fresh.version(), 1u);
 }
 
 TEST(Registry, HotSwapUnderConcurrentLoad) {

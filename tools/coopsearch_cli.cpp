@@ -7,6 +7,7 @@
 //   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
 //   coopsearch_cli pointloc-file <sub.txt> <p> <queries> <seed>
 //   coopsearch_cli serve     <tree.txt> <threads> <queries> <seed>
+//   coopsearch_cli serve     --soak <millis> <seed> [threads]
 //   coopsearch_cli snapshot save  <tree.txt> <out.snap>
 //   coopsearch_cli snapshot load  <file.snap>
 //   coopsearch_cli snapshot serve <file.snap> <threads> <queries> <seed>
@@ -39,6 +40,7 @@
 #include "robust/loaders.hpp"
 #include "robust/validate.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/soak.hpp"
 #include "snapshot/registry.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -320,7 +322,59 @@ int cmd_pointloc_file(int argc, char** argv) {
 // root-leaf queries through the engine, and verify every answer against
 // the catalogs' own binary search.  Untrusted input: a corrupted tree is
 // rejected by the checked build / flat compiler, never served.
+// serve --soak: the chaos soak (DESIGN.md §9) behind a CLI switch so CI
+// and operators run the exact harness the integration test runs.  Exit 0
+// only for a soak with zero wrong answers, zero unexpected failures, and
+// every chaos goal observed (shed, breaker trip, quarantine, rollback).
+int cmd_serve_soak(int argc, char** argv) {
+  std::size_t millis = 0, seed = 0, threads = 4;
+  if (argc < 2 || !parse_size(argv[0], 600'000, millis) || millis == 0 ||
+      !parse_size(argv[1], SIZE_MAX, seed) ||
+      (argc >= 3 && (!parse_size(argv[2], 256, threads) || threads == 0))) {
+    return usage("serve --soak <millis<=600000> <seed> [threads<=256]");
+  }
+  serve::SoakOptions opts;
+  opts.seed = seed;
+  opts.duration = std::chrono::milliseconds(millis);
+  opts.engine_threads = threads;
+  opts.verbose = true;
+  const auto outcome = serve::run_chaos_soak(opts);
+  if (!outcome.ok()) {
+    return fail(outcome.status());
+  }
+  const serve::SoakOutcome& o = *outcome;
+  std::printf("batches: %llu submitted = %llu admitted + %llu shed + "
+              "%llu breaker-shed + %llu failed (%llu degraded)\n",
+              static_cast<unsigned long long>(o.batches),
+              static_cast<unsigned long long>(o.admitted),
+              static_cast<unsigned long long>(o.shed),
+              static_cast<unsigned long long>(o.shed_breaker),
+              static_cast<unsigned long long>(o.failed),
+              static_cast<unsigned long long>(o.degraded));
+  std::printf("breaker: %llu trips, %llu probes; health %s\n",
+              static_cast<unsigned long long>(o.frontend.breaker_trips),
+              static_cast<unsigned long long>(o.frontend.breaker_probes),
+              serve::to_string(o.frontend.health));
+  std::printf("scrubber: %llu passes (%llu clean), %llu quarantines, "
+              "%llu rollbacks; %llu publishes, %llu bit flips\n",
+              static_cast<unsigned long long>(o.scrubber.passes),
+              static_cast<unsigned long long>(o.scrubber.clean_passes),
+              static_cast<unsigned long long>(o.scrubber.quarantines),
+              static_cast<unsigned long long>(o.scrubber.rollbacks),
+              static_cast<unsigned long long>(o.publishes),
+              static_cast<unsigned long long>(o.bitflips));
+  std::printf("%s\n", o.verdict.c_str());
+  if (o.wrong_answers != 0 || o.failed != 0 || !o.goals_met) {
+    return 1;
+  }
+  std::printf("chaos soak OK\n");
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
+  if (argc >= 1 && std::strcmp(argv[0], "--soak") == 0) {
+    return cmd_serve_soak(argc - 1, argv + 1);
+  }
   std::size_t threads = 0, queries = 0, seed = 0;
   if (argc < 4 || !parse_size(argv[1], 256, threads) || threads == 0 ||
       !parse_size(argv[2], std::size_t{1} << 24, queries) ||
