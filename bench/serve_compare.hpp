@@ -17,6 +17,7 @@
 // the bench-smoke CI job).  --smoke shrinks the instance so CI finishes
 // in seconds.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -66,6 +67,7 @@ struct Row {
   std::string mode;
   std::size_t threads = 1;
   double qps = 0;
+  double p99_ns = 0;  ///< p99 per-query latency at chunk granularity
 };
 
 inline double seconds_since(std::chrono::steady_clock::time_point t0) {
@@ -73,55 +75,94 @@ inline double seconds_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+struct Measured {
+  double qps = 0;
+  double p99_ns = 0;
+};
+
 /// Throughput of `run(begin, count)` over a query set of size `total`,
 /// cycling until `min_sec` of wall clock has elapsed (at least one chunk).
+/// The tail estimate is the 99th percentile of per-chunk wall time divided
+/// by chunk size — per-query tail latency at chunk granularity, which is
+/// what the regression gate's p99 ceiling tracks.
 template <typename RunChunk>
-double measure_qps(std::size_t total, std::size_t chunk, double min_sec,
-                   RunChunk&& run) {
+Measured measure(std::size_t total, std::size_t chunk, double min_sec,
+                 RunChunk&& run) {
   const auto t0 = std::chrono::steady_clock::now();
+  std::vector<double> per_query_ns;
   std::size_t done = 0, at = 0;
   double elapsed = 0;
   do {
     const std::size_t c = std::min(chunk, total - at);
+    const auto c0 = std::chrono::steady_clock::now();
     run(at, c);
+    per_query_ns.push_back(
+        std::chrono::duration<double, std::nano>(
+            std::chrono::steady_clock::now() - c0)
+            .count() /
+        double(c));
     done += c;
     at = (at + c) % total;
     elapsed = seconds_since(t0);
   } while (elapsed < min_sec);
-  return double(done) / elapsed;
+  std::sort(per_query_ns.begin(), per_query_ns.end());
+  const std::size_t p99_idx =
+      (per_query_ns.size() - 1) * 99 / 100;
+  return Measured{double(done) / elapsed, per_query_ns[p99_idx]};
 }
 
-inline void write_json(const Options& o, const char* bench_name,
-                       std::size_t n, std::size_t num_queries,
-                       const std::vector<Row>& rows, double speedup,
-                       bool equal_answers) {
-  std::FILE* f = std::fopen(o.out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "error: cannot write %s\n", o.out_path.c_str());
-    return;
-  }
+inline Row make_row(std::string mode, std::size_t threads, Measured m) {
+  return Row{std::move(mode), threads, m.qps, m.p99_ns};
+}
+
+inline void write_json_to(std::FILE* f, const Options& o,
+                          const char* bench_name, std::size_t n,
+                          std::size_t num_queries,
+                          const std::vector<Row>& rows, double speedup,
+                          bool equal_answers) {
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n", bench_name,
                o.smoke ? "true" : "false");
   std::fprintf(f, "  \"n\": %zu,\n  \"queries\": %zu,\n", n, num_queries);
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"threads\": %zu, \"qps\": %.1f}%s\n",
+                 "    {\"mode\": \"%s\", \"threads\": %zu, \"qps\": %.1f, "
+                 "\"p99_ns\": %.1f}%s\n",
                  rows[i].mode.c_str(), rows[i].threads, rows[i].qps,
-                 i + 1 < rows.size() ? "," : "");
+                 rows[i].p99_ns, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedup_flat_vs_simulator\": %.2f,\n", speedup);
   std::fprintf(f, "  \"equal_answers\": %s\n}\n",
                equal_answers ? "true" : "false");
+}
+
+/// The JSON document goes to stdout (the machine-readable channel — every
+/// diagnostic in this header goes to stderr) AND to o.out_path for the CI
+/// artifact flow.
+inline void write_json(const Options& o, const char* bench_name,
+                       std::size_t n, std::size_t num_queries,
+                       const std::vector<Row>& rows, double speedup,
+                       bool equal_answers) {
+  write_json_to(stdout, o, bench_name, n, num_queries, rows, speedup,
+                equal_answers);
+  std::FILE* f = std::fopen(o.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", o.out_path.c_str());
+    return;
+  }
+  write_json_to(f, o, bench_name, n, num_queries, rows, speedup,
+                equal_answers);
   std::fclose(f);
-  std::printf("wrote %s\n", o.out_path.c_str());
+  std::fprintf(stderr, "wrote %s\n", o.out_path.c_str());
 }
 
 inline void print_rows(const std::vector<Row>& rows) {
-  std::printf("%-16s %8s %14s\n", "mode", "threads", "queries/sec");
+  std::fprintf(stderr, "%-16s %8s %14s %12s\n", "mode", "threads",
+               "queries/sec", "p99(ns)");
   for (const auto& r : rows) {
-    std::printf("%-16s %8zu %14.1f\n", r.mode.c_str(), r.threads, r.qps);
+    std::fprintf(stderr, "%-16s %8zu %14.1f %12.1f\n", r.mode.c_str(),
+                 r.threads, r.qps, r.p99_ns);
   }
 }
 
@@ -135,7 +176,7 @@ inline int run_paths_compare(const Options& o) {
       o.queries != 0 ? o.queries : (o.smoke ? 2000 : 20000);
   const std::size_t sim_p = 16;
 
-  std::printf("building: height %u, %zu entries...\n", height, entries);
+  std::fprintf(stderr, "building: height %u, %zu entries...\n", height, entries);
   std::mt19937_64 rng(42);
   const auto tree = cat::make_balanced_binary(height, entries,
                                               cat::CatalogShape::kRandom, rng);
@@ -147,7 +188,7 @@ inline int run_paths_compare(const Options& o) {
     return 1;
   }
   const serve::FlatCascade flat = flat_e.take();
-  std::printf("arena: %.1f MiB for %zu augmented entries\n",
+  std::fprintf(stderr, "arena: %.1f MiB for %zu augmented entries\n",
               double(flat.arena_bytes()) / (1024.0 * 1024.0),
               flat.total_entries());
 
@@ -187,29 +228,29 @@ inline int run_paths_compare(const Options& o) {
   std::vector<Row> rows;
   const double min_sec = o.smoke ? 0.2 : 0.5;
 
-  rows.push_back({"simulator", 1,
-                  measure_qps(num_queries, 50, min_sec,
+  rows.push_back(make_row("simulator", 1,
+                  measure(num_queries, 50, min_sec,
                               [&](std::size_t at, std::size_t c) {
                                 for (std::size_t qi = at; qi < at + c; ++qi) {
                                   pram::Machine m(sim_p);
                                   (void)coop::coop_search_explicit(
                                       cs, m, queries[qi].path, queries[qi].y);
                                 }
-                              })});
-  rows.push_back({"fc_sequential", 1,
-                  measure_qps(num_queries, 200, min_sec,
+                              })));
+  rows.push_back(make_row("fc_sequential", 1,
+                  measure(num_queries, 200, min_sec,
                               [&](std::size_t at, std::size_t c) {
                                 for (std::size_t qi = at; qi < at + c; ++qi) {
                                   (void)fc::search_explicit(
                                       s, queries[qi].path, queries[qi].y);
                                 }
-                              })});
+                              })));
   {
     // One query at a time: reused output buffers, no allocation — the
     // serving latency per query (each hop's cache miss serializes).
     std::vector<std::uint32_t> aug(height + 2), prop(height + 2);
-    rows.push_back({"flat_single", 1,
-                    measure_qps(num_queries, 1000, min_sec,
+    rows.push_back(make_row("flat_single", 1,
+                    measure(num_queries, 1000, min_sec,
                                 [&](std::size_t at, std::size_t c) {
                                   for (std::size_t qi = at; qi < at + c;
                                        ++qi) {
@@ -217,31 +258,31 @@ inline int run_paths_compare(const Options& o) {
                                                      queries[qi].y, aug.data(),
                                                      prop.data());
                                   }
-                                })});
+                                })));
   }
   {
     // The engine's single-thread kernel: lockstep groups overlap the
     // per-hop misses across 16 queries — the flat engine's throughput.
     std::vector<serve::PathAnswer> chunk_out(1000);
     rows.push_back(
-        {"flat", 1,
-         measure_qps(num_queries, 1000, min_sec,
+        make_row("flat", 1,
+         measure(num_queries, 1000, min_sec,
                      [&](std::size_t at, std::size_t c) {
                        serve::search_paths_grouped(flat, queries.data() + at,
                                                    c, chunk_out.data());
-                     })});
+                     })));
   }
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     serve::QueryEngine engine(threads);
     std::vector<serve::PathAnswer> out;
     rows.push_back(
-        {"flat_batch", threads,
-         measure_qps(num_queries, num_queries, min_sec,
+        make_row("flat_batch", threads,
+         measure(num_queries, num_queries, min_sec,
                      [&](std::size_t, std::size_t) {
                        (void)serve::serve_path_queries(flat, engine, queries,
                                                        out);
-                     })});
+                     })));
   }
 
   double flat_qps = 0, sim_qps = 0;
@@ -251,7 +292,8 @@ inline int run_paths_compare(const Options& o) {
   }
   const double speedup = flat_qps / sim_qps;
   print_rows(rows);
-  std::printf("flat vs simulator (single thread): %.1fx; answers equal: %s\n",
+  std::fprintf(stderr,
+              "flat vs simulator (single thread): %.1fx; answers equal: %s\n",
               speedup, equal ? "yes" : "NO");
   write_json(o, "serve_paths", entries, num_queries, rows, speedup, equal);
   return equal ? 0 : 1;
@@ -265,7 +307,7 @@ inline int run_pointloc_compare(const Options& o) {
       o.queries != 0 ? o.queries : (o.smoke ? 2000 : 20000);
   const std::size_t sim_p = 16;
 
-  std::printf("building: %zu regions x %zu bands...\n", regions, bands);
+  std::fprintf(stderr, "building: %zu regions x %zu bands...\n", regions, bands);
   std::mt19937_64 rng(7);
   const auto sub = geom::make_random_monotone(regions, bands, rng);
   const pointloc::SeparatorTree st(sub);
@@ -275,7 +317,7 @@ inline int run_pointloc_compare(const Options& o) {
     return 1;
   }
   const serve::FlatPointLocator loc = loc_e.take();
-  std::printf("subdivision: %zu edges; arena %.1f MiB\n", sub.edges.size(),
+  std::fprintf(stderr, "subdivision: %zu edges; arena %.1f MiB\n", sub.edges.size(),
               double(loc.arena_bytes()) / (1024.0 * 1024.0));
 
   std::vector<geom::Point> queries(num_queries);
@@ -297,45 +339,46 @@ inline int run_pointloc_compare(const Options& o) {
 
   std::vector<Row> rows;
   const double min_sec = o.smoke ? 0.2 : 0.5;
-  rows.push_back({"simulator", 1,
-                  measure_qps(num_queries, 50, min_sec,
+  rows.push_back(make_row("simulator", 1,
+                  measure(num_queries, 50, min_sec,
                               [&](std::size_t at, std::size_t c) {
                                 for (std::size_t qi = at; qi < at + c; ++qi) {
                                   pram::Machine m(sim_p);
                                   (void)pointloc::coop_locate(st, m,
                                                               queries[qi]);
                                 }
-                              })});
-  rows.push_back({"septree_seq", 1,
-                  measure_qps(num_queries, 200, min_sec,
+                              })));
+  rows.push_back(make_row("septree_seq", 1,
+                  measure(num_queries, 200, min_sec,
                               [&](std::size_t at, std::size_t c) {
                                 for (std::size_t qi = at; qi < at + c; ++qi) {
                                   (void)st.locate(queries[qi]);
                                 }
-                              })});
-  rows.push_back({"flat", 1,
-                  measure_qps(num_queries, 1000, min_sec,
+                              })));
+  rows.push_back(make_row("flat", 1,
+                  measure(num_queries, 1000, min_sec,
                               [&](std::size_t at, std::size_t c) {
                                 for (std::size_t qi = at; qi < at + c; ++qi) {
                                   (void)loc.locate(queries[qi]);
                                 }
-                              })});
+                              })));
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     serve::QueryEngine engine(threads);
     std::vector<std::size_t> out;
     rows.push_back(
-        {"flat_batch", threads,
-         measure_qps(num_queries, num_queries, min_sec,
+        make_row("flat_batch", threads,
+         measure(num_queries, num_queries, min_sec,
                      [&](std::size_t, std::size_t) {
                        (void)serve::serve_point_queries(loc, engine, queries,
                                                         out);
-                     })});
+                     })));
   }
 
   const double speedup = rows[2].qps / rows[0].qps;
   print_rows(rows);
-  std::printf("flat vs simulator (single thread): %.1fx; answers equal: %s\n",
+  std::fprintf(stderr,
+              "flat vs simulator (single thread): %.1fx; answers equal: %s\n",
               speedup, equal ? "yes" : "NO");
   write_json(o, "serve_pointloc", sub.edges.size(), num_queries, rows, speedup,
              equal);

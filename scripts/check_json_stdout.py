@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Run a command and assert its stdout is exactly one valid JSON document.
+
+Usage:
+    python3 scripts/check_json_stdout.py [--] CMD [ARGS...]
+
+The child's stderr passes through untouched (that is where diagnostics
+belong); its stdout is captured and fed to json.loads.  Exits with the
+child's code if the child fails, 1 if stdout is not valid JSON, 0
+otherwise.  CI uses this to guarantee that every `--json` invocation and
+`coopsearch_cli stats` stays machine-parseable — a stray printf to
+stdout anywhere in the serving stack trips this gate.
+"""
+
+import json
+import subprocess
+import sys
+
+
+def main():
+    argv = sys.argv[1:]
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        print("usage: check_json_stdout.py [--] CMD [ARGS...]",
+              file=sys.stderr)
+        return 2
+    proc = subprocess.run(argv, stdout=subprocess.PIPE)
+    if proc.returncode != 0:
+        print(f"error: {argv[0]} exited {proc.returncode}", file=sys.stderr)
+        return proc.returncode
+    text = proc.stdout.decode("utf-8", errors="replace")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"REGRESSION: stdout of {' '.join(argv)} is not valid JSON: "
+              f"{e}", file=sys.stderr)
+        head = text[:400]
+        print(f"stdout began with:\n{head}", file=sys.stderr)
+        return 1
+    kind = type(doc).__name__
+    print(f"ok: stdout is one valid JSON {kind} ({len(text)} bytes)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace obs {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf, static_cast<std::size_t>(
+                        n < static_cast<int>(sizeof(buf))
+                            ? n
+                            : static_cast<int>(sizeof(buf)) - 1));
+  }
+}
+
+/// Metric names are [a-z0-9_:]; help strings are free text.  JSON-escape
+/// the minimum that can actually appear.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_fmt(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_histogram(std::string& out, const HistogramValue& h) {
+  append_fmt(out, "    \"%s\": {\"bounds\": [", json_escape(h.name).c_str());
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    append_fmt(out, "%s%" PRIu64, i ? ", " : "", h.bounds[i]);
+  }
+  out += "], \"buckets\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    append_fmt(out, "%s%" PRIu64, i ? ", " : "", h.buckets[i]);
+  }
+  append_fmt(out, "], \"sum\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+             h.sum, h.count);
+}
+
+void json_metrics_body(std::string& out, const MetricsSnapshot& m) {
+  out += "  \"counters\": {\n";
+  for (std::size_t i = 0; i < m.counters.size(); ++i) {
+    append_fmt(out, "    \"%s\": %" PRIu64 "%s\n",
+               json_escape(m.counters[i].name).c_str(), m.counters[i].value,
+               i + 1 < m.counters.size() ? "," : "");
+  }
+  out += "  },\n  \"gauges\": {\n";
+  for (std::size_t i = 0; i < m.gauges.size(); ++i) {
+    append_fmt(out, "    \"%s\": %" PRId64 "%s\n",
+               json_escape(m.gauges[i].name).c_str(), m.gauges[i].value,
+               i + 1 < m.gauges.size() ? "," : "");
+  }
+  out += "  },\n  \"histograms\": {\n";
+  for (std::size_t i = 0; i < m.histograms.size(); ++i) {
+    json_histogram(out, m.histograms[i]);
+    out += i + 1 < m.histograms.size() ? ",\n" : "\n";
+  }
+  out += "  }";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& m) {
+  std::string out = "{\n";
+  json_metrics_body(out, m);
+  out += "\n}\n";
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& m, const TraceExport& trace) {
+  std::string out = "{\n";
+  json_metrics_body(out, m);
+  append_fmt(out,
+             ",\n  \"trace\": {\n    \"emitted\": %" PRIu64
+             ",\n    \"dropped\": %" PRIu64 ",\n    \"events\": [\n",
+             trace.emitted, trace.dropped);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const TraceEvent& e = trace.events[i];
+    append_fmt(out,
+               "      {\"seq\": %" PRIu64 ", \"t_ns\": %" PRIu64
+               ", \"kind\": \"%s\", \"a\": %u, \"b\": %" PRIu64 "}%s\n",
+               e.seq, e.t_ns, to_string(e.kind), e.a, e.b,
+               i + 1 < trace.events.size() ? "," : "");
+  }
+  out += "    ]\n  }\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& m) {
+  std::string out;
+  for (const auto& c : m.counters) {
+    if (!c.help.empty()) {
+      append_fmt(out, "# HELP %s %s\n", c.name.c_str(), c.help.c_str());
+    }
+    append_fmt(out, "# TYPE %s counter\n%s %" PRIu64 "\n", c.name.c_str(),
+               c.name.c_str(), c.value);
+  }
+  for (const auto& g : m.gauges) {
+    if (!g.help.empty()) {
+      append_fmt(out, "# HELP %s %s\n", g.name.c_str(), g.help.c_str());
+    }
+    append_fmt(out, "# TYPE %s gauge\n%s %" PRId64 "\n", g.name.c_str(),
+               g.name.c_str(), g.value);
+  }
+  for (const auto& h : m.histograms) {
+    if (!h.help.empty()) {
+      append_fmt(out, "# HELP %s %s\n", h.name.c_str(), h.help.c_str());
+    }
+    append_fmt(out, "# TYPE %s histogram\n", h.name.c_str());
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      if (b < h.bounds.size()) {
+        append_fmt(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                   h.name.c_str(), h.bounds[b], cumulative);
+      } else {
+        append_fmt(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                   h.name.c_str(), cumulative);
+      }
+    }
+    append_fmt(out, "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+               h.name.c_str(), h.sum, h.name.c_str(), h.count);
+  }
+  return out;
+}
+
+std::string export_global_json(bool with_trace) {
+  const MetricsSnapshot m = Registry::global().scrape();
+  if (!with_trace) {
+    return to_json(m);
+  }
+  TraceExport t;
+  t.events = TraceRing::global().snapshot();
+  t.emitted = TraceRing::global().emitted();
+  t.dropped = TraceRing::global().dropped();
+  return to_json(m, t);
+}
+
+}  // namespace obs

@@ -1,0 +1,41 @@
+#pragma once
+
+// Exporters (DESIGN.md §10): serialize a scraped MetricsSnapshot (and
+// optionally the trace ring) for machines.  Two formats:
+//
+//   JSON        one self-describing document — what `coopsearch_cli
+//               stats` prints and what `serve --metrics[=file]` dumps on
+//               exit.  Stable key order (metrics are scraped sorted), so
+//               diffs between dumps are meaningful.
+//   Prometheus  text exposition format 0.0.4 (# HELP / # TYPE lines,
+//               cumulative histogram buckets with an explicit +Inf le).
+//
+// Both are pure functions of the snapshot: no locks, no registry access,
+// safe to call from a signal-adjacent exit path.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace obs {
+
+/// The trace section of a JSON export.
+struct TraceExport {
+  std::vector<TraceEvent> events;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+};
+
+[[nodiscard]] std::string to_json(const MetricsSnapshot& m);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& m,
+                                  const TraceExport& trace);
+
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& m);
+
+/// Scrape the global registry (and optionally the global trace ring) and
+/// return the JSON document — the one-call export used by the CLI.
+[[nodiscard]] std::string export_global_json(bool with_trace);
+
+}  // namespace obs

@@ -1,0 +1,171 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace obs {
+
+std::size_t shard_index() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter Registry::counter(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) {
+    if (c.name == name) {
+      return Counter(&c);
+    }
+  }
+  counters_.emplace_back(std::move(name), std::move(help));
+  return Counter(&counters_.back());
+}
+
+Gauge Registry::gauge(std::string name, std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : gauges_) {
+    if (g.name == name) {
+      return Gauge(&g);
+    }
+  }
+  gauges_.emplace_back(std::move(name), std::move(help));
+  return Gauge(&gauges_.back());
+}
+
+Histogram Registry::histogram(std::string name,
+                              std::vector<std::uint64_t> upper_bounds,
+                              std::string help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& h : histograms_) {
+    if (h.name == name) {
+      return Histogram(&h);
+    }
+  }
+  histograms_.emplace_back(std::move(name), std::move(help),
+                           std::move(upper_bounds));
+  return Histogram(&histograms_.back());
+}
+
+MetricsSnapshot Registry::scrape() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    CounterValue v;
+    v.name = c.name;
+    v.help = c.help;
+    for (const auto& s : c.shards) {
+      v.value += s.v.load(std::memory_order_relaxed);
+    }
+    snap.counters.push_back(std::move(v));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauges.push_back(
+        GaugeValue{g.name, g.help, g.value.load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramValue v;
+    v.name = h.name;
+    v.help = h.help;
+    v.bounds = h.bounds;
+    v.buckets.assign(h.bounds.size() + 1, 0);
+    for (std::size_t s = 0; s < kMetricShards; ++s) {
+      const detail::ShardCell* base = h.cells.data() + s * h.stride;
+      for (std::size_t b = 0; b <= h.bounds.size(); ++b) {
+        v.buckets[b] += base[b].v.load(std::memory_order_relaxed);
+      }
+      v.sum += base[h.bounds.size() + 1].v.load(std::memory_order_relaxed);
+      v.count += base[h.bounds.size() + 2].v.load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(v));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::uint64_t HistogramValue::quantile_bound(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) >= target) {
+      return b < bounds.size() ? bounds[b]
+                               : std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+const CounterValue* MetricsSnapshot::find_counter(
+    std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const GaugeValue* MetricsSnapshot::find_gauge(std::string_view name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) {
+      return &g;
+    }
+  }
+  return nullptr;
+}
+
+const HistogramValue* MetricsSnapshot::find_histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  const CounterValue* c = find_counter(name);
+  return c == nullptr ? 0 : c->value;
+}
+
+std::vector<std::uint64_t> latency_bounds_ns() {
+  // 1us, 2.5us, 5us, 10us, ... 10s: three bounds per decade.
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t decade = 1'000; decade <= 1'000'000'000ull;
+       decade *= 10) {
+    b.push_back(decade);
+    b.push_back(decade * 5 / 2);
+    b.push_back(decade * 5);
+  }
+  b.push_back(10'000'000'000ull);
+  return b;
+}
+
+std::vector<std::uint64_t> exponential_bounds() {
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v = 1; v <= (std::uint64_t{1} << 30); v <<= 1) {
+    b.push_back(v);
+  }
+  return b;
+}
+
+}  // namespace obs

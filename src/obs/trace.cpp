@@ -1,0 +1,121 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+namespace obs {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t c = 8;
+  while (c < v) {
+    c <<= 1;
+  }
+  return c;
+}
+
+}  // namespace
+
+const char* to_string(SpanKind k) {
+  switch (k) {
+    case SpanKind::kAdmit: return "ADMIT";
+    case SpanKind::kShed: return "SHED";
+    case SpanKind::kShedBreaker: return "SHED_BREAKER";
+    case SpanKind::kAttempt: return "ATTEMPT";
+    case SpanKind::kDegraded: return "DEGRADED";
+    case SpanKind::kBreaker: return "BREAKER";
+    case SpanKind::kComplete: return "COMPLETE";
+    case SpanKind::kPublish: return "PUBLISH";
+    case SpanKind::kRollback: return "ROLLBACK";
+    case SpanKind::kScrubPass: return "SCRUB_PASS";
+    case SpanKind::kQuarantine: return "QUARANTINE";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : slots_(round_up_pow2(capacity)) {}
+
+TraceRing& TraceRing::global() {
+  static TraceRing r;
+  return r;
+}
+
+void TraceRing::configure(std::uint64_t seed, std::uint64_t sample_period) {
+  seed_.store(seed, std::memory_order_relaxed);
+  period_.store(sample_period, std::memory_order_relaxed);
+}
+
+bool TraceRing::sampled(std::uint64_t seq) const {
+  const std::uint64_t period = period_.load(std::memory_order_relaxed);
+  if (period == 0) {
+    return false;
+  }
+  if (period == 1) {
+    return true;
+  }
+  return splitmix64(seed_.load(std::memory_order_relaxed) ^
+                    splitmix64(seq)) %
+             period ==
+         0;
+}
+
+void TraceRing::emit(std::uint64_t seq, SpanKind kind, std::uint32_t a,
+                     std::uint64_t b) {
+  TraceEvent ev;
+  ev.seq = seq;
+  ev.t_ns = now_ns();
+  ev.b = b;
+  ev.a = a;
+  ev.kind = kind;
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[head_ & (slots_.size() - 1)] = ev;
+  ++head_;
+}
+
+void TraceRing::emit_sampled(std::uint64_t seq, SpanKind kind,
+                             std::uint32_t a, std::uint64_t b) {
+  if (sampled(seq)) {
+    emit(seq, kind, a, b);
+  }
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t n = head_ < slots_.size()
+                            ? static_cast<std::size_t>(head_)
+                            : slots_.size();
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(slots_[(head_ - n + i) & (slots_.size() - 1)]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ <= slots_.size() ? 0 : head_ - slots_.size();
+}
+
+std::uint64_t TraceRing::now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
+
+}  // namespace obs

@@ -1,0 +1,99 @@
+#pragma once
+
+// Lightweight trace spans (DESIGN.md §10): the event-level companion to
+// the metrics registry.  Metrics answer "how many / how fast overall";
+// the trace ring answers "what happened to batch 4711" — its admission,
+// the breaker state that routed it, every retry attempt with its
+// backoff, and its completion — as a bounded ring of fixed-size events.
+//
+// Two knobs keep it off the hot path:
+//
+//   sampling  seeded-deterministic per batch sequence number: whether a
+//             batch is traced is a pure function of (seed, seq), so two
+//             runs with the same seed trace the same batches and a
+//             replayed incident traces the batches it traced live.
+//   bounding  the ring overwrites oldest events; `dropped()` counts the
+//             overwritten so an exporter can say "showing the last N of
+//             M".
+//
+// Emission takes a mutex — events are per *batch*, three to six per
+// served batch, so the lock is microscopically cold next to the queries
+// themselves (measured in EXPERIMENTS.md E16).  The sampled() test that
+// gates every emission is two relaxed loads and a hash.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace obs {
+
+enum class SpanKind : std::uint8_t {
+  kAdmit = 0,      ///< batch admitted; a = breaker mode routed to
+  kShed,           ///< shed at admission (kResourceExhausted)
+  kShedBreaker,    ///< shed by the OPEN breaker (kUnavailable)
+  kAttempt,        ///< one engine attempt; a = attempt idx, b = backoff ns
+  kDegraded,       ///< an attempt degraded; a = attempt idx
+  kBreaker,        ///< breaker transition; a = new state
+  kComplete,       ///< batch done; a = final degraded flag, b = latency ns
+  kPublish,        ///< registry publish; seq = version
+  kRollback,       ///< registry rollback; seq = from, b = to version
+  kScrubPass,      ///< scrub pass; seq = version, a = clean flag
+  kQuarantine,     ///< scrubber quarantined; seq = version
+};
+[[nodiscard]] const char* to_string(SpanKind k);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;   ///< batch sequence / snapshot version
+  std::uint64_t t_ns = 0;  ///< monotonic ns since process start
+  std::uint64_t b = 0;     ///< kind-specific payload
+  std::uint32_t a = 0;     ///< kind-specific payload
+  SpanKind kind = SpanKind::kAdmit;
+};
+
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 8).
+  explicit TraceRing(std::size_t capacity = 1024);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// The process-wide ring the serving stack emits into.
+  [[nodiscard]] static TraceRing& global();
+
+  /// Sampling knob: trace seq iff hash(seed, seq) % period == 0.
+  /// period 1 records every batch (the default), period 0 disables
+  /// tracing entirely.  Reconfiguring does not clear recorded events.
+  void configure(std::uint64_t seed, std::uint64_t sample_period);
+
+  [[nodiscard]] bool sampled(std::uint64_t seq) const;
+
+  /// Record unconditionally (callers gate on sampled()).
+  void emit(std::uint64_t seq, SpanKind kind, std::uint32_t a = 0,
+            std::uint64_t b = 0);
+
+  /// Record iff `seq` is sampled under the current knob.
+  void emit_sampled(std::uint64_t seq, SpanKind kind, std::uint32_t a = 0,
+                    std::uint64_t b = 0);
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  [[nodiscard]] std::uint64_t emitted() const;
+  /// Events overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Monotonic nanoseconds since the first call in this process.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> slots_;
+  std::uint64_t head_ = 0;  ///< total events ever emitted
+  std::atomic<std::uint64_t> seed_{0};
+  std::atomic<std::uint64_t> period_{1};
+};
+
+}  // namespace obs

@@ -2,9 +2,43 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace pram {
 
 namespace {
+
+/// Simulator metrics (DESIGN.md §10): lifetime StepStats totals, flushed
+/// once per Machine at destruction.  The simulation hot loops (exec /
+/// exec_k) stay untouched — a machine runs thousands to millions of
+/// instructions, so ~8 relaxed adds at teardown are free.
+struct MachineMetrics {
+  obs::Counter machines;
+  obs::Counter steps;
+  obs::Counter work;
+  obs::Counter instructions;
+  obs::Counter violations;
+  obs::Counter degradations;
+  obs::Counter audit_checks;
+  obs::Gauge max_active;
+};
+
+MachineMetrics& machine_metrics() {
+  auto& r = obs::Registry::global();
+  static MachineMetrics m{
+      r.counter("pram_machines_total", "Machines that executed instructions"),
+      r.counter("pram_steps_total", "Parallel steps (Brent-adjusted)"),
+      r.counter("pram_work_total", "Processor-operations"),
+      r.counter("pram_instructions_total", "Logical parallel instructions"),
+      r.counter("pram_violations_total", "Model-audit violations"),
+      r.counter("pram_degradations_total", "Engine fall-backs"),
+      r.counter("pram_audit_checks_total",
+                "Audited SharedArray accesses examined"),
+      r.gauge("pram_max_active", "Widest logical instruction ever seen"),
+  };
+  return m;
+}
+
 std::size_t worker_count_for(Engine engine) {
   if (engine != Engine::kThreads) {
     return 0;
@@ -26,6 +60,17 @@ Machine::Machine(std::size_t p, Model model, Engine engine)
 }
 
 Machine::~Machine() {
+  if (stats_.instructions > 0) {
+    MachineMetrics& m = machine_metrics();
+    m.machines.inc();
+    m.steps.add(stats_.steps);
+    m.work.add(stats_.work);
+    m.instructions.add(stats_.instructions);
+    m.violations.add(stats_.violations);
+    m.degradations.add(stats_.degradations);
+    m.audit_checks.add(stats_.audit_checks);
+    m.max_active.set_max(static_cast<std::int64_t>(stats_.max_active));
+  }
   if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(pool_mutex_);

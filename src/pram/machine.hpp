@@ -136,6 +136,11 @@ class Machine {
     return engine_ != Engine::kThreads;
   }
 
+  /// Count one audited access (called by SharedArray's note_read /
+  /// note_write).  Audit runs only on the sequential engine
+  /// (audit_supported()), so a plain increment is race-free.
+  void note_audit_check() { ++stats_.audit_checks; }
+
   /// Record a model-audit violation (called by SharedArray).  The total is
   /// counted in stats().violations; up to kMaxViolationLog *distinct*
   /// messages are retained and exposed via violations_seen().

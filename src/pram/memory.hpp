@@ -118,6 +118,7 @@ class SharedArray {
       std::numeric_limits<std::uint64_t>::max();
 
   void note_read(std::size_t i) const {
+    audit_->note_audit_check();
     const std::uint64_t now = audit_->instruction_id();
     const Model model = audit_->model();
     if (model == Model::kErew && reads_[i] == now) {
@@ -133,6 +134,7 @@ class SharedArray {
   }
 
   void note_write(std::size_t i) {
+    audit_->note_audit_check();
     const std::uint64_t now = audit_->instruction_id();
     const Model model = audit_->model();
     if (model != Model::kCrcw && writes_[i] == now) {

@@ -42,6 +42,7 @@ struct StepStats {
   std::uint64_t violations = 0;  ///< model-audit violations detected
   std::uint64_t degradations = 0;///< engine fall-backs that produced this run
                                  ///< (see Machine::note_degradation)
+  std::uint64_t audit_checks = 0;///< audited SharedArray accesses examined
 
   void reset() { *this = StepStats{}; }
 
@@ -52,6 +53,7 @@ struct StepStats {
     if (o.max_active > max_active) max_active = o.max_active;
     violations += o.violations;
     degradations += o.degradations;
+    audit_checks += o.audit_checks;
     return *this;
   }
 };

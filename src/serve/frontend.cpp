@@ -4,9 +4,73 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace serve {
 
 using coop::Status;
+
+namespace {
+
+/// Frontend metrics (DESIGN.md §10).  The per-batch counters mirror
+/// FrontendStats so a scrape agrees with stats() modulo in-flight batches;
+/// the gauges are the operator's one-glance view (breaker state, health,
+/// in-flight).
+struct FrontendMetrics {
+  obs::Counter submitted;
+  obs::Counter admitted;
+  obs::Counter shed;
+  obs::Counter shed_breaker;
+  obs::Counter completed;
+  obs::Counter degraded;
+  obs::Counter retries;
+  obs::Counter breaker_trips;
+  obs::Counter breaker_probes;
+  obs::Counter sequential;
+  obs::Gauge breaker_state;
+  obs::Gauge health;
+  obs::Gauge inflight;
+  obs::Histogram backoff_ns;
+  obs::Histogram batch_latency_ns;
+};
+
+FrontendMetrics& frontend_metrics() {
+  auto& r = obs::Registry::global();
+  static FrontendMetrics m{
+      r.counter("serve_frontend_submitted_total", "Batches submitted"),
+      r.counter("serve_frontend_admitted_total",
+                "Batches past admission and breaker"),
+      r.counter("serve_frontend_shed_total",
+                "Batches shed by the admission budget"),
+      r.counter("serve_frontend_shed_breaker_total",
+                "Batches shed by the OPEN breaker"),
+      r.counter("serve_frontend_completed_total", "Batches completed"),
+      r.counter("serve_frontend_degraded_total",
+                "Batches whose final attempt degraded"),
+      r.counter("serve_frontend_retries_total",
+                "Attempts beyond each batch's first"),
+      r.counter("serve_frontend_breaker_trips_total",
+                "CLOSED -> OPEN breaker transitions"),
+      r.counter("serve_frontend_breaker_probes_total",
+                "HALF_OPEN probes dispatched"),
+      r.counter("serve_frontend_sequential_batches_total",
+                "Batches served sequentially under the OPEN breaker"),
+      r.gauge("serve_frontend_breaker_state",
+              "Breaker state (0 CLOSED, 1 OPEN, 2 HALF_OPEN)"),
+      r.gauge("serve_frontend_health",
+              "Health (0 HEALTHY, 1 DEGRADED, 2 LAME_DUCK)"),
+      r.gauge("serve_frontend_inflight_batches",
+              "Admitted batches currently in flight"),
+      r.histogram("serve_frontend_backoff_ns", obs::latency_bounds_ns(),
+                  "Backoff slept (or recorded) before retry attempts, ns"),
+      r.histogram("serve_frontend_batch_latency_ns", obs::latency_bounds_ns(),
+                  "End-to-end batch wall time including retries, ns"),
+  };
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(HealthState h) {
   switch (h) {
@@ -99,12 +163,13 @@ BreakerState Frontend::breaker_state() const {
   return state_;
 }
 
-Frontend::Mode Frontend::breaker_admit() {
+Frontend::Mode Frontend::breaker_admit(std::uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto now = std::chrono::steady_clock::now();
   if (state_ == BreakerState::kOpen && now >= open_until_) {
     state_ = BreakerState::kHalfOpen;
     probe_inflight_ = false;
+    note_breaker_locked(seq);
   }
   switch (state_) {
     case BreakerState::kClosed:
@@ -113,6 +178,7 @@ Frontend::Mode Frontend::breaker_admit() {
       if (!probe_inflight_) {
         probe_inflight_ = true;
         ++stats_.breaker_probes;
+        frontend_metrics().breaker_probes.inc();
         return Mode::kProbe;
       }
       [[fallthrough]];  // others wait out the probe like OPEN traffic
@@ -124,7 +190,7 @@ Frontend::Mode Frontend::breaker_admit() {
   return Mode::kParallel;
 }
 
-void Frontend::breaker_on_result(Mode mode, bool degraded) {
+void Frontend::breaker_on_result(Mode mode, bool degraded, std::uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   if (degraded) {
     ++stats_.consecutive_degraded;
@@ -134,19 +200,37 @@ void Frontend::breaker_on_result(Mode mode, bool degraded) {
       probe_inflight_ = false;
       state_ = BreakerState::kOpen;
       open_until_ = std::chrono::steady_clock::now() + opts_.breaker_open_for;
+      note_breaker_locked(seq);
     } else if (state_ == BreakerState::kClosed &&
                stats_.consecutive_degraded >= opts_.breaker_threshold) {
       state_ = BreakerState::kOpen;
       open_until_ = std::chrono::steady_clock::now() + opts_.breaker_open_for;
       ++stats_.breaker_trips;
+      frontend_metrics().breaker_trips.inc();
+      note_breaker_locked(seq);
     }
   } else {
+    const bool was_degraded = stats_.consecutive_degraded > 0;
     stats_.consecutive_degraded = 0;
     if (mode == Mode::kProbe) {
       probe_inflight_ = false;
       state_ = BreakerState::kClosed;
+      note_breaker_locked(seq);
+    } else if (was_degraded) {
+      // No state change, but health drops back to HEALTHY.
+      frontend_metrics().health.set(static_cast<std::int64_t>(health_locked()));
     }
   }
+}
+
+void Frontend::note_breaker_locked(std::uint64_t seq) {
+  FrontendMetrics& fm = frontend_metrics();
+  fm.breaker_state.set(static_cast<std::int64_t>(state_));
+  fm.health.set(static_cast<std::int64_t>(health_locked()));
+  // Transitions are rare (one per trip/probe window), so they are traced
+  // unconditionally rather than sampled per batch.
+  obs::TraceRing::global().emit(seq, obs::SpanKind::kBreaker,
+                                static_cast<std::uint32_t>(state_));
 }
 
 Status Frontend::run_admitted(snapshot::SnapshotKind need,
@@ -156,6 +240,10 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
                               const AttemptFn& attempt) {
   const std::uint64_t seq =
       batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  FrontendMetrics& fm = frontend_metrics();
+  obs::TraceRing& ring = obs::TraceRing::global();
+  const bool traced = ring.sampled(seq);
+  fm.submitted.inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -167,6 +255,10 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
   if (inflight_.fetch_add(1, std::memory_order_acq_rel) >=
       opts_.max_inflight) {
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    fm.shed.inc();
+    if (traced) {
+      ring.emit(seq, obs::SpanKind::kShed);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shed;
     return Status::resource_exhausted(
@@ -175,14 +267,31 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
   }
   struct InflightGuard {
     std::atomic<std::size_t>& n;
-    ~InflightGuard() { n.fetch_sub(1, std::memory_order_acq_rel); }
-  } guard{inflight_};
+    obs::Gauge g;
+    ~InflightGuard() {
+      n.fetch_sub(1, std::memory_order_acq_rel);
+      g.add(-1);
+    }
+  } guard{inflight_, fm.inflight};
+  fm.inflight.add(1);
+  const auto batch_start = std::chrono::steady_clock::now();
 
-  const Mode mode = breaker_admit();
+  const Mode mode = breaker_admit(seq);
   if (mode == Mode::kShed) {
+    fm.shed_breaker.inc();
+    if (traced) {
+      ring.emit(seq, obs::SpanKind::kShedBreaker);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shed_breaker;
     return Status::unavailable("circuit breaker open; batch shed");
+  }
+  fm.admitted.inc();
+  if (mode == Mode::kSequentialOnly) {
+    fm.sequential.inc();
+  }
+  if (traced) {
+    ring.emit(seq, obs::SpanKind::kAdmit, static_cast<std::uint32_t>(mode));
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -203,6 +312,8 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
     std::chrono::nanoseconds back{0};
     if (a > 0) {
       back = backoff_for(opts_, seq, a);
+      fm.retries.inc();
+      fm.backoff_ns.record(static_cast<std::uint64_t>(back.count()));
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.retries;
@@ -211,13 +322,17 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
         std::this_thread::sleep_for(back);
       }
     }
+    if (traced) {
+      ring.emit(seq, obs::SpanKind::kAttempt, a,
+                static_cast<std::uint64_t>(back.count()));
+    }
     // A fresh pin per attempt: a retry after a publish (or a rollback)
     // runs against the *new* current snapshot, which is the point of
     // retrying a batch that degraded while the structure was swapping.
     const snapshot::Registry::Pin pin = registry_.pin();
     if (!pin.has_snapshot()) {
       if (mode == Mode::kProbe) {
-        breaker_on_result(mode, /*degraded=*/true);
+        breaker_on_result(mode, /*degraded=*/true, seq);
       }
       return Status::unavailable("no snapshot published in the registry");
     }
@@ -225,7 +340,7 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
         (need == snapshot::SnapshotKind::kPointLocator &&
          !pin.snapshot().pointloc.has_value())) {
       if (mode == Mode::kProbe) {
-        breaker_on_result(mode, /*degraded=*/true);
+        breaker_on_result(mode, /*degraded=*/true, seq);
       }
       return Status::failed_precondition(
           "current snapshot kind does not match the batch type");
@@ -233,6 +348,9 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
     QueryEngine& eng =
         mode == Mode::kSequentialOnly ? seq_engine_ : engine_;
     BatchReport r = attempt(eng, pin.snapshot(), opts, seq);
+    if (r.degraded && traced) {
+      ring.emit(seq, obs::SpanKind::kDegraded, a);
+    }
     trail.push_back(BatchAttempt{a, r.degraded, r.reason, back});
     if (served_version != nullptr) {
       *served_version = pin.version();
@@ -243,7 +361,20 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
     }
   }
 
-  breaker_on_result(mode, final_report.degraded);
+  breaker_on_result(mode, final_report.degraded, seq);
+  fm.completed.inc();
+  if (final_report.degraded) {
+    fm.degraded.inc();
+  }
+  const auto latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - batch_start)
+          .count());
+  fm.batch_latency_ns.record(latency_ns);
+  if (traced) {
+    ring.emit(seq, obs::SpanKind::kComplete,
+              final_report.degraded ? 1u : 0u, latency_ns);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.completed;

@@ -160,8 +160,11 @@ class Frontend {
                                           BatchReport* report,
                                           std::uint64_t* served_version,
                                           const AttemptFn& attempt);
-  Mode breaker_admit();
-  void breaker_on_result(Mode mode, bool degraded);
+  Mode breaker_admit(std::uint64_t seq);
+  void breaker_on_result(Mode mode, bool degraded, std::uint64_t seq);
+  /// Publish breaker/health gauges and the transition trace event after a
+  /// state change.  Caller holds mu_.
+  void note_breaker_locked(std::uint64_t seq);
   [[nodiscard]] HealthState health_locked() const;
 
   snapshot::Registry& registry_;

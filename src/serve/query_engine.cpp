@@ -2,9 +2,67 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace serve {
 
 namespace {
+
+/// Engine-level metrics (DESIGN.md §10).  Handles resolve once; the batch
+/// path then pays a handful of relaxed atomic adds per *batch*, and the
+/// worker loop flushes its shard-claim count once per batch per worker.
+struct EngineMetrics {
+  obs::Counter batches;
+  obs::Counter batches_inline;
+  obs::Counter degraded_deadline;
+  obs::Counter degraded_exception;
+  obs::Counter shard_claims;
+  obs::Gauge inflight;
+  obs::Histogram batch_queries;
+  obs::Histogram batch_latency_ns;
+};
+
+EngineMetrics& engine_metrics() {
+  auto& r = obs::Registry::global();
+  static EngineMetrics m{
+      r.counter("serve_engine_batches_total", "Batches executed"),
+      r.counter("serve_engine_batches_inline_total",
+                "Batches run inline on the calling thread"),
+      r.counter("serve_engine_degraded_deadline_total",
+                "Batches degraded to sequential rerun by deadline expiry"),
+      r.counter("serve_engine_degraded_exception_total",
+                "Batches degraded to sequential rerun by a worker exception"),
+      r.counter("serve_engine_shard_claims_total",
+                "Shards claimed from the batch cursor by pool workers"),
+      r.gauge("serve_engine_inflight_batches",
+              "Batches submitted and not yet drained (queue depth)"),
+      r.histogram("serve_engine_batch_queries", obs::exponential_bounds(),
+                  "Batch size in work items"),
+      r.histogram("serve_engine_batch_latency_ns", obs::latency_bounds_ns(),
+                  "Wall time per batch, ns"),
+  };
+  return m;
+}
+
+/// Group-kernel occupancy: queries / (groups * kPathGroup) measures how
+/// full the lockstep groups run.  Two relaxed adds per kernel call (one
+/// call serves up to a whole shard), so the kernel's hot loops stay
+/// untouched.
+struct GroupKernelMetrics {
+  obs::Counter groups;
+  obs::Counter queries;
+};
+
+GroupKernelMetrics& group_kernel_metrics() {
+  auto& r = obs::Registry::global();
+  static GroupKernelMetrics m{
+      r.counter("serve_group_kernel_groups_total",
+                "Lockstep groups executed by search_paths_grouped"),
+      r.counter("serve_group_kernel_queries_total",
+                "Queries served by search_paths_grouped"),
+  };
+  return m;
+}
 
 std::size_t default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -52,6 +110,18 @@ BatchReport QueryEngine::for_each(std::size_t n,
     report.threads_used = 1;
     return report;
   }
+  EngineMetrics& em = engine_metrics();
+  em.batches.inc();
+  em.batch_queries.record(n);
+  em.inflight.add(1);
+  const auto batch_start = std::chrono::steady_clock::now();
+  const auto finish = [&em, batch_start] {
+    em.inflight.add(-1);
+    em.batch_latency_ns.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - batch_start)
+            .count()));
+  };
   const std::size_t shard_size =
       opts.shard_size == 0 ? default_shard_size(n, threads_) : opts.shard_size;
   const bool armed = opts.deadline.count() > 0;
@@ -61,11 +131,13 @@ BatchReport QueryEngine::for_each(std::size_t n,
     // Inline fast path: a single-thread engine or a batch that fits one
     // shard.  The deadline is not polled here — an inline run IS the
     // sequential fallback.
+    em.batches_inline.inc();
     for (std::size_t i = 0; i < n; ++i) {
       fn(i);
     }
     report.shards = 1;
     report.threads_used = 1;
+    finish();
     return report;
   }
 
@@ -73,12 +145,18 @@ BatchReport QueryEngine::for_each(std::size_t n,
   if (run_parallel(n, shard_size, fn, deadline_at, armed, fail_reason)) {
     report.shards = (n + shard_size - 1) / shard_size;
     report.threads_used = threads_;
+    finish();
     return report;
   }
 
   // Degradation (run_resilient discipline): the parallel attempt is fully
   // drained above, so re-running every index sequentially cannot race
   // with a stale worker; per-index idempotence makes the rerun safe.
+  if (fail_reason.rfind("deadline", 0) == 0) {
+    em.degraded_deadline.inc();
+  } else {
+    em.degraded_exception.inc();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     fn(i);
   }
@@ -86,6 +164,7 @@ BatchReport QueryEngine::for_each(std::size_t n,
   report.reason = fail_reason;
   report.shards = 1;
   report.threads_used = 1;
+  finish();
   return report;
 }
 
@@ -151,6 +230,7 @@ void QueryEngine::worker_loop() {
       deadline_at = deadline_at_;
       deadline_armed = deadline_armed_;
     }
+    std::uint64_t claims = 0;
     while (!abort_.load(std::memory_order_relaxed)) {
       if (deadline_armed && std::chrono::steady_clock::now() >= deadline_at) {
         abort_.store(true, std::memory_order_relaxed);
@@ -161,6 +241,7 @@ void QueryEngine::worker_loop() {
       if (shard >= num_shards) {
         break;
       }
+      ++claims;
       const std::size_t begin = shard * shard_size;
       const std::size_t end = std::min(n, begin + shard_size);
       try {
@@ -178,6 +259,9 @@ void QueryEngine::worker_loop() {
         break;
       }
     }
+    if (claims > 0) {
+      engine_metrics().shard_claims.add(claims);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) {
@@ -189,6 +273,11 @@ void QueryEngine::worker_loop() {
 
 void search_paths_grouped(const FlatCascade& f, const PathQuery* queries,
                           std::size_t count, PathAnswer* out) {
+  if (count > 0) {
+    GroupKernelMetrics& gm = group_kernel_metrics();
+    gm.groups.add((count + kPathGroup - 1) / kPathGroup);
+    gm.queries.add(count);
+  }
   while (count > 0) {
     const std::size_t g = std::min(count, kPathGroup);
     std::uint32_t v[kPathGroup];

@@ -3,11 +3,46 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace serve {
 
 using coop::Status;
 
 namespace {
+
+/// Scrubber metrics (DESIGN.md §10).  A pass is seconds of work, so these
+/// fire a handful of times per interval — overhead is irrelevant; the
+/// value is the operator timeline (passes vs failures vs rollbacks).
+struct ScrubMetrics {
+  obs::Counter passes;
+  obs::Counter clean;
+  obs::Counter crc_failures;
+  obs::Counter diff_failures;
+  obs::Counter quarantines;
+  obs::Counter rollbacks;
+  obs::Counter rollback_failures;
+};
+
+ScrubMetrics& scrub_metrics() {
+  auto& r = obs::Registry::global();
+  static ScrubMetrics m{
+      r.counter("serve_scrub_passes_total", "Scrub passes started"),
+      r.counter("serve_scrub_clean_total", "Scrub passes that found nothing"),
+      r.counter("serve_scrub_crc_failures_total",
+                "Scrub passes failed by CRC verification"),
+      r.counter("serve_scrub_diff_failures_total",
+                "Scrub passes failed by differential sampling"),
+      r.counter("serve_scrub_quarantines_total",
+                "Generations quarantined by the scrubber"),
+      r.counter("serve_scrub_rollbacks_total",
+                "Successful scrubber-initiated rollbacks"),
+      r.counter("serve_scrub_rollback_failures_total",
+                "Rollbacks that found no target or lost a publish race"),
+  };
+  return m;
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
@@ -74,6 +109,7 @@ ScrubberStats Scrubber::stats() const {
 
 Status Scrubber::run_pass() {
   std::uint64_t pass = 0;
+  scrub_metrics().passes.inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.passes;
@@ -132,10 +168,19 @@ Status Scrubber::run_pass() {
 
   if (bad.ok()) {
     registry_.mark_good(version);
+    scrub_metrics().clean.inc();
+    obs::TraceRing::global().emit(version, obs::SpanKind::kScrubPass,
+                                  /*a=*/1);
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.clean_passes;
     return coop::OkStatus();
   }
+  if (crc_bad) {
+    scrub_metrics().crc_failures.inc();
+  } else {
+    scrub_metrics().diff_failures.inc();
+  }
+  obs::TraceRing::global().emit(version, obs::SpanKind::kScrubPass, /*a=*/0);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (crc_bad) {
@@ -150,6 +195,8 @@ Status Scrubber::run_pass() {
 }
 
 void Scrubber::on_bad(std::uint64_t version, const Status& /*why*/) {
+  scrub_metrics().quarantines.inc();
+  obs::TraceRing::global().emit(version, obs::SpanKind::kQuarantine);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.quarantines;
@@ -159,11 +206,17 @@ void Scrubber::on_bad(std::uint64_t version, const Status& /*why*/) {
   if (target == 0) {
     // Nowhere to go: keep serving (answers may still be fine — the CRC
     // is a leading indicator) and let the operator see the stats.
+    scrub_metrics().rollback_failures.inc();
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rollback_failures;
     return;
   }
   const Status st = registry_.rollback(target, version);
+  if (st.ok()) {
+    scrub_metrics().rollbacks.inc();
+  } else {
+    scrub_metrics().rollback_failures.inc();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (st.ok()) {
     ++stats_.rollbacks;

@@ -232,7 +232,7 @@ coop::Expected<SoakOutcome> run_chaos_soak(const SoakOptions& opts) {
         }
       }
       if (opts.verbose) {
-        std::printf("soak: cycle %llu published %u (registry at gen %llu)\n",
+        std::fprintf(stderr, "soak: cycle %llu published %u (registry at gen %llu)\n",
                     static_cast<unsigned long long>(cycle), burst,
                     static_cast<unsigned long long>(
                         registry.current_version()));
@@ -257,7 +257,7 @@ coop::Expected<SoakOutcome> run_chaos_soak(const SoakOptions& opts) {
         pin.snapshot().mapping.mutable_data()[flip_off] ^= 0x01;
         bitflips.fetch_add(1, std::memory_order_relaxed);
         if (opts.verbose) {
-          std::printf("soak: cycle %llu flipped bit in gen %llu\n",
+          std::fprintf(stderr, "soak: cycle %llu flipped bit in gen %llu\n",
                       static_cast<unsigned long long>(cycle),
                       static_cast<unsigned long long>(pin.version()));
         }
@@ -268,7 +268,7 @@ coop::Expected<SoakOutcome> run_chaos_soak(const SoakOptions& opts) {
       });
       if (opts.verbose) {
         const ScrubberStats ss = scrubber.stats();
-        std::printf("soak: cycle %llu scrubber quarantines=%llu "
+        std::fprintf(stderr, "soak: cycle %llu scrubber quarantines=%llu "
                     "rollbacks=%llu (gen %llu -> %llu)\n",
                     static_cast<unsigned long long>(cycle),
                     static_cast<unsigned long long>(ss.quarantines),

@@ -3,9 +3,45 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace snapshot {
 
 using coop::Status;
+
+namespace {
+
+/// Registry metrics (DESIGN.md §10).  The pin/release pair is the only
+/// per-batch path here: one relaxed gauge add each way.  Everything else
+/// fires on publish / rollback / drain, i.e. per *generation*.
+struct RegistryMetrics {
+  obs::Counter publishes;
+  obs::Counter rollbacks;
+  obs::Counter drained;
+  obs::Gauge pinned;
+  obs::Gauge retained;
+  obs::Gauge retired;
+};
+
+RegistryMetrics& registry_metrics() {
+  auto& r = obs::Registry::global();
+  static RegistryMetrics m{
+      r.counter("snapshot_publishes_total", "Generations published"),
+      r.counter("snapshot_rollbacks_total", "Successful rollbacks"),
+      r.counter("snapshot_retired_drained_total",
+                "Retired generations reclaimed (unmapped) after readers "
+                "drained"),
+      r.gauge("snapshot_pinned_readers", "Currently pinned readers"),
+      r.gauge("snapshot_retained_generations",
+              "Generations in the keep window (incl. current)"),
+      r.gauge("snapshot_retired_generations",
+              "Retired generations awaiting reader drain"),
+  };
+  return m;
+}
+
+}  // namespace
 
 Registry::~Registry() {
   // No pins may outlive the registry (they hold a raw pointer into it);
@@ -31,6 +67,7 @@ void Registry::Pin::release() {
   const Registry* r = std::exchange(registry_, nullptr);
   r->slots_[slot_].epoch.store(kFree, std::memory_order_release);
   versioned_ = nullptr;
+  registry_metrics().pinned.add(-1);
   // The publisher reclaims on publish; releasing the (possibly last) pin
   // reclaims too, so retired arenas drain without waiting for traffic.
   r->reclaim();
@@ -76,6 +113,8 @@ Registry::Pin Registry::pin() const {
     // Nothing published yet: hand back an empty pin (slot released now).
     slots_[slot].epoch.store(kFree, std::memory_order_release);
     p.registry_ = nullptr;
+  } else {
+    registry_metrics().pinned.add(1);
   }
   return p;
 }
@@ -98,7 +137,11 @@ std::uint64_t Registry::publish(Snapshot snap) {
       // retire path below stamps an epoch before any unmap.
       retain_locked(std::move(old));
     }
+    registry_metrics().retained.set(static_cast<std::int64_t>(
+        kept_.size() + 1));
   }
+  registry_metrics().publishes.inc();
+  obs::TraceRing::global().emit(version, obs::SpanKind::kPublish);
   reclaim();
   return version;
 }
@@ -206,7 +249,12 @@ Status Registry::rollback(std::uint64_t to_version, std::uint64_t if_current) {
     // of it drain.
     bad->good = false;
     retire_locked(std::move(bad));
+    registry_metrics().retained.set(static_cast<std::int64_t>(
+        kept_.size() + 1));
   }
+  registry_metrics().rollbacks.inc();
+  obs::TraceRing::global().emit(if_current, obs::SpanKind::kRollback, 0,
+                                to_version);
   reclaim();
   return coop::OkStatus();
 }
@@ -231,9 +279,15 @@ void Registry::reclaim() const {
     // yet, and its announce/re-check loop forces it onto the newest
     // epoch before it does.
   }
+  const std::size_t before = retired_.size();
   std::erase_if(retired_, [min_epoch](const auto& r) {
     return r.first < min_epoch;  // destroys the Versioned -> unmaps
   });
+  RegistryMetrics& rm = registry_metrics();
+  if (const std::size_t gone = before - retired_.size(); gone > 0) {
+    rm.drained.add(gone);
+  }
+  rm.retired.set(static_cast<std::int64_t>(retired_.size()));
 }
 
 std::size_t Registry::retired_count() const {

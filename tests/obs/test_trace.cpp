@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+using obs::SpanKind;
+using obs::TraceEvent;
+using obs::TraceRing;
+
+TEST(Trace, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(0).capacity(), 8u);
+  EXPECT_EQ(TraceRing(5).capacity(), 8u);
+  EXPECT_EQ(TraceRing(8).capacity(), 8u);
+  EXPECT_EQ(TraceRing(9).capacity(), 16u);
+  EXPECT_EQ(TraceRing(1000).capacity(), 1024u);
+}
+
+TEST(Trace, OverflowKeepsNewestAndCountsDropped) {
+  TraceRing ring(8);
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    ring.emit(seq, SpanKind::kAdmit, /*a=*/static_cast<std::uint32_t>(seq));
+  }
+  EXPECT_EQ(ring.emitted(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first: the survivors are the last 8 emitted, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12u + i);
+    EXPECT_EQ(events[i].kind, SpanKind::kAdmit);
+  }
+  // Timestamps never run backwards within the ring.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t_ns, events[i].t_ns);
+  }
+}
+
+TEST(Trace, PartialFillSnapshotsInEmissionOrder) {
+  TraceRing ring(16);
+  ring.emit(7, SpanKind::kPublish);
+  ring.emit(3, SpanKind::kRollback, /*a=*/0, /*b=*/1);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 7u);
+  EXPECT_EQ(events[0].kind, SpanKind::kPublish);
+  EXPECT_EQ(events[1].seq, 3u);
+  EXPECT_EQ(events[1].b, 1u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(Trace, SamplingIsADeterministicFunctionOfSeedAndSeq) {
+  TraceRing a(8);
+  TraceRing b(8);
+  a.configure(/*seed=*/42, /*sample_period=*/4);
+  b.configure(/*seed=*/42, /*sample_period=*/4);
+  std::size_t hits = 0;
+  for (std::uint64_t seq = 0; seq < 4000; ++seq) {
+    ASSERT_EQ(a.sampled(seq), b.sampled(seq)) << "seq " << seq;
+    hits += a.sampled(seq) ? 1 : 0;
+  }
+  // Roughly 1-in-4; generous bounds because it is a hash, not a stride.
+  EXPECT_GT(hits, 500u);
+  EXPECT_LT(hits, 2000u);
+
+  // A different seed picks a different subset.
+  TraceRing c(8);
+  c.configure(/*seed=*/43, /*sample_period=*/4);
+  std::size_t differs = 0;
+  for (std::uint64_t seq = 0; seq < 4000; ++seq) {
+    differs += (a.sampled(seq) != c.sampled(seq)) ? 1 : 0;
+  }
+  EXPECT_GT(differs, 0u);
+}
+
+TEST(Trace, PeriodExtremes) {
+  TraceRing ring(8);
+  ring.configure(/*seed=*/1, /*sample_period=*/1);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_TRUE(ring.sampled(seq));
+  }
+  ring.configure(/*seed=*/1, /*sample_period=*/0);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_FALSE(ring.sampled(seq));
+  }
+}
+
+TEST(Trace, EmitSampledHonoursTheKnob) {
+  TraceRing ring(64);
+  ring.configure(/*seed=*/7, /*sample_period=*/3);
+  std::size_t expected = 0;
+  for (std::uint64_t seq = 0; seq < 300; ++seq) {
+    expected += ring.sampled(seq) ? 1 : 0;
+    ring.emit_sampled(seq, SpanKind::kComplete);
+  }
+  EXPECT_EQ(ring.emitted(), expected);
+}
+
+TEST(Trace, SpanKindNamesAreStable) {
+  EXPECT_STREQ(obs::to_string(SpanKind::kAdmit), "ADMIT");
+  EXPECT_STREQ(obs::to_string(SpanKind::kComplete), "COMPLETE");
+  EXPECT_STREQ(obs::to_string(SpanKind::kQuarantine), "QUARANTINE");
+}
+
+}  // namespace

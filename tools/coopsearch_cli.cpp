@@ -7,12 +7,23 @@
 //   coopsearch_cli pointloc  <regions> <bands> <seed> <p> <queries>
 //   coopsearch_cli pointloc-file <sub.txt> <p> <queries> <seed>
 //   coopsearch_cli serve     <tree.txt> <threads> <queries> <seed>
+//                            [--metrics[=file]]
 //   coopsearch_cli serve     --soak <millis> <seed> [threads]
+//                            [--json] [--metrics[=file]]
 //   coopsearch_cli snapshot save  <tree.txt> <out.snap>
 //   coopsearch_cli snapshot load  <file.snap>
 //   coopsearch_cli snapshot serve <file.snap> <threads> <queries> <seed>
 //                                 [--check-tree <tree.txt>]
+//   coopsearch_cli stats     [--prometheus] [--trace]
 //   coopsearch_cli selftest
+//
+// Observability (DESIGN.md §10): `stats` exercises the simulator and the
+// serving engine, then prints the scraped metrics registry to stdout
+// (JSON by default, Prometheus text with --prometheus).  `serve
+// --metrics` dumps the same JSON on exit — to stderr in the bare form so
+// the serving output stays intact, or to a file with --metrics=FILE.
+// `serve --soak --json` prints a machine-readable outcome document on
+// stdout with every human diagnostic routed to stderr.
 //
 // Tree file format: first line "N"; then one line per node
 // "<parent|-1> <k> <key_1> ... <key_k>" in id order (node 0 is the root,
@@ -36,6 +47,9 @@
 
 #include "core/explicit_search.hpp"
 #include "geom/generators.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pointloc/coop_pointloc.hpp"
 #include "robust/loaders.hpp"
 #include "robust/validate.hpp"
@@ -82,6 +96,64 @@ bool parse_size(const char* arg, std::size_t max, std::size_t& out) {
   }
   out = static_cast<std::size_t>(v);
   return true;
+}
+
+/// `--metrics` / `--metrics=FILE`: dump the scraped registry on exit.
+struct MetricsFlag {
+  bool enabled = false;
+  std::string path;  // empty -> stderr
+};
+
+/// Pull --metrics[=FILE] out of argv (anywhere), compacting the
+/// remaining arguments in place.  Returns the new argc.
+int extract_metrics_flag(int argc, char** argv, MetricsFlag& mf) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      mf.enabled = true;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      mf.enabled = true;
+      mf.path = argv[i] + 10;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+/// Same trick for a bare boolean flag (e.g. --json).  Returns new argc.
+int extract_bool_flag(int argc, char** argv, const char* name, bool& found) {
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  return out;
+}
+
+int dump_metrics(const MetricsFlag& mf) {
+  if (!mf.enabled) {
+    return 0;
+  }
+  const std::string doc = obs::export_global_json(/*with_trace=*/true);
+  if (mf.path.empty()) {
+    std::fputs(doc.c_str(), stderr);
+    return 0;
+  }
+  std::FILE* f = std::fopen(mf.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                 mf.path.c_str());
+    return 1;
+  }
+  std::fputs(doc.c_str(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "metrics: wrote %zu bytes to %s\n", doc.size(),
+               mf.path.c_str());
+  return 0;
 }
 
 int cmd_gen_tree(int argc, char** argv) {
@@ -327,11 +399,14 @@ int cmd_pointloc_file(int argc, char** argv) {
 // only for a soak with zero wrong answers, zero unexpected failures, and
 // every chaos goal observed (shed, breaker trip, quarantine, rollback).
 int cmd_serve_soak(int argc, char** argv) {
+  bool json_mode = false;
+  argc = extract_bool_flag(argc, argv, "--json", json_mode);
   std::size_t millis = 0, seed = 0, threads = 4;
   if (argc < 2 || !parse_size(argv[0], 600'000, millis) || millis == 0 ||
       !parse_size(argv[1], SIZE_MAX, seed) ||
       (argc >= 3 && (!parse_size(argv[2], 256, threads) || threads == 0))) {
-    return usage("serve --soak <millis<=600000> <seed> [threads<=256]");
+    return usage(
+        "serve --soak <millis<=600000> <seed> [threads<=256] [--json]");
   }
   serve::SoakOptions opts;
   opts.seed = seed;
@@ -343,43 +418,90 @@ int cmd_serve_soak(int argc, char** argv) {
     return fail(outcome.status());
   }
   const serve::SoakOutcome& o = *outcome;
-  std::printf("batches: %llu submitted = %llu admitted + %llu shed + "
-              "%llu breaker-shed + %llu failed (%llu degraded)\n",
-              static_cast<unsigned long long>(o.batches),
-              static_cast<unsigned long long>(o.admitted),
-              static_cast<unsigned long long>(o.shed),
-              static_cast<unsigned long long>(o.shed_breaker),
-              static_cast<unsigned long long>(o.failed),
-              static_cast<unsigned long long>(o.degraded));
-  std::printf("breaker: %llu trips, %llu probes; health %s\n",
-              static_cast<unsigned long long>(o.frontend.breaker_trips),
-              static_cast<unsigned long long>(o.frontend.breaker_probes),
-              serve::to_string(o.frontend.health));
-  std::printf("scrubber: %llu passes (%llu clean), %llu quarantines, "
-              "%llu rollbacks; %llu publishes, %llu bit flips\n",
-              static_cast<unsigned long long>(o.scrubber.passes),
-              static_cast<unsigned long long>(o.scrubber.clean_passes),
-              static_cast<unsigned long long>(o.scrubber.quarantines),
-              static_cast<unsigned long long>(o.scrubber.rollbacks),
-              static_cast<unsigned long long>(o.publishes),
-              static_cast<unsigned long long>(o.bitflips));
-  std::printf("%s\n", o.verdict.c_str());
-  if (o.wrong_answers != 0 || o.failed != 0 || !o.goals_met) {
+  // With --json the summary moves to stderr so stdout carries exactly
+  // one machine-parseable document.
+  std::FILE* hs = json_mode ? stderr : stdout;
+  std::fprintf(hs,
+               "batches: %llu submitted = %llu admitted + %llu shed + "
+               "%llu breaker-shed + %llu failed (%llu degraded)\n",
+               static_cast<unsigned long long>(o.batches),
+               static_cast<unsigned long long>(o.admitted),
+               static_cast<unsigned long long>(o.shed),
+               static_cast<unsigned long long>(o.shed_breaker),
+               static_cast<unsigned long long>(o.failed),
+               static_cast<unsigned long long>(o.degraded));
+  std::fprintf(hs, "breaker: %llu trips, %llu probes; health %s\n",
+               static_cast<unsigned long long>(o.frontend.breaker_trips),
+               static_cast<unsigned long long>(o.frontend.breaker_probes),
+               serve::to_string(o.frontend.health));
+  std::fprintf(hs,
+               "scrubber: %llu passes (%llu clean), %llu quarantines, "
+               "%llu rollbacks; %llu publishes, %llu bit flips\n",
+               static_cast<unsigned long long>(o.scrubber.passes),
+               static_cast<unsigned long long>(o.scrubber.clean_passes),
+               static_cast<unsigned long long>(o.scrubber.quarantines),
+               static_cast<unsigned long long>(o.scrubber.rollbacks),
+               static_cast<unsigned long long>(o.publishes),
+               static_cast<unsigned long long>(o.bitflips));
+  std::fprintf(hs, "%s\n", o.verdict.c_str());
+  const bool ok = o.wrong_answers == 0 && o.failed == 0 && o.goals_met;
+  if (json_mode) {
+    std::printf(
+        "{\n"
+        "  \"bench\": \"serve_soak\",\n"
+        "  \"seed\": %llu,\n"
+        "  \"millis\": %llu,\n"
+        "  \"threads\": %zu,\n"
+        "  \"batches\": %llu,\n"
+        "  \"admitted\": %llu,\n"
+        "  \"shed\": %llu,\n"
+        "  \"shed_breaker\": %llu,\n"
+        "  \"failed\": %llu,\n"
+        "  \"degraded\": %llu,\n"
+        "  \"wrong_answers\": %llu,\n"
+        "  \"breaker_trips\": %llu,\n"
+        "  \"breaker_probes\": %llu,\n"
+        "  \"scrub_passes\": %llu,\n"
+        "  \"quarantines\": %llu,\n"
+        "  \"rollbacks\": %llu,\n"
+        "  \"publishes\": %llu,\n"
+        "  \"bitflips\": %llu,\n"
+        "  \"goals_met\": %s,\n"
+        "  \"ok\": %s,\n"
+        "  \"rows\": []\n"
+        "}\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(millis), threads,
+        static_cast<unsigned long long>(o.batches),
+        static_cast<unsigned long long>(o.admitted),
+        static_cast<unsigned long long>(o.shed),
+        static_cast<unsigned long long>(o.shed_breaker),
+        static_cast<unsigned long long>(o.failed),
+        static_cast<unsigned long long>(o.degraded),
+        static_cast<unsigned long long>(o.wrong_answers),
+        static_cast<unsigned long long>(o.frontend.breaker_trips),
+        static_cast<unsigned long long>(o.frontend.breaker_probes),
+        static_cast<unsigned long long>(o.scrubber.passes),
+        static_cast<unsigned long long>(o.scrubber.quarantines),
+        static_cast<unsigned long long>(o.scrubber.rollbacks),
+        static_cast<unsigned long long>(o.publishes),
+        static_cast<unsigned long long>(o.bitflips),
+        o.goals_met ? "true" : "false", ok ? "true" : "false");
+  }
+  if (!ok) {
     return 1;
   }
-  std::printf("chaos soak OK\n");
+  std::fprintf(hs, "chaos soak OK\n");
   return 0;
 }
 
-int cmd_serve(int argc, char** argv) {
-  if (argc >= 1 && std::strcmp(argv[0], "--soak") == 0) {
-    return cmd_serve_soak(argc - 1, argv + 1);
-  }
+int cmd_serve_batch(int argc, char** argv) {
   std::size_t threads = 0, queries = 0, seed = 0;
   if (argc < 4 || !parse_size(argv[1], 256, threads) || threads == 0 ||
       !parse_size(argv[2], std::size_t{1} << 24, queries) ||
       !parse_size(argv[3], SIZE_MAX, seed)) {
-    return usage("serve <tree.txt> <threads<=256> <queries<=2^24> <seed>");
+    return usage("serve <tree.txt> <threads<=256> <queries<=2^24> <seed> "
+                 "[--metrics[=file]]");
   }
   auto tree = load_tree_file(argv[0]);
   if (!tree.ok()) {
@@ -436,6 +558,21 @@ int cmd_serve(int argc, char** argv) {
   }
   std::printf("serve OK\n");
   return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  MetricsFlag mf;
+  argc = extract_metrics_flag(argc, argv, mf);
+  int rc;
+  if (argc >= 1 && std::strcmp(argv[0], "--soak") == 0) {
+    rc = cmd_serve_soak(argc - 1, argv + 1);
+  } else {
+    rc = cmd_serve_batch(argc, argv);
+  }
+  if (dump_metrics(mf) != 0 && rc == 0) {
+    rc = 1;
+  }
+  return rc;
 }
 
 // snapshot save: tree file -> checked build -> flat compile -> binary
@@ -620,6 +757,70 @@ int cmd_snapshot(int argc, char** argv) {
   return usage("snapshot save|load|serve [args]");
 }
 
+// stats: run a small deterministic workload through the PRAM simulator
+// and the serving engine so the registry has something to show, then
+// print the scrape to stdout — JSON by default, Prometheus text format
+// with --prometheus, trace events included with --trace.  Diagnostics
+// go to stderr so stdout stays machine-parseable.
+int cmd_stats(int argc, char** argv) {
+  bool prometheus = false;
+  bool with_trace = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prometheus") == 0) {
+      prometheus = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      with_trace = true;
+    } else {
+      return usage("stats [--prometheus] [--trace]");
+    }
+  }
+  obs::TraceRing::global().configure(/*seed=*/1, /*sample_period=*/1);
+  std::mt19937_64 rng(1);
+  const auto t = cat::make_balanced_binary(6, 1000,
+                                           cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build_checked(t);
+  if (!s.ok()) {
+    return fail(s.status());
+  }
+  const auto cs = coop::CoopStructure::build_checked(*s);
+  if (!cs.ok()) {
+    return fail(cs.status());
+  }
+  std::vector<cat::NodeId> path{t.root()};
+  while (!t.is_leaf(path.back())) {
+    path.push_back(t.children(path.back())[0]);
+  }
+  {
+    pram::Machine m(64);
+    for (cat::Key y : {0, 1000, 999999999}) {
+      (void)coop::coop_search_explicit(*cs, m, path, y);
+    }
+  }
+  auto flat = serve::FlatCascade::compile(*s);
+  if (!flat.ok()) {
+    return fail(flat.status());
+  }
+  std::vector<serve::PathQuery> batch(64);
+  for (auto& q : batch) {
+    q.path = path;
+    q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+  }
+  serve::QueryEngine engine(2);
+  std::vector<serve::PathAnswer> answers;
+  (void)serve::serve_path_queries(*flat, engine, batch, answers);
+  std::fprintf(stderr,
+               "stats: exercised the simulator and serving engine on a "
+               "%zu-node demo tree\n",
+               t.num_nodes());
+  if (prometheus) {
+    std::fputs(obs::to_prometheus(obs::Registry::global().scrape()).c_str(),
+               stdout);
+  } else {
+    std::fputs(obs::export_global_json(with_trace).c_str(), stdout);
+  }
+  return 0;
+}
+
 int cmd_selftest() {
   std::mt19937_64 rng(1);
   const auto t = cat::make_balanced_binary(6, 1000,
@@ -658,7 +859,7 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       return usage("coopsearch_cli gen-tree|gen-sub|search|validate|pointloc|"
-                   "pointloc-file|serve|snapshot|selftest [args]");
+                   "pointloc-file|serve|snapshot|stats|selftest [args]");
     }
     if (std::strcmp(argv[1], "gen-tree") == 0) {
       return cmd_gen_tree(argc - 2, argv + 2);
@@ -683,6 +884,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "snapshot") == 0) {
       return cmd_snapshot(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "stats") == 0) {
+      return cmd_stats(argc - 2, argv + 2);
     }
     if (std::strcmp(argv[1], "selftest") == 0) {
       return cmd_selftest();
