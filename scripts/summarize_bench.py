@@ -116,6 +116,29 @@ def summarize_overload_json(path, data):
     return 0 if ok else 1
 
 
+def summarize_wire_json(path, data):
+    """coopload --json: over-the-wire throughput per collection."""
+    if "rows" not in data:
+        print(f"{path}: missing 'rows' — not a wire bench file?",
+              file=sys.stderr)
+        return 1
+    kind = "smoke" if data.get("smoke") else "full"
+    print(f"== wire ({kind}: framed-TCP loopback, "
+          f"{'checked' if data.get('checked') else 'unchecked'})")
+    rows = [
+        {"args": f"{r['mode']}@t{r.get('threads', 1)}",
+         "qps": f"{r['qps']:,.0f}",
+         "p99_ms": f"{r.get('p99_ns', 0) / 1e6:.3f}"}
+        for r in data["rows"]
+    ]
+    print(fmt_table(rows))
+    print(f"oracle mismatches: {data.get('mismatches', 0)}, "
+          f"request errors: {data.get('errors', 0)}")
+    print()
+    ok = data.get("mismatches", 0) == 0 and data.get("errors", 0) == 0
+    return 0 if ok else 1
+
+
 def summarize_serve_json(path):
     with open(path) as f:
         data = json.load(f)
@@ -123,6 +146,8 @@ def summarize_serve_json(path):
         return summarize_snapshot_json(path, data)
     if data.get("bench") == "overload":
         return summarize_overload_json(path, data)
+    if data.get("bench") == "wire":
+        return summarize_wire_json(path, data)
     for key in ("bench", "rows", "speedup_flat_vs_simulator", "equal_answers"):
         if key not in data:
             print(f"{path}: missing '{key}' — not a serve bench file?",

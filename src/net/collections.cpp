@@ -1,0 +1,66 @@
+#include "net/collections.hpp"
+
+namespace net {
+
+using coop::Status;
+
+Status CollectionMap::load(const std::string& name, snapshot::Snapshot snap,
+                           std::uint64_t* version) {
+  std::shared_ptr<Collection> c;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.count(name) != 0) {
+      return Status::failed_precondition("collection '" + name +
+                                         "' already loaded (use SWAP)");
+    }
+    c = std::make_shared<Collection>(name, engine_, fopts_);
+    map_.emplace(name, c);
+  }
+  const std::uint64_t v = c->registry.publish(std::move(snap));
+  if (version != nullptr) {
+    *version = v;
+  }
+  return coop::OkStatus();
+}
+
+Status CollectionMap::swap(const std::string& name, snapshot::Snapshot snap,
+                           std::uint64_t* version) {
+  std::shared_ptr<Collection> c = find(name);
+  if (c == nullptr) {
+    return Status::failed_precondition("collection '" + name +
+                                       "' not loaded (use LOAD)");
+  }
+  const std::uint64_t v = c->registry.publish(std::move(snap));
+  if (version != nullptr) {
+    *version = v;
+  }
+  return coop::OkStatus();
+}
+
+Status CollectionMap::unload(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.erase(name) == 0) {
+    return Status::failed_precondition("collection '" + name +
+                                       "' not loaded");
+  }
+  return coop::OkStatus();
+}
+
+std::shared_ptr<Collection> CollectionMap::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(name);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Collection>> CollectionMap::all() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Collection>> out;
+  out.reserve(map_.size());
+  for (const auto& [name, c] : map_) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace net

@@ -1,0 +1,69 @@
+#pragma once
+
+// Named dataset registry for the server (DESIGN.md §11): each collection
+// owns a snapshot::Registry (versioned generations, epoch reclamation)
+// fronted by its own serve::Frontend (admission, breaker, retries), all
+// sharing one QueryEngine worker pool.  LOAD creates, SWAP publishes a
+// new generation into an existing collection under live traffic, UNLOAD
+// removes the name — in-flight batches keep the collection alive through
+// the shared_ptr they resolved at dispatch, so an unload can never yank
+// an arena out from under a query.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "robust/status.hpp"
+#include "serve/frontend.hpp"
+#include "serve/query_engine.hpp"
+#include "snapshot/registry.hpp"
+
+namespace net {
+
+struct Collection {
+  Collection(std::string n, serve::QueryEngine& engine,
+             serve::FrontendOptions opts)
+      : name(std::move(n)), frontend(registry, engine, opts) {}
+
+  const std::string name;
+  snapshot::Registry registry;  // must outlive frontend (declared first)
+  serve::Frontend frontend;
+};
+
+class CollectionMap {
+ public:
+  CollectionMap(serve::QueryEngine& engine, serve::FrontendOptions opts)
+      : engine_(engine), fopts_(opts) {}
+
+  /// Create `name` and publish `snap` as its version 1.
+  /// kFailedPrecondition when the name already exists (use swap).
+  [[nodiscard]] coop::Status load(const std::string& name,
+                                  snapshot::Snapshot snap,
+                                  std::uint64_t* version = nullptr);
+
+  /// Publish `snap` as the next generation of existing collection
+  /// `name`; traffic in flight keeps serving the pinned old generation.
+  [[nodiscard]] coop::Status swap(const std::string& name,
+                                  snapshot::Snapshot snap,
+                                  std::uint64_t* version = nullptr);
+
+  /// Remove `name`.  In-flight batches finish against their shared_ptr.
+  [[nodiscard]] coop::Status unload(const std::string& name);
+
+  /// nullptr when the name is unknown.
+  [[nodiscard]] std::shared_ptr<Collection> find(
+      const std::string& name) const;
+
+  /// Every collection, sorted by name (stable health output).
+  [[nodiscard]] std::vector<std::shared_ptr<Collection>> all() const;
+
+ private:
+  serve::QueryEngine& engine_;
+  const serve::FrontendOptions fopts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Collection>> map_;
+};
+
+}  // namespace net

@@ -1,0 +1,59 @@
+#include "net/quota.hpp"
+
+#include <string>
+
+namespace net {
+
+using coop::Status;
+
+TenantQuotas::TenantQuotas(QuotaOptions opts) : opts_(opts) {}
+
+Status TenantQuotas::admit(std::uint64_t tenant, std::uint64_t now_ns,
+                           std::uint64_t cost) {
+  if (!enabled() || cost == 0) {
+    return coop::OkStatus();
+  }
+  const std::uint64_t cap = opts_.burst * kScale;
+  const std::uint64_t need = cost * kScale;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  Bucket& b = it->second;
+  if (fresh) {
+    b.scaled_tokens = cap;  // new tenants may burst immediately
+    b.last_refill_ns = now_ns;
+  }
+  if (now_ns > b.last_refill_ns) {
+    // kScale scaled-tokens per token and 1e9 ns per second cancel:
+    // refill is exactly elapsed_ns * tokens_per_sec scaled-tokens.
+    // Clamp the elapsed time to what fills the bucket from empty before
+    // multiplying, so a long-idle tenant cannot overflow the product.
+    std::uint64_t elapsed = now_ns - b.last_refill_ns;
+    const std::uint64_t to_full = cap / opts_.tokens_per_sec + 1;
+    if (elapsed > to_full) {
+      elapsed = to_full;
+    }
+    const std::uint64_t refill = elapsed * opts_.tokens_per_sec;
+    b.scaled_tokens = refill > cap - std::min(b.scaled_tokens, cap)
+                          ? cap
+                          : b.scaled_tokens + refill;
+    b.last_refill_ns = now_ns;
+  }
+  if (b.scaled_tokens < need) {
+    ++b.stats.shed;
+    return Status::resource_exhausted(
+        "tenant " + std::to_string(tenant) + " quota exhausted (" +
+        std::to_string(opts_.tokens_per_sec) + "/s, burst " +
+        std::to_string(opts_.burst) + ")");
+  }
+  b.scaled_tokens -= need;
+  ++b.stats.admitted;
+  return coop::OkStatus();
+}
+
+TenantStats TenantQuotas::stats(std::uint64_t tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = buckets_.find(tenant);
+  return it == buckets_.end() ? TenantStats{} : it->second.stats;
+}
+
+}  // namespace net

@@ -1,0 +1,72 @@
+#pragma once
+
+// Per-tenant admission quotas (DESIGN.md §11): a token bucket per tenant
+// id, sitting *in front of* the frontend's global bounded admission.  The
+// global budget protects the process; the per-tenant buckets protect
+// tenants from each other — a hot tenant exhausts its own bucket and is
+// shed with kResourceExhausted while a quiet tenant's traffic still
+// admits.
+//
+// Determinism: the bucket does no clock reads.  Callers pass `now_ns`
+// (the server passes its steady clock; tests and the wire soak pass a
+// scripted clock), and all arithmetic is fixed-point integer — tokens
+// are stored scaled by 1e9, refill is elapsed_ns * rate_per_sec — so a
+// replayed admission sequence is byte-identical across runs and
+// platforms.  No floating point anywhere.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "robust/status.hpp"
+
+namespace net {
+
+struct QuotaOptions {
+  /// Sustained admissions per second per tenant; 0 disables quotas
+  /// (every request admits).
+  std::uint64_t tokens_per_sec = 0;
+  /// Bucket capacity: how many admissions a tenant can burst after idling.
+  std::uint64_t burst = 1;
+};
+
+struct TenantStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+};
+
+/// Token buckets keyed by tenant id.  Thread-safe; buckets are created
+/// full on a tenant's first request (a new tenant can burst immediately).
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(QuotaOptions opts = {});
+
+  /// Admit `cost` requests for `tenant` at time `now_ns`, refilling the
+  /// bucket by the elapsed time first.  OK admits (and debits);
+  /// kResourceExhausted names the tenant and leaves the bucket unchanged
+  /// (failed admissions must not advance anything a retry would observe
+  /// — except the refill, which is a pure function of now_ns).
+  [[nodiscard]] coop::Status admit(std::uint64_t tenant, std::uint64_t now_ns,
+                                   std::uint64_t cost = 1);
+
+  [[nodiscard]] TenantStats stats(std::uint64_t tenant) const;
+  [[nodiscard]] bool enabled() const { return opts_.tokens_per_sec > 0; }
+  [[nodiscard]] const QuotaOptions& options() const { return opts_; }
+
+ private:
+  /// Tokens scaled by kScale (1e9), so one token per second refills at
+  /// exactly 1 scaled-token per nanosecond with zero rounding drift.
+  static constexpr std::uint64_t kScale = 1'000'000'000ULL;
+
+  struct Bucket {
+    std::uint64_t scaled_tokens = 0;
+    std::uint64_t last_refill_ns = 0;
+    TenantStats stats;
+  };
+
+  const QuotaOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+};
+
+}  // namespace net

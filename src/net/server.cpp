@@ -1,0 +1,1036 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace net {
+
+using coop::Status;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+/// obs handles, resolved once (registration is idempotent by name).
+struct NetMetrics {
+  obs::Counter accepted;
+  obs::Counter frames_in;
+  obs::Counter frames_out;
+  obs::Counter malformed;
+  obs::Counter deadline_expired;
+  obs::Counter quota_shed;
+  obs::Counter batches;
+  obs::Counter draining_refused;
+  obs::Counter errors_sent;
+  obs::Counter idle_closed;
+  obs::Counter stall_closed;
+  obs::Gauge open_connections;
+  obs::Gauge draining;
+  obs::Histogram request_ns;
+
+  static NetMetrics& get() {
+    static NetMetrics m = [] {
+      auto& r = obs::Registry::global();
+      NetMetrics n;
+      n.accepted = r.counter("net_server_connections_accepted_total",
+                             "Connections accepted by the listener");
+      n.frames_in = r.counter("net_server_frames_in_total",
+                              "Complete frames received and decoded");
+      n.frames_out = r.counter("net_server_frames_out_total",
+                               "Response frames fully flushed to peers");
+      n.malformed = r.counter(
+          "net_server_malformed_frames_total",
+          "Frames rejected by the decoder (truncated, length lie, CRC, "
+          "bad magic/version); the connection is closed after a typed "
+          "error");
+      n.deadline_expired = r.counter(
+          "net_server_deadline_expired_total",
+          "Requests answered with a typed DEADLINE_EXCEEDED error "
+          "(expired before dispatch or completed too late)");
+      n.quota_shed = r.counter(
+          "net_server_quota_shed_total",
+          "Requests shed by per-tenant token buckets "
+          "(RESOURCE_EXHAUSTED)");
+      n.batches = r.counter("net_server_batches_served_total",
+                            "Path/point batches answered successfully");
+      n.draining_refused = r.counter(
+          "net_server_draining_refused_total",
+          "Batch/admin frames refused with UNAVAILABLE during drain");
+      n.errors_sent = r.counter("net_server_errors_sent_total",
+                                "Typed ERROR responses sent (all causes)");
+      n.idle_closed = r.counter("net_server_idle_closed_total",
+                                "Connections reaped by the idle timeout");
+      n.stall_closed = r.counter(
+          "net_server_stall_closed_total",
+          "Connections reaped because the peer stopped reading "
+          "responses (write stall)");
+      n.open_connections = r.gauge("net_server_open_connections",
+                                   "Currently open connections");
+      n.draining = r.gauge("net_server_draining",
+                           "1 while the server is in lame-duck drain");
+      n.request_ns = r.histogram("net_server_request_ns",
+                                 obs::latency_bounds_ns(),
+                                 "Dispatch-to-response latency per frame");
+      return n;
+    }();
+    return m;
+  }
+};
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Readiness abstraction: epoll where available, poll() everywhere (and
+/// on Linux too when COOPNET_FORCE_POLL=1, which CI uses to cover the
+/// fallback).  The fd set is tiny (hundreds), so the poll fallback's
+/// O(n) rebuild per wait is fine.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool broken = false;  ///< HUP / ERR
+  };
+
+  Poller() {
+#ifdef __linux__
+    const char* force = std::getenv("COOPNET_FORCE_POLL");
+    if (force == nullptr || force[0] == '\0' || force[0] == '0') {
+      epfd_ = epoll_create1(EPOLL_CLOEXEC);
+    }
+#endif
+  }
+  ~Poller() {
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      ::close(epfd_);
+    }
+#endif
+  }
+
+  void add(int fd, bool want_write) {
+    want_write_[fd] = want_write;
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev = make_event(fd, want_write);
+      (void)epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+#endif
+  }
+
+  void update(int fd, bool want_write) {
+    want_write_[fd] = want_write;
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event ev = make_event(fd, want_write);
+      (void)epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+    }
+#endif
+  }
+
+  void remove(int fd) {
+    want_write_.erase(fd);
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      (void)epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+    }
+#endif
+  }
+
+  void wait(std::vector<Event>& out, int timeout_ms) {
+    out.clear();
+#ifdef __linux__
+    if (epfd_ >= 0) {
+      epoll_event evs[64];
+      const int n = epoll_wait(epfd_, evs, 64, timeout_ms);
+      for (int i = 0; i < n; ++i) {
+        Event e;
+        e.fd = static_cast<int>(evs[i].data.fd);
+        e.readable = (evs[i].events & EPOLLIN) != 0;
+        e.writable = (evs[i].events & EPOLLOUT) != 0;
+        e.broken = (evs[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+        out.push_back(e);
+      }
+      return;
+    }
+#endif
+    std::vector<pollfd> pfds;
+    pfds.reserve(want_write_.size());
+    for (const auto& [fd, ww] : want_write_) {
+      pollfd p{};
+      p.fd = fd;
+      p.events = static_cast<short>(POLLIN | (ww ? POLLOUT : 0));
+      pfds.push_back(p);
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (n <= 0) {
+      return;
+    }
+    for (const pollfd& p : pfds) {
+      if (p.revents == 0) {
+        continue;
+      }
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & POLLIN) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.broken = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+#ifdef __linux__
+  static epoll_event make_event(int fd, bool want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ev;
+  }
+  int epfd_ = -1;
+#endif
+  std::unordered_map<int, bool> want_write_;
+};
+
+std::uint64_t steady_ns(SteadyClock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct Server::Impl {
+  Server* self = nullptr;
+  ServerOptions opts;
+
+  int listen_fd = -1;
+  int wake_r = -1;
+  int wake_w = -1;
+  Poller poller;
+  std::thread io_thread;
+  std::vector<std::thread> worker_threads;
+
+  /// Connections are addressed by a monotonic id, not by fd: a worker's
+  /// response must never land on a recycled fd of a different peer.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> inbuf;
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_off = 0;
+    SteadyClock::time_point last_activity{};
+    SteadyClock::time_point stall_since{};
+    std::size_t inflight = 0;  ///< dispatched frames awaiting a response
+    bool close_after_flush = false;
+    bool want_write = false;
+  };
+  // IO-thread-only state.
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::unordered_map<int, std::uint64_t> fd_to_id;
+  std::uint64_t next_conn_id = 1;
+
+  struct Task {
+    std::uint64_t conn_id = 0;
+    Frame frame;
+    SteadyClock::time_point arrival{};
+  };
+  std::mutex task_mu;
+  std::condition_variable task_cv;
+  std::deque<Task> tasks;
+  std::size_t active_tasks = 0;  ///< popped, still being processed
+  bool shutdown_workers = false;
+
+  /// Worker -> IO thread: finished responses, routed by connection id.
+  std::mutex out_mu;
+  std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> outbox;
+
+  std::mutex drain_mu;
+  std::condition_variable drain_cv;
+  bool drained = false;
+
+  std::atomic<bool> stop_flag{false};
+
+  mutable std::mutex stats_mu;
+  ServerStats stats;
+
+  void bump(std::uint64_t ServerStats::* field) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    ++(stats.*field);
+  }
+
+  void wake() {
+    const char b = 1;
+    (void)::write(wake_w, &b, 1);
+  }
+
+  // ---- response plumbing -------------------------------------------
+
+  static std::vector<std::uint8_t> make_response(
+      const FrameHeader& req, MsgType type,
+      std::span<const std::uint8_t> payload) {
+    FrameHeader h;
+    h.type = static_cast<std::uint16_t>(static_cast<std::uint16_t>(type) |
+                                        kResponseBit);
+    h.request_id = req.request_id;
+    h.tenant = req.tenant;
+    return encode_frame(h, payload);
+  }
+
+  std::vector<std::uint8_t> error_frame(const FrameHeader& req,
+                                        const Status& s) {
+    bump(&ServerStats::errors_sent);
+    NetMetrics::get().errors_sent.inc();
+    const std::vector<std::uint8_t> payload = encode(to_wire_error(s));
+    return make_response(req, MsgType::kError, payload);
+  }
+
+  // ---- worker side -------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(task_mu);
+        task_cv.wait(lock,
+                     [&] { return shutdown_workers || !tasks.empty(); });
+        if (tasks.empty()) {
+          return;  // shutdown with nothing left
+        }
+        task = std::move(tasks.front());
+        tasks.pop_front();
+        ++active_tasks;
+      }
+      std::vector<std::uint8_t> response = process(task);
+      {
+        std::lock_guard<std::mutex> lock(out_mu);
+        outbox.emplace_back(task.conn_id, std::move(response));
+      }
+      {
+        std::lock_guard<std::mutex> lock(task_mu);
+        --active_tasks;
+      }
+      wake();
+    }
+  }
+
+  std::vector<std::uint8_t> process(const Task& task) {
+    const FrameHeader& h = task.frame.header;
+    const auto type = static_cast<MsgType>(h.type);
+    const SteadyClock::time_point t0 = SteadyClock::now();
+    std::vector<std::uint8_t> out;
+    switch (type) {
+      case MsgType::kPathBatch:
+        out = process_paths(task);
+        break;
+      case MsgType::kPointBatch:
+        out = process_points(task);
+        break;
+      case MsgType::kHealth:
+        out = process_health(h);
+        break;
+      case MsgType::kMetrics: {
+        const std::string text =
+            obs::to_prometheus(obs::Registry::global().scrape());
+        out = make_response(
+            h, MsgType::kMetrics,
+            std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size()));
+        break;
+      }
+      case MsgType::kLoad:
+      case MsgType::kSwap:
+      case MsgType::kUnload:
+      case MsgType::kDrain:
+        out = process_admin(h, task.frame.payload, type);
+        break;
+      case MsgType::kError:
+        out = error_frame(
+            h, Status::invalid_argument("ERROR is a response type, not a "
+                                        "request"));
+        break;
+      default:
+        out = error_frame(h, Status::invalid_argument(
+                                 "unknown message type " +
+                                 std::to_string(h.type)));
+        break;
+    }
+    NetMetrics::get().request_ns.record(
+        steady_ns(SteadyClock::now()) - steady_ns(t0));
+    return out;
+  }
+
+  /// The absolute deadline of a request, derived once from its arrival
+  /// time; {} when the request did not carry one.
+  static bool deadline_of(const Task& task, SteadyClock::time_point& at) {
+    if (task.frame.header.deadline_ns == 0) {
+      return false;
+    }
+    at = task.arrival +
+         std::chrono::nanoseconds(task.frame.header.deadline_ns);
+    return true;
+  }
+
+  std::vector<std::uint8_t> expired(const FrameHeader& h, const char* when) {
+    bump(&ServerStats::deadline_expired);
+    NetMetrics::get().deadline_expired.inc();
+    return error_frame(
+        h, Status::deadline_exceeded(
+               std::string("request deadline of ") +
+               std::to_string(h.deadline_ns) + "ns expired " + when));
+  }
+
+  std::vector<std::uint8_t> process_paths(const Task& task) {
+    const FrameHeader& h = task.frame.header;
+    auto req = decode_path_request(task.frame.payload, opts.limits);
+    if (!req.ok()) {
+      return error_frame(h, req.status());
+    }
+    const std::shared_ptr<Collection> c =
+        self->collections_->find(req->collection);
+    if (c == nullptr) {
+      return error_frame(h, Status::invalid_argument(
+                                "unknown collection '" + req->collection +
+                                "'"));
+    }
+    SteadyClock::time_point deadline_at;
+    const bool has_deadline = deadline_of(task, deadline_at);
+    if (has_deadline && SteadyClock::now() >= deadline_at) {
+      return expired(h, "before dispatch");
+    }
+    // Validate every untrusted path against the current snapshot before
+    // the assert-free grouped kernel sees it.  The pin is held across
+    // the serve call so the validated generation cannot be reclaimed
+    // mid-batch (the serving contract requires SWAP generations to keep
+    // the node-id space — see DESIGN.md §11).
+    const snapshot::Registry::Pin pin = c->registry.pin();
+    if (!pin.has_snapshot()) {
+      return error_frame(h, Status::failed_precondition(
+                                "collection '" + req->collection +
+                                "' has no published snapshot"));
+    }
+    if (pin.snapshot().kind != snapshot::SnapshotKind::kCascade) {
+      return error_frame(h, Status::failed_precondition(
+                                "collection '" + req->collection +
+                                "' serves point location, not path "
+                                "search"));
+    }
+    for (const serve::PathQuery& q : req->queries) {
+      if (Status s = pin.snapshot().cascade.validate_path(q.path);
+          !s.ok()) {
+        return error_frame(h, s);
+      }
+    }
+    serve::BatchOptions bo = opts.frontend.batch;
+    if (has_deadline) {
+      bo.deadline = deadline_at - SteadyClock::now();
+      if (bo.deadline <= std::chrono::nanoseconds(0)) {
+        return expired(h, "before dispatch");
+      }
+    }
+    PathBatchResponse resp;
+    serve::BatchReport report;
+    const Status s = c->frontend.serve_paths(
+        req->queries, resp.answers, &report, &resp.served_version,
+        has_deadline ? &bo : nullptr);
+    if (!s.ok()) {
+      return error_frame(h, s);
+    }
+    if (has_deadline && SteadyClock::now() >= deadline_at) {
+      return expired(h, "during serving (late answer suppressed)");
+    }
+    resp.degraded = report.degraded;
+    bump(&ServerStats::batches_served);
+    NetMetrics::get().batches.inc();
+    return make_response(h, MsgType::kPathBatch, encode(resp));
+  }
+
+  std::vector<std::uint8_t> process_points(const Task& task) {
+    const FrameHeader& h = task.frame.header;
+    auto req = decode_point_request(task.frame.payload, opts.limits);
+    if (!req.ok()) {
+      return error_frame(h, req.status());
+    }
+    const std::shared_ptr<Collection> c =
+        self->collections_->find(req->collection);
+    if (c == nullptr) {
+      return error_frame(h, Status::invalid_argument(
+                                "unknown collection '" + req->collection +
+                                "'"));
+    }
+    SteadyClock::time_point deadline_at;
+    const bool has_deadline = deadline_of(task, deadline_at);
+    if (has_deadline && SteadyClock::now() >= deadline_at) {
+      return expired(h, "before dispatch");
+    }
+    serve::BatchOptions bo = opts.frontend.batch;
+    if (has_deadline) {
+      bo.deadline = deadline_at - SteadyClock::now();
+      if (bo.deadline <= std::chrono::nanoseconds(0)) {
+        return expired(h, "before dispatch");
+      }
+    }
+    PointBatchResponse resp;
+    serve::BatchReport report;
+    std::vector<std::size_t> regions;
+    const Status s = c->frontend.serve_points(
+        req->points, regions, &report, &resp.served_version,
+        has_deadline ? &bo : nullptr);
+    if (!s.ok()) {
+      return error_frame(h, s);
+    }
+    if (has_deadline && SteadyClock::now() >= deadline_at) {
+      return expired(h, "during serving (late answer suppressed)");
+    }
+    resp.regions.assign(regions.begin(), regions.end());
+    resp.degraded = report.degraded;
+    bump(&ServerStats::batches_served);
+    NetMetrics::get().batches.inc();
+    return make_response(h, MsgType::kPointBatch, encode(resp));
+  }
+
+  std::vector<std::uint8_t> process_health(const FrameHeader& h) {
+    HealthResponse resp;
+    resp.draining = self->draining() ? 1 : 0;
+    for (const std::shared_ptr<Collection>& c :
+         self->collections_->all()) {
+      CollectionHealth ch;
+      ch.name = c->name;
+      ch.version = c->registry.current_version();
+      ch.health = static_cast<std::uint8_t>(c->frontend.health());
+      resp.collections.push_back(std::move(ch));
+    }
+    return make_response(h, MsgType::kHealth, encode(resp));
+  }
+
+  std::vector<std::uint8_t> process_admin(
+      const FrameHeader& h, std::span<const std::uint8_t> payload,
+      MsgType type) {
+    auto req = decode_admin_request(payload, opts.limits);
+    if (!req.ok()) {
+      return error_frame(h, req.status());
+    }
+    AdminResponse resp;
+    switch (type) {
+      case MsgType::kLoad:
+      case MsgType::kSwap: {
+        auto snap = snapshot::open(req->snapshot_path);
+        if (!snap.ok()) {
+          return error_frame(h, snap.status());
+        }
+        const Status s =
+            type == MsgType::kLoad
+                ? self->collections_->load(req->collection, snap.take(),
+                                           &resp.version)
+                : self->collections_->swap(req->collection, snap.take(),
+                                           &resp.version);
+        if (!s.ok()) {
+          return error_frame(h, s);
+        }
+        break;
+      }
+      case MsgType::kUnload: {
+        if (Status s = self->collections_->unload(req->collection);
+            !s.ok()) {
+          return error_frame(h, s);
+        }
+        break;
+      }
+      case MsgType::kDrain:
+        self->begin_drain();
+        break;
+      default:
+        return error_frame(h, Status::internal("bad admin dispatch"));
+    }
+    return make_response(h, type, encode(resp));
+  }
+
+  // ---- IO-thread side ----------------------------------------------
+
+  void queue_response(Conn& conn, std::vector<std::uint8_t> bytes) {
+    if (conn.outq.empty()) {
+      conn.stall_since = SteadyClock::now();
+    }
+    conn.outq.push_back(std::move(bytes));
+    flush(conn);  // opportunistic: most responses fit the socket buffer
+  }
+
+  /// Try to push queued bytes; arms EPOLLOUT when the socket is full.
+  /// Returns false when the connection died.
+  bool flush(Conn& conn) {
+    while (!conn.outq.empty()) {
+      const std::vector<std::uint8_t>& front = conn.outq.front();
+      const ssize_t n = ::send(conn.fd, front.data() + conn.out_off,
+                               front.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          break;
+        }
+        destroy(conn.id);
+        return false;
+      }
+      conn.out_off += static_cast<std::size_t>(n);
+      if (conn.out_off == front.size()) {
+        conn.outq.pop_front();
+        conn.out_off = 0;
+        conn.stall_since = SteadyClock::now();
+        bump(&ServerStats::frames_out);
+        NetMetrics::get().frames_out.inc();
+      }
+    }
+    const bool want = !conn.outq.empty();
+    if (want != conn.want_write) {
+      conn.want_write = want;
+      poller.update(conn.fd, want);
+    }
+    if (conn.outq.empty() && conn.close_after_flush && conn.inflight == 0) {
+      destroy(conn.id);
+      return false;
+    }
+    return true;
+  }
+
+  void destroy(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    poller.remove(it->second.fd);
+    ::close(it->second.fd);
+    fd_to_id.erase(it->second.fd);
+    conns.erase(it);
+    NetMetrics::get().open_connections.add(-1);
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        return;  // EAGAIN or transient error: try again next round
+      }
+      if (conns.size() >= opts.max_connections ||
+          self->draining()) {
+        // Over budget (or lame duck): refuse at the door.  No frame has
+        // been read, so there is nothing to answer — the close itself is
+        // the signal.
+        ::close(fd);
+        bump(&ServerStats::rejected_overflow);
+        continue;
+      }
+      set_nonblocking(fd);
+      const int one = 1;
+      (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Conn conn;
+      conn.fd = fd;
+      conn.id = next_conn_id++;
+      conn.last_activity = SteadyClock::now();
+      fd_to_id[fd] = conn.id;
+      poller.add(fd, false);
+      conns.emplace(conn.id, std::move(conn));
+      bump(&ServerStats::accepted);
+      NetMetrics::get().accepted.inc();
+      NetMetrics::get().open_connections.add(1);
+    }
+  }
+
+  /// Read everything available; false when the connection died.
+  bool read_ready(Conn& conn) {
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+        conn.last_activity = SteadyClock::now();
+        if (static_cast<std::size_t>(n) < sizeof(buf)) {
+          break;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      // 0 = orderly close; other errors (ECONNRESET mid-batch included)
+      // tear the connection down.  In-flight work finishes and its
+      // response is dropped at routing time — never a crash.
+      destroy(conn.id);
+      return false;
+    }
+    return parse_frames(conn);
+  }
+
+  /// Cut complete frames out of the reassembly buffer; false when the
+  /// connection died.  One malformed frame forfeits the stream.
+  bool parse_frames(Conn& conn) {
+    for (;;) {
+      if (conn.close_after_flush) {
+        conn.inbuf.clear();  // stream already condemned
+        return true;
+      }
+      if (conn.inbuf.size() < sizeof(std::uint32_t)) {
+        return true;
+      }
+      std::uint32_t prefix = 0;
+      std::memcpy(&prefix, conn.inbuf.data(), sizeof(prefix));
+      const std::size_t total = sizeof(prefix) + std::size_t{prefix};
+      if (std::size_t{prefix} <
+              sizeof(FrameHeader) + sizeof(std::uint32_t) ||
+          total > opts.limits.max_frame_bytes) {
+        return reject_malformed(
+            conn, Status::corrupted(
+                      "frame length prefix " + std::to_string(prefix) +
+                      " outside [" +
+                      std::to_string(sizeof(FrameHeader) +
+                                     sizeof(std::uint32_t)) +
+                      ", " + std::to_string(opts.limits.max_frame_bytes) +
+                      ")"));
+      }
+      if (conn.inbuf.size() < total) {
+        return true;  // wait for the rest
+      }
+      auto frame = decode_frame(
+          std::span<const std::uint8_t>(conn.inbuf.data(), total),
+          opts.limits);
+      conn.inbuf.erase(conn.inbuf.begin(),
+                       conn.inbuf.begin() +
+                           static_cast<std::ptrdiff_t>(total));
+      if (!frame.ok()) {
+        return reject_malformed(conn, frame.status());
+      }
+      bump(&ServerStats::frames_in);
+      NetMetrics::get().frames_in.inc();
+      dispatch(conn, std::move(frame.value()));
+    }
+  }
+
+  bool reject_malformed(Conn& conn, const Status& s) {
+    bump(&ServerStats::malformed);
+    NetMetrics::get().malformed.inc();
+    const std::uint64_t id = conn.id;  // queue_response may destroy conn
+    conn.inbuf.clear();
+    conn.close_after_flush = true;
+    FrameHeader anon;  // the offending header is untrusted: respond id 0
+    queue_response(conn, error_frame(anon, s));
+    return conns.count(id) != 0;
+  }
+
+  void dispatch(Conn& conn, Frame frame) {
+    const auto now = SteadyClock::now();
+    const auto type = static_cast<MsgType>(frame.header.type);
+    const bool is_batch =
+        type == MsgType::kPathBatch || type == MsgType::kPointBatch;
+    const bool is_admin = type == MsgType::kLoad ||
+                          type == MsgType::kSwap ||
+                          type == MsgType::kUnload;
+    if (self->draining() && (is_batch || is_admin)) {
+      bump(&ServerStats::draining_refused);
+      NetMetrics::get().draining_refused.inc();
+      queue_response(conn,
+                     error_frame(frame.header,
+                                 Status::unavailable(
+                                     "server is draining; no new batches "
+                                     "accepted")));
+      return;
+    }
+    if (is_batch) {
+      if (Status s = self->quotas_->admit(frame.header.tenant,
+                                          steady_ns(now));
+          !s.ok()) {
+        bump(&ServerStats::quota_shed);
+        NetMetrics::get().quota_shed.inc();
+        queue_response(conn, error_frame(frame.header, s));
+        return;
+      }
+    }
+    ++conn.inflight;
+    {
+      std::lock_guard<std::mutex> lock(task_mu);
+      tasks.push_back(Task{conn.id, std::move(frame), now});
+    }
+    task_cv.notify_one();
+  }
+
+  void drain_outbox() {
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> batch;
+    {
+      std::lock_guard<std::mutex> lock(out_mu);
+      batch.swap(outbox);
+    }
+    for (auto& [id, bytes] : batch) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) {
+        continue;  // peer died mid-batch; drop the orphaned response
+      }
+      if (it->second.inflight > 0) {
+        --it->second.inflight;
+      }
+      queue_response(it->second, std::move(bytes));
+    }
+  }
+
+  void reap_timers() {
+    const auto now = SteadyClock::now();
+    std::vector<std::uint64_t> doomed;
+    for (auto& [id, conn] : conns) {
+      if (conn.inflight == 0 && conn.outq.empty() &&
+          now - conn.last_activity > opts.idle_timeout) {
+        bump(&ServerStats::idle_closed);
+        NetMetrics::get().idle_closed.inc();
+        doomed.push_back(id);
+      } else if (!conn.outq.empty() &&
+                 now - conn.stall_since > opts.write_stall_timeout) {
+        bump(&ServerStats::stall_closed);
+        NetMetrics::get().stall_closed.inc();
+        doomed.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : doomed) {
+      destroy(id);
+    }
+  }
+
+  void check_drained() {
+    if (!self->draining()) {
+      return;
+    }
+    bool queues_empty;
+    {
+      std::lock_guard<std::mutex> lock(task_mu);
+      queues_empty = tasks.empty() && active_tasks == 0;
+    }
+    if (queues_empty) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      queues_empty = outbox.empty();
+    }
+    if (!queues_empty) {
+      return;
+    }
+    for (const auto& [id, conn] : conns) {
+      if (conn.inflight != 0 || !conn.outq.empty()) {
+        return;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu);
+      drained = true;
+    }
+    drain_cv.notify_all();
+  }
+
+  void io_loop() {
+    std::vector<Poller::Event> events;
+    bool listening = true;
+    while (!stop_flag.load(std::memory_order_acquire)) {
+      if (listening && self->draining()) {
+        poller.remove(listen_fd);
+        ::close(listen_fd);
+        listen_fd = -1;
+        listening = false;
+        NetMetrics::get().draining.set(1);
+      }
+      drain_outbox();
+      poller.wait(events, 100);
+      for (const Poller::Event& e : events) {
+        if (e.fd == wake_r) {
+          std::uint8_t sink[256];
+          while (::read(wake_r, sink, sizeof(sink)) > 0) {
+          }
+          continue;
+        }
+        if (listening && e.fd == listen_fd) {
+          accept_ready();
+          continue;
+        }
+        const auto fid = fd_to_id.find(e.fd);
+        if (fid == fd_to_id.end()) {
+          continue;
+        }
+        const std::uint64_t id = fid->second;
+        Conn& conn = conns.at(id);
+        if (e.broken && !e.readable) {
+          destroy(id);
+          continue;
+        }
+        if (e.readable && !read_ready(conn)) {
+          continue;  // destroyed
+        }
+        if (e.writable) {
+          const auto again = conns.find(id);
+          if (again != conns.end()) {
+            (void)flush(again->second);
+          }
+        }
+      }
+      reap_timers();
+      check_drained();
+    }
+    // Hard stop: close everything still open.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns.size());
+    for (const auto& [id, conn] : conns) {
+      ids.push_back(id);
+    }
+    for (const std::uint64_t id : ids) {
+      destroy(id);
+    }
+    if (listening && listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+};
+
+coop::Expected<std::unique_ptr<Server>> Server::start(ServerOptions opts) {
+  std::unique_ptr<Server> server(new Server());
+  server->engine_ =
+      std::make_unique<serve::QueryEngine>(opts.engine_threads);
+  server->collections_ =
+      std::make_unique<CollectionMap>(*server->engine_, opts.frontend);
+  server->quotas_ = std::make_unique<TenantQuotas>(opts.quota);
+  auto impl = std::make_unique<Impl>();
+  impl->self = server.get();
+  impl->opts = opts;
+
+  impl->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) {
+    return Status::internal(std::string("socket(): ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                   sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (inet_pton(AF_INET, opts.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(impl->listen_fd);
+    return Status::invalid_argument("bad bind address '" +
+                                    opts.bind_address + "'");
+  }
+  if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status s = Status::internal(std::string("bind(): ") +
+                                      std::strerror(errno));
+    ::close(impl->listen_fd);
+    return s;
+  }
+  if (::listen(impl->listen_fd, 128) != 0) {
+    const Status s = Status::internal(std::string("listen(): ") +
+                                      std::strerror(errno));
+    ::close(impl->listen_fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  (void)getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &len);
+  server->port_ = ntohs(addr.sin_port);
+  set_nonblocking(impl->listen_fd);
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    ::close(impl->listen_fd);
+    return Status::internal(std::string("pipe(): ") +
+                            std::strerror(errno));
+  }
+  impl->wake_r = pipefd[0];
+  impl->wake_w = pipefd[1];
+  set_nonblocking(impl->wake_r);
+  set_nonblocking(impl->wake_w);
+  impl->poller.add(impl->wake_r, false);
+  impl->poller.add(impl->listen_fd, false);
+
+  const std::size_t nworkers = std::max<std::size_t>(1, opts.workers);
+  impl->worker_threads.reserve(nworkers);
+  for (std::size_t i = 0; i < nworkers; ++i) {
+    impl->worker_threads.emplace_back(
+        [impl = impl.get()] { impl->worker_loop(); });
+  }
+  impl->io_thread = std::thread([impl = impl.get()] { impl->io_loop(); });
+
+  server->impl_ = std::move(impl);
+  return server;
+}
+
+Server::~Server() { stop(); }
+
+void Server::begin_drain() {
+  if (draining_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // idempotent
+  }
+  if (impl_ != nullptr) {
+    impl_->wake();
+  }
+}
+
+bool Server::wait_drained(std::chrono::nanoseconds timeout) {
+  if (impl_ == nullptr) {
+    return true;
+  }
+  std::unique_lock<std::mutex> lock(impl_->drain_mu);
+  return impl_->drain_cv.wait_for(lock, timeout,
+                                  [&] { return impl_->drained; });
+}
+
+void Server::stop() {
+  if (impl_ == nullptr) {
+    return;
+  }
+  impl_->stop_flag.store(true, std::memory_order_release);
+  impl_->wake();
+  if (impl_->io_thread.joinable()) {
+    impl_->io_thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->task_mu);
+    impl_->shutdown_workers = true;
+  }
+  impl_->task_cv.notify_all();
+  for (std::thread& t : impl_->worker_threads) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  if (impl_->wake_r >= 0) {
+    ::close(impl_->wake_r);
+    ::close(impl_->wake_w);
+    impl_->wake_r = impl_->wake_w = -1;
+  }
+  impl_.reset();
+}
+
+ServerStats Server::stats() const {
+  if (impl_ == nullptr) {
+    return {};
+  }
+  std::lock_guard<std::mutex> lock(impl_->stats_mu);
+  return impl_->stats;
+}
+
+}  // namespace net

@@ -1,0 +1,528 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace net {
+
+using coop::Status;
+
+namespace {
+
+/// Append-only little-endian byte builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i64(std::int64_t v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over hostile payload bytes.
+/// Every getter reports the failing field by name, so a rejected frame's
+/// Status tells the operator *what* was malformed, not just "bad".
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, const DecodeLimits& limits)
+      : bytes_(bytes), limits_(limits) {}
+
+  [[nodiscard]] Status u8(std::uint8_t& out, const char* what) {
+    return raw(&out, sizeof(out), what);
+  }
+  [[nodiscard]] Status u32(std::uint32_t& out, const char* what) {
+    return raw(&out, sizeof(out), what);
+  }
+  [[nodiscard]] Status u64(std::uint64_t& out, const char* what) {
+    return raw(&out, sizeof(out), what);
+  }
+  [[nodiscard]] Status i64(std::int64_t& out, const char* what) {
+    return raw(&out, sizeof(out), what);
+  }
+  [[nodiscard]] Status str(std::string& out, const char* what) {
+    std::uint32_t len = 0;
+    if (Status s = u32(len, what); !s.ok()) {
+      return s;
+    }
+    if (len > limits_.max_name_len) {
+      return overlong(what, len, limits_.max_name_len);
+    }
+    if (len > remaining()) {
+      return truncated(what);
+    }
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return coop::OkStatus();
+  }
+  /// A count field that bounds a following repetition.
+  [[nodiscard]] Status count(std::uint32_t& out, const char* what,
+                             std::size_t max) {
+    if (Status s = u32(out, what); !s.ok()) {
+      return s;
+    }
+    if (out > max) {
+      return overlong(what, out, max);
+    }
+    return coop::OkStatus();
+  }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// Decoders call this last: accepting trailing garbage would let a
+  /// peer smuggle bytes past the payload CRC unexamined.
+  [[nodiscard]] Status done(const char* type) const {
+    if (pos_ != bytes_.size()) {
+      return Status::corrupted(std::string(type) + " payload has " +
+                               std::to_string(remaining()) +
+                               " trailing bytes");
+    }
+    return coop::OkStatus();
+  }
+
+ private:
+  [[nodiscard]] Status raw(void* out, std::size_t n, const char* what) {
+    if (n > remaining()) {
+      return truncated(what);
+    }
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+    return coop::OkStatus();
+  }
+  [[nodiscard]] static Status truncated(const char* what) {
+    return Status::corrupted(std::string("payload truncated reading ") +
+                             what);
+  }
+  [[nodiscard]] static Status overlong(const char* what, std::uint64_t got,
+                                       std::uint64_t max) {
+    return Status::corrupted(std::string(what) + " " + std::to_string(got) +
+                             " exceeds limit " + std::to_string(max));
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  const DecodeLimits& limits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameHeader h,
+                                       std::span<const std::uint8_t> payload) {
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+  h.header_crc = frame_header_crc(h);
+  const auto total = static_cast<std::uint32_t>(sizeof(FrameHeader) +
+                                                payload.size() +
+                                                sizeof(std::uint32_t));
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof(total) + total);
+  Writer w;
+  w.u32(total);
+  out = w.take();
+  const auto* hb = reinterpret_cast<const std::uint8_t*>(&h);
+  out.insert(out.end(), hb, hb + sizeof(h));
+  out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = snapshot::crc32(payload.data(), payload.size());
+  const auto* cb = reinterpret_cast<const std::uint8_t*>(&crc);
+  out.insert(out.end(), cb, cb + sizeof(crc));
+  return out;
+}
+
+coop::Expected<Frame> decode_frame(std::span<const std::uint8_t> bytes,
+                                   const DecodeLimits& limits) {
+  if (bytes.size() < kFrameOverhead) {
+    return Status::corrupted("frame truncated: " +
+                             std::to_string(bytes.size()) +
+                             " bytes is below the " +
+                             std::to_string(kFrameOverhead) +
+                             "-byte minimum frame");
+  }
+  if (bytes.size() > limits.max_frame_bytes ||
+      bytes.size() > kAbsoluteMaxFrame) {
+    return Status::corrupted("frame of " + std::to_string(bytes.size()) +
+                             " bytes exceeds the frame cap of " +
+                             std::to_string(limits.max_frame_bytes));
+  }
+  std::uint32_t prefix = 0;
+  std::memcpy(&prefix, bytes.data(), sizeof(prefix));
+  if (std::size_t{prefix} + sizeof(prefix) != bytes.size()) {
+    return Status::corrupted(
+        "frame truncated: length prefix promises " + std::to_string(prefix) +
+        " bytes but " + std::to_string(bytes.size() - sizeof(prefix)) +
+        " follow");
+  }
+  FrameHeader h;
+  std::memcpy(&h, bytes.data() + sizeof(prefix), sizeof(h));
+  if (h.magic != kWireMagic) {
+    return Status::corrupted("bad frame magic (not a coopserve frame)");
+  }
+  if (h.version != kWireVersion) {
+    return Status::corrupted("unsupported frame version " +
+                             std::to_string(h.version) + " (expected " +
+                             std::to_string(kWireVersion) + ")");
+  }
+  if (h.header_crc != frame_header_crc(h)) {
+    return Status::corrupted("frame header CRC mismatch");
+  }
+  // The header survived its CRC, so a disagreement here means the length
+  // prefix lies about the payload (or bytes were dropped after the
+  // header): reject before trusting either length.
+  const std::size_t expect =
+      sizeof(h) + std::size_t{h.payload_len} + sizeof(std::uint32_t);
+  if (std::size_t{prefix} != expect) {
+    return Status::corrupted(
+        "frame length lie: prefix promises " + std::to_string(prefix) +
+        " bytes but the header's payload_len implies " +
+        std::to_string(expect));
+  }
+  const std::uint8_t* payload = bytes.data() + sizeof(prefix) + sizeof(h);
+  std::uint32_t trailer = 0;
+  std::memcpy(&trailer, payload + h.payload_len, sizeof(trailer));
+  if (trailer != snapshot::crc32(payload, h.payload_len)) {
+    return Status::corrupted("frame payload CRC mismatch (corrupted in "
+                             "flight)");
+  }
+  Frame f;
+  f.header = h;
+  f.payload.assign(payload, payload + h.payload_len);
+  return f;
+}
+
+// --------------------------------------------------------------------
+// Payload codecs.
+
+std::vector<std::uint8_t> encode(const PathBatchRequest& m) {
+  Writer w;
+  w.str(m.collection);
+  w.u32(static_cast<std::uint32_t>(m.queries.size()));
+  for (const serve::PathQuery& q : m.queries) {
+    w.i64(q.y);
+    w.u32(static_cast<std::uint32_t>(q.path.size()));
+    for (const serve::NodeId v : q.path) {
+      w.u32(static_cast<std::uint32_t>(v));
+    }
+  }
+  return w.take();
+}
+
+coop::Expected<PathBatchRequest> decode_path_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  PathBatchRequest m;
+  if (Status s = r.str(m.collection, "collection name"); !s.ok()) {
+    return s;
+  }
+  std::uint32_t n = 0;
+  if (Status s = r.count(n, "path batch size", limits.max_queries); !s.ok()) {
+    return s;
+  }
+  m.queries.resize(n);
+  for (serve::PathQuery& q : m.queries) {
+    if (Status s = r.i64(q.y, "query key"); !s.ok()) {
+      return s;
+    }
+    std::uint32_t len = 0;
+    if (Status s = r.count(len, "path length", limits.max_path_len);
+        !s.ok()) {
+      return s;
+    }
+    q.path.resize(len);
+    for (serve::NodeId& v : q.path) {
+      std::uint32_t node = 0;
+      if (Status s = r.u32(node, "path node"); !s.ok()) {
+        return s;
+      }
+      v = static_cast<serve::NodeId>(node);
+    }
+  }
+  if (Status s = r.done("path request"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const PathBatchResponse& m) {
+  Writer w;
+  w.u64(m.served_version);
+  w.u8(m.degraded ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.answers.size()));
+  for (const serve::PathAnswer& a : m.answers) {
+    w.u32(static_cast<std::uint32_t>(a.aug_index.size()));
+    for (const std::uint32_t v : a.aug_index) {
+      w.u32(v);
+    }
+    for (const std::uint32_t v : a.proper_index) {
+      w.u32(v);
+    }
+  }
+  return w.take();
+}
+
+coop::Expected<PathBatchResponse> decode_path_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  PathBatchResponse m;
+  std::uint8_t degraded = 0;
+  if (Status s = r.u64(m.served_version, "served version"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.u8(degraded, "degraded flag"); !s.ok()) {
+    return s;
+  }
+  m.degraded = degraded != 0;
+  std::uint32_t n = 0;
+  if (Status s = r.count(n, "answer count", limits.max_queries); !s.ok()) {
+    return s;
+  }
+  m.answers.resize(n);
+  for (serve::PathAnswer& a : m.answers) {
+    std::uint32_t len = 0;
+    if (Status s = r.count(len, "answer path length", limits.max_path_len);
+        !s.ok()) {
+      return s;
+    }
+    a.aug_index.resize(len);
+    a.proper_index.resize(len);
+    for (std::uint32_t& v : a.aug_index) {
+      if (Status s = r.u32(v, "aug index"); !s.ok()) {
+        return s;
+      }
+    }
+    for (std::uint32_t& v : a.proper_index) {
+      if (Status s = r.u32(v, "proper index"); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  if (Status s = r.done("path response"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const PointBatchRequest& m) {
+  Writer w;
+  w.str(m.collection);
+  w.u32(static_cast<std::uint32_t>(m.points.size()));
+  for (const geom::Point& p : m.points) {
+    w.i64(p.x);
+    w.i64(p.y);
+  }
+  return w.take();
+}
+
+coop::Expected<PointBatchRequest> decode_point_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  PointBatchRequest m;
+  if (Status s = r.str(m.collection, "collection name"); !s.ok()) {
+    return s;
+  }
+  std::uint32_t n = 0;
+  if (Status s = r.count(n, "point batch size", limits.max_queries);
+      !s.ok()) {
+    return s;
+  }
+  m.points.resize(n);
+  for (geom::Point& p : m.points) {
+    std::int64_t x = 0;
+    std::int64_t y = 0;
+    if (Status s = r.i64(x, "point x"); !s.ok()) {
+      return s;
+    }
+    if (Status s = r.i64(y, "point y"); !s.ok()) {
+      return s;
+    }
+    p.x = x;
+    p.y = y;
+  }
+  if (Status s = r.done("point request"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const PointBatchResponse& m) {
+  Writer w;
+  w.u64(m.served_version);
+  w.u8(m.degraded ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(m.regions.size()));
+  for (const std::uint64_t v : m.regions) {
+    w.u64(v);
+  }
+  return w.take();
+}
+
+coop::Expected<PointBatchResponse> decode_point_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  PointBatchResponse m;
+  std::uint8_t degraded = 0;
+  if (Status s = r.u64(m.served_version, "served version"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.u8(degraded, "degraded flag"); !s.ok()) {
+    return s;
+  }
+  m.degraded = degraded != 0;
+  std::uint32_t n = 0;
+  if (Status s = r.count(n, "region count", limits.max_queries); !s.ok()) {
+    return s;
+  }
+  m.regions.resize(n);
+  for (std::uint64_t& v : m.regions) {
+    if (Status s = r.u64(v, "region index"); !s.ok()) {
+      return s;
+    }
+  }
+  if (Status s = r.done("point response"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const ErrorResponse& m) {
+  Writer w;
+  w.u32(m.code);
+  w.str(m.message);
+  return w.take();
+}
+
+coop::Expected<ErrorResponse> decode_error(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  // Error messages reuse the name limit scaled up: they carry full Status
+  // text, which can legitimately exceed a collection name.
+  DecodeLimits wide = limits;
+  wide.max_name_len = limits.max_name_len * 4;
+  Reader r(payload, wide);
+  ErrorResponse m;
+  if (Status s = r.u32(m.code, "error code"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.str(m.message, "error message"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.done("error response"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const HealthResponse& m) {
+  Writer w;
+  w.u8(m.draining);
+  w.u32(static_cast<std::uint32_t>(m.collections.size()));
+  for (const CollectionHealth& c : m.collections) {
+    w.str(c.name);
+    w.u64(c.version);
+    w.u8(c.health);
+  }
+  return w.take();
+}
+
+coop::Expected<HealthResponse> decode_health(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  HealthResponse m;
+  if (Status s = r.u8(m.draining, "draining flag"); !s.ok()) {
+    return s;
+  }
+  std::uint32_t n = 0;
+  if (Status s = r.count(n, "collection count", limits.max_queries);
+      !s.ok()) {
+    return s;
+  }
+  m.collections.resize(n);
+  for (CollectionHealth& c : m.collections) {
+    if (Status s = r.str(c.name, "collection name"); !s.ok()) {
+      return s;
+    }
+    if (Status s = r.u64(c.version, "collection version"); !s.ok()) {
+      return s;
+    }
+    if (Status s = r.u8(c.health, "collection health"); !s.ok()) {
+      return s;
+    }
+  }
+  if (Status s = r.done("health response"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const AdminRequest& m) {
+  Writer w;
+  w.str(m.collection);
+  w.str(m.snapshot_path);
+  return w.take();
+}
+
+coop::Expected<AdminRequest> decode_admin_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  AdminRequest m;
+  if (Status s = r.str(m.collection, "collection name"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.str(m.snapshot_path, "snapshot path"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.done("admin request"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> encode(const AdminResponse& m) {
+  Writer w;
+  w.u64(m.version);
+  return w.take();
+}
+
+coop::Expected<AdminResponse> decode_admin_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits) {
+  Reader r(payload, limits);
+  AdminResponse m;
+  if (Status s = r.u64(m.version, "published version"); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.done("admin response"); !s.ok()) {
+    return s;
+  }
+  return m;
+}
+
+ErrorResponse to_wire_error(const coop::Status& s) {
+  ErrorResponse e;
+  e.code = static_cast<std::uint32_t>(s.code());
+  e.message = s.message();
+  return e;
+}
+
+coop::Status from_wire_error(const ErrorResponse& e) {
+  switch (static_cast<coop::StatusCode>(e.code)) {
+    case coop::StatusCode::kOk:
+      // An ERROR frame claiming OK is itself malformed.
+      return Status::internal("peer sent an error frame with code OK: " +
+                              e.message);
+    case coop::StatusCode::kInvalidArgument:
+    case coop::StatusCode::kFailedPrecondition:
+    case coop::StatusCode::kCorrupted:
+    case coop::StatusCode::kDeadlineExceeded:
+    case coop::StatusCode::kInternal:
+    case coop::StatusCode::kResourceExhausted:
+    case coop::StatusCode::kUnavailable:
+      return Status::error(static_cast<coop::StatusCode>(e.code), e.message);
+  }
+  return Status::internal("peer sent unknown status code " +
+                          std::to_string(e.code) + ": " + e.message);
+}
+
+}  // namespace net

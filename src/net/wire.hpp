@@ -1,0 +1,139 @@
+#pragma once
+
+// Codec for the framed-TCP serving protocol (DESIGN.md §11): frame
+// encode/decode plus the typed payloads that ride inside frames.  Every
+// decoder treats its input as hostile — bounds-checked reads, explicit
+// limits, descriptive Status on the first violation — because these
+// bytes arrive straight off a socket.  Layout constants live in
+// frame_format.hpp (self-contained, shared with robust::corrupt_frame).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/primitives.hpp"
+#include "net/frame_format.hpp"
+#include "robust/status.hpp"
+#include "serve/frontend.hpp"
+#include "serve/query_engine.hpp"
+
+namespace net {
+
+/// Caps a decoder enforces before allocating anything a peer asked for.
+struct DecodeLimits {
+  std::size_t max_frame_bytes = 1u << 20;  ///< whole frame incl. prefix
+  std::size_t max_name_len = 256;          ///< collection names, paths
+  std::size_t max_queries = 1u << 16;      ///< queries per batch
+  std::size_t max_path_len = 1u << 10;     ///< nodes per explicit path
+};
+
+/// A decoded frame: validated header + the raw payload bytes (CRC
+/// already checked).  Payload decoding is a second, per-type step.
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize one complete frame (length prefix + header with forged CRC
+/// + payload + payload CRC trailer).  `h.payload_len` and `h.header_crc`
+/// are filled in here; callers set the routing fields only.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameHeader h, std::span<const std::uint8_t> payload);
+
+/// Validate + split one complete frame (including the 4-byte length
+/// prefix).  Rejections, in checking order, each with its own message:
+/// too-small buffer, oversize frame, length-prefix/buffer disagreement
+/// (truncation), bad magic, unsupported version, header CRC mismatch,
+/// header/prefix payload_len disagreement (length lie), payload CRC
+/// mismatch (bit flip).
+[[nodiscard]] coop::Expected<Frame> decode_frame(
+    std::span<const std::uint8_t> bytes, const DecodeLimits& limits = {});
+
+// ---------------------------------------------------------------------
+// Payloads.  encode_* returns the payload bytes to wrap in a frame;
+// decode_* parses hostile payload bytes under the limits and rejects
+// trailing garbage.
+
+struct PathBatchRequest {
+  std::string collection;
+  std::vector<serve::PathQuery> queries;
+};
+
+struct PathBatchResponse {
+  std::uint64_t served_version = 0;
+  bool degraded = false;
+  std::vector<serve::PathAnswer> answers;
+};
+
+struct PointBatchRequest {
+  std::string collection;
+  std::vector<geom::Point> points;
+};
+
+struct PointBatchResponse {
+  std::uint64_t served_version = 0;
+  bool degraded = false;
+  std::vector<std::uint64_t> regions;
+};
+
+/// The one typed error shape: a StatusCode + message, so a shed, expired,
+/// or refused request reports *which* failure it was across the wire.
+struct ErrorResponse {
+  std::uint32_t code = 0;  ///< coop::StatusCode
+  std::string message;
+};
+
+struct CollectionHealth {
+  std::string name;
+  std::uint64_t version = 0;
+  std::uint8_t health = 0;  ///< serve::HealthState
+};
+
+struct HealthResponse {
+  std::uint8_t draining = 0;
+  std::vector<CollectionHealth> collections;
+};
+
+/// LOAD/SWAP carry a snapshot path; UNLOAD/DRAIN leave it empty.
+struct AdminRequest {
+  std::string collection;
+  std::string snapshot_path;
+};
+
+struct AdminResponse {
+  std::uint64_t version = 0;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const PathBatchRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const PathBatchResponse& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const PointBatchRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const PointBatchResponse& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ErrorResponse& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const HealthResponse& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const AdminRequest& m);
+[[nodiscard]] std::vector<std::uint8_t> encode(const AdminResponse& m);
+
+[[nodiscard]] coop::Expected<PathBatchRequest> decode_path_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<PathBatchResponse> decode_path_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<PointBatchRequest> decode_point_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<PointBatchResponse> decode_point_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<ErrorResponse> decode_error(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<HealthResponse> decode_health(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<AdminRequest> decode_admin_request(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+[[nodiscard]] coop::Expected<AdminResponse> decode_admin_response(
+    std::span<const std::uint8_t> payload, const DecodeLimits& limits = {});
+
+/// Map a non-OK Status to its wire error payload and back.  Unknown
+/// codes coming off the wire collapse to kInternal (never UB, never OK).
+[[nodiscard]] ErrorResponse to_wire_error(const coop::Status& s);
+[[nodiscard]] coop::Status from_wire_error(const ErrorResponse& e);
+
+}  // namespace net

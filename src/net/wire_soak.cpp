@@ -1,0 +1,553 @@
+#include "net/wire_soak.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "fc/build.hpp"
+#include "geom/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "pointloc/separator_tree.hpp"
+#include "robust/chaos.hpp"
+#include "robust/corrupt.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace net {
+
+using coop::Status;
+using coop::StatusCode;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shared fleet tallies: atomics, because the main thread polls them for
+/// the goal check while clients are still running.
+struct Tallies {
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> wrong_answers{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> deadline_errors{0};
+  std::atomic<std::uint64_t> quota_sheds{0};
+  std::atomic<std::uint64_t> drain_refusals{0};
+  std::atomic<std::uint64_t> malformed_injected{0};
+  std::atomic<std::uint64_t> malformed_rejected{0};
+  std::atomic<std::uint64_t> resets_injected{0};
+  std::atomic<std::uint64_t> slow_reads{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> swaps{0};
+  std::atomic<std::uint64_t> load_unload_cycles{0};
+
+  std::mutex failure_mu;
+  std::string first_failure;
+  void fail(const std::string& what) {
+    failed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(failure_mu);
+    if (first_failure.empty()) {
+      first_failure = what;
+    }
+  }
+};
+
+/// The tenant the quota-storm mode hammers; normal clients use ci+1.
+constexpr std::uint64_t kHotTenant = 1000;
+
+}  // namespace
+
+coop::Expected<WireSoakOutcome> run_wire_soak(const WireSoakOptions& opts) {
+  // ---- Fixtures: a cascade tree and a point-location subdivision, both
+  // snapshotted to disk so LOAD/SWAP storms exercise the real admin
+  // path. ----
+  std::mt19937_64 fixture_rng(opts.seed);
+  const cat::Tree tree =
+      cat::make_balanced_binary(opts.tree_height, opts.tree_entries,
+                                cat::CatalogShape::kRandom, fixture_rng);
+  const auto structure = fc::Structure::build_checked(tree);
+  if (!structure.ok()) {
+    return structure.status();
+  }
+  auto flat = serve::FlatCascade::compile(*structure);
+  if (!flat.ok()) {
+    return flat.status();
+  }
+  if (Status st = snapshot::write(*flat, opts.snap_path); !st.ok()) {
+    return st;
+  }
+  const auto sub = geom::make_random_monotone(opts.pointloc_regions,
+                                              opts.pointloc_regions * 2,
+                                              fixture_rng);
+  const pointloc::SeparatorTree septree(sub);
+  auto ploc = serve::FlatPointLocator::compile(septree);
+  if (!ploc.ok()) {
+    return ploc.status();
+  }
+  if (Status st = snapshot::write(*ploc, opts.point_snap_path); !st.ok()) {
+    return st;
+  }
+
+  // ---- Server under test, on an ephemeral loopback port. ----
+  ServerOptions sopts;
+  sopts.port = 0;
+  sopts.workers = opts.server_workers;
+  sopts.engine_threads = opts.engine_threads;
+  sopts.idle_timeout = std::chrono::seconds(30);
+  sopts.write_stall_timeout = std::chrono::seconds(2);
+  sopts.quota.tokens_per_sec = 2000;
+  sopts.quota.burst = 400;
+  sopts.frontend.max_inflight = 16;
+  sopts.frontend.max_retries = 1;
+  sopts.frontend.breaker_threshold = 1u << 30;  // breaker noise off: the
+  // wire soak studies transport faults; breaker behaviour has its own
+  // soak (serve::run_chaos_soak).
+  auto started = Server::start(sopts);
+  if (!started.ok()) {
+    return started.status();
+  }
+  std::unique_ptr<Server> server = started.take();
+  const std::uint16_t port = server->port();
+
+  const auto open_snap = [](const std::string& path)
+      -> coop::Expected<snapshot::Snapshot> { return snapshot::open(path); };
+  {
+    auto s1 = open_snap(opts.snap_path);
+    if (!s1.ok()) {
+      return s1.status();
+    }
+    if (Status st = server->collections().load("main", s1.take());
+        !st.ok()) {
+      return st;
+    }
+    auto s2 = open_snap(opts.snap_path);
+    auto s3 = open_snap(opts.point_snap_path);
+    if (!s2.ok()) {
+      return s2.status();
+    }
+    if (!s3.ok()) {
+      return s3.status();
+    }
+    if (Status st = server->collections().load("alt", s2.take()); !st.ok()) {
+      return st;
+    }
+    if (Status st = server->collections().load("points", s3.take());
+        !st.ok()) {
+      return st;
+    }
+  }
+
+  Tallies tally;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> drain_started{false};
+
+  // ---- Client fleet. ----
+  const std::size_t n_clients = std::max<std::size_t>(1, opts.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(n_clients);
+  for (std::size_t ci = 0; ci < n_clients; ++ci) {
+    clients.emplace_back([&, ci] {
+      std::mt19937_64 rng(opts.seed ^ (0x00D1A1ull * (ci + 1)));
+      ClientOptions copts;
+      copts.tenant = ci + 1;
+      copts.io_timeout = std::chrono::seconds(2);
+      Client client;
+
+      const auto reconnect = [&]() -> bool {
+        auto c = Client::connect("127.0.0.1", port, copts);
+        if (!c.ok()) {
+          return false;
+        }
+        client = c.take();
+        tally.reconnects.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      };
+
+      /// Random root-to-leaf path batch against the shared tree.
+      const auto make_batch = [&](std::size_t n) {
+        std::vector<serve::PathQuery> batch(n);
+        for (serve::PathQuery& q : batch) {
+          std::vector<cat::NodeId> path{tree.root()};
+          while (!tree.is_leaf(path.back())) {
+            const auto kids = tree.children(path.back());
+            path.push_back(kids[rng() % kids.size()]);
+          }
+          q.path = std::move(path);
+          q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+        }
+        return batch;
+      };
+
+      const auto check_paths = [&](const std::vector<serve::PathQuery>& b,
+                                   const PathBatchResponse& resp) {
+        if (resp.answers.size() != b.size()) {
+          tally.wrong_answers.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (std::size_t qi = 0; qi < b.size(); ++qi) {
+          const auto& ans = resp.answers[qi];
+          if (ans.proper_index.size() != b[qi].path.size()) {
+            tally.wrong_answers.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          for (std::size_t i = 0; i < b[qi].path.size(); ++i) {
+            if (ans.proper_index[i] !=
+                tree.catalog(b[qi].path[i]).find(b[qi].y)) {
+              tally.wrong_answers.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      };
+
+      /// Shared triage for batch statuses.  Returns true when the client
+      /// should exit (server is draining).
+      const auto triage = [&](const Status& s, bool deadline_ok) -> bool {
+        if (s.code() == StatusCode::kResourceExhausted) {
+          tally.quota_sheds.fetch_add(1, std::memory_order_relaxed);
+          return false;
+        }
+        if (s.code() == StatusCode::kUnavailable) {
+          if (drain_started.load(std::memory_order_acquire)) {
+            tally.drain_refusals.fetch_add(1, std::memory_order_relaxed);
+            return true;  // lame duck: this client is done
+          }
+          tally.fail("unexpected UNAVAILABLE before drain: " +
+                     s.to_string());
+          return false;
+        }
+        if (s.code() == StatusCode::kDeadlineExceeded) {
+          if (deadline_ok) {
+            tally.deadline_errors.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            tally.fail("unexpected deadline error: " + s.to_string());
+          }
+          return false;
+        }
+        tally.fail("unexpected status: " + s.to_string());
+        return false;
+      };
+
+      /// A hand-framed single-query path request (for the raw-byte fault
+      /// modes that bypass the round-trip helper).
+      std::uint64_t raw_id = 1;
+      const auto raw_request = [&]() {
+        PathBatchRequest req;
+        req.collection = "main";
+        req.queries = make_batch(1);
+        FrameHeader h;
+        h.type = static_cast<std::uint16_t>(MsgType::kPathBatch);
+        h.request_id = 0x5000'0000 + (ci << 20) + raw_id++;
+        h.tenant = copts.tenant;
+        return std::make_pair(encode_frame(h, encode(req)), req);
+      };
+
+      for (std::uint64_t iter = 0;
+           !stop.load(std::memory_order_acquire); ++iter) {
+        if (!client.connected() && !reconnect()) {
+          if (drain_started.load(std::memory_order_acquire)) {
+            return;  // listener is gone: drain in progress
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          continue;
+        }
+        const std::uint64_t mode =
+            robust::chaos_mix(opts.seed, 100 + ci, iter) % 16;
+        switch (mode) {
+          default: {  // modes 0..8: a normal path batch
+            const std::string col = (iter & 1) != 0 ? "alt" : "main";
+            const auto batch = make_batch(opts.batch_queries);
+            copts.deadline_ns = 0;
+            client.options() = copts;
+            auto resp = client.path_batch(col, batch);
+            tally.batches.fetch_add(1, std::memory_order_relaxed);
+            if (resp.ok()) {
+              tally.answered.fetch_add(1, std::memory_order_relaxed);
+              check_paths(batch, resp.value());
+            } else if (triage(resp.status(), /*deadline_ok=*/false)) {
+              return;
+            }
+            break;
+          }
+          case 9: {  // a normal point batch with its own oracle
+            std::vector<geom::Point> pts(opts.batch_queries / 2);
+            std::vector<std::size_t> expect(pts.size());
+            for (std::size_t i = 0; i < pts.size(); ++i) {
+              pts[i] = geom::random_query_point(sub, rng);
+              expect[i] = sub.locate_brute(pts[i]);
+            }
+            copts.deadline_ns = 0;
+            client.options() = copts;
+            auto resp = client.point_batch("points", pts);
+            tally.batches.fetch_add(1, std::memory_order_relaxed);
+            if (resp.ok()) {
+              tally.answered.fetch_add(1, std::memory_order_relaxed);
+              bool bad = resp->regions.size() != expect.size();
+              for (std::size_t i = 0; !bad && i < expect.size(); ++i) {
+                bad = resp->regions[i] != expect[i];
+              }
+              if (bad) {
+                tally.wrong_answers.fetch_add(1, std::memory_order_relaxed);
+              }
+            } else if (triage(resp.status(), /*deadline_ok=*/false)) {
+              return;
+            }
+            break;
+          }
+          case 10: {  // deadline squeeze: a 1 ns budget must come back
+                      // as a typed DEADLINE_EXCEEDED, never a late answer
+            const auto batch = make_batch(opts.batch_queries);
+            copts.deadline_ns = 1;
+            client.options() = copts;
+            auto resp = client.path_batch("main", batch);
+            copts.deadline_ns = 0;
+            tally.batches.fetch_add(1, std::memory_order_relaxed);
+            if (resp.ok()) {
+              // Permitted only if the server truly beat the clock —
+              // answers must still be right.
+              tally.answered.fetch_add(1, std::memory_order_relaxed);
+              check_paths(batch, resp.value());
+            } else if (triage(resp.status(), /*deadline_ok=*/true)) {
+              return;
+            }
+            break;
+          }
+          case 11: {  // corrupted frame injection
+            auto [frame, req] = raw_request();
+            const robust::CorruptionKind kind =
+                robust::kAllWireFaultKinds[iter % 3];
+            if (!robust::corrupt_frame(
+                     frame, kind, robust::chaos_mix(opts.seed, 7, iter))
+                     .ok()) {
+              break;
+            }
+            tally.malformed_injected.fetch_add(1,
+                                               std::memory_order_relaxed);
+            if (!client.send_raw(frame).ok()) {
+              client.close();
+              break;
+            }
+            if (kind == robust::CorruptionKind::kWireTruncated) {
+              // The server is (correctly) waiting for bytes that will
+              // never come; hang up and let its reassembly discard them.
+              client.close();
+              break;
+            }
+            auto resp = client.read_frame();
+            if (resp.ok() &&
+                static_cast<MsgType>(resp->header.type & ~kResponseBit) ==
+                    MsgType::kError) {
+              auto err = decode_error(resp->payload);
+              if (err.ok() &&
+                  static_cast<StatusCode>(err->code) ==
+                      StatusCode::kCorrupted) {
+                tally.malformed_rejected.fetch_add(
+                    1, std::memory_order_relaxed);
+              }
+            }
+            client.close();  // server closes its side too; resync
+            break;
+          }
+          case 12: {  // connection reset mid-batch
+            auto [frame, req] = raw_request();
+            if (client.send_raw(frame).ok()) {
+              tally.resets_injected.fetch_add(1,
+                                              std::memory_order_relaxed);
+            }
+            client.close_abruptly();  // RST while the batch may be in
+                                      // flight; response must be dropped,
+                                      // never crash the server
+            break;
+          }
+          case 13: {  // slow reader: answer sits in the socket a while
+            auto [frame, req] = raw_request();
+            if (!client.send_raw(frame).ok()) {
+              client.close();
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(40));
+            auto resp = client.read_frame();
+            if (resp.ok()) {
+              tally.slow_reads.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              client.close();
+            }
+            break;
+          }
+          case 14: {  // quota storm: one hot tenant bursts past its
+                      // bucket; it must be shed, not served late
+            if (ci != 0) {
+              break;  // one storm source keeps volume bounded
+            }
+            copts.tenant = kHotTenant;
+            client.options() = copts;
+            const auto storm = make_batch(1);
+            bool saw_shed = false;
+            for (int burst = 0; burst < 600 && !saw_shed; ++burst) {
+              auto resp = client.path_batch("main", storm);
+              if (!resp.ok()) {
+                if (resp.status().code() == StatusCode::kResourceExhausted) {
+                  tally.quota_sheds.fetch_add(1, std::memory_order_relaxed);
+                  saw_shed = true;
+                } else if (triage(resp.status(), false)) {
+                  copts.tenant = ci + 1;
+                  return;
+                }
+              }
+            }
+            copts.tenant = ci + 1;
+            client.options() = copts;
+            break;
+          }
+          case 15: {  // health + metrics probes stay answerable
+            auto h = client.health();
+            if (!h.ok() &&
+                triage(h.status(), /*deadline_ok=*/false)) {
+              return;
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  // ---- Conductor: SWAP storms + LOAD/UNLOAD cycles under traffic. ----
+  std::thread conductor([&] {
+    ClientOptions copts;
+    copts.io_timeout = std::chrono::seconds(2);
+    auto c = Client::connect("127.0.0.1", port, copts);
+    if (!c.ok()) {
+      return;
+    }
+    Client admin = c.take();
+    for (std::uint64_t cycle = 0;
+         !stop.load(std::memory_order_acquire) &&
+         !drain_started.load(std::memory_order_acquire);
+         ++cycle) {
+      const std::uint32_t burst =
+          1 + static_cast<std::uint32_t>(
+                  robust::chaos_mix(opts.seed, 55, cycle) % 3);
+      for (std::uint32_t b = 0; b < burst; ++b) {
+        const std::string col = (cycle + b) % 2 == 0 ? "main" : "alt";
+        auto v = admin.swap(col, opts.snap_path);
+        if (v.ok()) {
+          tally.swaps.fetch_add(1, std::memory_order_relaxed);
+        } else if (v.status().code() == StatusCode::kUnavailable) {
+          return;
+        }
+      }
+      if (cycle % 3 == 0) {
+        auto v = admin.load("ephemeral", opts.point_snap_path);
+        if (v.ok() && admin.unload("ephemeral").ok()) {
+          tally.load_unload_cycles.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (opts.verbose && cycle % 50 == 0) {
+        std::fprintf(stderr, "wire-soak: cycle %llu swaps=%llu\n",
+                     static_cast<unsigned long long>(cycle),
+                     static_cast<unsigned long long>(
+                         tally.swaps.load(std::memory_order_relaxed)));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  // ---- Run until every goal is observed (bounded), then drain
+  // mid-traffic. ----
+  const auto begun = Clock::now();
+  const auto min_end = begun + opts.duration;
+  const auto hard_end = begun + opts.duration * 6 + std::chrono::seconds(2);
+  const auto goals_now = [&] {
+    return tally.deadline_errors.load(std::memory_order_relaxed) >= 1 &&
+           tally.quota_sheds.load(std::memory_order_relaxed) >= 1 &&
+           tally.malformed_rejected.load(std::memory_order_relaxed) >= 1 &&
+           tally.resets_injected.load(std::memory_order_relaxed) >= 1 &&
+           tally.slow_reads.load(std::memory_order_relaxed) >= 1 &&
+           tally.swaps.load(std::memory_order_relaxed) >= 1 &&
+           tally.load_unload_cycles.load(std::memory_order_relaxed) >= 1 &&
+           tally.answered.load(std::memory_order_relaxed) >= 1;
+  };
+  for (;;) {
+    const auto now = Clock::now();
+    if ((now >= min_end && goals_now()) || now >= hard_end) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Drain while clients are still firing: in-flight batches must finish,
+  // new ones must get typed refusals, and the server must report fully
+  // drained inside the grace window.
+  drain_started.store(true, std::memory_order_release);
+  server->begin_drain();
+  const bool drained = server->wait_drained(opts.drain_grace);
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  conductor.join();
+  const ServerStats sstats = server->stats();
+  server->stop();
+
+  // ---- Assemble the outcome. ----
+  WireSoakOutcome out;
+  out.batches = tally.batches.load(std::memory_order_relaxed);
+  out.answered = tally.answered.load(std::memory_order_relaxed);
+  out.wrong_answers = tally.wrong_answers.load(std::memory_order_relaxed);
+  out.failed = tally.failed.load(std::memory_order_relaxed);
+  out.deadline_errors =
+      tally.deadline_errors.load(std::memory_order_relaxed);
+  out.quota_sheds = tally.quota_sheds.load(std::memory_order_relaxed);
+  out.drain_refusals =
+      tally.drain_refusals.load(std::memory_order_relaxed);
+  out.malformed_injected =
+      tally.malformed_injected.load(std::memory_order_relaxed);
+  out.malformed_rejected =
+      tally.malformed_rejected.load(std::memory_order_relaxed);
+  out.resets_injected =
+      tally.resets_injected.load(std::memory_order_relaxed);
+  out.slow_reads = tally.slow_reads.load(std::memory_order_relaxed);
+  out.reconnects = tally.reconnects.load(std::memory_order_relaxed);
+  out.swaps = tally.swaps.load(std::memory_order_relaxed);
+  out.load_unload_cycles =
+      tally.load_unload_cycles.load(std::memory_order_relaxed);
+  out.drained_in_grace = drained;
+  {
+    std::lock_guard<std::mutex> lock(tally.failure_mu);
+    out.first_failure = tally.first_failure;
+  }
+  out.goals_met = goals_now() && drained;
+
+  if (out.wrong_answers > 0) {
+    out.verdict = "FAIL: " + std::to_string(out.wrong_answers) +
+                  " answers disagreed with the oracle";
+  } else if (out.failed > 0) {
+    out.verdict = "FAIL: " + std::to_string(out.failed) +
+                  " requests got an unexpected status (first: " +
+                  out.first_failure + ")";
+  } else if (!out.drained_in_grace) {
+    out.verdict = "FAIL: drain did not complete within the grace window";
+  } else if (!out.goals_met) {
+    out.verdict =
+        "FAIL: soak ended without observing every wire-fault goal "
+        "(deadline/quota/malformed/reset/slow/swap/load-unload)";
+  } else {
+    out.verdict =
+        "OK: zero wrong answers, zero unexpected statuses; server "
+        "survived resets, corrupt frames, deadline squeezes, quota "
+        "storms, swap storms, and drained cleanly (" +
+        std::to_string(sstats.malformed) + " malformed frames rejected)";
+  }
+
+  std::remove(opts.snap_path.c_str());
+  std::remove(opts.point_snap_path.c_str());
+  return out;
+}
+
+}  // namespace net

@@ -6,9 +6,11 @@
 #include <string>
 #include <vector>
 
-// Header-only layout constants + CRC32 of the snapshot format, included
-// so the harness can craft targeted file faults without linking the
-// snapshot library (which depends on robust, not vice versa).
+// Header-only layout constants + CRC32 of the snapshot format and the
+// net wire-frame format, included so the harness can craft targeted
+// file/frame faults without linking the snapshot or net libraries
+// (both depend on robust, not vice versa).
+#include "net/frame_format.hpp"
 #include "snapshot/format.hpp"
 
 namespace robust {
@@ -34,6 +36,9 @@ const char* to_string(CorruptionKind k) {
       return "snapshot-section-crc-mismatch";
     case CorruptionKind::kSnapshotSectionOffset:
       return "snapshot-section-offset-oob";
+    case CorruptionKind::kWireTruncated: return "wire-truncated";
+    case CorruptionKind::kWireLengthLie: return "wire-length-lie";
+    case CorruptionKind::kWireBitFlip: return "wire-bit-flip";
   }
   return "?";
 }
@@ -259,6 +264,9 @@ Status corrupt(pointloc::SeparatorTree& st, CorruptionKind kind,
     case CorruptionKind::kSnapshotHeaderBitFlip:
     case CorruptionKind::kSnapshotSectionCrc:
     case CorruptionKind::kSnapshotSectionOffset:
+    case CorruptionKind::kWireTruncated:
+    case CorruptionKind::kWireLengthLie:
+    case CorruptionKind::kWireBitFlip:
       return not_applicable(kind, "pointloc::SeparatorTree");
     case CorruptionKind::kGapBreakpointDisorder:
       break;
@@ -412,6 +420,70 @@ Status corrupt_file(const std::string& path, CorruptionKind kind,
       return not_applicable(kind, "a snapshot file");
   }
   return spit(path, bytes);
+}
+
+Status corrupt_frame(std::vector<std::uint8_t>& frame, CorruptionKind kind,
+                     std::uint64_t seed) {
+  if (frame.size() < net::kFrameOverhead) {
+    return Status::failed_precondition(
+        "buffer is too small to be an encoded wire frame");
+  }
+  net::FrameHeader header;
+  std::memcpy(&header, frame.data() + sizeof(std::uint32_t), sizeof(header));
+  if (header.magic != net::kWireMagic) {
+    return Status::failed_precondition("buffer is not an encoded wire frame");
+  }
+  const std::size_t payload_off =
+      sizeof(std::uint32_t) + sizeof(net::FrameHeader);
+
+  switch (kind) {
+    case CorruptionKind::kWireTruncated: {
+      // Cut anywhere, from nothing to one byte short: every length must
+      // be rejected (by the minimum-size probe, the prefix cross-check,
+      // or the CRC — whichever trips first).
+      frame.resize(pick(seed, frame.size()));
+      break;
+    }
+    case CorruptionKind::kWireLengthLie: {
+      // Shrink (or, for an empty payload, grow) the frame and rewrite
+      // the length prefix to match, so the framing layer happily reads a
+      // self-consistent frame and only the decoder's payload_len
+      // cross-check can spot the lie.  The header itself is untouched.
+      std::size_t lied_total;
+      if (header.payload_len == 0) {
+        frame.insert(frame.end() - sizeof(std::uint32_t),
+                     {0x5e, 0xed, 0xb0, 0x0b});
+        lied_total = frame.size();
+      } else {
+        const std::size_t cut =
+            1 + pick(seed, header.payload_len);  // 1 .. payload_len
+        lied_total = frame.size() - cut;
+        std::memmove(frame.data() + lied_total - sizeof(std::uint32_t),
+                     frame.data() + frame.size() - sizeof(std::uint32_t),
+                     sizeof(std::uint32_t));  // keep a trailer in place
+        frame.resize(lied_total);
+      }
+      const auto prefix =
+          static_cast<std::uint32_t>(lied_total - sizeof(std::uint32_t));
+      std::memcpy(frame.data(), &prefix, sizeof(prefix));
+      break;
+    }
+    case CorruptionKind::kWireBitFlip: {
+      if (header.payload_len == 0) {
+        return too_small(kind);
+      }
+      // Strictly inside the payload (not the header, which has its own
+      // CRC): only the payload trailer can catch this one.
+      const std::size_t bit =
+          pick(seed, std::size_t{header.payload_len} * 8);
+      frame[payload_off + bit / 8] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      break;
+    }
+    default:
+      return not_applicable(kind, "a wire frame");
+  }
+  return coop::OkStatus();
 }
 
 }  // namespace robust

@@ -40,6 +40,12 @@ enum class CorruptionKind : int {
   kSnapshotSectionOffset = 12,  ///< point a section past end-of-file,
                                 ///  with the table CRC re-forged so only
                                 ///  the bounds check can catch it
+  // net wire frames in memory (corrupt_frame; net::decode_frame must
+  // reject each with a descriptive Status)
+  kWireTruncated = 13,  ///< cut the encoded frame short at a random byte
+  kWireLengthLie = 14,  ///< rewrite the length prefix to disagree with
+                        ///  the header's payload_len
+  kWireBitFlip = 15,    ///< flip one payload bit (CRC trailer catches it)
 };
 
 inline constexpr CorruptionKind kAllCorruptionKinds[] = {
@@ -57,6 +63,13 @@ inline constexpr CorruptionKind kAllSnapshotFaultKinds[] = {
     CorruptionKind::kSnapshotHeaderBitFlip,
     CorruptionKind::kSnapshotSectionCrc,
     CorruptionKind::kSnapshotSectionOffset,
+};
+
+/// The wire-level kinds (targets of corrupt_frame).
+inline constexpr CorruptionKind kAllWireFaultKinds[] = {
+    CorruptionKind::kWireTruncated,
+    CorruptionKind::kWireLengthLie,
+    CorruptionKind::kWireBitFlip,
 };
 
 [[nodiscard]] const char* to_string(CorruptionKind k);
@@ -86,6 +99,18 @@ inline constexpr CorruptionKind kAllSnapshotFaultKinds[] = {
 [[nodiscard]] coop::Status corrupt_file(const std::string& path,
                                         CorruptionKind kind,
                                         std::uint64_t seed);
+
+/// Apply a wire-level fault (one of kAllWireFaultKinds) to an encoded
+/// net frame in place.  `frame` must be a complete frame as produced by
+/// net::encode_frame (length prefix + header + payload + CRC trailer) —
+/// it is parsed just enough to aim the fault (e.g. the bit-flip lands in
+/// the payload so only the CRC trailer can catch it, and the length lie
+/// keeps the prefix plausible so the framing layer reads the frame and
+/// the *decoder* has to spot the disagreement).  kFailedPrecondition
+/// when the buffer is too small to be a frame or cannot host the kind.
+[[nodiscard]] coop::Status corrupt_frame(std::vector<std::uint8_t>& frame,
+                                         CorruptionKind kind,
+                                         std::uint64_t seed);
 
 /// The backdoor the corruption harness (and the deep validators) use to
 /// reach otherwise-encapsulated state.  Befriended by CoopStructure and

@@ -24,6 +24,7 @@ struct FrontendMetrics {
   obs::Counter shed_breaker;
   obs::Counter completed;
   obs::Counter degraded;
+  obs::Counter degraded_deadline;
   obs::Counter retries;
   obs::Counter breaker_trips;
   obs::Counter breaker_probes;
@@ -48,6 +49,9 @@ FrontendMetrics& frontend_metrics() {
       r.counter("serve_frontend_completed_total", "Batches completed"),
       r.counter("serve_frontend_degraded_total",
                 "Batches whose final attempt degraded"),
+      r.counter("serve_frontend_degraded_deadline_total",
+                "Batches whose final attempt degraded by deadline expiry "
+                "(subset of serve_frontend_degraded_total)"),
       r.counter("serve_frontend_retries_total",
                 "Attempts beyond each batch's first"),
       r.counter("serve_frontend_breaker_trips_total",
@@ -351,7 +355,7 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
     if (r.degraded && traced) {
       ring.emit(seq, obs::SpanKind::kDegraded, a);
     }
-    trail.push_back(BatchAttempt{a, r.degraded, r.reason, back});
+    trail.push_back(BatchAttempt{a, r.degraded, r.reason, back, r.cause});
     if (served_version != nullptr) {
       *served_version = pin.version();
     }
@@ -365,6 +369,9 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
   fm.completed.inc();
   if (final_report.degraded) {
     fm.degraded.inc();
+    if (final_report.cause == DegradeCause::kDeadline) {
+      fm.degraded_deadline.inc();
+    }
   }
   const auto latency_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -380,6 +387,9 @@ Status Frontend::run_admitted(snapshot::SnapshotKind need,
     ++stats_.completed;
     if (final_report.degraded) {
       ++stats_.degraded_batches;
+      if (final_report.cause == DegradeCause::kDeadline) {
+        ++stats_.degraded_deadline;
+      }
     }
   }
   final_report.attempts = std::move(trail);
@@ -429,6 +439,7 @@ Status Frontend::serve_paths(std::span<const PathQuery> queries,
       BatchReport r;
       r.degraded = true;
       r.reason = std::string("inline exception: ") + e.what();
+      r.cause = DegradeCause::kException;
       r.shards = 1;
       r.threads_used = 1;
       return r;
@@ -467,6 +478,7 @@ Status Frontend::serve_points(std::span<const geom::Point> points,
       BatchReport r;
       r.degraded = true;
       r.reason = std::string("inline exception: ") + e.what();
+      r.cause = DegradeCause::kException;
       r.shards = 1;
       r.threads_used = 1;
       return r;

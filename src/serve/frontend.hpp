@@ -87,6 +87,7 @@ struct FrontendStats {
   std::uint64_t shed_breaker = 0;        ///< kUnavailable (breaker OPEN)
   std::uint64_t completed = 0;
   std::uint64_t degraded_batches = 0;    ///< final attempt degraded
+  std::uint64_t degraded_deadline = 0;   ///< ... by deadline expiry (subset)
   std::uint64_t retries = 0;             ///< attempts beyond the first
   std::uint64_t breaker_trips = 0;       ///< CLOSED -> OPEN transitions
   std::uint64_t breaker_probes = 0;      ///< HALF_OPEN probes dispatched

@@ -79,6 +79,15 @@ std::size_t default_shard_size(std::size_t n, std::size_t threads) {
 
 }  // namespace
 
+const char* to_string(DegradeCause c) {
+  switch (c) {
+    case DegradeCause::kNone: return "none";
+    case DegradeCause::kDeadline: return "deadline";
+    case DegradeCause::kException: return "exception";
+  }
+  return "?";
+}
+
 QueryEngine::QueryEngine(std::size_t threads)
     : threads_(threads == 0 ? default_threads() : threads) {
   if (threads_ > 1) {
@@ -152,7 +161,8 @@ BatchReport QueryEngine::for_each(std::size_t n,
   // Degradation (run_resilient discipline): the parallel attempt is fully
   // drained above, so re-running every index sequentially cannot race
   // with a stale worker; per-index idempotence makes the rerun safe.
-  if (fail_reason.rfind("deadline", 0) == 0) {
+  const bool deadline_hit = fail_reason.rfind("deadline", 0) == 0;
+  if (deadline_hit) {
     em.degraded_deadline.inc();
   } else {
     em.degraded_exception.inc();
@@ -162,6 +172,8 @@ BatchReport QueryEngine::for_each(std::size_t n,
   }
   report.degraded = true;
   report.reason = fail_reason;
+  report.cause =
+      deadline_hit ? DegradeCause::kDeadline : DegradeCause::kException;
   report.shards = 1;
   report.threads_used = 1;
   finish();

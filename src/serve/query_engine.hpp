@@ -29,6 +29,18 @@ struct BatchOptions {
   std::size_t shard_size = 0;
 };
 
+/// Why a batch degraded to the sequential rerun.  Deadline expiry is a
+/// distinct cause (not just a reason string) so callers — the frontend's
+/// stats, the obs counters, and the wire layer's kDeadlineExceeded typed
+/// error — can tell a timing failure from a poisoned worker without
+/// parsing free text.
+enum class DegradeCause : int {
+  kNone = 0,       ///< not degraded
+  kDeadline = 1,   ///< the batch deadline expired mid-parallel-attempt
+  kException = 2,  ///< a worker (or inline run) threw
+};
+[[nodiscard]] const char* to_string(DegradeCause c);
+
 /// One execution attempt of a batch as retried by serve::Frontend: the
 /// engine-level outcome plus the backoff that was slept *before* this
 /// attempt ran (0 for the first attempt).  The trail is deterministic
@@ -38,6 +50,7 @@ struct BatchAttempt {
   bool degraded = false;
   std::string reason;
   std::chrono::nanoseconds backoff{0};
+  DegradeCause cause = DegradeCause::kNone;
 };
 
 /// Outcome of one batch, mirroring pram::RunReport: if the parallel
@@ -46,6 +59,7 @@ struct BatchAttempt {
 struct BatchReport {
   bool degraded = false;
   std::string reason;
+  DegradeCause cause = DegradeCause::kNone;
   std::size_t shards = 0;        ///< shards the parallel attempt was cut into
   std::size_t threads_used = 0;  ///< 1 when run inline / degraded
   /// Per-attempt trail when the batch went through serve::Frontend's

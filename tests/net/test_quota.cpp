@@ -1,0 +1,140 @@
+#include "net/quota.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+using coop::StatusCode;
+using net::QuotaOptions;
+using net::TenantQuotas;
+
+constexpr std::uint64_t kNs = 1;
+constexpr std::uint64_t kMs = 1'000'000;
+constexpr std::uint64_t kSec = 1'000'000'000;
+
+TEST(Quota, DisabledQuotasAdmitEverything) {
+  TenantQuotas q;  // tokens_per_sec = 0 -> disabled
+  EXPECT_FALSE(q.enabled());
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(q.admit(1, i * kNs).ok());
+  }
+}
+
+TEST(Quota, NewTenantCanBurstToCapacityThenIsShed) {
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/5});
+  // Full bucket on first contact: exactly `burst` admissions at t=0.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.admit(1, 0).ok()) << "burst admission " << i;
+  }
+  const auto s = q.admit(1, 0);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.to_string().find("tenant 1"), std::string::npos);
+  EXPECT_EQ(q.stats(1).admitted, 5u);
+  EXPECT_EQ(q.stats(1).shed, 1u);
+}
+
+TEST(Quota, RefillIsExactIntegerArithmetic) {
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/5});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.admit(1, 0).ok());
+  }
+  ASSERT_FALSE(q.admit(1, 0).ok());
+  // 10 tokens/sec = 1 token per 100 ms.  At 99,999,999 ns the bucket
+  // still holds a hair under one token; at exactly 100 ms it admits.
+  EXPECT_FALSE(q.admit(1, 100 * kMs - 1).ok());
+  EXPECT_TRUE(q.admit(1, 100 * kMs).ok());
+  EXPECT_FALSE(q.admit(1, 100 * kMs).ok());
+}
+
+TEST(Quota, FailedAdmissionDoesNotDebit) {
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/2});
+  ASSERT_TRUE(q.admit(1, 0).ok());
+  ASSERT_TRUE(q.admit(1, 0).ok());
+  // Hammering an empty bucket must not push the next admission further
+  // out: after the same 100 ms it admits regardless of 1000 failures.
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(q.admit(1, 0).ok());
+  }
+  EXPECT_TRUE(q.admit(1, 100 * kMs).ok());
+  EXPECT_EQ(q.stats(1).shed, 1000u);
+}
+
+TEST(Quota, BurstThenSustainTraceIsByteIdentical) {
+  // The satellite contract: a scripted clock produces the exact same
+  // admit/shed sequence on every run and platform (pure integer math).
+  const auto run = [] {
+    TenantQuotas q({/*tokens_per_sec=*/7, /*burst=*/3});
+    std::string trace;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 400; ++i) {
+      // A jittery but deterministic clock: advances 0-186 ms in a
+      // pattern that interleaves bursts with sustained load.
+      now += (static_cast<std::uint64_t>(i) * 31 % 187) * kMs;
+      trace += q.admit(42, now).ok() ? 'A' : 's';
+    }
+    return trace;
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  // And the trace must contain both outcomes (the schedule actually
+  // exercises refill and exhaustion).
+  EXPECT_NE(first.find('A'), std::string::npos);
+  EXPECT_NE(first.find('s'), std::string::npos);
+  // Sustained-rate sanity: over ~37 s of scripted time at 7/s the
+  // admitted count can never exceed burst + rate * elapsed.
+  std::uint64_t elapsed = 0;
+  for (int i = 0; i < 400; ++i) {
+    elapsed += (static_cast<std::uint64_t>(i) * 31 % 187) * kMs;
+  }
+  const auto admitted = static_cast<std::uint64_t>(
+      std::count(first.begin(), first.end(), 'A'));
+  EXPECT_LE(admitted, 3 + 7 * (elapsed / kSec + 1));
+}
+
+TEST(Quota, HotTenantCannotStarveQuietTenant) {
+  TenantQuotas q({/*tokens_per_sec=*/100, /*burst=*/10});
+  std::uint64_t now = 0;
+  std::uint64_t hot_shed = 0;
+  std::uint64_t quiet_shed = 0;
+  // The hot tenant fires every 100 us (10000/s, 100x its rate); the
+  // quiet tenant once every 50 ms (20/s, well under its 100/s).
+  for (int i = 1; i <= 10'000; ++i) {
+    now = static_cast<std::uint64_t>(i) * 100'000;  // 100 us steps
+    if (!q.admit(1, now).ok()) {
+      ++hot_shed;
+    }
+    if (i % 500 == 0 && !q.admit(2, now).ok()) {
+      ++quiet_shed;
+    }
+  }
+  EXPECT_GT(hot_shed, 8'000u);   // the hot tenant was mostly shed
+  EXPECT_EQ(quiet_shed, 0u);     // the quiet tenant never was
+  EXPECT_GT(q.stats(1).admitted, 0u);
+}
+
+TEST(Quota, LongIdleDoesNotOverflowTheBucket) {
+  TenantQuotas q({/*tokens_per_sec=*/1'000'000'000, /*burst=*/4});
+  ASSERT_TRUE(q.admit(1, 0).ok());
+  // Decades of idle time at a huge rate: the refill multiply would
+  // overflow u64 without clamping.  The bucket must cap at burst.
+  const std::uint64_t decades = 40ull * 365 * 24 * 3600 * kSec;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.admit(1, decades).ok());
+  }
+  EXPECT_FALSE(q.admit(1, decades).ok());
+}
+
+TEST(Quota, CostAboveOneDebitsProportionally) {
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/6});
+  EXPECT_TRUE(q.admit(1, 0, /*cost=*/4).ok());
+  EXPECT_FALSE(q.admit(1, 0, /*cost=*/3).ok());
+  EXPECT_TRUE(q.admit(1, 0, /*cost=*/2).ok());
+}
+
+}  // namespace

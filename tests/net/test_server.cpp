@@ -1,0 +1,334 @@
+// End-to-end loopback tests for the framed-TCP serving plane: real
+// sockets, a real Server, a real Client, and the catalog oracle.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+
+#include "catalog/tree.hpp"
+#include "fc/build.hpp"
+#include "net/client.hpp"
+#include "robust/corrupt.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using coop::Status;
+using coop::StatusCode;
+
+constexpr const char* kSnapPath = "test_net_server.snap";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::mt19937_64 rng(7);
+    tree_ = cat::make_balanced_binary(5, 1500, cat::CatalogShape::kRandom,
+                                      rng);
+    auto structure = fc::Structure::build_checked(tree_);
+    ASSERT_TRUE(structure.ok()) << structure.status().to_string();
+    auto flat = serve::FlatCascade::compile(*structure);
+    ASSERT_TRUE(flat.ok()) << flat.status().to_string();
+    ASSERT_TRUE(snapshot::write(*flat, kSnapPath).ok());
+
+    net::ServerOptions opts;
+    opts.workers = 2;
+    opts.engine_threads = 2;
+    auto started = net::Server::start(customize(opts));
+    ASSERT_TRUE(started.ok()) << started.status().to_string();
+    server_ = started.take();
+    auto snap = snapshot::open(kSnapPath);
+    ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+    ASSERT_TRUE(server_->collections().load("main", snap.take()).ok());
+  }
+
+  void TearDown() override {
+    server_.reset();
+    std::remove(kSnapPath);
+  }
+
+  virtual net::ServerOptions customize(net::ServerOptions opts) {
+    return opts;
+  }
+
+  net::Client connect(std::uint64_t tenant = 1) {
+    net::ClientOptions copts;
+    copts.tenant = tenant;
+    auto c = net::Client::connect("127.0.0.1", server_->port(), copts);
+    EXPECT_TRUE(c.ok()) << c.status().to_string();
+    return c.take();
+  }
+
+  std::vector<serve::PathQuery> make_batch(std::size_t n,
+                                           std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<serve::PathQuery> batch(n);
+    for (auto& q : batch) {
+      std::vector<cat::NodeId> path{tree_.root()};
+      while (!tree_.is_leaf(path.back())) {
+        const auto kids = tree_.children(path.back());
+        path.push_back(kids[rng() % kids.size()]);
+      }
+      q.path = std::move(path);
+      q.y = static_cast<cat::Key>(rng() % 1'000'000);
+    }
+    return batch;
+  }
+
+  cat::Tree tree_;
+  std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(ServerTest, PathBatchMatchesOracle) {
+  net::Client client = connect();
+  const auto batch = make_batch(64, 11);
+  auto resp = client.path_batch("main", batch);
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  ASSERT_EQ(resp->answers.size(), batch.size());
+  for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+    ASSERT_EQ(resp->answers[qi].proper_index.size(), batch[qi].path.size());
+    for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+      EXPECT_EQ(resp->answers[qi].proper_index[i],
+                tree_.catalog(batch[qi].path[i]).find(batch[qi].y));
+    }
+  }
+  EXPECT_GT(resp->served_version, 0u);
+}
+
+TEST_F(ServerTest, SequentialRequestsReuseTheConnection) {
+  net::Client client = connect();
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.path_batch("main", make_batch(8, 100 + i));
+    ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  }
+  EXPECT_EQ(server_->stats().accepted, 1u);
+}
+
+TEST_F(ServerTest, UnknownCollectionIsATypedError) {
+  net::Client client = connect();
+  auto resp = client.path_batch("nope", make_batch(2, 1));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(resp.status().to_string().find("nope"), std::string::npos);
+  // The connection survives a well-formed but unserviceable request.
+  EXPECT_TRUE(client.path_batch("main", make_batch(2, 2)).ok());
+}
+
+TEST_F(ServerTest, InvalidPathIsRejectedBeforeTheKernel) {
+  net::Client client = connect();
+  auto batch = make_batch(2, 3);
+  batch[1].path = {0, 999'999};  // node id far out of range
+  auto resp = client.path_batch("main", batch);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_FALSE(resp.status().ok());
+  // And the server is still healthy afterwards.
+  EXPECT_TRUE(client.path_batch("main", make_batch(2, 4)).ok());
+}
+
+TEST_F(ServerTest, WrongKindCollectionIsATypedError) {
+  net::Client client = connect();
+  std::vector<geom::Point> pts{{1, 2}};
+  auto resp = client.point_batch("main", pts);  // cascade, not pointloc
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServerTest, TinyDeadlineComesBackAsTypedDeadlineExceeded) {
+  net::Client client = connect();
+  client.options().deadline_ns = 1;  // expires in transit, guaranteed
+  auto resp = client.path_batch("main", make_batch(32, 5));
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(server_->stats().deadline_expired, 1u);
+  // A deadline miss is the request's problem, not the connection's.
+  client.options().deadline_ns = 0;
+  EXPECT_TRUE(client.path_batch("main", make_batch(2, 6)).ok());
+}
+
+TEST_F(ServerTest, GenerousDeadlineStillServes) {
+  net::Client client = connect();
+  client.options().deadline_ns = 30ull * 1'000'000'000;  // 30 s
+  auto resp = client.path_batch("main", make_batch(16, 7));
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+}
+
+TEST_F(ServerTest, HealthReportsCollectionsAndMetricsScrape) {
+  net::Client client = connect();
+  auto h = client.health();
+  ASSERT_TRUE(h.ok()) << h.status().to_string();
+  EXPECT_EQ(h->draining, 0);
+  ASSERT_EQ(h->collections.size(), 1u);
+  EXPECT_EQ(h->collections[0].name, "main");
+  EXPECT_GT(h->collections[0].version, 0u);
+
+  auto m = client.metrics();
+  ASSERT_TRUE(m.ok()) << m.status().to_string();
+  EXPECT_NE(m->find("net_server_frames_in_total"), std::string::npos);
+}
+
+TEST_F(ServerTest, MalformedFrameGetsTypedErrorThenClose) {
+  net::Client client = connect();
+  net::PathBatchRequest req;
+  req.collection = "main";
+  req.queries = make_batch(1, 8);
+  net::FrameHeader fh;
+  fh.type = static_cast<std::uint16_t>(net::MsgType::kPathBatch);
+  fh.request_id = 77;
+  auto frame = net::encode_frame(fh, net::encode(req));
+  ASSERT_TRUE(robust::corrupt_frame(
+                  frame, robust::CorruptionKind::kWireBitFlip, 3)
+                  .ok());
+  ASSERT_TRUE(client.send_raw(frame).ok());
+  auto resp = client.read_frame();
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  ASSERT_EQ(resp->header.type,
+            static_cast<std::uint16_t>(net::MsgType::kError) |
+                net::kResponseBit);
+  auto err = net::decode_error(resp->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(static_cast<StatusCode>(err->code), StatusCode::kCorrupted);
+  // One bad frame forfeits the stream: the server closes after the
+  // error flushes.
+  auto next = client.read_frame();
+  EXPECT_FALSE(next.ok());
+  EXPECT_GE(server_->stats().malformed, 1u);
+  // ...but the *server* is fine: a new connection serves normally.
+  net::Client again = connect();
+  EXPECT_TRUE(again.path_batch("main", make_batch(2, 9)).ok());
+}
+
+TEST_F(ServerTest, OversizePrefixIsRejectedWithoutBuffering) {
+  net::Client client = connect();
+  std::uint32_t huge = 100u << 20;  // 100 MB announcement
+  std::vector<std::uint8_t> prefix(sizeof(huge));
+  std::memcpy(prefix.data(), &huge, sizeof(huge));
+  ASSERT_TRUE(client.send_raw(prefix).ok());
+  auto resp = client.read_frame();
+  if (resp.ok()) {
+    // Either a typed error...
+    EXPECT_EQ(resp->header.type,
+              static_cast<std::uint16_t>(net::MsgType::kError) |
+                  net::kResponseBit);
+  }
+  // ...and in all cases the stream ends rather than allocating 100 MB.
+  EXPECT_FALSE(client.read_frame().ok());
+}
+
+TEST_F(ServerTest, SwapBumpsVersionUnloadRemoves) {
+  net::Client client = connect();
+  auto v1 = client.health();
+  ASSERT_TRUE(v1.ok());
+  const std::uint64_t before = v1->collections[0].version;
+  auto v2 = client.swap("main", kSnapPath);
+  ASSERT_TRUE(v2.ok()) << v2.status().to_string();
+  EXPECT_GT(v2.value(), before);
+  // Queries still serve across the swap.
+  EXPECT_TRUE(client.path_batch("main", make_batch(4, 10)).ok());
+  // Admin errors are typed: swapping a collection that is not loaded.
+  auto missing = client.swap("ghost", kSnapPath);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kFailedPrecondition);
+  // load over an existing name is refused (use SWAP).
+  auto dup = client.load("main", kSnapPath);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kFailedPrecondition);
+  // unload, then the collection is gone.
+  ASSERT_TRUE(client.unload("main").ok());
+  auto gone = client.path_batch("main", make_batch(2, 11));
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, DrainRefusesNewWorkButAnswersHealth) {
+  net::Client client = connect();
+  ASSERT_TRUE(client.path_batch("main", make_batch(4, 12)).ok());
+  server_->begin_drain();
+  EXPECT_TRUE(server_->draining());
+  // New batch and admin work is refused with a typed UNAVAILABLE.
+  auto refused = client.path_batch("main", make_batch(4, 13));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  auto refused_admin = client.swap("main", kSnapPath);
+  ASSERT_FALSE(refused_admin.ok());
+  EXPECT_EQ(refused_admin.status().code(), StatusCode::kUnavailable);
+  // HEALTH and METRICS still answer, and health says draining.
+  auto h = client.health();
+  ASSERT_TRUE(h.ok()) << h.status().to_string();
+  EXPECT_EQ(h->draining, 1);
+  EXPECT_TRUE(client.metrics().ok());
+  client.close();
+  EXPECT_TRUE(server_->wait_drained(std::chrono::seconds(5)));
+  EXPECT_GE(server_->stats().draining_refused, 2u);
+}
+
+TEST_F(ServerTest, DrainViaWireFrame) {
+  net::Client client = connect();
+  ASSERT_TRUE(client.drain().ok());
+  EXPECT_TRUE(server_->draining());
+  client.close();
+  EXPECT_TRUE(server_->wait_drained(std::chrono::seconds(5)));
+}
+
+// --- Variant fixtures ---
+
+class QuotaServerTest : public ServerTest {
+ protected:
+  net::ServerOptions customize(net::ServerOptions opts) override {
+    opts.quota.tokens_per_sec = 1;
+    opts.quota.burst = 3;
+    return opts;
+  }
+};
+
+TEST_F(QuotaServerTest, HotTenantIsShedQuietTenantIsNot) {
+  net::Client hot = connect(/*tenant=*/5);
+  const auto batch = make_batch(2, 14);
+  int served = 0;
+  Status shed = coop::OkStatus();
+  for (int i = 0; i < 10; ++i) {
+    auto resp = hot.path_batch("main", batch);
+    if (resp.ok()) {
+      ++served;
+    } else {
+      shed = resp.status();
+      break;
+    }
+  }
+  EXPECT_EQ(served, 3);  // exactly the burst
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.to_string().find("tenant 5"), std::string::npos);
+  EXPECT_GE(server_->stats().quota_shed, 1u);
+  // A different tenant still has its own full bucket.
+  net::Client quiet = connect(/*tenant=*/6);
+  EXPECT_TRUE(quiet.path_batch("main", batch).ok());
+}
+
+class PollFallbackServerTest : public ServerTest {
+ protected:
+  void SetUp() override {
+    setenv("COOPNET_FORCE_POLL", "1", 1);
+    ServerTest::SetUp();
+  }
+  void TearDown() override {
+    ServerTest::TearDown();
+    unsetenv("COOPNET_FORCE_POLL");
+  }
+};
+
+TEST_F(PollFallbackServerTest, ServesWithPollBackend) {
+  net::Client client = connect();
+  const auto batch = make_batch(16, 15);
+  auto resp = client.path_batch("main", batch);
+  ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+  for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+    for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+      EXPECT_EQ(resp->answers[qi].proper_index[i],
+                tree_.catalog(batch[qi].path[i]).find(batch[qi].y));
+    }
+  }
+}
+
+}  // namespace

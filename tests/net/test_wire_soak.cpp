@@ -1,0 +1,66 @@
+// A short seeded run of the over-the-wire chaos soak: real sockets,
+// real fault injection, hard asserts on the serving contract.  CI runs
+// the long version (coopserve --soak) under ASan/UBSan; this keeps the
+// harness itself honest in every plain test run.
+
+#include "net/wire_soak.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(WireSoak, ShortSeededRunMeetsEveryGoal) {
+  net::WireSoakOptions opts;
+  opts.seed = 2026;
+  opts.duration = std::chrono::milliseconds(1500);
+  opts.clients = 4;
+  opts.tree_height = 5;
+  opts.tree_entries = 1500;
+  opts.batch_queries = 32;
+  opts.snap_path = "test_wire_soak.snap";
+  opts.point_snap_path = "test_wire_soak_points.snap";
+  auto out = net::run_wire_soak(opts);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out->wrong_answers, 0u) << out->verdict;
+  EXPECT_EQ(out->failed, 0u) << out->verdict << " first: "
+                             << out->first_failure;
+  EXPECT_TRUE(out->drained_in_grace) << out->verdict;
+  EXPECT_TRUE(out->goals_met) << out->verdict;
+  EXPECT_EQ(out->verdict.rfind("OK", 0), 0u) << out->verdict;
+  // The fleet really exercised every fault class.
+  EXPECT_GE(out->answered, 1u);
+  EXPECT_GE(out->deadline_errors, 1u);
+  EXPECT_GE(out->quota_sheds, 1u);
+  EXPECT_GE(out->malformed_rejected, 1u);
+  EXPECT_GE(out->resets_injected, 1u);
+  EXPECT_GE(out->slow_reads, 1u);
+  EXPECT_GE(out->swaps, 1u);
+  EXPECT_GE(out->load_unload_cycles, 1u);
+  EXPECT_GE(out->drain_refusals, 0u);
+}
+
+TEST(WireSoak, SameSeedSameFaultSchedule) {
+  // The fault *schedule* is a pure function of (seed, client, iter);
+  // wall-clock decides how many iterations run, so totals differ — but
+  // a tiny run must still be reproducibly survivable.
+  for (int round = 0; round < 2; ++round) {
+    net::WireSoakOptions opts;
+    opts.seed = 99;
+    opts.duration = std::chrono::milliseconds(400);
+    opts.clients = 2;
+    opts.tree_height = 4;
+    opts.tree_entries = 400;
+    opts.batch_queries = 8;
+    opts.pointloc_regions = 8;
+    opts.snap_path = "test_wire_soak2.snap";
+    opts.point_snap_path = "test_wire_soak2_points.snap";
+    auto out = net::run_wire_soak(opts);
+    ASSERT_TRUE(out.ok()) << out.status().to_string();
+    EXPECT_EQ(out->wrong_answers, 0u) << out->verdict;
+    EXPECT_EQ(out->failed, 0u) << out->verdict << " first: "
+                               << out->first_failure;
+    EXPECT_TRUE(out->drained_in_grace);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,468 @@
+// coopload: load generator and admin client for coopserve.
+//
+//   coopload --port N [--host H] --op bench --tree tree.txt
+//            [--collection NAME]... [--threads N] [--duration-ms N]
+//            [--batch N] [--tenant N] [--deadline-ns N] [--seed N]
+//            [--check] [--json | --json=FILE]
+//   coopload --port N --op metrics|health|drain
+//   coopload --port N --op load|swap --collection NAME --snapshot F.snap
+//   coopload --port N --op unload --collection NAME
+//
+// bench aims --threads clients at each named collection (default: just
+// "main") for --duration-ms, sending --batch-query path batches built
+// from random root-to-leaf walks of --tree (the same tree file the
+// server's snapshot was compiled from).  --check verifies every answer
+// against the in-process catalog oracle; any mismatch is a nonzero
+// exit.  --json emits one {"bench":"wire","rows":[...]} document with a
+// (mode, threads, qps, p99_ns) row per collection, the shape
+// scripts/check_bench_regression.py gates against bench/baselines/.
+// --port-file PATH reads the port coopserve wrote there.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/tree.hpp"
+#include "net/client.hpp"
+#include "serve/frontend.hpp"
+#include "robust/loaders.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using coop::StatusCode;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: coopload --port N | --port-file PATH [--host H]\n"
+      "                --op bench|metrics|health|drain|load|swap|unload\n"
+      "  bench:  --tree tree.txt [--collection NAME]... [--threads N]\n"
+      "          [--duration-ms N] [--batch N] [--tenant N]\n"
+      "          [--deadline-ns N] [--seed N] [--check]\n"
+      "          [--json | --json=FILE]\n"
+      "  load/swap: --collection NAME --snapshot FILE.snap\n"
+      "  unload:    --collection NAME\n");
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+struct BenchRow {
+  std::string mode;
+  std::size_t threads = 0;
+  double qps = 0.0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t sheds = 0;
+};
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string op = "bench";
+  std::vector<std::string> collections;
+  std::string snapshot;
+  std::string tree_path;
+  std::size_t threads = 4;
+  std::uint64_t duration_ms = 2000;
+  std::size_t batch = 64;
+  std::uint64_t tenant = 1;
+  std::uint64_t deadline_ns = 0;
+  std::uint64_t seed = 1;
+  bool check = false;
+  bool json = false;
+  std::string json_path;  // empty -> stdout
+};
+
+int run_bench(const Args& a) {
+  if (a.tree_path.empty()) {
+    std::fprintf(stderr, "error: --op bench needs --tree tree.txt\n");
+    return 2;
+  }
+  std::ifstream in(a.tree_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", a.tree_path.c_str());
+    return 1;
+  }
+  auto loaded = robust::load_tree(in);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", a.tree_path.c_str(),
+                 loaded.status().to_string().c_str());
+    return 1;
+  }
+  const cat::Tree tree = loaded.take();
+  const std::vector<std::string> cols =
+      a.collections.empty() ? std::vector<std::string>{"main"}
+                            : a.collections;
+
+  std::vector<BenchRow> rows;
+  std::uint64_t mismatches = 0, errors = 0;
+  std::string first_error;
+  for (const std::string& col : cols) {
+    std::atomic<std::uint64_t> answered{0}, sheds{0}, bad{0}, errs{0};
+    std::mutex err_mu;
+    std::vector<std::vector<std::uint64_t>> lat(a.threads);
+    std::vector<std::thread> fleet;
+    const auto until =
+        Clock::now() + std::chrono::milliseconds(a.duration_ms);
+    for (std::size_t t = 0; t < a.threads; ++t) {
+      fleet.emplace_back([&, t] {
+        std::mt19937_64 rng(a.seed ^ (0xB0B0ull * (t + 1)));
+        net::ClientOptions copts;
+        copts.tenant = a.tenant + t;
+        copts.deadline_ns = a.deadline_ns;
+        auto c = net::Client::connect(a.host, a.port, copts);
+        if (!c.ok()) {
+          errs.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (first_error.empty()) {
+            first_error = c.status().to_string();
+          }
+          return;
+        }
+        net::Client client = c.take();
+        std::vector<serve::PathQuery> batch(a.batch);
+        while (Clock::now() < until) {
+          for (serve::PathQuery& q : batch) {
+            std::vector<cat::NodeId> path{tree.root()};
+            while (!tree.is_leaf(path.back())) {
+              const auto kids = tree.children(path.back());
+              path.push_back(kids[rng() % kids.size()]);
+            }
+            q.path = std::move(path);
+            q.y = static_cast<cat::Key>(rng() % 1'000'000'000);
+          }
+          const auto t0 = Clock::now();
+          auto resp = client.path_batch(col, batch);
+          const auto t1 = Clock::now();
+          if (resp.ok()) {
+            answered.fetch_add(batch.size(), std::memory_order_relaxed);
+            lat[t].push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                     t0)
+                    .count()));
+            if (a.check) {
+              for (std::size_t qi = 0; qi < batch.size(); ++qi) {
+                const auto& ans = resp->answers[qi];
+                for (std::size_t i = 0; i < batch[qi].path.size(); ++i) {
+                  if (i >= ans.proper_index.size() ||
+                      ans.proper_index[i] !=
+                          tree.catalog(batch[qi].path[i]).find(
+                              batch[qi].y)) {
+                    bad.fetch_add(1, std::memory_order_relaxed);
+                    break;
+                  }
+                }
+              }
+            }
+          } else if (resp.status().code() ==
+                     StatusCode::kResourceExhausted) {
+            sheds.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            errs.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_error.empty()) {
+              first_error = resp.status().to_string();
+            }
+            return;  // a broken stream will not heal; stop this thread
+          }
+        }
+      });
+    }
+    const auto begun = Clock::now();
+    for (std::thread& th : fleet) {
+      th.join();
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - begun).count();
+
+    std::vector<std::uint64_t> merged;
+    for (auto& v : lat) {
+      merged.insert(merged.end(), v.begin(), v.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    BenchRow row;
+    row.mode = "paths:" + col;
+    row.threads = a.threads;
+    row.answered = answered.load();
+    row.sheds = sheds.load();
+    row.qps = secs > 0 ? static_cast<double>(row.answered) / secs : 0.0;
+    row.p99_ns =
+        merged.empty() ? 0 : merged[merged.size() * 99 / 100 ==
+                                            merged.size()
+                                        ? merged.size() - 1
+                                        : merged.size() * 99 / 100];
+    rows.push_back(row);
+    mismatches += bad.load();
+    errors += errs.load();
+    std::fprintf(stderr,
+                 "%-16s threads=%zu qps=%.0f p99=%.3fms answered=%llu "
+                 "sheds=%llu\n",
+                 row.mode.c_str(), row.threads, row.qps,
+                 static_cast<double>(row.p99_ns) / 1e6,
+                 static_cast<unsigned long long>(row.answered),
+                 static_cast<unsigned long long>(row.sheds));
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "coopload: %llu request errors (first: %s)\n",
+                 static_cast<unsigned long long>(errors),
+                 first_error.c_str());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "coopload: %llu ORACLE MISMATCHES\n",
+                 static_cast<unsigned long long>(mismatches));
+  }
+
+  if (a.json) {
+    std::string doc = "{\"bench\":\"wire\",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"mode\":\"%s\",\"threads\":%zu,\"qps\":%.1f,"
+                    "\"p99_ns\":%llu,\"sheds\":%llu}",
+                    i == 0 ? "" : ",", rows[i].mode.c_str(),
+                    rows[i].threads, rows[i].qps,
+                    static_cast<unsigned long long>(rows[i].p99_ns),
+                    static_cast<unsigned long long>(rows[i].sheds));
+      doc += buf;
+    }
+    char tail[128];
+    std::snprintf(tail, sizeof(tail),
+                  "],\"checked\":%s,\"mismatches\":%llu,\"errors\":%llu}",
+                  a.check ? "true" : "false",
+                  static_cast<unsigned long long>(mismatches),
+                  static_cast<unsigned long long>(errors));
+    doc += tail;
+    doc += "\n";
+    if (a.json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(a.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     a.json_path.c_str());
+        return 1;
+      }
+      std::fputs(doc.c_str(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "coopload: wrote %s\n", a.json_path.c_str());
+    }
+  }
+  return (mismatches == 0 && errors == 0) ? 0 : 1;
+}
+
+int run_admin(const Args& a) {
+  net::ClientOptions copts;
+  copts.tenant = a.tenant;
+  auto c = net::Client::connect(a.host, a.port, copts);
+  if (!c.ok()) {
+    std::fprintf(stderr, "coopload: %s\n",
+                 c.status().to_string().c_str());
+    return 1;
+  }
+  net::Client client = c.take();
+  if (a.op == "metrics") {
+    auto m = client.metrics();
+    if (!m.ok()) {
+      std::fprintf(stderr, "coopload: %s\n",
+                   m.status().to_string().c_str());
+      return 1;
+    }
+    std::fputs(m->c_str(), stdout);
+    return 0;
+  }
+  if (a.op == "health") {
+    auto h = client.health();
+    if (!h.ok()) {
+      std::fprintf(stderr, "coopload: %s\n",
+                   h.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("draining: %s\n", h->draining != 0 ? "yes" : "no");
+    for (const auto& col : h->collections) {
+      std::printf("collection %s: version %llu, %s\n", col.name.c_str(),
+                  static_cast<unsigned long long>(col.version),
+                  serve::to_string(
+                      static_cast<serve::HealthState>(col.health)));
+    }
+    return 0;
+  }
+  if (a.op == "drain") {
+    if (const auto st = client.drain(); !st.ok()) {
+      std::fprintf(stderr, "coopload: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "coopload: drain acknowledged\n");
+    return 0;
+  }
+  if (a.collections.size() != 1) {
+    std::fprintf(stderr, "error: --op %s needs exactly one --collection\n",
+                 a.op.c_str());
+    return 2;
+  }
+  const std::string& col = a.collections.front();
+  if (a.op == "unload") {
+    if (const auto st = client.unload(col); !st.ok()) {
+      std::fprintf(stderr, "coopload: %s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "coopload: unloaded '%s'\n", col.c_str());
+    return 0;
+  }
+  if (a.snapshot.empty()) {
+    std::fprintf(stderr, "error: --op %s needs --snapshot FILE.snap\n",
+                 a.op.c_str());
+    return 2;
+  }
+  auto v = a.op == "load" ? client.load(col, a.snapshot)
+                          : client.swap(col, a.snapshot);
+  if (!v.ok()) {
+    std::fprintf(stderr, "coopload: %s\n",
+                 v.status().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "coopload: %s '%s' -> version %llu\n",
+               a.op.c_str(), col.c_str(),
+               static_cast<unsigned long long>(v.value()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--host") == 0) {
+      const char* x = need("--host");
+      if (x == nullptr) {
+        return usage();
+      }
+      a.host = x;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      const char* x = need("--port");
+      if (x == nullptr || !parse_u64(x, v) || v == 0 || v > 65535) {
+        return usage();
+      }
+      a.port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      const char* x = need("--port-file");
+      if (x == nullptr) {
+        return usage();
+      }
+      std::ifstream pf(x);
+      if (!(pf >> v) || v == 0 || v > 65535) {
+        std::fprintf(stderr, "error: %s does not hold a port\n", x);
+        return 1;
+      }
+      a.port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--op") == 0) {
+      const char* x = need("--op");
+      if (x == nullptr) {
+        return usage();
+      }
+      a.op = x;
+    } else if (std::strcmp(argv[i], "--collection") == 0) {
+      const char* x = need("--collection");
+      if (x == nullptr) {
+        return usage();
+      }
+      a.collections.emplace_back(x);
+    } else if (std::strcmp(argv[i], "--snapshot") == 0) {
+      const char* x = need("--snapshot");
+      if (x == nullptr) {
+        return usage();
+      }
+      a.snapshot = x;
+    } else if (std::strcmp(argv[i], "--tree") == 0) {
+      const char* x = need("--tree");
+      if (x == nullptr) {
+        return usage();
+      }
+      a.tree_path = x;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* x = need("--threads");
+      if (x == nullptr || !parse_u64(x, v) || v == 0 || v > 256) {
+        return usage();
+      }
+      a.threads = v;
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0) {
+      const char* x = need("--duration-ms");
+      if (x == nullptr || !parse_u64(x, v) || v == 0) {
+        return usage();
+      }
+      a.duration_ms = v;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      const char* x = need("--batch");
+      if (x == nullptr || !parse_u64(x, v) || v == 0 || v > 65536) {
+        return usage();
+      }
+      a.batch = v;
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      const char* x = need("--tenant");
+      if (x == nullptr || !parse_u64(x, v)) {
+        return usage();
+      }
+      a.tenant = v;
+    } else if (std::strcmp(argv[i], "--deadline-ns") == 0) {
+      const char* x = need("--deadline-ns");
+      if (x == nullptr || !parse_u64(x, v)) {
+        return usage();
+      }
+      a.deadline_ns = v;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      const char* x = need("--seed");
+      if (x == nullptr || !parse_u64(x, v)) {
+        return usage();
+      }
+      a.seed = v;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      a.check = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      a.json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      a.json = true;
+      a.json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+  if (a.port == 0) {
+    std::fprintf(stderr, "error: --port or --port-file is required\n");
+    return usage();
+  }
+  if (a.op == "bench") {
+    return run_bench(a);
+  }
+  if (a.op == "metrics" || a.op == "health" || a.op == "drain" ||
+      a.op == "load" || a.op == "swap" || a.op == "unload") {
+    return run_admin(a);
+  }
+  std::fprintf(stderr, "error: unknown --op '%s'\n", a.op.c_str());
+  return usage();
+}

@@ -1,0 +1,293 @@
+// coopserve: the framed-TCP serving daemon (DESIGN.md §11).
+//
+//   coopserve [--port N] [--port-file PATH] [--workers N]
+//             [--engine-threads N] [--max-conns N]
+//             [--quota-rate R] [--quota-burst B]
+//             [--collection NAME=FILE.snap]...
+//             [--metrics-dump]
+//   coopserve --soak <duration-ms> <seed> [clients] [--json]
+//
+// Serve mode binds (port 0 picks an ephemeral port, reported on stderr
+// and, with --port-file, written to a file so CI can find it), loads
+// each named collection from its snapshot, and serves until SIGTERM or
+// SIGINT — which begins a graceful drain: stop accepting, refuse new
+// batches with typed UNAVAILABLE, finish everything in flight, then
+// exit 0.  A wire DRAIN frame triggers the same sequence.
+//
+// Soak mode runs net::run_wire_soak (self-contained fixtures + loopback
+// server + chaos fleet) and exits 0 only on an "OK" verdict; --json
+// emits the outcome as one JSON document on stdout.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/wire_soak.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: coopserve [--port N] [--port-file PATH] [--workers N]\n"
+      "                 [--engine-threads N] [--max-conns N]\n"
+      "                 [--quota-rate R] [--quota-burst B]\n"
+      "                 [--collection NAME=FILE.snap]... [--metrics-dump]\n"
+      "       coopserve --soak <duration-ms> <seed> [clients] [--json]\n");
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+int run_soak(int argc, char** argv) {
+  bool json = false;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  std::uint64_t duration_ms = 0, seed = 0, clients = 4;
+  if (rest.size() < 2 || !parse_u64(rest[0], duration_ms) ||
+      !parse_u64(rest[1], seed) || duration_ms == 0 ||
+      (rest.size() > 2 && !parse_u64(rest[2], clients))) {
+    return usage();
+  }
+  net::WireSoakOptions opts;
+  opts.duration = std::chrono::milliseconds(duration_ms);
+  opts.seed = seed;
+  opts.clients = clients;
+  opts.verbose = !json;
+  auto out = net::run_wire_soak(opts);
+  if (!out.ok()) {
+    std::fprintf(stderr, "wire soak setup failed: %s\n",
+                 out.status().to_string().c_str());
+    return 1;
+  }
+  const net::WireSoakOutcome& o = out.value();
+  if (json) {
+    std::printf(
+        "{\"soak\":\"wire\",\"batches\":%llu,\"answered\":%llu,"
+        "\"wrong_answers\":%llu,\"failed\":%llu,\"deadline_errors\":%llu,"
+        "\"quota_sheds\":%llu,\"drain_refusals\":%llu,"
+        "\"malformed_injected\":%llu,\"malformed_rejected\":%llu,"
+        "\"resets_injected\":%llu,\"slow_reads\":%llu,\"reconnects\":%llu,"
+        "\"swaps\":%llu,\"load_unload_cycles\":%llu,"
+        "\"drained_in_grace\":%s,\"goals_met\":%s}\n",
+        static_cast<unsigned long long>(o.batches),
+        static_cast<unsigned long long>(o.answered),
+        static_cast<unsigned long long>(o.wrong_answers),
+        static_cast<unsigned long long>(o.failed),
+        static_cast<unsigned long long>(o.deadline_errors),
+        static_cast<unsigned long long>(o.quota_sheds),
+        static_cast<unsigned long long>(o.drain_refusals),
+        static_cast<unsigned long long>(o.malformed_injected),
+        static_cast<unsigned long long>(o.malformed_rejected),
+        static_cast<unsigned long long>(o.resets_injected),
+        static_cast<unsigned long long>(o.slow_reads),
+        static_cast<unsigned long long>(o.reconnects),
+        static_cast<unsigned long long>(o.swaps),
+        static_cast<unsigned long long>(o.load_unload_cycles),
+        o.drained_in_grace ? "true" : "false",
+        o.goals_met ? "true" : "false");
+  }
+  std::fprintf(stderr, "%s\n", o.verdict.c_str());
+  std::fprintf(stderr,
+               "  batches=%llu answered=%llu deadline=%llu quota=%llu "
+               "malformed=%llu/%llu resets=%llu slow=%llu swaps=%llu "
+               "cycles=%llu drain_refusals=%llu reconnects=%llu\n",
+               static_cast<unsigned long long>(o.batches),
+               static_cast<unsigned long long>(o.answered),
+               static_cast<unsigned long long>(o.deadline_errors),
+               static_cast<unsigned long long>(o.quota_sheds),
+               static_cast<unsigned long long>(o.malformed_rejected),
+               static_cast<unsigned long long>(o.malformed_injected),
+               static_cast<unsigned long long>(o.resets_injected),
+               static_cast<unsigned long long>(o.slow_reads),
+               static_cast<unsigned long long>(o.swaps),
+               static_cast<unsigned long long>(o.load_unload_cycles),
+               static_cast<unsigned long long>(o.drain_refusals),
+               static_cast<unsigned long long>(o.reconnects));
+  return o.verdict.rfind("OK", 0) == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--soak") == 0) {
+    return run_soak(argc - 2, argv + 2);
+  }
+
+  net::ServerOptions opts;
+  std::string port_file;
+  bool metrics_dump = false;
+  std::vector<std::pair<std::string, std::string>> collections;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    std::uint64_t v = 0;
+    if (std::strcmp(argv[i], "--port") == 0) {
+      const char* a = need("--port");
+      if (a == nullptr || !parse_u64(a, v) || v > 65535) {
+        return usage();
+      }
+      opts.port = static_cast<std::uint16_t>(v);
+    } else if (std::strcmp(argv[i], "--port-file") == 0) {
+      const char* a = need("--port-file");
+      if (a == nullptr) {
+        return usage();
+      }
+      port_file = a;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      const char* a = need("--workers");
+      if (a == nullptr || !parse_u64(a, v) || v == 0 || v > 256) {
+        return usage();
+      }
+      opts.workers = v;
+    } else if (std::strcmp(argv[i], "--engine-threads") == 0) {
+      const char* a = need("--engine-threads");
+      if (a == nullptr || !parse_u64(a, v) || v > 256) {
+        return usage();
+      }
+      opts.engine_threads = v;
+    } else if (std::strcmp(argv[i], "--max-conns") == 0) {
+      const char* a = need("--max-conns");
+      if (a == nullptr || !parse_u64(a, v) || v == 0) {
+        return usage();
+      }
+      opts.max_connections = v;
+    } else if (std::strcmp(argv[i], "--quota-rate") == 0) {
+      const char* a = need("--quota-rate");
+      if (a == nullptr || !parse_u64(a, v)) {
+        return usage();
+      }
+      opts.quota.tokens_per_sec = v;
+    } else if (std::strcmp(argv[i], "--quota-burst") == 0) {
+      const char* a = need("--quota-burst");
+      if (a == nullptr || !parse_u64(a, v) || v == 0) {
+        return usage();
+      }
+      opts.quota.burst = v;
+    } else if (std::strcmp(argv[i], "--collection") == 0) {
+      const char* a = need("--collection");
+      if (a == nullptr) {
+        return usage();
+      }
+      const char* eq = std::strchr(a, '=');
+      if (eq == nullptr || eq == a || eq[1] == '\0') {
+        std::fprintf(stderr,
+                     "error: --collection wants NAME=FILE.snap, got '%s'\n",
+                     a);
+        return 2;
+      }
+      collections.emplace_back(std::string(a, eq), std::string(eq + 1));
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage();
+    }
+  }
+
+  auto started = net::Server::start(opts);
+  if (!started.ok()) {
+    std::fprintf(stderr, "coopserve: cannot start: %s\n",
+                 started.status().to_string().c_str());
+    return 1;
+  }
+  std::unique_ptr<net::Server> server = started.take();
+
+  for (const auto& [name, path] : collections) {
+    auto snap = snapshot::open(path);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "coopserve: cannot open %s: %s\n", path.c_str(),
+                   snap.status().to_string().c_str());
+      return 1;
+    }
+    if (const auto st = server->collections().load(name, snap.take());
+        !st.ok()) {
+      std::fprintf(stderr, "coopserve: cannot load '%s': %s\n",
+                   name.c_str(), st.to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "coopserve: loaded collection '%s' from %s\n",
+                 name.c_str(), path.c_str());
+  }
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "coopserve: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(server->port()));
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "coopserve listening on %s:%u (%zu workers)\n",
+               opts.bind_address.c_str(),
+               static_cast<unsigned>(server->port()), opts.workers);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Serve until a signal or a wire DRAIN frame flips the server into
+  // lame-duck mode.
+  while (g_signal == 0 && !server->draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::fprintf(stderr, "coopserve: %s — draining\n",
+               g_signal != 0 ? "signal received" : "DRAIN frame received");
+  server->begin_drain();
+  const bool drained =
+      server->wait_drained(std::chrono::seconds(10));
+  const net::ServerStats stats = server->stats();
+  server->stop();
+  std::fprintf(stderr,
+               "coopserve: drain %s; served %llu batches over %llu "
+               "connections (%llu frames in, %llu out, %llu malformed, "
+               "%llu deadline-expired, %llu quota-shed)\n",
+               drained ? "complete" : "TIMED OUT",
+               static_cast<unsigned long long>(stats.batches_served),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.frames_out),
+               static_cast<unsigned long long>(stats.malformed),
+               static_cast<unsigned long long>(stats.deadline_expired),
+               static_cast<unsigned long long>(stats.quota_shed));
+  if (metrics_dump) {
+    const std::string text =
+        obs::to_prometheus(obs::Registry::global().scrape());
+    std::fputs(text.c_str(), stderr);
+  }
+  return drained ? 0 : 1;
+}
