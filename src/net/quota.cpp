@@ -1,5 +1,6 @@
 #include "net/quota.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace net {
@@ -7,6 +8,53 @@ namespace net {
 using coop::Status;
 
 TenantQuotas::TenantQuotas(QuotaOptions opts) : opts_(opts) {}
+
+std::uint64_t TenantQuotas::refilled_tokens(const Bucket& b,
+                                            std::uint64_t now_ns,
+                                            std::uint64_t cap) const {
+  const std::uint64_t have = std::min(b.scaled_tokens, cap);
+  if (now_ns <= b.last_refill_ns) {
+    return have;
+  }
+  // kScale scaled-tokens per token and 1e9 ns per second cancel:
+  // refill is exactly elapsed_ns * tokens_per_sec scaled-tokens.
+  // Clamp the elapsed time to what fills the bucket from empty before
+  // multiplying, so a long-idle tenant cannot overflow the product.
+  std::uint64_t elapsed = now_ns - b.last_refill_ns;
+  const std::uint64_t to_full = cap / opts_.tokens_per_sec + 1;
+  if (elapsed > to_full) {
+    elapsed = to_full;
+  }
+  const std::uint64_t refill = elapsed * opts_.tokens_per_sec;
+  return refill > cap - have ? cap : have + refill;
+}
+
+bool TenantQuotas::evict_one(std::uint64_t now_ns, std::uint64_t cap) {
+  // Only a bucket that refills to full is evictable: its owner would get
+  // a fresh full bucket on return anyway, so the admission sequence
+  // cannot tell (beyond the evictee's stats resetting).  Buckets still
+  // draining belong to live tenants and stay — an id-cycling attacker
+  // sheds itself, never a resident.  The (last_refill_ns, tenant) order
+  // keeps the victim deterministic despite unordered_map iteration.
+  auto victim = buckets_.end();
+  for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+    if (refilled_tokens(it->second, now_ns, cap) < cap) {
+      continue;
+    }
+    if (victim == buckets_.end() ||
+        it->second.last_refill_ns < victim->second.last_refill_ns ||
+        (it->second.last_refill_ns == victim->second.last_refill_ns &&
+         it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  if (victim == buckets_.end()) {
+    return false;
+  }
+  buckets_.erase(victim);
+  ++evicted_;
+  return true;
+}
 
 Status TenantQuotas::admit(std::uint64_t tenant, std::uint64_t now_ns,
                            std::uint64_t cost) {
@@ -16,26 +64,21 @@ Status TenantQuotas::admit(std::uint64_t tenant, std::uint64_t now_ns,
   const std::uint64_t cap = opts_.burst * kScale;
   const std::uint64_t need = cost * kScale;
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, fresh] = buckets_.try_emplace(tenant);
-  Bucket& b = it->second;
-  if (fresh) {
-    b.scaled_tokens = cap;  // new tenants may burst immediately
-    b.last_refill_ns = now_ns;
-  }
-  if (now_ns > b.last_refill_ns) {
-    // kScale scaled-tokens per token and 1e9 ns per second cancel:
-    // refill is exactly elapsed_ns * tokens_per_sec scaled-tokens.
-    // Clamp the elapsed time to what fills the bucket from empty before
-    // multiplying, so a long-idle tenant cannot overflow the product.
-    std::uint64_t elapsed = now_ns - b.last_refill_ns;
-    const std::uint64_t to_full = cap / opts_.tokens_per_sec + 1;
-    if (elapsed > to_full) {
-      elapsed = to_full;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    if (opts_.max_tenants != 0 && buckets_.size() >= opts_.max_tenants &&
+        !evict_one(now_ns, cap)) {
+      return Status::resource_exhausted(
+          "tenant table full (" + std::to_string(opts_.max_tenants) +
+          " active tenants); tenant " + std::to_string(tenant) + " shed");
     }
-    const std::uint64_t refill = elapsed * opts_.tokens_per_sec;
-    b.scaled_tokens = refill > cap - std::min(b.scaled_tokens, cap)
-                          ? cap
-                          : b.scaled_tokens + refill;
+    it = buckets_.try_emplace(tenant).first;
+    it->second.scaled_tokens = cap;  // new tenants may burst immediately
+    it->second.last_refill_ns = now_ns;
+  }
+  Bucket& b = it->second;
+  if (now_ns > b.last_refill_ns) {
+    b.scaled_tokens = refilled_tokens(b, now_ns, cap);
     b.last_refill_ns = now_ns;
   }
   if (b.scaled_tokens < need) {
@@ -54,6 +97,16 @@ TenantStats TenantQuotas::stats(std::uint64_t tenant) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = buckets_.find(tenant);
   return it == buckets_.end() ? TenantStats{} : it->second.stats;
+}
+
+std::size_t TenantQuotas::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+std::uint64_t TenantQuotas::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
 }
 
 }  // namespace net

@@ -13,6 +13,18 @@
 // are stored scaled by 1e9, refill is elapsed_ns * rate_per_sec — so a
 // replayed admission sequence is byte-identical across runs and
 // platforms.  No floating point anywhere.
+//
+// The bucket table itself is bounded: tenant ids come off the wire, so a
+// hostile client cycling ids must not grow the map without limit (that
+// would be a memory-exhaustion DoS inside the layer meant to prevent
+// DoS).  At `max_tenants` a new tenant may only enter by evicting a
+// bucket that is (or would refill to) full — a returning tenant gets a
+// fresh full bucket anyway, so eviction changes nothing the admission
+// sequence observes except the evictee's stats.  If every resident
+// bucket is still draining (actively used), the *new* tenant is shed
+// instead: an id-cycling attacker can never push out a live tenant.
+// Victim choice is by (oldest last_refill_ns, lowest tenant id), a total
+// order, so the trace stays deterministic.
 
 #include <cstdint>
 #include <mutex>
@@ -28,6 +40,10 @@ struct QuotaOptions {
   std::uint64_t tokens_per_sec = 0;
   /// Bucket capacity: how many admissions a tenant can burst after idling.
   std::uint64_t burst = 1;
+  /// Upper bound on distinct tenant buckets kept resident (tenant ids
+  /// are peer-controlled; the table must not grow without bound).
+  /// 0 removes the bound — only for trusted-tenant deployments.
+  std::uint64_t max_tenants = 4096;
 };
 
 struct TenantStats {
@@ -45,13 +61,20 @@ class TenantQuotas {
   /// bucket by the elapsed time first.  OK admits (and debits);
   /// kResourceExhausted names the tenant and leaves the bucket unchanged
   /// (failed admissions must not advance anything a retry would observe
-  /// — except the refill, which is a pure function of now_ns).
+  /// — except the refill, which is a pure function of now_ns).  A new
+  /// tenant arriving with the table at max_tenants is also shed with
+  /// kResourceExhausted when no idle-full bucket can be evicted.
   [[nodiscard]] coop::Status admit(std::uint64_t tenant, std::uint64_t now_ns,
                                    std::uint64_t cost = 1);
 
   [[nodiscard]] TenantStats stats(std::uint64_t tenant) const;
   [[nodiscard]] bool enabled() const { return opts_.tokens_per_sec > 0; }
   [[nodiscard]] const QuotaOptions& options() const { return opts_; }
+
+  /// Distinct tenant buckets currently resident (bounded by max_tenants).
+  [[nodiscard]] std::size_t tenant_count() const;
+  /// Idle-full buckets evicted to make room for new tenants.
+  [[nodiscard]] std::uint64_t evicted() const;
 
  private:
   /// Tokens scaled by kScale (1e9), so one token per second refills at
@@ -64,9 +87,17 @@ class TenantQuotas {
     TenantStats stats;
   };
 
+  [[nodiscard]] std::uint64_t refilled_tokens(const Bucket& b,
+                                              std::uint64_t now_ns,
+                                              std::uint64_t cap) const;
+  /// Erase the oldest bucket that refills to full at now_ns (lossless to
+  /// evict); false when every bucket is still draining.  mu_ held.
+  bool evict_one(std::uint64_t now_ns, std::uint64_t cap);
+
   const QuotaOptions opts_;
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace net

@@ -230,6 +230,8 @@ std::uint64_t steady_ns(SteadyClock::time_point t) {
 struct Server::Impl {
   Server* self = nullptr;
   ServerOptions opts;
+  /// Decided once at bind time: loopback bind or explicit opt-in.
+  bool admin_allowed = false;
 
   int listen_fd = -1;
   int wake_r = -1;
@@ -370,6 +372,14 @@ struct Server::Impl {
       case MsgType::kSwap:
       case MsgType::kUnload:
       case MsgType::kDrain:
+        if (!admin_allowed) {
+          out = error_frame(
+              h, Status::permission_denied(
+                     "admin frames are disabled on non-loopback binds; "
+                     "restart with enable_remote_admin to accept "
+                     "LOAD/SWAP/UNLOAD/DRAIN from remote peers"));
+          break;
+        }
         out = process_admin(h, task.frame.payload, type);
         break;
       case MsgType::kError:
@@ -389,13 +399,21 @@ struct Server::Impl {
   }
 
   /// The absolute deadline of a request, derived once from its arrival
-  /// time; {} when the request did not carry one.
+  /// time; {} when the request did not carry one.  `deadline_ns` is an
+  /// attacker-controlled u64: values near INT64_MAX would wrap the signed
+  /// chrono rep negative and the addition would overflow (UB).  Anything
+  /// above an hour is effectively unbounded, so saturate there.
   static bool deadline_of(const Task& task, SteadyClock::time_point& at) {
-    if (task.frame.header.deadline_ns == 0) {
+    std::uint64_t ns = task.frame.header.deadline_ns;
+    if (ns == 0) {
       return false;
     }
+    constexpr std::uint64_t kMaxDeadlineNs = 3'600'000'000'000ULL;  // 1 h
+    if (ns > kMaxDeadlineNs) {
+      ns = kMaxDeadlineNs;
+    }
     at = task.arrival +
-         std::chrono::nanoseconds(task.frame.header.deadline_ns);
+         std::chrono::nanoseconds(static_cast<std::int64_t>(ns));
     return true;
   }
 
@@ -575,12 +593,17 @@ struct Server::Impl {
 
   // ---- IO-thread side ----------------------------------------------
 
-  void queue_response(Conn& conn, std::vector<std::uint8_t> bytes) {
+  /// Queue a response and opportunistically flush it (most responses fit
+  /// the socket buffer).  Returns false when the flush destroyed the
+  /// connection (peer RST etc.) — `conn` is dangling then and the caller
+  /// must stop touching it.
+  [[nodiscard]] bool queue_response(Conn& conn,
+                                    std::vector<std::uint8_t> bytes) {
     if (conn.outq.empty()) {
       conn.stall_since = SteadyClock::now();
     }
     conn.outq.push_back(std::move(bytes));
-    flush(conn);  // opportunistic: most responses fit the socket buffer
+    return flush(conn);
   }
 
   /// Try to push queued bytes; arms EPOLLOUT when the socket is full.
@@ -597,11 +620,16 @@ struct Server::Impl {
         destroy(conn.id);
         return false;
       }
+      if (n == 0) {
+        break;  // send() contract says this cannot happen; don't spin
+      }
       conn.out_off += static_cast<std::size_t>(n);
+      // Any byte progress resets the stall clock: a slow-but-draining
+      // reader of one large response must not be reaped as stalled.
+      conn.stall_since = SteadyClock::now();
       if (conn.out_off == front.size()) {
         conn.outq.pop_front();
         conn.out_off = 0;
-        conn.stall_since = SteadyClock::now();
         bump(&ServerStats::frames_out);
         NetMetrics::get().frames_out.inc();
       }
@@ -726,22 +754,26 @@ struct Server::Impl {
       }
       bump(&ServerStats::frames_in);
       NetMetrics::get().frames_in.inc();
-      dispatch(conn, std::move(frame.value()));
+      if (!dispatch(conn, std::move(frame.value()))) {
+        return false;  // refusal flush hit a dead peer; conn is gone
+      }
     }
   }
 
   bool reject_malformed(Conn& conn, const Status& s) {
     bump(&ServerStats::malformed);
     NetMetrics::get().malformed.inc();
-    const std::uint64_t id = conn.id;  // queue_response may destroy conn
     conn.inbuf.clear();
     conn.close_after_flush = true;
     FrameHeader anon;  // the offending header is untrusted: respond id 0
-    queue_response(conn, error_frame(anon, s));
-    return conns.count(id) != 0;
+    return queue_response(conn, error_frame(anon, s));
   }
 
-  void dispatch(Conn& conn, Frame frame) {
+  /// Route a decoded frame: refuse (drain/quota) with a typed error, or
+  /// hand it to the worker pool.  Returns false when the refusal's flush
+  /// destroyed the connection — `conn` is dangling then and parse_frames
+  /// must stop iterating on it.
+  [[nodiscard]] bool dispatch(Conn& conn, Frame frame) {
     const auto now = SteadyClock::now();
     const auto type = static_cast<MsgType>(frame.header.type);
     const bool is_batch =
@@ -752,12 +784,11 @@ struct Server::Impl {
     if (self->draining() && (is_batch || is_admin)) {
       bump(&ServerStats::draining_refused);
       NetMetrics::get().draining_refused.inc();
-      queue_response(conn,
-                     error_frame(frame.header,
-                                 Status::unavailable(
-                                     "server is draining; no new batches "
-                                     "accepted")));
-      return;
+      return queue_response(conn,
+                            error_frame(frame.header,
+                                        Status::unavailable(
+                                            "server is draining; no new "
+                                            "batches accepted")));
     }
     if (is_batch) {
       if (Status s = self->quotas_->admit(frame.header.tenant,
@@ -765,8 +796,7 @@ struct Server::Impl {
           !s.ok()) {
         bump(&ServerStats::quota_shed);
         NetMetrics::get().quota_shed.inc();
-        queue_response(conn, error_frame(frame.header, s));
-        return;
+        return queue_response(conn, error_frame(frame.header, s));
       }
     }
     ++conn.inflight;
@@ -775,6 +805,7 @@ struct Server::Impl {
       tasks.push_back(Task{conn.id, std::move(frame), now});
     }
     task_cv.notify_one();
+    return true;
   }
 
   void drain_outbox() {
@@ -791,7 +822,9 @@ struct Server::Impl {
       if (it->second.inflight > 0) {
         --it->second.inflight;
       }
-      queue_response(it->second, std::move(bytes));
+      // A false return destroyed (and erased) the connection; `it` is
+      // invalid either way after this call and is re-found next round.
+      (void)queue_response(it->second, std::move(bytes));
     }
   }
 
@@ -934,6 +967,11 @@ coop::Expected<std::unique_ptr<Server>> Server::start(ServerOptions opts) {
     return Status::invalid_argument("bad bind address '" +
                                     opts.bind_address + "'");
   }
+  // Admin verbs are unauthenticated, so only a 127/8 bind (where every
+  // peer is already on the box) honours them without the explicit opt-in.
+  impl->admin_allowed =
+      opts.enable_remote_admin ||
+      (ntohl(addr.sin_addr.s_addr) >> 24) == 127u;
   if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
     const Status s = Status::internal(std::string("bind(): ") +

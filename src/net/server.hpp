@@ -29,6 +29,11 @@
 //                 admin frames with kUnavailable (HEALTH and METRICS
 //                 still answer), finishes everything in flight, and
 //                 wait_drained() reports when the last byte flushed.
+//   admin trust   LOAD/SWAP/UNLOAD name server-side filesystem paths and
+//                 DRAIN stops the world, and the wire carries no
+//                 authentication — so admin frames are honoured only on
+//                 loopback binds, with kPermissionDenied elsewhere,
+//                 unless enable_remote_admin explicitly opts in.
 
 #include <atomic>
 #include <chrono>
@@ -57,6 +62,11 @@ struct ServerOptions {
   serve::FrontendOptions frontend;
   /// Threads of the shared QueryEngine (0 = hardware concurrency).
   std::size_t engine_threads = 0;
+  /// Honour admin frames (LOAD/SWAP/UNLOAD/DRAIN) on non-loopback binds.
+  /// Off by default: the protocol is unauthenticated, and admin verbs
+  /// load arbitrary server-side snapshot paths — only enable behind a
+  /// trusted network boundary.  Loopback binds always allow admin.
+  bool enable_remote_admin = false;
 };
 
 struct ServerStats {

@@ -519,6 +519,7 @@ coop::Status from_wire_error(const ErrorResponse& e) {
     case coop::StatusCode::kInternal:
     case coop::StatusCode::kResourceExhausted:
     case coop::StatusCode::kUnavailable:
+    case coop::StatusCode::kPermissionDenied:
       return Status::error(static_cast<coop::StatusCode>(e.code), e.message);
   }
   return Status::internal("peer sent unknown status code " +

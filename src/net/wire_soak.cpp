@@ -378,29 +378,58 @@ coop::Expected<WireSoakOutcome> run_wire_soak(const WireSoakOptions& opts) {
             }
             break;
           }
-          case 14: {  // quota storm: one hot tenant bursts past its
-                      // bucket; it must be shed, not served late
+          case 14: {  // quota storm: one hot tenant pipelines a burst
+                      // past its bucket in a single write, so the bucket
+                      // cannot refill between admissions no matter how
+                      // slow a round trip is on this machine; the
+                      // overflow must be shed, never served late
             if (ci != 0) {
               break;  // one storm source keeps volume bounded
             }
-            copts.tenant = kHotTenant;
-            client.options() = copts;
-            const auto storm = make_batch(1);
-            bool saw_shed = false;
-            for (int burst = 0; burst < 600 && !saw_shed; ++burst) {
-              auto resp = client.path_batch("main", storm);
+            constexpr int kStormFrames = 600;  // bucket burst is 400
+            std::vector<std::uint8_t> blast;
+            blast.reserve(kStormFrames * 160);
+            for (int k = 0; k < kStormFrames; ++k) {
+              PathBatchRequest req;
+              req.collection = "main";
+              req.queries = make_batch(1);
+              FrameHeader h;
+              h.type = static_cast<std::uint16_t>(MsgType::kPathBatch);
+              h.request_id = 0x6000'0000 + (iter << 12) +
+                             static_cast<std::uint64_t>(k);
+              h.tenant = kHotTenant;
+              const auto bytes = encode_frame(h, encode(req));
+              blast.insert(blast.end(), bytes.begin(), bytes.end());
+            }
+            if (!client.send_raw(blast).ok()) {
+              client.close();
+              break;
+            }
+            bool draining_out = false;
+            for (int k = 0; k < kStormFrames; ++k) {
+              auto resp = client.read_frame();
               if (!resp.ok()) {
-                if (resp.status().code() == StatusCode::kResourceExhausted) {
-                  tally.quota_sheds.fetch_add(1, std::memory_order_relaxed);
-                  saw_shed = true;
-                } else if (triage(resp.status(), false)) {
-                  copts.tenant = ci + 1;
-                  return;
-                }
+                client.close();
+                break;
+              }
+              if (static_cast<MsgType>(resp->header.type & ~kResponseBit) !=
+                  MsgType::kError) {
+                continue;  // served inside the budget: fine
+              }
+              auto err = decode_error(resp->payload);
+              if (!err.ok()) {
+                continue;
+              }
+              const Status s = from_wire_error(err.value());
+              if (s.code() == StatusCode::kResourceExhausted) {
+                tally.quota_sheds.fetch_add(1, std::memory_order_relaxed);
+              } else if (triage(s, /*deadline_ok=*/false)) {
+                draining_out = true;  // keep reading what's in flight
               }
             }
-            copts.tenant = ci + 1;
-            client.options() = copts;
+            if (draining_out) {
+              return;
+            }
             break;
           }
           case 15: {  // health + metrics probes stay answerable

@@ -18,6 +18,7 @@ enum class StatusCode : int {
   kInternal = 5,           ///< unexpected failure (bug)
   kResourceExhausted = 6,  ///< admission control shed the request
   kUnavailable = 7,        ///< serving temporarily refused (circuit open)
+  kPermissionDenied = 8,   ///< caller may not perform this operation
 };
 
 [[nodiscard]] inline const char* to_string(StatusCode c) {
@@ -30,6 +31,7 @@ enum class StatusCode : int {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
   }
   return "?";
 }
@@ -69,6 +71,9 @@ class Status {
   }
   [[nodiscard]] static Status unavailable(std::string message) {
     return error(StatusCode::kUnavailable, std::move(message));
+  }
+  [[nodiscard]] static Status permission_denied(std::string message) {
+    return error(StatusCode::kPermissionDenied, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

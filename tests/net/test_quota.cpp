@@ -137,4 +137,61 @@ TEST(Quota, CostAboveOneDebitsProportionally) {
   EXPECT_TRUE(q.admit(1, 0, /*cost=*/2).ok());
 }
 
+TEST(Quota, TenantTableIsBoundedUnderIdCycling) {
+  // Tenant ids are peer-controlled: a hostile client cycling fresh ids
+  // must not grow the bucket map past max_tenants.  With each arrival a
+  // second apart, every resident bucket has refilled to full and is
+  // evictable, so every new tenant still gets its burst.
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/2, /*max_tenants=*/4});
+  for (std::uint64_t t = 0; t < 10'000; ++t) {
+    EXPECT_TRUE(q.admit(t, t * kSec).ok()) << "tenant " << t;
+    EXPECT_LE(q.tenant_count(), 4u);
+  }
+  EXPECT_EQ(q.tenant_count(), 4u);
+  EXPECT_EQ(q.evicted(), 10'000u - 4u);
+}
+
+TEST(Quota, ActiveTenantsAreNeverEvictedByIdCycling) {
+  // Two live tenants have drained (non-full) buckets; a storm of fresh
+  // ids at the same instant finds nothing lossless to evict, so the
+  // *new* tenants are shed and the residents keep their state.
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/4, /*max_tenants=*/2});
+  ASSERT_TRUE(q.admit(1, 0).ok());
+  ASSERT_TRUE(q.admit(2, 0).ok());
+  for (std::uint64_t t = 100; t < 600; ++t) {
+    const auto s = q.admit(t, 0);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(s.to_string().find("tenant table full"), std::string::npos);
+  }
+  EXPECT_EQ(q.tenant_count(), 2u);
+  EXPECT_EQ(q.evicted(), 0u);
+  // The residents' buckets are intact: 3 burst tokens each remain.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.admit(1, 0).ok());
+    EXPECT_TRUE(q.admit(2, 0).ok());
+  }
+  EXPECT_FALSE(q.admit(1, 0).ok());
+}
+
+TEST(Quota, EvictionPrefersTheOldestFullBucket) {
+  TenantQuotas q({/*tokens_per_sec=*/1'000, /*burst=*/1, /*max_tenants=*/2});
+  ASSERT_TRUE(q.admit(7, 0).ok());       // refills by 1 ms
+  ASSERT_TRUE(q.admit(9, 5 * kMs).ok()); // refills by 6 ms
+  // At t=10ms both are full again; tenant 7 (oldest last_refill) goes.
+  ASSERT_TRUE(q.admit(3, 10 * kMs).ok());
+  EXPECT_EQ(q.evicted(), 1u);
+  EXPECT_EQ(q.stats(7).admitted, 0u);  // evicted: stats reset
+  EXPECT_EQ(q.stats(9).admitted, 1u);  // survivor keeps its stats
+}
+
+TEST(Quota, ZeroMaxTenantsDisablesTheBound) {
+  TenantQuotas q({/*tokens_per_sec=*/10, /*burst=*/1, /*max_tenants=*/0});
+  for (std::uint64_t t = 0; t < 1'000; ++t) {
+    EXPECT_TRUE(q.admit(t, 0).ok());
+  }
+  EXPECT_EQ(q.tenant_count(), 1'000u);
+  EXPECT_EQ(q.evicted(), 0u);
+}
+
 }  // namespace

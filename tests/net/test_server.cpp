@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <random>
 
 #include "catalog/tree.hpp"
@@ -152,6 +153,23 @@ TEST_F(ServerTest, GenerousDeadlineStillServes) {
   client.options().deadline_ns = 30ull * 1'000'000'000;  // 30 s
   auto resp = client.path_batch("main", make_batch(16, 7));
   ASSERT_TRUE(resp.ok()) << resp.status().to_string();
+}
+
+TEST_F(ServerTest, AbsurdDeadlineIsSaturatedNotOverflowed) {
+  // deadline_ns is an attacker-controlled u64; near-INT64_MAX values
+  // must saturate (serve normally) instead of wrapping the chrono
+  // arithmetic (UB under UBSan, or an instant spurious expiry).
+  net::Client client = connect();
+  for (const std::uint64_t ns :
+       {std::numeric_limits<std::uint64_t>::max(),
+        static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+        std::numeric_limits<std::uint64_t>::max() / 2}) {
+    client.options().deadline_ns = ns;
+    auto resp = client.path_batch("main", make_batch(8, 16));
+    ASSERT_TRUE(resp.ok()) << "deadline_ns=" << ns << ": "
+                           << resp.status().to_string();
+  }
+  EXPECT_EQ(server_->stats().deadline_expired, 0u);
 }
 
 TEST_F(ServerTest, HealthReportsCollectionsAndMetricsScrape) {
@@ -304,6 +322,55 @@ TEST_F(QuotaServerTest, HotTenantIsShedQuietTenantIsNot) {
   // A different tenant still has its own full bucket.
   net::Client quiet = connect(/*tenant=*/6);
   EXPECT_TRUE(quiet.path_batch("main", batch).ok());
+}
+
+class NonLoopbackServerTest : public ServerTest {
+ protected:
+  net::ServerOptions customize(net::ServerOptions opts) override {
+    opts.bind_address = "0.0.0.0";  // reachable beyond the box
+    return opts;
+  }
+};
+
+TEST_F(NonLoopbackServerTest, AdminVerbsAreDeniedWithoutOptIn) {
+  // The protocol is unauthenticated and LOAD/SWAP name server-side
+  // filesystem paths, so a non-loopback bind locks admin verbs out
+  // unless enable_remote_admin was set.
+  net::Client client = connect();
+  // Query, health, and metrics traffic is unaffected...
+  EXPECT_TRUE(client.path_batch("main", make_batch(4, 17)).ok());
+  EXPECT_TRUE(client.health().ok());
+  // ...but every admin verb is a typed PERMISSION_DENIED.
+  auto swapped = client.swap("main", kSnapPath);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kPermissionDenied);
+  auto loaded = client.load("extra", kSnapPath);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kPermissionDenied);
+  auto unloaded = client.unload("main");
+  EXPECT_EQ(unloaded.code(), StatusCode::kPermissionDenied);
+  auto drained = client.drain();
+  EXPECT_EQ(drained.code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE(server_->draining());
+  // A denied admin frame is the request's problem, not the stream's.
+  EXPECT_TRUE(client.path_batch("main", make_batch(4, 18)).ok());
+}
+
+class RemoteAdminServerTest : public ServerTest {
+ protected:
+  net::ServerOptions customize(net::ServerOptions opts) override {
+    opts.bind_address = "0.0.0.0";
+    opts.enable_remote_admin = true;
+    return opts;
+  }
+};
+
+TEST_F(RemoteAdminServerTest, ExplicitOptInRestoresAdmin) {
+  net::Client client = connect();
+  auto swapped = client.swap("main", kSnapPath);
+  EXPECT_TRUE(swapped.ok()) << swapped.status().to_string();
+  EXPECT_TRUE(client.drain().ok());
+  EXPECT_TRUE(server_->draining());
 }
 
 class PollFallbackServerTest : public ServerTest {

@@ -35,6 +35,8 @@ TEST(Status, EveryFactoryMapsToItsCode) {
             coop::StatusCode::kResourceExhausted);
   EXPECT_EQ(coop::Status::unavailable("x").code(),
             coop::StatusCode::kUnavailable);
+  EXPECT_EQ(coop::Status::permission_denied("x").code(),
+            coop::StatusCode::kPermissionDenied);
 }
 
 TEST(Status, CodeNamesAreStable) {
@@ -45,6 +47,8 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(coop::to_string(coop::StatusCode::kResourceExhausted),
                "RESOURCE_EXHAUSTED");
   EXPECT_STREQ(coop::to_string(coop::StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(coop::to_string(coop::StatusCode::kPermissionDenied),
+               "PERMISSION_DENIED");
 }
 
 TEST(Status, NumericValuesAreTheCliContract) {
@@ -52,6 +56,7 @@ TEST(Status, NumericValuesAreTheCliContract) {
   EXPECT_EQ(static_cast<int>(coop::StatusCode::kInternal), 5);
   EXPECT_EQ(static_cast<int>(coop::StatusCode::kResourceExhausted), 6);
   EXPECT_EQ(static_cast<int>(coop::StatusCode::kUnavailable), 7);
+  EXPECT_EQ(static_cast<int>(coop::StatusCode::kPermissionDenied), 8);
 }
 
 TEST(Expected, HoldsValue) {

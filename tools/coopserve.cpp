@@ -1,11 +1,16 @@
 // coopserve: the framed-TCP serving daemon (DESIGN.md §11).
 //
-//   coopserve [--port N] [--port-file PATH] [--workers N]
+//   coopserve [--bind ADDR] [--port N] [--port-file PATH] [--workers N]
 //             [--engine-threads N] [--max-conns N]
 //             [--quota-rate R] [--quota-burst B]
 //             [--collection NAME=FILE.snap]...
-//             [--metrics-dump]
+//             [--metrics-dump] [--remote-admin]
 //   coopserve --soak <duration-ms> <seed> [clients] [--json]
+//
+// Trust model: the wire is unauthenticated, so LOAD/SWAP/UNLOAD/DRAIN
+// admin frames are only honoured on loopback binds.  --remote-admin
+// opts into accepting them on other binds — only do that behind a
+// trusted network boundary.
 //
 // Serve mode binds (port 0 picks an ephemeral port, reported on stderr
 // and, with --port-file, written to a file so CI can find it), loads
@@ -41,11 +46,15 @@ void on_signal(int) { g_signal = 1; }
 int usage() {
   std::fprintf(
       stderr,
-      "usage: coopserve [--port N] [--port-file PATH] [--workers N]\n"
-      "                 [--engine-threads N] [--max-conns N]\n"
+      "usage: coopserve [--bind ADDR] [--port N] [--port-file PATH]\n"
+      "                 [--workers N] [--engine-threads N] [--max-conns N]\n"
       "                 [--quota-rate R] [--quota-burst B]\n"
       "                 [--collection NAME=FILE.snap]... [--metrics-dump]\n"
-      "       coopserve --soak <duration-ms> <seed> [clients] [--json]\n");
+      "                 [--remote-admin]\n"
+      "       coopserve --soak <duration-ms> <seed> [clients] [--json]\n"
+      "note: admin frames (LOAD/SWAP/UNLOAD/DRAIN) are refused with\n"
+      "      PERMISSION_DENIED on non-loopback binds unless\n"
+      "      --remote-admin is given.\n");
   return 2;
 }
 
@@ -153,7 +162,15 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     std::uint64_t v = 0;
-    if (std::strcmp(argv[i], "--port") == 0) {
+    if (std::strcmp(argv[i], "--bind") == 0) {
+      const char* a = need("--bind");
+      if (a == nullptr) {
+        return usage();
+      }
+      opts.bind_address = a;
+    } else if (std::strcmp(argv[i], "--remote-admin") == 0) {
+      opts.enable_remote_admin = true;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
       const char* a = need("--port");
       if (a == nullptr || !parse_u64(a, v) || v > 65535) {
         return usage();
