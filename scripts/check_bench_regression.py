@@ -18,6 +18,14 @@ Any violated floor/ceiling prints a REGRESSION line and the script exits
 nonzero.  Rows present on only one side are reported but do not fail the
 gate (so adding a bench mode does not break CI until its baseline lands).
 
+--require-row BENCH:MODE[@THREADS] (repeatable) makes the gate fail unless
+the named row appears in one of the fresh JSONs — the teeth behind rows
+whose very *presence* is the guarantee, e.g. serve_paths:flat_simd@1 on an
+avx2 CI runner: a dispatch-ladder regression that silently dropped the
+vector kernel would otherwise just vanish from the report as a benign
+"MISSING".  Do not require flat_simd on the -DCOOPSEARCH_DISABLE_SIMD=ON
+leg, where its absence is the expected outcome.
+
 Refreshing baselines
 --------------------
 Baselines are smoke-sized runs committed under bench/baselines/.  To
@@ -87,14 +95,28 @@ def check_doc(fresh, baseline, qps_tol, p99_tol, out=sys.stderr):
     return bad
 
 
+def parse_requirement(spec):
+    """'bench:mode@threads' -> (bench, mode, threads); threads defaults to 1."""
+    bench, _, row = spec.partition(":")
+    if not bench or not row:
+        raise ValueError(f"bad --require-row {spec!r} "
+                         "(want BENCH:MODE[@THREADS])")
+    mode, _, threads = row.partition("@")
+    return bench, mode, int(threads) if threads else 1
+
+
 def run_gate(args):
     total_bad = 0
+    required = {parse_requirement(s) for s in getattr(args, "require_row", [])}
+    satisfied = set()
     for path in args.fresh:
         fresh = load(path)
         bench = fresh.get("bench")
         if bench is None:
             print(f"error: {path} has no 'bench' field", file=sys.stderr)
             return 2
+        for key in rows_by_key(fresh):
+            satisfied.add((bench, key[0], key[1]))
         base_path = os.path.join(args.baseline_dir, f"{bench}.json")
         if not os.path.exists(base_path):
             print(f"warning: no baseline {base_path} for {path}; skipping",
@@ -103,6 +125,10 @@ def run_gate(args):
         print(f"{path} vs {base_path}:", file=sys.stderr)
         total_bad += check_doc(fresh, load(base_path), args.qps_tolerance,
                                args.p99_tolerance)
+    for bench, mode, threads in sorted(required - satisfied):
+        print(f"  REGRESSION {bench}/{mode}@{threads}: required row is "
+              "absent from every fresh run", file=sys.stderr)
+        total_bad += 1
     if total_bad:
         print(f"FAIL: {total_bad} regression(s)", file=sys.stderr)
         return 1
@@ -137,7 +163,8 @@ def self_test():
             json.dump(dropped, f)
 
         args = argparse.Namespace(baseline_dir=base_dir, qps_tolerance=0.10,
-                                  p99_tolerance=0.25, fresh=[fresh_ok])
+                                  p99_tolerance=0.25, fresh=[fresh_ok],
+                                  require_row=[])
         if run_gate(args) != 0:
             print("self-test FAILED: identical run was flagged",
                   file=sys.stderr)
@@ -145,6 +172,17 @@ def self_test():
         args.fresh = [fresh_bad]
         if run_gate(args) == 0:
             print("self-test FAILED: 20% qps drop was not flagged",
+                  file=sys.stderr)
+            return 1
+        args.fresh = [fresh_ok]
+        args.require_row = ["selftest:flat@1"]
+        if run_gate(args) != 0:
+            print("self-test FAILED: satisfied --require-row was flagged",
+                  file=sys.stderr)
+            return 1
+        args.require_row = ["selftest:flat_simd@1"]
+        if run_gate(args) == 0:
+            print("self-test FAILED: absent required row was not flagged",
                   file=sys.stderr)
             return 1
     print("self-test PASS: gate trips on a 20% drop and passes on baseline",
@@ -161,6 +199,10 @@ def main():
                     help="allowed fractional qps drop (default 0.15)")
     ap.add_argument("--p99-tolerance", type=float, default=0.25,
                     help="allowed fractional p99 rise (default 0.25)")
+    ap.add_argument("--require-row", action="append", default=[],
+                    metavar="BENCH:MODE[@THREADS]",
+                    help="fail unless this row is present in a fresh run "
+                         "(repeatable; threads defaults to 1)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate logic on synthetic data and exit")
     args = ap.parse_args()

@@ -13,25 +13,28 @@ std::uint32_t auto_sample_k(const cat::Tree& tree) {
 namespace {
 
 /// Back-samples (every k-th element counted from the end, so the +infinity
-/// terminal is always included) of `keys`, appended in ascending order.
-std::vector<Key> back_samples(const std::vector<Key>& keys, std::uint32_t k) {
+/// terminal is always included) of `keys`, replacing `out`'s contents in
+/// ascending order.  Takes the output by reference so the build loops can
+/// reuse one scratch buffer across every node instead of allocating a
+/// fresh vector per tree edge.
+void back_samples_into(const std::vector<Key>& keys, std::uint32_t k,
+                       std::vector<Key>& out) {
   const SampleIndex si{keys.size(), k};
-  std::vector<Key> out;
+  out.clear();
   out.reserve(si.count());
   for (std::size_t t = 0; t < si.count(); ++t) {
     out.push_back(keys[si.position(t)]);
   }
-  return out;
 }
 
-/// Sorted union of `a` and `b`, deduplicated.
-std::vector<Key> merge_dedup(const std::vector<Key>& a,
-                             const std::vector<Key>& b) {
-  std::vector<Key> out;
+/// Sorted union of `a` and `b`, deduplicated, replacing `out`'s contents.
+/// `out` must not alias `a` or `b`.
+void merge_dedup_into(const std::vector<Key>& a, const std::vector<Key>& b,
+                      std::vector<Key>& out) {
+  out.clear();
   out.reserve(a.size() + b.size());
   std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
 }  // namespace
@@ -66,14 +69,20 @@ Structure Structure::build(const cat::Tree& tree, std::uint32_t sample_k) {
 
   // Phase 1 (bottom-up): B(v) = C(v) merged with back-samples of each
   // child's B.  This is the downward flow of the bidirectional cascading
-  // of [1]/[3] specialized to trees.
+  // of [1]/[3] specialized to trees.  `samples` and `merged` are the only
+  // scratch buffers: the swap below recycles B(v)'s old storage as the
+  // next merge's output, so the whole phase settles into a handful of
+  // steady-state allocations instead of two frees + two mallocs per edge.
   std::vector<std::vector<Key>> up(nn);
+  std::vector<Key> samples, merged;
   for (std::uint32_t d = tree.height() + 1; d-- > 0;) {
     for (NodeId v : tree.level(d)) {
       const auto own = tree.catalog(v).keys();
       up[v].assign(own.begin(), own.end());
       for (NodeId w : tree.children(v)) {
-        up[v] = merge_dedup(up[v], back_samples(up[w], k));
+        back_samples_into(up[w], k, samples);
+        merge_dedup_into(up[v], samples, merged);
+        up[v].swap(merged);
       }
     }
   }
@@ -91,7 +100,10 @@ Structure Structure::build(const cat::Tree& tree, std::uint32_t sample_k) {
       if (v == tree.root()) {
         a.keys = std::move(up[v]);
       } else {
-        a.keys = merge_dedup(up[v], back_samples(aug[tree.parent(v)].keys, k));
+        // A(v) owns its final buffer, so merge straight into it; only the
+        // back-sample scratch is reused.
+        back_samples_into(aug[tree.parent(v)].keys, k, samples);
+        merge_dedup_into(up[v], samples, a.keys);
         up[v].clear();
         up[v].shrink_to_fit();
       }

@@ -46,6 +46,13 @@ enum class CorruptionKind : int {
   kWireLengthLie = 14,  ///< rewrite the length prefix to disagree with
                         ///  the header's payload_len
   kWireBitFlip = 15,    ///< flip one payload bit (CRC trailer catches it)
+  // snapshot files again (kept after the wire kinds for enum stability)
+  kSnapshotSimdLayout = 16,  ///< rewrite one cell of the v2 multiway
+                             ///  search layout, with section/table/header
+                             ///  CRCs all re-forged so only snapshot::
+                             ///  open's recompute-and-compare structural
+                             ///  validation can catch it; v1 files (no
+                             ///  layout sections) -> kFailedPrecondition
 };
 
 inline constexpr CorruptionKind kAllCorruptionKinds[] = {
@@ -63,6 +70,7 @@ inline constexpr CorruptionKind kAllSnapshotFaultKinds[] = {
     CorruptionKind::kSnapshotHeaderBitFlip,
     CorruptionKind::kSnapshotSectionCrc,
     CorruptionKind::kSnapshotSectionOffset,
+    CorruptionKind::kSnapshotSimdLayout,
 };
 
 /// The wire-level kinds (targets of corrupt_frame).

@@ -2,11 +2,17 @@
 
 #include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
 #include <span>
 #include <utility>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 namespace serve {
 
@@ -32,10 +38,74 @@ static_assert(kCacheLine == 64,
               "snapshot section alignment (snapshot::kSectionAlign) is "
               "fixed at 64 bytes; keep the two constants in lockstep");
 
+/// Allocations at or above this size are requested from mmap and marked
+/// MADV_HUGEPAGE (DESIGN.md §12): a 2 MiB huge page covers what would be
+/// 512 4-KiB TLB entries, which is what keeps the batch kernels' random
+/// walks over multi-MiB pools from stalling on TLB refills.  Below the
+/// threshold (or when mmap/madvise is unavailable) allocation falls back
+/// to aligned_alloc — the fallback is silent and purely a performance
+/// matter, never a correctness one.
+inline constexpr std::size_t kHugePageBytes = 2u << 20;
+
+/// One raw cache-line-aligned allocation, huge-page-backed when large
+/// enough.  `map_bytes > 0` means the memory came from mmap (and must go
+/// back via munmap); 0 means aligned_alloc/free.  Zero-initialized in
+/// both paths (mmap anonymous memory is zero by contract).
+struct RawAlloc {
+  void* ptr = nullptr;
+  std::size_t map_bytes = 0;
+};
+
+/// Allocate `bytes` (must be a multiple of kCacheLine, > 0) per the
+/// huge-page policy above.  Throws std::bad_alloc on exhaustion.
+[[nodiscard]] inline RawAlloc raw_alloc(std::size_t bytes) {
+  RawAlloc a;
+#if defined(__linux__)
+  if (bytes >= kHugePageBytes) {
+    void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p != MAP_FAILED) {
+#if defined(MADV_HUGEPAGE)
+      // Best-effort: a kernel without THP (or with it disabled) serves
+      // the mapping with base pages and everything still works.
+      (void)::madvise(p, bytes, MADV_HUGEPAGE);
+#endif
+      a.ptr = p;
+      a.map_bytes = bytes;
+      return a;
+    }
+    // mmap exhaustion falls through to the malloc path below, which has
+    // its own failure report; no capability is lost, only huge pages.
+  }
+#endif
+  a.ptr = std::aligned_alloc(kCacheLine, bytes);
+  if (a.ptr == nullptr) {
+    throw std::bad_alloc();
+  }
+  std::memset(a.ptr, 0, bytes);
+  return a;
+}
+
+inline void raw_free(RawAlloc& a) {
+  if (a.ptr == nullptr) {
+    return;
+  }
+#if defined(__linux__)
+  if (a.map_bytes > 0) {
+    ::munmap(a.ptr, a.map_bytes);
+    a.ptr = nullptr;
+    return;
+  }
+#endif
+  std::free(a.ptr);
+  a.ptr = nullptr;
+}
+
 /// A fixed-size array in ONE cache-line-aligned allocation — the backing
 /// store of the serving arena's SoA pools.  Unlike std::vector it never
 /// reallocates, so a FlatCascade's raw pointers stay valid for its whole
 /// lifetime, and the start of every pool sits on a cache-line boundary.
+/// Pools past kHugePageBytes are huge-page-backed via raw_alloc.
 ///
 /// T must be trivially copyable/destructible (the pools hold keys and
 /// integer offsets only); elements are value-initialized.
@@ -59,14 +129,11 @@ class Pool {
     if (n == 0) {
       return;
     }
-    // aligned_alloc requires the size to be a multiple of the alignment.
+    // raw_alloc requires the size to be a multiple of the alignment.
     const std::size_t bytes =
         (n * sizeof(T) + kCacheLine - 1) / kCacheLine * kCacheLine;
-    data_ = static_cast<T*>(std::aligned_alloc(kCacheLine, bytes));
-    if (data_ == nullptr) {
-      throw std::bad_alloc();
-    }
-    std::memset(static_cast<void*>(data_), 0, bytes);
+    alloc_ = raw_alloc(bytes);
+    data_ = static_cast<T*>(alloc_.ptr);
   }
 
   /// A non-owning view of `n` elements at `data` (e.g. inside a mmapped
@@ -84,22 +151,24 @@ class Pool {
 
   ~Pool() {
     if (owned_) {
-      std::free(data_);
+      raw_free(alloc_);
     }
   }
 
   Pool(Pool&& o) noexcept
       : data_(std::exchange(o.data_, nullptr)),
         size_(std::exchange(o.size_, 0)),
-        owned_(std::exchange(o.owned_, true)) {}
+        owned_(std::exchange(o.owned_, true)),
+        alloc_(std::exchange(o.alloc_, RawAlloc{})) {}
   Pool& operator=(Pool&& o) noexcept {
     if (this != &o) {
       if (owned_) {
-        std::free(data_);
+        raw_free(alloc_);
       }
       data_ = std::exchange(o.data_, nullptr);
       size_ = std::exchange(o.size_, 0);
       owned_ = std::exchange(o.owned_, true);
+      alloc_ = std::exchange(o.alloc_, RawAlloc{});
     }
     return *this;
   }
@@ -108,6 +177,10 @@ class Pool {
 
   /// False for views (snapshot-backed arenas report zero owned bytes).
   [[nodiscard]] bool owns() const { return owned_; }
+
+  /// True when the backing store came from mmap under the huge-page
+  /// policy (diagnostics/tests; false for views and small pools).
+  [[nodiscard]] bool huge_backed() const { return alloc_.map_bytes > 0; }
 
   [[nodiscard]] T* data() { return data_; }
   [[nodiscard]] const T* data() const { return data_; }
@@ -129,6 +202,108 @@ class Pool {
   T* data_ = nullptr;
   std::size_t size_ = 0;
   bool owned_ = true;
+  RawAlloc alloc_;
+};
+
+/// A chunked bump allocator for build-time and per-batch scratch: alloc()
+/// carves cache-line-aligned slices off large reusable chunks, and
+/// reset() rewinds every chunk without returning memory to the OS, so a
+/// compile-to-arena pass (or a steady-state batch loop) stops paying
+/// malloc/free per temporary.  Chunks themselves go through raw_alloc and
+/// are therefore huge-page-backed when large.
+///
+/// Allocations are NOT initialized after the first reset() (fresh chunks
+/// are zero only because raw_alloc zeroes).  Not thread-safe; intended
+/// for one builder or one worker's scratch.
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t chunk_bytes = std::size_t{1} << 20)
+      : chunk_bytes_(
+            (chunk_bytes + kCacheLine - 1) / kCacheLine * kCacheLine) {}
+
+  ~BumpArena() {
+    for (Chunk& c : chunks_) {
+      raw_free(c.alloc);
+    }
+  }
+
+  BumpArena(BumpArena&& o) noexcept
+      : chunk_bytes_(o.chunk_bytes_),
+        chunks_(std::move(o.chunks_)),
+        at_(std::exchange(o.at_, 0)) {
+    o.chunks_.clear();
+  }
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+  BumpArena& operator=(BumpArena&&) = delete;
+
+  /// `n` elements of T, start aligned to kCacheLine.  Pointers stay valid
+  /// until reset() or destruction (chunks never move).
+  template <typename T>
+  [[nodiscard]] T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "bump arenas hold plain scalar scratch only");
+    static_assert(kCacheLine % alignof(T) == 0);
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLine - 1) / kCacheLine * kCacheLine;
+    if (bytes == 0) {
+      return reinterpret_cast<T*>(empty_);
+    }
+    if (at_ >= chunks_.size() || chunks_[at_].used + bytes >
+                                     chunks_[at_].capacity) {
+      next_chunk(bytes);
+    }
+    Chunk& c = chunks_[at_];
+    T* p = reinterpret_cast<T*>(static_cast<unsigned char*>(c.alloc.ptr) +
+                                c.used);
+    c.used += bytes;
+    return p;
+  }
+
+  /// Rewind every chunk; all outstanding pointers become invalid but no
+  /// memory is released, so the next fill cycle allocates nothing.
+  void reset() {
+    for (Chunk& c : chunks_) {
+      c.used = 0;
+    }
+    at_ = 0;
+  }
+
+  /// Total bytes reserved from the OS (space accounting).
+  [[nodiscard]] std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) {
+      total += c.capacity;
+    }
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    RawAlloc alloc;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+
+  /// Advance to the first existing chunk that fits `bytes`, else grow.
+  void next_chunk(std::size_t bytes) {
+    while (at_ < chunks_.size()) {
+      if (chunks_[at_].used == 0 && chunks_[at_].capacity >= bytes) {
+        return;
+      }
+      ++at_;
+    }
+    Chunk c;
+    c.capacity = bytes > chunk_bytes_ ? bytes : chunk_bytes_;
+    c.alloc = raw_alloc(c.capacity);
+    chunks_.push_back(c);
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t at_ = 0;  ///< index of the chunk currently bump-allocating
+  alignas(kCacheLine) unsigned char empty_[1] = {};  ///< n == 0 sentinel
 };
 
 }  // namespace serve

@@ -7,6 +7,7 @@
 #include "fc/build.hpp"
 #include "robust/status.hpp"
 #include "serve/arena.hpp"
+#include "serve/simd_find.hpp"
 
 namespace snapshot {
 struct ArenaAccess;  // snapshot (de)serializer backdoor, see snapshot.hpp
@@ -73,8 +74,21 @@ class FlatCascade {
   }
 
   /// aug_find: index of the smallest augmented key >= y at node v.
-  /// Branch-light binary search over the node's contiguous key slice.
+  /// Branchless multiway descent over the node's blocked layout — one
+  /// cache line (8 keys) ranked per step, AVX2 when the CPU has it
+  /// (simd_find.hpp / DESIGN.md §12).  Always in [0, key_count): the
+  /// +inf terminal guarantees a hit.
   [[nodiscard]] std::uint32_t find(std::uint32_t v, Key y) const {
+    const FlatNode& nd = nodes_[v];
+    const std::uint32_t off = simd_off_[v];
+    return simd::lower_bound(simd_keys_.data() + off, simd_pos_.data() + off,
+                             nd.key_count, y);
+  }
+
+  /// The pre-SIMD branch-light binary search over the sorted key slice.
+  /// Kept as the differential reference for find(): both are exercised
+  /// against each other in tests and the bench equal-answers gate.
+  [[nodiscard]] std::uint32_t find_binary(std::uint32_t v, Key y) const {
     const FlatNode& nd = nodes_[v];
     const Key* base = keys_.data() + nd.key_off;
     const Key* k = base;
@@ -216,6 +230,28 @@ class FlatCascade {
     }
   }
 
+  /// Raw const pointers into the pools for the lockstep batch kernels in
+  /// query_engine.cpp: the grouped kernel keeps its whole per-group state
+  /// in registers/L1 and indexes these bases directly instead of paying a
+  /// member-function round trip per phase per query.  Read-only; valid as
+  /// long as the cascade lives (pools never reallocate).
+  struct KernelView {
+    const FlatNode* nodes = nullptr;
+    const Key* keys = nullptr;
+    const std::uint32_t* proper = nullptr;
+    const std::uint32_t* bridge = nullptr;
+    const std::uint32_t* child = nullptr;
+    const Key* simd_keys = nullptr;
+    const std::uint32_t* simd_pos = nullptr;
+    const std::uint32_t* simd_off = nullptr;
+    std::uint32_t fanout = 0;
+  };
+  [[nodiscard]] KernelView kernel_view() const {
+    return KernelView{nodes_.data(),     keys_.data(),     proper_.data(),
+                      bridge_.data(),    child_.data(),    simd_keys_.data(),
+                      simd_pos_.data(),  simd_off_.data(), b_};
+  }
+
   /// Untrusted-path validation: in-range node ids, starts at the root,
   /// consecutive nodes are parent/child.  OK paths are safe for
   /// search_path even with asserts compiled out.
@@ -225,7 +261,8 @@ class FlatCascade {
   [[nodiscard]] std::size_t arena_bytes() const {
     return keys_.allocated_bytes() + proper_.allocated_bytes() +
            bridge_.allocated_bytes() + child_.allocated_bytes() +
-           nodes_.allocated_bytes();
+           nodes_.allocated_bytes() + simd_keys_.allocated_bytes() +
+           simd_pos_.allocated_bytes() + simd_off_.allocated_bytes();
   }
   [[nodiscard]] std::size_t total_entries() const { return keys_.size(); }
 
@@ -240,6 +277,13 @@ class FlatCascade {
   Pool<std::uint32_t> proper_;///< aug index -> original-catalog index
   Pool<std::uint32_t> bridge_;///< bridge rows, node-major then slot-major
   Pool<std::uint32_t> child_; ///< flattened child lists
+  // Blocked multiway search layout (simd_find.hpp): per node, key_count
+  // padded to a multiple of 8 slots of (key, rank); simd_off_[v] is the
+  // node's first slot.  Derived from keys_ at compile()/open() time and
+  // carried in v2 snapshots so mmap loads stay zero-copy.
+  Pool<Key> simd_keys_;
+  Pool<std::uint32_t> simd_pos_;
+  Pool<std::uint32_t> simd_off_;  ///< one entry per node
   std::uint32_t b_ = 0;       ///< fan-out bound (walk-back cap)
 };
 

@@ -72,10 +72,35 @@ std::size_t default_threads() {
 std::size_t default_shard_size(std::size_t n, std::size_t threads) {
   // Aim for several shards per thread so stragglers rebalance, but keep
   // shards big enough that the atomic cursor is cold compared to the
-  // query work itself.
-  const std::size_t target = std::max<std::size_t>(1, n / (threads * 8));
+  // query work itself.  Claim boundaries round to 8 items so two workers
+  // never write answer words on the same cache line (out[] slots are 8
+  // bytes in the point path); tiny batches keep shard 1 — there, spreading
+  // the few items across the pool beats alignment.
+  std::size_t target = std::max<std::size_t>(1, n / (threads * 8));
+  if (target > 1) {
+    target = (target + 7) / 8 * 8;
+  }
   return std::clamp<std::size_t>(target, 1, 1024);
 }
+
+/// One PAUSE/YIELD between polls of a spin loop.
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Bounded spin before parking in a condvar (workers awaiting a batch,
+/// the submitter awaiting the drain).  ~4k PAUSEs is tens of
+/// microseconds — enough to bridge back-to-back smoke batches (~100 us
+/// apart), bounded so an idle pool still sleeps.  Spinning is only
+/// enabled when the pool fits the machine (QueryEngine ctor): on an
+/// oversubscribed host, burning a core while the peer you are waiting on
+/// is descheduled makes scaling *worse*, which is exactly the negative
+/// thread scaling the 1-vCPU smoke baselines showed.
+inline constexpr int kSpinIters = 4096;
 
 }  // namespace
 
@@ -90,6 +115,7 @@ const char* to_string(DegradeCause c) {
 
 QueryEngine::QueryEngine(std::size_t threads)
     : threads_(threads == 0 ? default_threads() : threads) {
+  spin_ = threads_ > 1 && threads_ <= default_threads();
   if (threads_ > 1) {
     workers_.reserve(threads_);
     for (std::size_t w = 0; w < threads_; ++w) {
@@ -102,7 +128,7 @@ QueryEngine::~QueryEngine() {
   if (!workers_.empty()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
+      shutdown_.store(true, std::memory_order_relaxed);
     }
     work_cv_.notify_all();
     for (auto& t : workers_) {
@@ -187,20 +213,40 @@ bool QueryEngine::run_parallel(
     std::string& fail_reason) {
   // One batch owns the pool at a time, submission through drain.
   std::lock_guard<std::mutex> batch_lock(submit_mutex_);
-  std::unique_lock<std::mutex> lock(mutex_);
-  fn_ = &fn;
-  batch_n_ = n;
-  shard_size_ = shard_size;
-  num_shards_ = (n + shard_size - 1) / shard_size;
-  next_shard_.store(0, std::memory_order_relaxed);
-  abort_.store(false, std::memory_order_relaxed);
-  error_ = nullptr;
-  deadline_at_ = deadline_at;
-  deadline_armed_ = deadline_armed;
-  remaining_ = workers_.size();
-  ++generation_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    batch_n_ = n;
+    shard_size_ = shard_size;
+    num_shards_ = (n + shard_size - 1) / shard_size;
+    next_shard_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    deadline_at_ = deadline_at;
+    deadline_armed_ = deadline_armed;
+    remaining_.store(workers_.size(), std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
   work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  // Drain: spin briefly (smoke-size batches finish in ~100 us, well under
+  // a condvar round trip when a worker must be woken), then park.
+  if (spin_) {
+    for (int s = 0; s < kSpinIters; ++s) {
+      if (remaining_.load(std::memory_order_acquire) == 0) {
+        break;
+      }
+      cpu_relax();
+    }
+  }
+  if (remaining_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  // All workers have left the batch (the acquire load / condvar wait above
+  // orders their writes before these reads).
+  std::lock_guard<std::mutex> lock(mutex_);
   fn_ = nullptr;
   if (error_ != nullptr) {
     try {
@@ -226,15 +272,27 @@ void QueryEngine::worker_loop() {
     std::size_t n = 0, shard_size = 1, num_shards = 0;
     std::chrono::steady_clock::time_point deadline_at;
     bool deadline_armed = false;
+    // Spin for the next batch before parking: back-to-back batches reuse
+    // a running worker with no futex round trip.
+    if (spin_) {
+      for (int s = 0; s < kSpinIters; ++s) {
+        if (shutdown_.load(std::memory_order_relaxed) ||
+            generation_.load(std::memory_order_acquire) != seen_generation) {
+          break;
+        }
+        cpu_relax();
+      }
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
+        return shutdown_.load(std::memory_order_relaxed) ||
+               generation_.load(std::memory_order_relaxed) != seen_generation;
       });
-      if (shutdown_) {
+      if (shutdown_.load(std::memory_order_relaxed)) {
         return;
       }
-      seen_generation = generation_;
+      seen_generation = generation_.load(std::memory_order_relaxed);
       fn = fn_;
       n = batch_n_;
       shard_size = shard_size_;
@@ -274,14 +332,115 @@ void QueryEngine::worker_loop() {
     if (claims > 0) {
       engine_metrics().shard_claims.add(claims);
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--remaining_ == 0) {
-        done_cv_.notify_all();
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Empty critical section: pairs with the submitter's predicate check
+      // so the notify cannot slip between its check and its sleep.
+      { std::lock_guard<std::mutex> lock(mutex_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+/// One lockstep group (g <= kPathGroup queries): the shared inner kernel
+/// of search_paths_grouped / search_paths_grouped_into.  All per-query
+/// loop state lives in local arrays (registers/L1) and every pool access
+/// goes through the KernelView base pointers — no member-function or
+/// vector-size reload per phase.  Round 0 runs all g multiway descents
+/// through the software-pipelined simd::lower_bound_grouped; each bridge
+/// hop then runs in phases with the next phase's lines prefetched across
+/// the whole group, so per-hop cache misses overlap across queries
+/// instead of serializing along one query's dependency chain.
+void run_path_group(const FlatCascade::KernelView& kv,
+                    const PathQuery* queries, std::size_t g,
+                    std::uint32_t* const* out_aug,
+                    std::uint32_t* const* out_prop) {
+  const NodeId* path[kPathGroup];
+  std::size_t len[kPathGroup];
+  Key y[kPathGroup];
+  const FlatNode* cur[kPathGroup];
+  const FlatNode* nxt[kPathGroup];
+  std::uint32_t idx[kPathGroup];
+  std::uint32_t pos[kPathGroup];
+  const std::uint32_t* cell[kPathGroup];
+  simd::GroupedQuery gq[kPathGroup];
+  std::uint32_t head[kPathGroup];
+
+  std::size_t maxlen = 0;
+  for (std::size_t q = 0; q < g; ++q) {
+    path[q] = queries[q].path.data();
+    len[q] = queries[q].path.size();
+    y[q] = queries[q].y;
+    maxlen = std::max(maxlen, len[q]);
+  }
+  // Round 0: lockstep multiway descents at the paths' heads (usually all
+  // the root, whose top blocks stay hot across the group).
+  for (std::size_t q = 0; q < g; ++q) {
+    if (len[q] == 0) {
+      gq[q] = simd::GroupedQuery{};  // n == 0: skipped by the kernel
+      continue;
+    }
+    const auto v0 = static_cast<std::uint32_t>(path[q][0]);
+    const FlatNode* nd = &kv.nodes[v0];
+    const std::uint32_t off = kv.simd_off[v0];
+    gq[q] = simd::GroupedQuery{kv.simd_keys + off, kv.simd_pos + off,
+                               nd->key_count, y[q]};
+    cur[q] = nd;
+  }
+  simd::lower_bound_grouped(gq, head, g);
+  for (std::size_t q = 0; q < g; ++q) {
+    if (len[q] > 0) {
+      idx[q] = head[q];
+      out_aug[q][0] = idx[q];
+      out_prop[q][0] = kv.proper[cur[q]->key_off + idx[q]];
+    }
+  }
+  // One bridge hop per round for every query still on its path.
+  for (std::size_t step = 1; step < maxlen; ++step) {
+    // Phase 0: next nodes' metadata.
+    for (std::size_t q = 0; q < g; ++q) {
+      if (step < len[q]) {
+        __builtin_prefetch(&kv.nodes[path[q][step]]);
+      }
+    }
+    // Phase 1: bridge cells.
+    for (std::size_t q = 0; q < g; ++q) {
+      if (step < len[q]) {
+        nxt[q] = &kv.nodes[path[q][step]];
+        cell[q] = kv.bridge + cur[q]->bridge_off +
+                  std::size_t{nxt[q]->slot} * cur[q]->key_count + idx[q];
+        __builtin_prefetch(cell[q]);
+      }
+    }
+    // Phase 2: landing positions + the key/proper lines the walk-back
+    // will touch (it moves at most kv.fanout entries left).
+    for (std::size_t q = 0; q < g; ++q) {
+      if (step < len[q]) {
+        pos[q] = *cell[q];
+        const std::uint32_t back = pos[q] > kv.fanout ? pos[q] - kv.fanout : 0;
+        __builtin_prefetch(kv.keys + nxt[q]->key_off + back);
+        __builtin_prefetch(kv.proper + nxt[q]->key_off + back);
+      }
+    }
+    // Phase 3: walk-backs + answers.
+    for (std::size_t q = 0; q < g; ++q) {
+      if (step < len[q]) {
+        const Key* wk = kv.keys + nxt[q]->key_off;
+        std::uint32_t p = pos[q];
+        while (p > 0 && wk[p - 1] >= y[q]) {
+          --p;
+        }
+        idx[q] = p;
+        cur[q] = nxt[q];
+        out_aug[q][step] = p;
+        out_prop[q][step] = kv.proper[nxt[q]->key_off + p];
       }
     }
   }
 }
+
+}  // namespace
 
 void search_paths_grouped(const FlatCascade& f, const PathQuery* queries,
                           std::size_t count, PathAnswer* out) {
@@ -290,73 +449,41 @@ void search_paths_grouped(const FlatCascade& f, const PathQuery* queries,
     gm.groups.add((count + kPathGroup - 1) / kPathGroup);
     gm.queries.add(count);
   }
+  const FlatCascade::KernelView kv = f.kernel_view();
   while (count > 0) {
     const std::size_t g = std::min(count, kPathGroup);
-    std::uint32_t v[kPathGroup];
-    std::uint32_t idx[kPathGroup];
-    std::uint32_t pos[kPathGroup];
-    const std::uint32_t* cell[kPathGroup];
-    const std::uint32_t b = f.fanout_bound();
-
-    std::size_t maxlen = 0;
+    std::uint32_t* ap[kPathGroup];
+    std::uint32_t* pp[kPathGroup];
     for (std::size_t q = 0; q < g; ++q) {
       const std::size_t len = queries[q].path.size();
       out[q].aug_index.resize(len);
       out[q].proper_index.resize(len);
-      maxlen = std::max(maxlen, len);
+      ap[q] = out[q].aug_index.data();
+      pp[q] = out[q].proper_index.data();
     }
-    // Round 0: binary searches at the paths' heads (usually all the root,
-    // whose key block stays hot across the group).
-    for (std::size_t q = 0; q < g; ++q) {
-      if (queries[q].path.empty()) {
-        continue;
-      }
-      v[q] = static_cast<std::uint32_t>(queries[q].path[0]);
-      idx[q] = f.find(v[q], queries[q].y);
-      out[q].aug_index[0] = idx[q];
-      out[q].proper_index[0] = f.to_proper(v[q], idx[q]);
-    }
-    // One bridge hop per round for every query still on its path.
-    for (std::size_t step = 1; step < maxlen; ++step) {
-      // Phase 0: next nodes' metadata.
-      for (std::size_t q = 0; q < g; ++q) {
-        if (step < queries[q].path.size()) {
-          __builtin_prefetch(&f.node(
-              static_cast<std::uint32_t>(queries[q].path[step])));
-        }
-      }
-      // Phase 1: bridge cells.
-      for (std::size_t q = 0; q < g; ++q) {
-        if (step < queries[q].path.size()) {
-          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
-          cell[q] = f.bridge_cell(v[q], idx[q], f.node(w).slot);
-          __builtin_prefetch(cell[q]);
-        }
-      }
-      // Phase 2: landing positions + the key/proper lines the walk-back
-      // will touch (it moves at most fanout_bound() entries left).
-      for (std::size_t q = 0; q < g; ++q) {
-        if (step < queries[q].path.size()) {
-          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
-          pos[q] = *cell[q];
-          const std::uint32_t back = pos[q] > b ? pos[q] - b : 0;
-          __builtin_prefetch(f.key_ptr(w, back));
-          __builtin_prefetch(f.proper_ptr(w, back));
-        }
-      }
-      // Phase 3: walk-backs + answers.
-      for (std::size_t q = 0; q < g; ++q) {
-        if (step < queries[q].path.size()) {
-          const auto w = static_cast<std::uint32_t>(queries[q].path[step]);
-          idx[q] = f.walk_back(w, pos[q], queries[q].y);
-          v[q] = w;
-          out[q].aug_index[step] = idx[q];
-          out[q].proper_index[step] = f.to_proper(w, idx[q]);
-        }
-      }
-    }
+    run_path_group(kv, queries, g, ap, pp);
     queries += g;
     out += g;
+    count -= g;
+  }
+}
+
+void search_paths_grouped_into(const FlatCascade& f, const PathQuery* queries,
+                               std::size_t count,
+                               std::uint32_t* const* out_aug,
+                               std::uint32_t* const* out_proper) {
+  if (count > 0) {
+    GroupKernelMetrics& gm = group_kernel_metrics();
+    gm.groups.add((count + kPathGroup - 1) / kPathGroup);
+    gm.queries.add(count);
+  }
+  const FlatCascade::KernelView kv = f.kernel_view();
+  while (count > 0) {
+    const std::size_t g = std::min(count, kPathGroup);
+    run_path_group(kv, queries, g, out_aug, out_proper);
+    queries += g;
+    out_aug += g;
+    out_proper += g;
     count -= g;
   }
 }
@@ -375,6 +502,28 @@ BatchReport serve_path_queries(const FlatCascade& f, QueryEngine& engine,
             std::min(kPathGroup, queries.size() - begin);
         search_paths_grouped(f, queries.data() + begin, cnt,
                              out.data() + begin);
+      },
+      opts);
+}
+
+BatchReport serve_path_queries_flat(const FlatCascade& f, QueryEngine& engine,
+                                    std::span<const PathQuery> queries,
+                                    PathAnswerSet& out,
+                                    const BatchOptions& opts) {
+  out.reset(queries);
+  const std::size_t groups = (queries.size() + kPathGroup - 1) / kPathGroup;
+  return engine.for_each(
+      groups,
+      [&](std::size_t gi) {
+        const std::size_t begin = gi * kPathGroup;
+        const std::size_t cnt = std::min(kPathGroup, queries.size() - begin);
+        std::uint32_t* ap[kPathGroup];
+        std::uint32_t* pp[kPathGroup];
+        for (std::size_t q = 0; q < cnt; ++q) {
+          ap[q] = out.aug_data(begin + q);
+          pp[q] = out.proper_data(begin + q);
+        }
+        search_paths_grouped_into(f, queries.data() + begin, cnt, ap, pp);
       },
       opts);
 }

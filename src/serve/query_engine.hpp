@@ -106,6 +106,8 @@ class QueryEngine {
                     bool deadline_armed, std::string& fail_reason);
 
   std::size_t threads_ = 1;
+  /// Spin-then-wait enabled (threads fit the machine; see ctor).
+  bool spin_ = false;
   std::vector<std::thread> workers_;
   /// Serializes whole batches.  mutex_ alone is not enough: the submitter
   /// releases it inside done_cv_.wait(), so without this outer lock a
@@ -115,17 +117,28 @@ class QueryEngine {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
-  std::size_t remaining_ = 0;
-  bool shutdown_ = false;
+  std::atomic<bool> shutdown_{false};
 
-  // Current batch (valid while remaining_ > 0).
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  // The cross-thread hot atomics, each alone on its cache line: at smoke
+  // batch sizes a batch lasts ~100 us, so every worker hammers the shard
+  // cursor while others poll abort_ / decrement remaining_ — co-locating
+  // them (or parking them next to the batch fields below) turns that into
+  // false-sharing ping-pong that erases multi-core scaling.
+  alignas(kCacheLine) std::atomic<std::size_t> next_shard_{0};
+  alignas(kCacheLine) std::atomic<bool> abort_{false};
+  /// Bumped (under mutex_) to publish a batch; workers spin briefly on it
+  /// before parking in work_cv_ so back-to-back batches skip the condvar
+  /// wakeup latency.
+  alignas(kCacheLine) std::atomic<std::uint64_t> generation_{0};
+  /// Workers still in the current batch; the submitter spin-then-waits on
+  /// it reaching zero.
+  alignas(kCacheLine) std::atomic<std::size_t> remaining_{0};
+
+  // Current batch (published under mutex_ before generation_ is bumped).
+  alignas(kCacheLine) const std::function<void(std::size_t)>* fn_ = nullptr;
   std::size_t batch_n_ = 0;
   std::size_t shard_size_ = 1;
   std::size_t num_shards_ = 0;
-  std::atomic<std::size_t> next_shard_{0};
-  std::atomic<bool> abort_{false};
   std::exception_ptr error_;
   std::chrono::steady_clock::time_point deadline_at_{};
   bool deadline_armed_ = false;
@@ -167,6 +180,67 @@ BatchReport serve_path_queries(const FlatCascade& f, QueryEngine& engine,
                                std::span<const PathQuery> queries,
                                std::vector<PathAnswer>& out,
                                const BatchOptions& opts = {});
+
+/// Variant of search_paths_grouped writing into caller-provided flat
+/// buffers: out_aug[q] / out_proper[q] each point at queries[q].path.size()
+/// writable uint32 slots.  Same answers, no per-query vector.
+void search_paths_grouped_into(const FlatCascade& f, const PathQuery* queries,
+                               std::size_t count,
+                               std::uint32_t* const* out_aug,
+                               std::uint32_t* const* out_proper);
+
+/// Arena-backed answers for a whole path batch: two flat uint32 buffers
+/// (aug + proper, prefix-summed per query) carved from a reusable
+/// BumpArena, so steady-state serving allocates nothing per batch — the
+/// malloc-free counterpart of std::vector<PathAnswer>.  Reusable: reset()
+/// rewinds the arena and re-slices for the next batch.
+class PathAnswerSet {
+ public:
+  /// Size the set for `queries` (invalidates previous contents).
+  void reset(std::span<const PathQuery> queries) {
+    off_.resize(queries.size() + 1);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      off_[i] = total;
+      total += queries[i].path.size();
+    }
+    off_[queries.size()] = total;
+    arena_.reset();
+    aug_ = arena_.alloc<std::uint32_t>(total);
+    proper_ = arena_.alloc<std::uint32_t>(total);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return off_.empty() ? 0 : off_.size() - 1;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> aug(std::size_t q) const {
+    return {aug_ + off_[q], off_[q + 1] - off_[q]};
+  }
+  [[nodiscard]] std::span<const std::uint32_t> proper(std::size_t q) const {
+    return {proper_ + off_[q], off_[q + 1] - off_[q]};
+  }
+
+  /// Writable slices for the batch kernel (query q's slots only).
+  [[nodiscard]] std::uint32_t* aug_data(std::size_t q) {
+    return aug_ + off_[q];
+  }
+  [[nodiscard]] std::uint32_t* proper_data(std::size_t q) {
+    return proper_ + off_[q];
+  }
+
+ private:
+  BumpArena arena_;
+  std::uint32_t* aug_ = nullptr;
+  std::uint32_t* proper_ = nullptr;
+  std::vector<std::size_t> off_;
+};
+
+/// serve_path_queries into a PathAnswerSet: same engine sharding and
+/// answers, zero steady-state allocation (the set's arena is reused).
+BatchReport serve_path_queries_flat(const FlatCascade& f, QueryEngine& engine,
+                                    std::span<const PathQuery> queries,
+                                    PathAnswerSet& out,
+                                    const BatchOptions& opts = {});
 
 /// Serve a batch of point-location queries; out[i] is the region of
 /// points[i].

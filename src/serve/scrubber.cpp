@@ -146,7 +146,22 @@ Status Scrubber::run_pass() {
           rng.next() % static_cast<std::uint64_t>(opts_.sample_key_range));
       std::uint32_t v = f.root();
       for (;;) {
-        const std::uint32_t got = f.to_proper(v, f.find(v, y));
+        // find() descends the blocked multiway layout; find_binary() the
+        // sorted key pool.  They are derived from the same data, so a
+        // disagreement means one of the two arenas rotted — catch it even
+        // when the oracle happens to agree with the corrupted answer.
+        const std::uint32_t idx = f.find(v, y);
+        const std::uint32_t bin = f.find_binary(v, y);
+        if (idx != bin) {
+          bad = Status::corrupted(
+              "scrub of generation " + std::to_string(version) +
+              ": differential mismatch between search layouts at node " +
+              std::to_string(v) + " for y=" + std::to_string(y) +
+              " (multiway " + std::to_string(idx) + ", binary " +
+              std::to_string(bin) + ")");
+          break;
+        }
+        const std::uint32_t got = f.to_proper(v, idx);
         const std::uint32_t want = oracle_(v, y);
         if (got != want) {
           bad = Status::corrupted(

@@ -28,8 +28,17 @@ inline constexpr std::array<char, 8> kMagic = {'C', 'O', 'O', 'P',
                                                'S', 'N', 'A', 'P'};
 
 /// Bump on any incompatible layout change; snapshot::open rejects files
-/// with a different major version (no silent best-effort parsing).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// outside [kMinFormatVersion, kFormatVersion] (no best-effort parsing of
+/// unknown *newer* layouts).
+///
+/// v2 (PR 7) adds the blocked multiway search layout: sections
+/// kSimdKeys/kSimdPos/kSimdOff and ArenaMeta::num_simd_slots (meta grows
+/// 56 -> 64 bytes, strictly appended).  v1 files stay loadable: open()
+/// reads the 56-byte meta prefix and *rebuilds* the layout pools from the
+/// validated key sections (transparent re-layout, never UB) — see
+/// DESIGN.md §12.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 /// Written natively by an LE writer; reads as 0x04030201 on a big-endian
 /// reader, turning a cross-endian file into a descriptive Status instead
@@ -66,6 +75,10 @@ enum class SectionId : std::uint32_t {
   kHiX = 11,
   kHiY = 12,
   kMaxSep = 13,   ///< int32 running-max pool
+  // Blocked multiway search layout (v2+; serve/simd_find.hpp):
+  kSimdKeys = 14,  ///< int64 layout slots, node-major, 8-slot blocks
+  kSimdPos = 15,   ///< uint32 rank per slot (n for padding slots)
+  kSimdOff = 16,   ///< uint32 per-node first-slot offset
 };
 
 /// 64-byte file header.  header_crc covers these 64 bytes with the
@@ -107,10 +120,17 @@ struct ArenaMeta {
   std::uint32_t pad = 0;
   std::uint64_t num_entries = 0;  ///< pointloc edge-geometry pool elements
   std::uint64_t num_regions = 0;  ///< pointloc region count
+  // v2 fields are strictly appended: a v1 reader record is this struct's
+  // 56-byte prefix (kArenaMetaSizeV1), zero-filled by open() for v1 files.
+  std::uint64_t num_simd_slots = 0;  ///< simd_keys_/simd_pos_ elements
 };
-static_assert(sizeof(ArenaMeta) == 56);
+static_assert(sizeof(ArenaMeta) == 64);
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+/// Size of the kMeta payload in v1 files (the v2 prefix).
+inline constexpr std::uint32_t kArenaMetaSizeV1 = 56;
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(COOPSEARCH_DISABLE_SIMD)
 /// Hardware CRC-32C kernel (SSE4.2 crc32 instruction, 8 bytes per issue).
 /// Compiled with a per-function target so the translation unit needs no
 /// global -msse4.2; callers must runtime-check cpu support first.
@@ -141,7 +161,8 @@ __attribute__((target("sse4.2"))) inline std::uint32_t crc32c_hw(
                                          std::uint32_t seed = 0) {
   std::uint32_t crc = ~seed;
   const auto* p = static_cast<const unsigned char*>(data);
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(COOPSEARCH_DISABLE_SIMD)
   if (__builtin_cpu_supports("sse4.2")) {
     return ~crc32c_hw(crc, p, n);
   }

@@ -86,6 +86,31 @@ TEST(SnapshotCorruption, PointLocatorSnapshotsAreCoveredToo) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotCorruption, ForgedSimdLayoutIsRejectedAsCorrupted) {
+  // The simd-layout kind re-forges every checksum, so this is precisely
+  // the fault the CRCs can NOT catch: open() must reject it with a typed
+  // kCorrupted Status from the recompute-and-compare structural check.
+  const std::string path = tmp_path("victim_simd.snap");
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    write_good_snapshot(path);
+    ASSERT_TRUE(
+        robust::corrupt_file(path, CorruptionKind::kSnapshotSimdLayout, seed)
+            .ok());
+    // Checksum-perfect: the CRC verifier has nothing to complain about.
+    {
+      auto mapped = snapshot::open(path);
+      ASSERT_FALSE(mapped.ok());
+      EXPECT_EQ(mapped.status().code(), coop::StatusCode::kCorrupted)
+          << mapped.status().to_string();
+      EXPECT_NE(mapped.status().message().find("simd layout"),
+                std::string::npos)
+          << mapped.status().to_string();
+    }
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotCorruption, FaultKindsHaveNames) {
   for (const CorruptionKind kind : robust::kAllSnapshotFaultKinds) {
     EXPECT_NE(robust::to_string(kind), nullptr);

@@ -1,0 +1,193 @@
+// Format v2 (the blocked multiway search layout sections) round-trips,
+// and v1 files — crafted here byte-for-byte from a v2 file by dropping
+// the layout sections, shrinking the meta payload to its 56-byte v1
+// prefix, and re-forging every CRC — still load, with the layout rebuilt
+// transparently from the validated key sections.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fc/build.hpp"
+#include "robust/corrupt.hpp"
+#include "serve/simd_find.hpp"
+#include "snapshot/format.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace {
+
+using snapshot::SectionId;
+using snapshot::SectionRecord;
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "coop_" + name;
+}
+
+serve::FlatCascade build_cascade(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto t =
+      cat::make_balanced_binary(5, 3000, cat::CatalogShape::kRandom, rng);
+  const auto s = fc::Structure::build(t);
+  auto flat = serve::FlatCascade::compile(s);
+  EXPECT_TRUE(flat.ok());
+  return flat.take();
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Rewrite a v2 cascade snapshot as the v1 format: drop the three layout
+/// sections (they are the last payloads, so the file truncates cleanly),
+/// shrink the kMeta record to the 56-byte v1 prefix, stamp version 1,
+/// and re-forge the meta/table/header CRCs.  The result is exactly what
+/// a v1 writer produced.
+void downgrade_to_v1(const std::string& path) {
+  std::vector<unsigned char> bytes = slurp(path);
+  ASSERT_GE(bytes.size(), sizeof(snapshot::FileHeader));
+  snapshot::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  ASSERT_EQ(header.version, 2u);
+
+  std::vector<SectionRecord> table(header.section_count);
+  std::memcpy(table.data(), bytes.data() + sizeof(header),
+              table.size() * sizeof(SectionRecord));
+  std::vector<SectionRecord> kept;
+  std::uint64_t end = sizeof(header);
+  for (SectionRecord rec : table) {
+    const auto id = static_cast<SectionId>(rec.id);
+    if (id == SectionId::kSimdKeys || id == SectionId::kSimdPos ||
+        id == SectionId::kSimdOff) {
+      continue;
+    }
+    if (id == SectionId::kMeta) {
+      ASSERT_EQ(rec.length, sizeof(snapshot::ArenaMeta));
+      rec.elem_size = snapshot::kArenaMetaSizeV1;
+      rec.length = snapshot::kArenaMetaSizeV1;
+      rec.crc32 = snapshot::crc32(bytes.data() + rec.offset, rec.length);
+    }
+    end = std::max(end, rec.offset + rec.length);
+    kept.push_back(rec);
+  }
+  ASSERT_EQ(kept.size(), table.size() - 3);
+
+  bytes.resize(end);
+  header.version = 1;
+  header.section_count = static_cast<std::uint32_t>(kept.size());
+  header.file_size = bytes.size();
+  const std::size_t table_bytes = kept.size() * sizeof(SectionRecord);
+  std::memcpy(bytes.data() + sizeof(header), kept.data(), table_bytes);
+  header.table_crc = snapshot::crc32(bytes.data() + sizeof(header),
+                                     table_bytes);
+  header.header_crc = snapshot::header_crc(header);
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  spit(path, bytes);
+}
+
+void expect_serves_identically(const serve::FlatCascade& opened,
+                               const serve::FlatCascade& reference,
+                               std::uint64_t seed) {
+  ASSERT_EQ(opened.num_nodes(), reference.num_nodes());
+  std::mt19937_64 rng(seed);
+  for (std::uint32_t v = 0; v < opened.num_nodes(); ++v) {
+    for (int i = 0; i < 20; ++i) {
+      const auto y = static_cast<cat::Key>(rng() % 2'000'000'000);
+      const std::uint32_t want = reference.find_binary(v, y);
+      EXPECT_EQ(opened.find(v, y), want) << "node " << v << " y=" << y;
+      EXPECT_EQ(opened.find_binary(v, y), want) << "node " << v << " y=" << y;
+    }
+  }
+}
+
+TEST(SnapshotFormatV2, RoundTripCarriesTheMultiwayLayout) {
+  const std::string path = tmp_path("v2_roundtrip.snap");
+  const serve::FlatCascade flat = build_cascade(31);
+  ASSERT_TRUE(snapshot::write(flat, path).ok());
+
+  // The file advertises v2 and carries the three layout sections.
+  std::vector<unsigned char> bytes = slurp(path);
+  snapshot::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  EXPECT_EQ(header.version, snapshot::kFormatVersion);
+  std::vector<SectionRecord> table(header.section_count);
+  std::memcpy(table.data(), bytes.data() + sizeof(header),
+              table.size() * sizeof(SectionRecord));
+  int simd_sections = 0;
+  for (const SectionRecord& rec : table) {
+    const auto id = static_cast<SectionId>(rec.id);
+    if (id == SectionId::kSimdKeys || id == SectionId::kSimdPos ||
+        id == SectionId::kSimdOff) {
+      ++simd_sections;
+      EXPECT_GT(rec.length, 0u);
+    }
+  }
+  EXPECT_EQ(simd_sections, 3);
+
+  auto snap = snapshot::open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+  expect_serves_identically(snap->cascade, flat, 77);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormatV2, V1FilesLoadViaTransparentRelayout) {
+  const std::string path = tmp_path("v1_compat.snap");
+  const serve::FlatCascade flat = build_cascade(32);
+  ASSERT_TRUE(snapshot::write(flat, path).ok());
+  downgrade_to_v1(path);
+
+  auto snap = snapshot::open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().to_string();
+  ASSERT_EQ(snap->kind, snapshot::SnapshotKind::kCascade);
+  // find() works — the layout was rebuilt from the mapped keys, not
+  // mapped — and answers match the v2-compiled reference exactly.
+  expect_serves_identically(snap->cascade, flat, 78);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormatV2, V1FilesCannotHostTheSimdLayoutFault) {
+  const std::string path = tmp_path("v1_nofault.snap");
+  const serve::FlatCascade flat = build_cascade(33);
+  ASSERT_TRUE(snapshot::write(flat, path).ok());
+  downgrade_to_v1(path);
+  const auto s = robust::corrupt_file(
+      path, robust::CorruptionKind::kSnapshotSimdLayout, 1);
+  EXPECT_EQ(s.code(), coop::StatusCode::kFailedPrecondition)
+      << s.to_string();
+  // And the attempt left the file untouched.
+  EXPECT_TRUE(snapshot::open(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFormatV2, FutureVersionsAreRejected) {
+  const std::string path = tmp_path("v3_future.snap");
+  const serve::FlatCascade flat = build_cascade(34);
+  ASSERT_TRUE(snapshot::write(flat, path).ok());
+  std::vector<unsigned char> bytes = slurp(path);
+  snapshot::FileHeader header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  header.version = snapshot::kFormatVersion + 1;
+  header.header_crc = snapshot::header_crc(header);
+  std::memcpy(bytes.data(), &header, sizeof(header));
+  spit(path, bytes);
+  auto snap = snapshot::open(path);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), coop::StatusCode::kFailedPrecondition);
+  EXPECT_NE(snap.status().message().find("version"), std::string::npos)
+      << snap.status().to_string();
+  std::remove(path.c_str());
+}
+
+}  // namespace
